@@ -1,0 +1,124 @@
+// Experiment E9 (paper §4.2 "Bag semantics", Theorem 4.8): under bag
+// semantics the (Q+, Q?) translation brackets the minimal multiplicity,
+// #(ā, Q+(D)) ≤ □Q(D, ā) ≤ #(ā, Q?(D)), and is the only tractable option
+// (the exact bounds need exponential valuation enumeration, and the
+// Fig. 2(a) scheme loses its complexity guarantees under bags).
+
+#include <random>
+
+#include "algebra/builder.h"
+#include "approx/approx.h"
+#include "bench/bench_util.h"
+#include "certain/certain.h"
+#include "eval/eval.h"
+
+using namespace incdb;  // NOLINT
+
+namespace {
+
+Database RandomBagDb(std::mt19937_64& rng, int n_nulls) {
+  std::uniform_int_distribution<int> pick(0, 2);
+  std::uniform_int_distribution<uint64_t> mult(1, 3);
+  Database db;
+  int next_null = 0;
+  auto value = [&]() -> Value {
+    if (next_null < n_nulls && pick(rng) == 0) {
+      return Value::Null(static_cast<uint64_t>(next_null++));
+    }
+    return Value::Int(pick(rng));
+  };
+  Relation r({"R_a"}), s({"S_a"});
+  for (int i = 0; i < 4; ++i) {
+    Status st = r.Insert(Tuple{value()}, mult(rng));
+    st = s.Insert(Tuple{value()}, mult(rng));
+    (void)st;
+  }
+  db.Put("R", r);
+  db.Put("S", s);
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "E9", "multiplicity bounds under bag semantics (Theorem 4.8)",
+      "#(ā, Q+(D)) ≤ □Q(D, ā) ≤ #(ā, Q?(D)) for every tuple; the exact "
+      "□/◇ need exponential enumeration while the translation is "
+      "polynomial.");
+
+  std::vector<std::pair<const char*, AlgPtr>> queries = {
+      {"R ∪ S", Union(Scan("R"), Rename(Scan("S"), {"R_a"}))},
+      {"R − S", Diff(Scan("R"), Rename(Scan("S"), {"R_a"}))},
+      {"π(R × S)",
+       Project(Product(Scan("R"), Scan("S")), {"R_a"})},
+      {"σ≠0(R)", Select(Scan("R"), CNeqc("R_a", Value::Int(0)))},
+  };
+
+  std::mt19937_64 rng(7);
+  int probes = 0, bracket_ok = 0, plus_tight = 0;
+  double t_exact = 0, t_translated = 0;
+  for (int round = 0; round < 25; ++round) {
+    Database db = RandomBagDb(rng, 2);
+    for (const auto& [name, q] : queries) {
+      auto plus_q = TranslatePlus(q, db);
+      auto maybe_q = TranslateMaybe(q, db);
+      if (!plus_q.ok() || !maybe_q.ok()) continue;
+      Relation plus, maybe;
+      t_translated += bench::TimeMs(
+          [&] {
+            auto p = EvalBag(*plus_q, db);
+            auto m = EvalBag(*maybe_q, db);
+            if (p.ok()) plus = *p;
+            if (m.ok()) maybe = *m;
+          },
+          1);
+      for (const Tuple& t : maybe.SortedTuples()) {
+        MultiplicityBounds bounds;
+        bool ok = false;
+        t_exact += bench::TimeMs(
+            [&] {
+              auto b = BagMultiplicityBounds(q, db, t);
+              if (b.ok()) {
+                bounds = *b;
+                ok = true;
+              }
+            },
+            1);
+        if (!ok) continue;
+        ++probes;
+        if (plus.Count(t) <= bounds.min && bounds.min <= maybe.Count(t)) {
+          ++bracket_ok;
+        }
+        if (plus.Count(t) == bounds.min) ++plus_tight;
+      }
+    }
+  }
+
+  std::printf("probes (tuple × query × instance): %d\n", probes);
+  std::printf("bracket #Q+ ≤ □ ≤ #Q? holds:       %d/%d\n", bracket_ok,
+              probes);
+  std::printf("Q+ exactly tight (#Q+ = □):        %d/%d\n", plus_tight,
+              probes);
+  std::printf("time, exact □/◇ (exponential):     %.1f ms\n", t_exact);
+  std::printf("time, translated bounds (poly):    %.1f ms\n", t_translated);
+
+  // Scaling of the exact computation with null count (the tractability
+  // cliff the theorem is about):
+  std::printf("\nexact-□ cost vs number of nulls (single probe):\n");
+  for (int n_nulls : {1, 2, 3, 4, 5, 6}) {
+    std::mt19937_64 rng2(1000 + n_nulls);
+    Database db = RandomBagDb(rng2, n_nulls);
+    AlgPtr q = Diff(Scan("R"), Rename(Scan("S"), {"R_a"}));
+    double ms = bench::TimeMs(
+        [&] { BagMultiplicityBounds(q, db, Tuple{Value::Int(0)}).ok(); }, 1);
+    std::printf("  nulls=%d  %10.2f ms\n", n_nulls, ms);
+  }
+
+  bool shape = probes > 0 && bracket_ok == probes && t_translated < t_exact;
+  bench::Footer(shape,
+                "the bracket holds on every probe and the polynomial "
+                "translation is orders of magnitude cheaper than exact "
+                "valuation enumeration.");
+  return shape ? 0 : 1;
+}

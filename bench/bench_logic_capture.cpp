@@ -1,0 +1,150 @@
+// Experiment E10 (paper §5, Fig. 3 and Theorems 5.3/5.4/5.5): regenerates
+// Kleene's truth tables, derives the six-valued logic L6v from its
+// epistemic semantics, verifies that L3v is its maximal distributive and
+// idempotent sublogic, and demonstrates the Boolean-FO capture of
+// FO(L3v↑) — including agreement and timing of the translated queries.
+
+#include <random>
+
+#include "bench/bench_util.h"
+#include "logic/capture.h"
+#include "logic/fo_eval.h"
+#include "logic/kleene.h"
+#include "logic/sixvalued.h"
+
+using namespace incdb;  // NOLINT
+
+namespace {
+
+Database RandomDb(std::mt19937_64& rng, int tuples) {
+  std::uniform_int_distribution<int> pick(0, 4);
+  auto value = [&]() -> Value {
+    int v = pick(rng);
+    return v < 3 ? Value::Int(v) : Value::Null(static_cast<uint64_t>(v - 3));
+  };
+  Database db;
+  Relation r({"a", "b"});
+  Relation t({"x"});
+  for (int i = 0; i < tuples; ++i) {
+    r.Add({value(), value()});
+    t.Add({value()});
+  }
+  db.Put("R", r.ToSet());
+  db.Put("T", t.ToSet());
+  return db;
+}
+
+void PrintTable3() {
+  const TV3 vals[] = {TV3::kT, TV3::kF, TV3::kU};
+  std::printf("  ∧ |");
+  for (TV3 b : vals) std::printf(" %s", ToString(b));
+  std::printf("      ∨ |");
+  for (TV3 b : vals) std::printf(" %s", ToString(b));
+  std::printf("      ¬\n");
+  for (TV3 a : vals) {
+    std::printf("  %s |", ToString(a));
+    for (TV3 b : vals) std::printf(" %s", ToString(Kleene::And(a, b)));
+    std::printf("      %s |", ToString(a));
+    for (TV3 b : vals) std::printf(" %s", ToString(Kleene::Or(a, b)));
+    std::printf("      %s ↦ %s\n", ToString(a), ToString(Kleene::Not(a)));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "E10", "many-valued logics: Fig. 3, Theorem 5.3 and the capture",
+      "Kleene's tables are the right 3VL (maximal distributive+idempotent "
+      "sublogic of the derived L6v), yet Boolean FO captures FO(L3v↑): "
+      "three-valued logic adds no expressive power to SQL.");
+
+  std::printf("Figure 3 (regenerated from the implementation):\n");
+  PrintTable3();
+
+  // L6v derivation and Theorem 5.3.
+  const TV6 all6[] = {TV6::kF, TV6::kSF, TV6::kS, TV6::kU, TV6::kST, TV6::kT};
+  bool derivation_ok = true;
+  for (TV6 a : all6) {
+    derivation_ok &= MostGeneral(ConsistentNot(a)).has_value();
+    for (TV6 b : all6) {
+      derivation_ok &= Six::And(a, b) == *MostGeneral(ConsistentAnd(a, b));
+      derivation_ok &= Six::Or(a, b) == *MostGeneral(ConsistentOr(a, b));
+    }
+  }
+  std::printf("\nL6v tables re-derived from epistemic semantics: %s\n",
+              derivation_ok ? "match" : "MISMATCH");
+
+  Sublogic full{{TV6::kF, TV6::kSF, TV6::kS, TV6::kU, TV6::kST, TV6::kT}};
+  Sublogic kleene{{TV6::kT, TV6::kF, TV6::kU}};
+  bool thm53 = !full.Distributive() && !full.Idempotent() &&
+               kleene.Closed() && kleene.Distributive() &&
+               kleene.Idempotent();
+  int failing_supersets = 0;
+  const TV6 extras[] = {TV6::kS, TV6::kST, TV6::kSF};
+  for (int mask = 1; mask < 8; ++mask) {
+    Sublogic cand{{TV6::kT, TV6::kF, TV6::kU}};
+    for (int i = 0; i < 3; ++i) {
+      if (mask & (1 << i)) cand.values.push_back(extras[i]);
+    }
+    if (!(cand.Closed() && cand.Idempotent() && cand.Distributive())) {
+      ++failing_supersets;
+    }
+  }
+  std::printf("Theorem 5.3: L3v distributive+idempotent: %s; all %d proper "
+              "supersets fail: %s\n",
+              thm53 ? "yes" : "NO", failing_supersets,
+              failing_supersets == 7 ? "yes" : "NO");
+
+  // Capture: agreement + relative cost of the Boolean translation.
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  std::vector<FormulaPtr> formulas = {
+      FAnd(FAtom("T", {x}), FNot(FExists("y", FAtom("R", {x, y})))),
+      FAssert(FOr(FEq(x, Term::Const(Value::Int(1))),
+                  FNot(FEq(x, Term::Const(Value::Int(1)))))),
+      FForall("y", FOr(FNot(FAtom("R", {x, y})), FAtom("T", {y}))),
+  };
+  std::mt19937_64 rng(5);
+  int checked = 0, agree = 0;
+  double t_3vl = 0, t_bool = 0;
+  for (int tuples : {4, 8, 16}) {
+    Database db = RandomDb(rng, tuples);
+    for (const FormulaPtr& phi : formulas) {
+      for (TV3 tau : {TV3::kT, TV3::kF, TV3::kU}) {
+        auto psi = CaptureTranslate(phi, MixedSemantics::Sql(), tau);
+        if (!psi.ok()) continue;
+        for (const Value& a : db.ActiveDomain()) {
+          Assignment asg = {{"x", a}};
+          TV3 mv = TV3::kU;
+          bool bl = false;
+          t_3vl += bench::TimeMs(
+              [&] {
+                auto r = EvalFO(phi, db, asg, MixedSemantics::Sql());
+                if (r.ok()) mv = *r;
+              },
+              1);
+          t_bool += bench::TimeMs(
+              [&] {
+                auto r = EvalBoolFO(*psi, db, asg);
+                if (r.ok()) bl = *r;
+              },
+              1);
+          ++checked;
+          if ((mv == tau) == bl) ++agree;
+        }
+      }
+    }
+  }
+  std::printf("\ncapture agreement (⟦φ⟧sql = τ  ⟺  D ⊨ ψ^τ): %d/%d\n",
+              agree, checked);
+  std::printf("cost: FO(L3v) eval %.1f ms, translated Boolean FO %.1f ms\n",
+              t_3vl, t_bool);
+
+  bool shape = derivation_ok && thm53 && failing_supersets == 7 &&
+               checked > 0 && agree == checked;
+  bench::Footer(shape,
+                "the 3VL is derivable, maximal, and eliminable — exactly "
+                "the paper's three-step story.");
+  return shape ? 0 : 1;
+}

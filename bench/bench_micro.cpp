@@ -1,0 +1,125 @@
+// Micro-benchmarks of the hot primitives (google-benchmark harness):
+// tuple unifiability, the ⋉⇑ probe index, condition compilation and
+// evaluation, hash join and the naive evaluation of a NOT-IN query at
+// growing scale. These complement the experiment binaries: E2/E3 measure
+// end-to-end shapes, this file tracks the primitives they rest on.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "algebra/builder.h"
+#include "approx/approx.h"
+#include "eval/eval.h"
+#include "tpch/tpch.h"
+
+namespace incdb {
+namespace {
+
+Tuple RandomTuple(std::mt19937_64& rng, size_t arity, double null_rate) {
+  std::uniform_real_distribution<double> coin(0, 1);
+  std::vector<Value> vals;
+  for (size_t i = 0; i < arity; ++i) {
+    if (coin(rng) < null_rate) {
+      vals.push_back(Value::Null(rng() % 4));
+    } else {
+      vals.push_back(Value::Int(static_cast<int64_t>(rng() % 16)));
+    }
+  }
+  return Tuple(std::move(vals));
+}
+
+void BM_Unifiable(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::vector<std::pair<Tuple, Tuple>> pairs;
+  for (int i = 0; i < 256; ++i) {
+    pairs.emplace_back(RandomTuple(rng, 4, 0.3), RandomTuple(rng, 4, 0.3));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(Unifiable(a, b));
+  }
+}
+BENCHMARK(BM_Unifiable);
+
+void BM_SqlTupleEq(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  std::vector<std::pair<Tuple, Tuple>> pairs;
+  for (int i = 0; i < 256; ++i) {
+    pairs.emplace_back(RandomTuple(rng, 4, 0.2), RandomTuple(rng, 4, 0.2));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(SqlTupleEq(a, b));
+  }
+}
+BENCHMARK(BM_SqlTupleEq);
+
+void BM_CompiledCondEval(benchmark::State& state) {
+  std::vector<std::string> attrs{"a", "b", "c", "d"};
+  CondPtr cond = CAnd(COr(CEq("a", "b"), CNeqc("c", Value::Int(3))),
+                      CIsConst("d"));
+  auto pred = CompileCond(cond, attrs, CondMode::kSql);
+  std::mt19937_64 rng(3);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 256; ++i) tuples.push_back(RandomTuple(rng, 4, 0.2));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*pred)(tuples[i++ & 255]));
+  }
+}
+BENCHMARK(BM_CompiledCondEval);
+
+/// Naive evaluation of the W1 NOT-IN query at growing TPC-H-lite scale.
+void BM_NotInNaive(benchmark::State& state) {
+  tpch::GenOptions opts;
+  opts.scale = static_cast<double>(state.range(0)) / 10.0;
+  opts.null_rate = 0.02;
+  Database db = tpch::Generate(opts);
+  AlgPtr q = tpch::Workload()[0].algebra;
+  for (auto _ : state) {
+    auto r = EvalSet(q, db);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.TotalSize()));
+}
+BENCHMARK(BM_NotInNaive)->Arg(5)->Arg(10)->Arg(20);
+
+/// The Q+ rewriting of the same query (⋉⇑ with the null-mask index).
+void BM_NotInPlus(benchmark::State& state) {
+  tpch::GenOptions opts;
+  opts.scale = static_cast<double>(state.range(0)) / 10.0;
+  opts.null_rate = 0.02;
+  Database db = tpch::Generate(opts);
+  auto plus = TranslatePlus(tpch::Workload()[0].algebra, db);
+  for (auto _ : state) {
+    auto r = EvalSet(*plus, db);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.TotalSize()));
+}
+BENCHMARK(BM_NotInPlus)->Arg(5)->Arg(10)->Arg(20);
+
+/// Hash join throughput: customer ⨝ orders.
+void BM_HashJoin(benchmark::State& state) {
+  tpch::GenOptions opts;
+  opts.scale = 2.0;
+  opts.null_rate = 0.02;
+  Database db = tpch::Generate(opts);
+  AlgPtr q = Join(Scan("customer"), Scan("orders"),
+                  CEq("c_custkey", "o_custkey"));
+  for (auto _ : state) {
+    auto r = EvalSet(q, db);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_HashJoin);
+
+}  // namespace
+}  // namespace incdb
+
+BENCHMARK_MAIN();

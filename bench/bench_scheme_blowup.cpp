@@ -1,0 +1,97 @@
+// Experiment E2 (paper §4.2, Fig. 2a vs 2b): the (Qt, Qf) translation of
+// [51] multiplies active-domain products Dom^k and becomes infeasible on
+// databases with fewer than 10³ tuples, while the (Q+, Q?) translation of
+// [37] scales. Sweep |D| and time both schemes on a difference query.
+
+#include <random>
+
+#include "algebra/builder.h"
+#include "approx/approx.h"
+#include "bench/bench_util.h"
+#include "eval/eval.h"
+
+using namespace incdb;  // NOLINT
+
+namespace {
+
+/// Binary relations R, S with `n` tuples each and ~3% nulls.
+Database MakeDb(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> val(0, static_cast<int64_t>(n));
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  uint64_t next_null = 1;
+  auto value = [&]() -> Value {
+    if (coin(rng) < 0.03) return Value::Null(next_null++);
+    return Value::Int(val(rng));
+  };
+  Database db;
+  Relation r({"a", "b"}), s({"c", "d"});
+  for (size_t i = 0; i < n; ++i) {
+    r.Add({value(), value()});
+    s.Add({value(), value()});
+  }
+  db.Put("R", r.ToSet());
+  db.Put("S", s.ToSet());
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "E2", "Fig. 2(a) (Qt,Qf) blow-up vs Fig. 2(b) (Q+,Q?) scaling",
+      "\"simple queries start running out of memory on instances with "
+      "fewer than 10^3 tuples\" for scheme (a); scheme (b) avoids Dom^k "
+      "products entirely.");
+
+  // Q = R − S (same-arity difference): Qt = Rt ∩ Sf needs Sf = Dom² ⋉⇑ S.
+  AlgPtr q = Diff(Scan("R"), Rename(Scan("S"), {"a", "b"}));
+
+  EvalOptions budget;
+  budget.max_tuples = 2'000'000;  // the "memory" budget
+
+  std::printf("%8s  %14s  %16s  %16s\n", "|R|=|S|", "naive eval ms",
+              "Fig2b Q+ ms", "Fig2a Qt ms");
+  bool fig2a_died = false;
+  size_t fig2a_death_size = 0;
+  bool fig2b_survived_all = true;
+  for (size_t n : {10, 30, 100, 300, 1000, 3000}) {
+    Database db = MakeDb(n, 42 + n);
+    double t_naive = bench::TimeMs([&] { EvalSet(q, db).ok(); }, 2);
+    bool plus_ok = true, qt_ok = true;
+    double t_plus = bench::TimeMs(
+        [&] {
+          auto r = EvalPlus(q, db, budget);
+          plus_ok = r.ok();
+        },
+        2);
+    std::string qt_cell = "skipped (already exhausted)";
+    if (!fig2a_died) {
+      double t_qt = bench::TimeMs(
+          [&] {
+            auto r = EvalCertTrue(q, db, budget);
+            qt_ok = r.ok();
+          },
+          1);
+      if (qt_ok) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", t_qt);
+        qt_cell = buf;
+      } else {
+        qt_cell = "EXHAUSTED (Dom^2)";
+        fig2a_died = true;
+        fig2a_death_size = n;
+      }
+    }
+    fig2b_survived_all &= plus_ok;
+    std::printf("%8zu  %14.2f  %16.2f  %s\n", n, t_naive, t_plus,
+                qt_cell.c_str());
+  }
+
+  bool shape = fig2a_died && fig2a_death_size <= 3000 && fig2b_survived_all;
+  bench::Footer(shape,
+                "scheme (a) exhausts its tuple budget in the low thousands "
+                "of tuples (Dom^2 grows with the square of the active "
+                "domain) while scheme (b) tracks the naive evaluation cost.");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+#ifndef INCDB_BENCH_BENCH_UTIL_H_
+#define INCDB_BENCH_BENCH_UTIL_H_
+
+/// Shared helpers for the experiment binaries (E1..E10, see DESIGN.md §2):
+/// wall-clock timing and uniform report formatting.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace incdb {
+namespace bench {
+
+/// Wall-clock milliseconds of the best of `reps` runs of `fn`.
+inline double TimeMs(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            end - start)
+            .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+inline void Header(const char* exp_id, const char* title,
+                   const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", exp_id, title);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("================================================================\n\n");
+}
+
+inline void Footer(bool shape_holds, const char* verdict) {
+  std::printf("\n>> shape %s: %s\n\n", shape_holds ? "HOLDS" : "DEVIATES",
+              verdict);
+}
+
+}  // namespace bench
+}  // namespace incdb
+
+#endif  // INCDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Quickstart: build an incomplete database, run a query under the three
+// evaluation disciplines, and compute certain-answer approximations.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "algebra/builder.h"
+#include "approx/approx.h"
+#include "certain/certain.h"
+#include "eval/eval.h"
+
+using namespace incdb;  // NOLINT — example brevity
+
+int main() {
+  // An incomplete database: employees and a project assignment where one
+  // employee's project is unknown (the marked null ⊥1).
+  Database db;
+  Relation emp({"name"});
+  emp.Add({Value::String("ann")});
+  emp.Add({Value::String("bob")});
+  emp.Add({Value::String("eve")});
+  Relation assigned({"who"});
+  assigned.Add({Value::String("ann")});
+  assigned.Add({Value::Null(1)});  // somebody is assigned — we lost who
+  db.Put("Emp", std::move(emp));
+  db.Put("Assigned", std::move(assigned));
+
+  std::printf("Database:\n%s\n", db.ToString().c_str());
+
+  // Query: employees with no assignment (relational difference).
+  AlgPtr q = Diff(Scan("Emp"), Rename(Scan("Assigned"), {"name"}));
+  std::printf("Query Q = %s\n\n", q->ToString().c_str());
+
+  auto naive = EvalSet(q, db);       // nulls as fresh constants
+  auto sql = EvalSql(q, db);         // what a SQL engine would return
+  auto plus = EvalPlus(q, db);       // certain answers (under-approx, [37])
+  auto maybe = EvalMaybe(q, db);     // possible answers (over-approx)
+  auto cert = CertWithNulls(q, db);  // exact cert⊥, brute force
+
+  if (!naive.ok() || !sql.ok() || !plus.ok() || !maybe.ok() || !cert.ok()) {
+    std::printf("evaluation failed\n");
+    return 1;
+  }
+  std::printf("naive evaluation : %s\n", naive->ToString().c_str());
+  std::printf("SQL evaluation   : %s\n", sql->ToString().c_str());
+  std::printf("certain   (Q+)   : %s\n", plus->ToString().c_str());
+  std::printf("possible  (Q?)   : %s\n", maybe->ToString().c_str());
+  std::printf("exact cert⊥      : %s\n\n", cert->ToString().c_str());
+
+  std::printf(
+      "Reading: naive evaluation claims bob and eve are unassigned, but\n"
+      "⊥1 could be either of them, so nobody is *certainly* unassigned.\n"
+      "Q+ and the exact cert⊥ both report the empty set, while Q? lists\n"
+      "bob and eve as still possibly unassigned (ann is definitely\n"
+      "assigned).\n");
+  return 0;
+}

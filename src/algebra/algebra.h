@@ -1,0 +1,111 @@
+#ifndef INCDB_ALGEBRA_ALGEBRA_H_
+#define INCDB_ALGEBRA_ALGEBRA_H_
+
+/// \file algebra.h
+/// \brief Relational algebra AST (paper §2), extended with the operators
+/// the surveyed results need:
+///
+///  * the core grammar σ, π, ×, ∪, − over named relations;
+///  * intersection ∩ (emitted by the Fig. 2(a) translation rules);
+///  * division ÷ (the Pos∀G fragment of Thm. 4.4);
+///  * the unification anti-semijoin ⋉⇑ of Fig. 2 (r̄ survives iff no s̄ on
+///    the right unifies with it);
+///  * Dom^k, the k-fold product of the active domain (Fig. 2(a));
+///  * sugar operators (join/semijoin/antijoin with conditions) that
+///    Desugar() rewrites into the core grammar.
+///
+/// Nodes are immutable and shared; building twice the same subtree is fine.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/condition.h"
+#include "core/database.h"
+#include "core/status.h"
+
+namespace incdb {
+
+struct Algebra;
+using AlgPtr = std::shared_ptr<const Algebra>;
+
+enum class OpKind : uint8_t {
+  kScan,          ///< Base relation R.
+  kSelect,        ///< σ_θ(Q).
+  kProject,       ///< π_α(Q), α a list of attribute names of Q.
+  kRename,        ///< ρ: renames all attributes positionally.
+  kProduct,       ///< Q1 × Q2 (attribute names must be disjoint).
+  kUnion,         ///< Q1 ∪ Q2 (same arity; left names win).
+  kDifference,    ///< Q1 − Q2 (same arity).
+  kIntersect,     ///< Q1 ∩ Q2 (same arity).
+  kDivision,      ///< Q1 ÷ Q2 (attrs(Q2) ⊆ attrs(Q1)).
+  kAntijoinUnify, ///< Q1 ⋉⇑ Q2 (same arity; keep r̄ with no unifiable s̄).
+  kDom,           ///< Dom^k over adom(D) ∪ extra constants.
+  // ---- sugar (removed by Desugar) ----
+  kJoin,          ///< σ_θ(Q1 × Q2).
+  kSemijoin,      ///< π_{attrs(Q1)}(σ_θ(Q1 × Q2)), deduplicated.
+  kAntijoin,      ///< Q1 − Semijoin(Q1, Q2, θ).
+  kIn,            ///< SQL  x̄ IN (Q2 WHERE θ)  — see builder.h InPredicate.
+  kNotIn,         ///< SQL  x̄ NOT IN (Q2 WHERE θ): under EvalSql this keeps
+                  ///< a row only when the comparison with *every* right row
+                  ///< is certainly false (SQL's NOT IN null semantics).
+  kDistinct,      ///< SELECT DISTINCT: no-op under set semantics, collapses
+                  ///< multiplicities under bags.
+};
+
+/// \brief One relational algebra operator.
+struct Algebra {
+  OpKind kind;
+  std::string rel_name;              ///< kScan.
+  CondPtr cond;                      ///< kSelect / kJoin / kSemijoin / kAntijoin / kIn / kNotIn.
+  std::vector<std::string> attrs;    ///< kProject (names) / kRename (new names) / kDom (names) / kIn,kNotIn (left compare columns).
+  std::vector<std::string> attrs2;   ///< kIn / kNotIn: right compare columns.
+  size_t dom_arity = 0;              ///< kDom.
+  std::vector<Value> dom_extra;      ///< kDom: query constants to include.
+  AlgPtr left, right;
+
+  /// Single-line rendering, e.g. "π_{oid}(Orders − Payments)".
+  std::string ToString() const;
+};
+
+/// Output attribute names of `q` against the schemas in `db`.
+/// Validates the whole subtree (arity agreement, disjointness for ×, ...).
+StatusOr<std::vector<std::string>> OutputAttrs(const AlgPtr& q,
+                                               const Database& db);
+
+/// Rewrites the sugar operators (kJoin, kSemijoin, kAntijoin) into the core
+/// grammar, leaving everything else untouched. Needs the database to
+/// resolve schemas (the semijoin expansion projects back onto the left
+/// attributes). Note: the expansion is faithful under *set* semantics; the
+/// evaluators also execute the sugar operators natively with EXISTS-style
+/// multiplicity handling for bags.
+StatusOr<AlgPtr> Desugar(const AlgPtr& q, const Database& db);
+
+/// True iff the subtree uses only the paper's core grammar
+/// {scan, σ, π, ρ, ×, ∪, −, ∩} — what the Fig. 2 translations accept.
+bool IsCoreGrammar(const AlgPtr& q);
+
+/// True iff the subtree is *positive* relational algebra extended with
+/// division: {scan, σ (no ≠/null), π, ρ, ×, ∪, ÷} — the algebraic form of
+/// the Pos∀G fragment (Thm. 4.4).
+bool IsPosForallG(const AlgPtr& q);
+
+/// True iff the subtree is positive relational algebra (no −, ÷, and no
+/// ≠ / null(·) in selections) — the algebraic UCQ fragment.
+bool IsPositive(const AlgPtr& q);
+
+/// All constants mentioned in selection conditions of the subtree.
+std::vector<Value> QueryConstants(const AlgPtr& q);
+
+/// All base relations scanned by the subtree.
+std::vector<std::string> ScannedRelations(const AlgPtr& q);
+
+/// True iff any selection condition in the subtree uses an order
+/// comparison — such queries are not generic, so the exact
+/// (valuation-family based) certainty machinery rejects them; the
+/// approximation schemes handle them (§6 "Types of attributes").
+bool QueryHasOrderComparison(const AlgPtr& q);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_ALGEBRA_H_

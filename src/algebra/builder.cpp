@@ -1,0 +1,127 @@
+#include "algebra/builder.h"
+
+namespace incdb {
+
+namespace {
+std::shared_ptr<Algebra> Node(OpKind kind) {
+  auto n = std::make_shared<Algebra>();
+  n->kind = kind;
+  return n;
+}
+}  // namespace
+
+AlgPtr Scan(std::string rel_name) {
+  auto n = Node(OpKind::kScan);
+  n->rel_name = std::move(rel_name);
+  return n;
+}
+
+AlgPtr Select(AlgPtr in, CondPtr cond) {
+  auto n = Node(OpKind::kSelect);
+  n->left = std::move(in);
+  n->cond = std::move(cond);
+  return n;
+}
+
+AlgPtr Project(AlgPtr in, std::vector<std::string> attrs) {
+  auto n = Node(OpKind::kProject);
+  n->left = std::move(in);
+  n->attrs = std::move(attrs);
+  return n;
+}
+
+AlgPtr Rename(AlgPtr in, std::vector<std::string> new_attrs) {
+  auto n = Node(OpKind::kRename);
+  n->left = std::move(in);
+  n->attrs = std::move(new_attrs);
+  return n;
+}
+
+namespace {
+std::shared_ptr<Algebra> Binary(OpKind kind, AlgPtr l, AlgPtr r) {
+  auto n = Node(kind);
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+}  // namespace
+
+AlgPtr Product(AlgPtr l, AlgPtr r) {
+  return Binary(OpKind::kProduct, std::move(l), std::move(r));
+}
+AlgPtr Union(AlgPtr l, AlgPtr r) {
+  return Binary(OpKind::kUnion, std::move(l), std::move(r));
+}
+AlgPtr Diff(AlgPtr l, AlgPtr r) {
+  return Binary(OpKind::kDifference, std::move(l), std::move(r));
+}
+AlgPtr Intersect(AlgPtr l, AlgPtr r) {
+  return Binary(OpKind::kIntersect, std::move(l), std::move(r));
+}
+AlgPtr Division(AlgPtr l, AlgPtr r) {
+  return Binary(OpKind::kDivision, std::move(l), std::move(r));
+}
+AlgPtr AntijoinUnify(AlgPtr l, AlgPtr r) {
+  return Binary(OpKind::kAntijoinUnify, std::move(l), std::move(r));
+}
+
+AlgPtr DomK(size_t arity, std::vector<Value> extra) {
+  return DomK(DefaultAttrs(arity, "d"), std::move(extra));
+}
+
+AlgPtr DomK(std::vector<std::string> attrs, std::vector<Value> extra) {
+  auto n = Node(OpKind::kDom);
+  n->dom_arity = attrs.size();
+  n->attrs = std::move(attrs);
+  n->dom_extra = std::move(extra);
+  return n;
+}
+
+AlgPtr Join(AlgPtr l, AlgPtr r, CondPtr cond) {
+  auto n = Binary(OpKind::kJoin, std::move(l), std::move(r));
+  n->cond = std::move(cond);
+  return n;
+}
+
+AlgPtr Semijoin(AlgPtr l, AlgPtr r, CondPtr cond) {
+  auto n = Binary(OpKind::kSemijoin, std::move(l), std::move(r));
+  n->cond = std::move(cond);
+  return n;
+}
+
+AlgPtr Antijoin(AlgPtr l, AlgPtr r, CondPtr cond) {
+  auto n = Binary(OpKind::kAntijoin, std::move(l), std::move(r));
+  n->cond = std::move(cond);
+  return n;
+}
+
+namespace {
+AlgPtr InLike(OpKind kind, AlgPtr l, AlgPtr r, std::vector<std::string> lcols,
+              std::vector<std::string> rcols, CondPtr cond) {
+  auto n = Binary(kind, std::move(l), std::move(r));
+  n->attrs = std::move(lcols);
+  n->attrs2 = std::move(rcols);
+  n->cond = cond ? std::move(cond) : CTrue();
+  return n;
+}
+}  // namespace
+
+AlgPtr InPredicate(AlgPtr l, AlgPtr r, std::vector<std::string> lcols,
+                   std::vector<std::string> rcols, CondPtr cond) {
+  return InLike(OpKind::kIn, std::move(l), std::move(r), std::move(lcols),
+                std::move(rcols), std::move(cond));
+}
+
+AlgPtr NotInPredicate(AlgPtr l, AlgPtr r, std::vector<std::string> lcols,
+                      std::vector<std::string> rcols, CondPtr cond) {
+  return InLike(OpKind::kNotIn, std::move(l), std::move(r), std::move(lcols),
+                std::move(rcols), std::move(cond));
+}
+
+AlgPtr Distinct(AlgPtr in) {
+  auto n = Node(OpKind::kDistinct);
+  n->left = std::move(in);
+  return n;
+}
+
+}  // namespace incdb

@@ -1,0 +1,59 @@
+#ifndef INCDB_ALGEBRA_BUILDER_H_
+#define INCDB_ALGEBRA_BUILDER_H_
+
+/// \file builder.h
+/// \brief Free-function construction DSL for relational algebra trees.
+///
+/// Example (the "unpaid orders" query of §1, Fig. 1):
+/// \code
+///   AlgPtr q = Diff(Project(Scan("Orders"), {"oid"}),
+///                   Project(Scan("Payments"), {"oid"}));
+/// \endcode
+
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+
+namespace incdb {
+
+AlgPtr Scan(std::string rel_name);
+AlgPtr Select(AlgPtr in, CondPtr cond);
+AlgPtr Project(AlgPtr in, std::vector<std::string> attrs);
+AlgPtr Rename(AlgPtr in, std::vector<std::string> new_attrs);
+AlgPtr Product(AlgPtr l, AlgPtr r);
+AlgPtr Union(AlgPtr l, AlgPtr r);
+AlgPtr Diff(AlgPtr l, AlgPtr r);
+AlgPtr Intersect(AlgPtr l, AlgPtr r);
+AlgPtr Division(AlgPtr l, AlgPtr r);
+AlgPtr AntijoinUnify(AlgPtr l, AlgPtr r);
+
+/// Dom^k with default attribute names d0..d{k-1} and optional extra
+/// constants (the constants mentioned in the translated query).
+AlgPtr DomK(size_t arity, std::vector<Value> extra = {});
+/// Dom^k with explicit attribute names.
+AlgPtr DomK(std::vector<std::string> attrs, std::vector<Value> extra = {});
+
+/// Sugar: σ_θ(l × r); desugared by Desugar().
+AlgPtr Join(AlgPtr l, AlgPtr r, CondPtr cond);
+/// Sugar: tuples of l with at least one θ-partner in r.
+AlgPtr Semijoin(AlgPtr l, AlgPtr r, CondPtr cond);
+/// Sugar: tuples of l with no θ-partner in r.
+AlgPtr Antijoin(AlgPtr l, AlgPtr r, CondPtr cond);
+
+/// SQL's  l.lcols [NOT] IN (SELECT rcols FROM r WHERE θ)  predicate, where
+/// θ may correlate left and right attributes. Under naive evaluation these
+/// coincide with Semijoin/Antijoin on (θ ∧ lcols = rcols); under EvalSql
+/// they implement SQL's three-valued IN / NOT IN, e.g. `x NOT IN S` fails
+/// as soon as S contains a null unless x literally matches.
+AlgPtr InPredicate(AlgPtr l, AlgPtr r, std::vector<std::string> lcols,
+                   std::vector<std::string> rcols, CondPtr cond);
+AlgPtr NotInPredicate(AlgPtr l, AlgPtr r, std::vector<std::string> lcols,
+                      std::vector<std::string> rcols, CondPtr cond);
+
+/// SELECT DISTINCT wrapper (no-op under set semantics).
+AlgPtr Distinct(AlgPtr in);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_BUILDER_H_

@@ -1,0 +1,412 @@
+#include "algebra/condition.h"
+
+#include <cassert>
+#include <set>
+
+#include "logic/kleene.h"
+
+namespace incdb {
+
+namespace {
+CondPtr Make(CondKind kind, std::string lhs = {}, std::string rhs = {},
+             Value constant = Value::Int(0), CondPtr left = nullptr,
+             CondPtr right = nullptr) {
+  auto c = std::make_shared<Condition>();
+  c->kind = kind;
+  c->lhs = std::move(lhs);
+  c->rhs = std::move(rhs);
+  c->constant = std::move(constant);
+  c->left = std::move(left);
+  c->right = std::move(right);
+  return c;
+}
+}  // namespace
+
+CondPtr CTrue() { return Make(CondKind::kTrue); }
+CondPtr CFalse() { return Make(CondKind::kFalse); }
+CondPtr CAnd(CondPtr a, CondPtr b) {
+  return Make(CondKind::kAnd, {}, {}, Value::Int(0), std::move(a),
+              std::move(b));
+}
+CondPtr COr(CondPtr a, CondPtr b) {
+  return Make(CondKind::kOr, {}, {}, Value::Int(0), std::move(a),
+              std::move(b));
+}
+CondPtr CEq(std::string a, std::string b) {
+  return Make(CondKind::kEqAttrAttr, std::move(a), std::move(b));
+}
+CondPtr CEqc(std::string a, Value c) {
+  return Make(CondKind::kEqAttrConst, std::move(a), {}, std::move(c));
+}
+CondPtr CNeq(std::string a, std::string b) {
+  return Make(CondKind::kNeqAttrAttr, std::move(a), std::move(b));
+}
+CondPtr CNeqc(std::string a, Value c) {
+  return Make(CondKind::kNeqAttrConst, std::move(a), {}, std::move(c));
+}
+CondPtr CIsConst(std::string a) {
+  return Make(CondKind::kIsConst, std::move(a));
+}
+CondPtr CIsNull(std::string a) { return Make(CondKind::kIsNull, std::move(a)); }
+
+CondPtr CLt(std::string a, std::string b) {
+  return Make(CondKind::kLtAttrAttr, std::move(a), std::move(b));
+}
+CondPtr CLe(std::string a, std::string b) {
+  return Make(CondKind::kLeAttrAttr, std::move(a), std::move(b));
+}
+CondPtr CLtc(std::string a, Value c) {
+  return Make(CondKind::kLtAttrConst, std::move(a), {}, std::move(c));
+}
+CondPtr CLec(std::string a, Value c) {
+  return Make(CondKind::kLeAttrConst, std::move(a), {}, std::move(c));
+}
+CondPtr CGtc(std::string a, Value c) {
+  return Make(CondKind::kGtAttrConst, std::move(a), {}, std::move(c));
+}
+CondPtr CGec(std::string a, Value c) {
+  return Make(CondKind::kGeAttrConst, std::move(a), {}, std::move(c));
+}
+
+CondPtr CAndAll(const std::vector<CondPtr>& cs) {
+  if (cs.empty()) return CTrue();
+  CondPtr out = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) out = CAnd(out, cs[i]);
+  return out;
+}
+
+CondPtr COrAll(const std::vector<CondPtr>& cs) {
+  if (cs.empty()) return CFalse();
+  CondPtr out = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) out = COr(out, cs[i]);
+  return out;
+}
+
+CondPtr Negate(const CondPtr& c) {
+  switch (c->kind) {
+    case CondKind::kTrue:
+      return CFalse();
+    case CondKind::kFalse:
+      return CTrue();
+    case CondKind::kAnd:
+      return COr(Negate(c->left), Negate(c->right));
+    case CondKind::kOr:
+      return CAnd(Negate(c->left), Negate(c->right));
+    case CondKind::kEqAttrAttr:
+      return CNeq(c->lhs, c->rhs);
+    case CondKind::kNeqAttrAttr:
+      return CEq(c->lhs, c->rhs);
+    case CondKind::kEqAttrConst:
+      return CNeqc(c->lhs, c->constant);
+    case CondKind::kNeqAttrConst:
+      return CEqc(c->lhs, c->constant);
+    case CondKind::kIsConst:
+      return CIsNull(c->lhs);
+    case CondKind::kIsNull:
+      return CIsConst(c->lhs);
+    // ¬(A < B) = B ≤ A, etc.
+    case CondKind::kLtAttrAttr:
+      return CLe(c->rhs, c->lhs);
+    case CondKind::kLeAttrAttr:
+      return CLt(c->rhs, c->lhs);
+    case CondKind::kLtAttrConst:
+      return CGec(c->lhs, c->constant);
+    case CondKind::kLeAttrConst:
+      return CGtc(c->lhs, c->constant);
+    case CondKind::kGtAttrConst:
+      return CLec(c->lhs, c->constant);
+    case CondKind::kGeAttrConst:
+      return CLtc(c->lhs, c->constant);
+  }
+  assert(false);
+  return CFalse();
+}
+
+CondPtr StarTranslate(const CondPtr& c) {
+  switch (c->kind) {
+    case CondKind::kAnd:
+      return CAnd(StarTranslate(c->left), StarTranslate(c->right));
+    case CondKind::kOr:
+      return COr(StarTranslate(c->left), StarTranslate(c->right));
+    case CondKind::kNeqAttrConst:
+      return CAnd(CNeqc(c->lhs, c->constant), CIsConst(c->lhs));
+    case CondKind::kNeqAttrAttr:
+      return CAnd(CNeq(c->lhs, c->rhs),
+                  CAnd(CIsConst(c->lhs), CIsConst(c->rhs)));
+    // §6 "Types of attributes": order comparisons are guarded like
+    // disequalities — certain only on constants.
+    case CondKind::kLtAttrAttr:
+    case CondKind::kLeAttrAttr:
+      return CAnd(c, CAnd(CIsConst(c->lhs), CIsConst(c->rhs)));
+    case CondKind::kLtAttrConst:
+    case CondKind::kLeAttrConst:
+    case CondKind::kGtAttrConst:
+    case CondKind::kGeAttrConst:
+      return CAnd(c, CIsConst(c->lhs));
+    default:
+      return c;
+  }
+}
+
+namespace {
+void CollectAttrs(const CondPtr& c, std::set<std::string>* out) {
+  switch (c->kind) {
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      CollectAttrs(c->left, out);
+      CollectAttrs(c->right, out);
+      return;
+    case CondKind::kEqAttrAttr:
+    case CondKind::kNeqAttrAttr:
+    case CondKind::kLtAttrAttr:
+    case CondKind::kLeAttrAttr:
+      out->insert(c->lhs);
+      out->insert(c->rhs);
+      return;
+    case CondKind::kEqAttrConst:
+    case CondKind::kNeqAttrConst:
+    case CondKind::kIsConst:
+    case CondKind::kIsNull:
+    case CondKind::kLtAttrConst:
+    case CondKind::kLeAttrConst:
+    case CondKind::kGtAttrConst:
+    case CondKind::kGeAttrConst:
+      out->insert(c->lhs);
+      return;
+    default:
+      return;
+  }
+}
+}  // namespace
+
+std::vector<std::string> CondAttrs(const CondPtr& c) {
+  std::set<std::string> s;
+  CollectAttrs(c, &s);
+  return std::vector<std::string>(s.begin(), s.end());
+}
+
+bool HasNullConstTest(const CondPtr& c) {
+  switch (c->kind) {
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      return HasNullConstTest(c->left) || HasNullConstTest(c->right);
+    case CondKind::kIsConst:
+    case CondKind::kIsNull:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasOrderComparison(const CondPtr& c) {
+  switch (c->kind) {
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      return HasOrderComparison(c->left) || HasOrderComparison(c->right);
+    case CondKind::kLtAttrAttr:
+    case CondKind::kLeAttrAttr:
+    case CondKind::kLtAttrConst:
+    case CondKind::kLeAttrConst:
+    case CondKind::kGtAttrConst:
+    case CondKind::kGeAttrConst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int CompareConst(const Value& a, const Value& b) {
+  assert(a.is_const() && b.is_const());
+  auto numeric = [](const Value& v) {
+    return v.kind() == ValueKind::kInt || v.kind() == ValueKind::kDouble;
+  };
+  if (numeric(a) && numeric(b)) {
+    double x = a.kind() == ValueKind::kInt ? double(a.as_int()) : a.as_double();
+    double y = b.kind() == ValueKind::kInt ? double(b.as_int()) : b.as_double();
+    return x < y ? -1 : (y < x ? 1 : 0);
+  }
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+std::string Condition::ToString() const {
+  switch (kind) {
+    case CondKind::kTrue:
+      return "true";
+    case CondKind::kFalse:
+      return "false";
+    case CondKind::kAnd:
+      return "(" + left->ToString() + " ∧ " + right->ToString() + ")";
+    case CondKind::kOr:
+      return "(" + left->ToString() + " ∨ " + right->ToString() + ")";
+    case CondKind::kEqAttrAttr:
+      return lhs + " = " + rhs;
+    case CondKind::kNeqAttrAttr:
+      return lhs + " ≠ " + rhs;
+    case CondKind::kEqAttrConst:
+      return lhs + " = " + constant.ToString();
+    case CondKind::kNeqAttrConst:
+      return lhs + " ≠ " + constant.ToString();
+    case CondKind::kIsConst:
+      return "const(" + lhs + ")";
+    case CondKind::kIsNull:
+      return "null(" + lhs + ")";
+    case CondKind::kLtAttrAttr:
+      return lhs + " < " + rhs;
+    case CondKind::kLeAttrAttr:
+      return lhs + " ≤ " + rhs;
+    case CondKind::kLtAttrConst:
+      return lhs + " < " + constant.ToString();
+    case CondKind::kLeAttrConst:
+      return lhs + " ≤ " + constant.ToString();
+    case CondKind::kGtAttrConst:
+      return lhs + " > " + constant.ToString();
+    case CondKind::kGeAttrConst:
+      return lhs + " ≥ " + constant.ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+/// Truth value of an order comparison under each mode. `strict` selects
+/// < vs ≤. Naive evaluation has no meaningful order on "fresh constants",
+/// so a null operand yields f there (the conservative reading of §6);
+/// SQL/unif yield u.
+TV3 OrderTV(const Value& a, const Value& b, bool strict, CondMode mode) {
+  if (a.is_null() || b.is_null()) {
+    return mode == CondMode::kNaive ? TV3::kF : TV3::kU;
+  }
+  int cmp = CompareConst(a, b);
+  return FromBool(strict ? cmp < 0 : cmp <= 0);
+}
+
+/// Truth value of the comparison a = b under each mode.
+TV3 EqTV(const Value& a, const Value& b, CondMode mode) {
+  switch (mode) {
+    case CondMode::kNaive:
+      return FromBool(a == b);
+    case CondMode::kSql:
+      if (a.is_null() || b.is_null()) return TV3::kU;
+      return FromBool(a == b);
+    case CondMode::kUnif:
+      if (a == b) return TV3::kT;  // includes ⊥_i = ⊥_i
+      if (a.is_const() && b.is_const()) return TV3::kF;
+      return TV3::kU;
+  }
+  return TV3::kU;
+}
+
+struct CompiledCond {
+  CondKind kind;
+  size_t lhs = 0, rhs = 0;
+  Value constant;
+  std::unique_ptr<CompiledCond> left, right;
+};
+
+StatusOr<std::unique_ptr<CompiledCond>> Compile(
+    const CondPtr& c, const std::vector<std::string>& attrs) {
+  auto out = std::make_unique<CompiledCond>();
+  out->kind = c->kind;
+  out->constant = c->constant;
+  auto resolve = [&attrs](const std::string& name) -> StatusOr<size_t> {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == name) return i;
+    }
+    return Status::NotFound("condition references unknown attribute " + name);
+  };
+  switch (c->kind) {
+    case CondKind::kTrue:
+    case CondKind::kFalse:
+      break;
+    case CondKind::kAnd:
+    case CondKind::kOr: {
+      auto l = Compile(c->left, attrs);
+      if (!l.ok()) return l.status();
+      auto r = Compile(c->right, attrs);
+      if (!r.ok()) return r.status();
+      out->left = std::move(l).value();
+      out->right = std::move(r).value();
+      break;
+    }
+    case CondKind::kEqAttrAttr:
+    case CondKind::kNeqAttrAttr:
+    case CondKind::kLtAttrAttr:
+    case CondKind::kLeAttrAttr: {
+      auto l = resolve(c->lhs);
+      if (!l.ok()) return l.status();
+      auto r = resolve(c->rhs);
+      if (!r.ok()) return r.status();
+      out->lhs = *l;
+      out->rhs = *r;
+      break;
+    }
+    case CondKind::kEqAttrConst:
+    case CondKind::kNeqAttrConst:
+    case CondKind::kIsConst:
+    case CondKind::kIsNull:
+    case CondKind::kLtAttrConst:
+    case CondKind::kLeAttrConst:
+    case CondKind::kGtAttrConst:
+    case CondKind::kGeAttrConst: {
+      auto l = resolve(c->lhs);
+      if (!l.ok()) return l.status();
+      out->lhs = *l;
+      break;
+    }
+  }
+  return out;
+}
+
+TV3 EvalCompiled(const CompiledCond& c, const Tuple& t, CondMode mode) {
+  switch (c.kind) {
+    case CondKind::kTrue:
+      return TV3::kT;
+    case CondKind::kFalse:
+      return TV3::kF;
+    case CondKind::kAnd:
+      return Kleene::And(EvalCompiled(*c.left, t, mode),
+                         EvalCompiled(*c.right, t, mode));
+    case CondKind::kOr:
+      return Kleene::Or(EvalCompiled(*c.left, t, mode),
+                        EvalCompiled(*c.right, t, mode));
+    case CondKind::kEqAttrAttr:
+      return EqTV(t[c.lhs], t[c.rhs], mode);
+    case CondKind::kNeqAttrAttr:
+      return Kleene::Not(EqTV(t[c.lhs], t[c.rhs], mode));
+    case CondKind::kEqAttrConst:
+      return EqTV(t[c.lhs], c.constant, mode);
+    case CondKind::kNeqAttrConst:
+      return Kleene::Not(EqTV(t[c.lhs], c.constant, mode));
+    case CondKind::kIsConst:
+      return FromBool(t[c.lhs].is_const());
+    case CondKind::kIsNull:
+      return FromBool(t[c.lhs].is_null());
+    case CondKind::kLtAttrAttr:
+      return OrderTV(t[c.lhs], t[c.rhs], /*strict=*/true, mode);
+    case CondKind::kLeAttrAttr:
+      return OrderTV(t[c.lhs], t[c.rhs], /*strict=*/false, mode);
+    case CondKind::kLtAttrConst:
+      return OrderTV(t[c.lhs], c.constant, /*strict=*/true, mode);
+    case CondKind::kLeAttrConst:
+      return OrderTV(t[c.lhs], c.constant, /*strict=*/false, mode);
+    case CondKind::kGtAttrConst:
+      return OrderTV(c.constant, t[c.lhs], /*strict=*/true, mode);
+    case CondKind::kGeAttrConst:
+      return OrderTV(c.constant, t[c.lhs], /*strict=*/false, mode);
+  }
+  return TV3::kU;
+}
+
+}  // namespace
+
+StatusOr<std::function<TV3(const Tuple&)>> CompileCond(
+    const CondPtr& c, const std::vector<std::string>& attrs, CondMode mode) {
+  auto compiled = Compile(c, attrs);
+  if (!compiled.ok()) return compiled.status();
+  std::shared_ptr<CompiledCond> cc = std::move(compiled).value();
+  return std::function<TV3(const Tuple&)>(
+      [cc, mode](const Tuple& t) { return EvalCompiled(*cc, t, mode); });
+}
+
+}  // namespace incdb

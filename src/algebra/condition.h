@@ -1,0 +1,139 @@
+#ifndef INCDB_ALGEBRA_CONDITION_H_
+#define INCDB_ALGEBRA_CONDITION_H_
+
+/// \file condition.h
+/// \brief Selection conditions θ of the paper's relational algebra (§2):
+///
+///   θ ::= const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ∨θ | θ∧θ
+///
+/// There is no explicit negation; Negate() propagates ¬ through the
+/// grammar, interchanging = with ≠ and const with null. The θ* translation
+/// of §4.2 (Fig. 2) and three evaluation modes (naive two-valued, SQL 3VL,
+/// unification 3VL) are provided.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tuple.h"
+#include "logic/truth.h"
+
+namespace incdb {
+
+struct Condition;
+using CondPtr = std::shared_ptr<const Condition>;
+
+enum class CondKind : uint8_t {
+  kTrue,
+  kFalse,
+  kAnd,
+  kOr,
+  kEqAttrAttr,   ///< A = B
+  kEqAttrConst,  ///< A = c
+  kNeqAttrAttr,  ///< A ≠ B
+  kNeqAttrConst, ///< A ≠ c
+  kIsConst,      ///< const(A)
+  kIsNull,       ///< null(A)
+  // Order comparisons — the "Types of attributes" extension of §6: the
+  // approximation schemes treat them like disequalities (θ* adds const
+  // guards), SQL 3VL treats any null operand as u.
+  kLtAttrAttr,   ///< A < B
+  kLeAttrAttr,   ///< A ≤ B
+  kLtAttrConst,  ///< A < c
+  kLeAttrConst,  ///< A ≤ c
+  kGtAttrConst,  ///< A > c
+  kGeAttrConst,  ///< A ≥ c
+};
+
+/// \brief Immutable selection-condition AST node.
+struct Condition {
+  CondKind kind;
+  std::string lhs;  ///< Left attribute name (comparisons and tests).
+  std::string rhs;  ///< Right attribute name (attr-attr comparisons).
+  Value constant;   ///< Right constant (attr-const comparisons).
+  CondPtr left, right;  ///< Children (kAnd / kOr).
+
+  std::string ToString() const;
+};
+
+/// Constructors.
+CondPtr CTrue();
+CondPtr CFalse();
+CondPtr CAnd(CondPtr a, CondPtr b);
+CondPtr COr(CondPtr a, CondPtr b);
+CondPtr CEq(std::string a, std::string b);
+CondPtr CEqc(std::string a, Value c);
+CondPtr CNeq(std::string a, std::string b);
+CondPtr CNeqc(std::string a, Value c);
+CondPtr CIsConst(std::string a);
+CondPtr CIsNull(std::string a);
+/// Order comparisons. Constants compare numerically across Int/Double and
+/// lexicographically within String; comparing a string to a number falls
+/// back to the (deterministic) kind order — schemas should not mix types
+/// in one column.
+CondPtr CLt(std::string a, std::string b);
+CondPtr CLe(std::string a, std::string b);
+CondPtr CLtc(std::string a, Value c);
+CondPtr CLec(std::string a, Value c);
+CondPtr CGtc(std::string a, Value c);
+CondPtr CGec(std::string a, Value c);
+
+/// Conjunction / disjunction of a list (empty ∧ = true, empty ∨ = false).
+CondPtr CAndAll(const std::vector<CondPtr>& cs);
+CondPtr COrAll(const std::vector<CondPtr>& cs);
+
+/// ¬θ with negation propagated through the grammar (paper §2):
+/// = ↔ ≠, const ↔ null, De Morgan over ∧/∨.
+CondPtr Negate(const CondPtr& c);
+
+/// The θ* translation of §4.2: each A ≠ c becomes (A ≠ c) ∧ const(A) and
+/// each A ≠ B becomes (A ≠ B) ∧ const(A) ∧ const(B). Equalities and
+/// const/null tests are unchanged.
+CondPtr StarTranslate(const CondPtr& c);
+
+/// All attribute names mentioned by the condition.
+std::vector<std::string> CondAttrs(const CondPtr& c);
+
+/// True iff the condition contains a const(·) or null(·) test. Source
+/// queries fed to the Fig. 2 approximation translations must not use
+/// these: over the complete possible worlds that define cert⊥ they are
+/// trivially true/false, while the naive evaluation of the translated
+/// query would read them syntactically — the two readings diverge.
+bool HasNullConstTest(const CondPtr& c);
+
+/// True iff the condition contains an order comparison (<, ≤, >, ≥).
+/// The *exact* certain-answer machinery rejects such queries: its finite
+/// valuation-family argument needs genericity (invariance under constant
+/// permutations), which order predicates break. The approximation schemes
+/// remain sound for them (§6 "Types of attributes").
+bool HasOrderComparison(const CondPtr& c);
+
+/// Total order on constants used by the order comparisons: numeric across
+/// Int/Double, lexicographic within String, kind order across kinds.
+/// Returns <0, 0, >0. Both values must be constants.
+int CompareConst(const Value& a, const Value& b);
+
+/// How atomic comparisons involving nulls are assigned truth values.
+enum class CondMode {
+  /// Two-valued, syntactic: ⊥_1 = ⊥_1 is t, ⊥_1 = ⊥_2 is f, ⊥ = c is f.
+  /// This is the naive-evaluation reading (nulls as fresh constants, §4.1).
+  kNaive,
+  /// SQL's 3VL: any comparison with a null operand is u (even ⊥_1 = ⊥_1);
+  /// const/null tests are always two-valued.
+  kSql,
+  /// The ⟦·⟧unif reading (§5.1, eq. 13b): ⊥_1 = ⊥_1 is t; a ≠ b is f only
+  /// when both sides are constants; otherwise u.
+  kUnif,
+};
+
+/// Resolves attribute names against a schema once; returns an error for
+/// unknown attributes. The returned evaluator computes the condition's
+/// Kleene truth value on a tuple of that schema (kNaive never yields u).
+StatusOr<std::function<TV3(const Tuple&)>> CompileCond(
+    const CondPtr& c, const std::vector<std::string>& attrs, CondMode mode);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_CONDITION_H_

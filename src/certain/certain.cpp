@@ -1,0 +1,179 @@
+#include "certain/certain.h"
+
+#include <algorithm>
+
+#include "certain/valuation_family.h"
+
+namespace incdb {
+
+namespace {
+
+std::vector<uint64_t> NullIdVector(const Database& db) {
+  std::set<uint64_t> ids = db.NullIds();
+  return std::vector<uint64_t>(ids.begin(), ids.end());
+}
+
+Status CheckGeneric(const AlgPtr& q) {
+  if (QueryHasOrderComparison(q)) {
+    return Status::Unsupported(
+        "exact certain answers require generic queries; order comparisons "
+        "break the finite valuation-family argument (use the approximation "
+        "schemes instead)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Relation> CertIntersection(const AlgPtr& q, const Database& db,
+                                    const CertainOptions& opts) {
+  INCDB_RETURN_IF_ERROR(CheckGeneric(q));
+  std::vector<uint64_t> nulls = NullIdVector(db);
+  std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+
+  bool first = true;
+  Relation acc;
+  Status inner = Status::OK();
+  Status st = ForEachValuation(
+      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
+        auto ans = EvalSet(q, v.ApplySet(db), opts.eval);
+        if (!ans.ok()) {
+          inner = ans.status();
+          return false;
+        }
+        if (first) {
+          acc = *ans;
+          first = false;
+        } else {
+          Relation next(acc.attrs());
+          for (const auto& [t, c] : acc.rows()) {
+            if (ans->Contains(t)) {
+              Status is = next.Insert(t, 1);
+              if (!is.ok()) {
+                inner = is;
+                return false;
+              }
+            }
+          }
+          acc = std::move(next);
+        }
+        return !acc.Empty() || first;  // early exit once empty
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  INCDB_RETURN_IF_ERROR(inner);
+  if (first) return Status::Internal("no valuation enumerated");
+  return acc;
+}
+
+StatusOr<Relation> CertWithNulls(const AlgPtr& q, const Database& db,
+                                 const CertainOptions& opts) {
+  INCDB_RETURN_IF_ERROR(CheckGeneric(q));
+  // Candidate tuples: the naive answers (see header).
+  auto naive = EvalSet(q, db, opts.eval);
+  if (!naive.ok()) return naive;
+
+  std::vector<uint64_t> nulls = NullIdVector(db);
+  std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+
+  std::vector<Tuple> candidates = naive->SortedTuples();
+  std::vector<bool> alive(candidates.size(), true);
+  size_t alive_count = candidates.size();
+
+  Status inner = Status::OK();
+  Status st = ForEachValuation(
+      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
+        auto ans = EvalSet(q, v.ApplySet(db), opts.eval);
+        if (!ans.ok()) {
+          inner = ans.status();
+          return false;
+        }
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (!alive[i]) continue;
+          if (!ans->Contains(v.Apply(candidates[i]))) {
+            alive[i] = false;
+            --alive_count;
+          }
+        }
+        return alive_count > 0;
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  INCDB_RETURN_IF_ERROR(inner);
+
+  Relation out(naive->attrs());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (alive[i]) INCDB_RETURN_IF_ERROR(out.Insert(candidates[i], 1));
+  }
+  return out;
+}
+
+StatusOr<Relation> CertWithNullsOwa(const AlgPtr& q, const Database& db,
+                                    const CertainOptions& opts) {
+  if (!IsPositive(q)) {
+    return Status::Unsupported(
+        "certain answers under OWA are undecidable beyond the positive "
+        "fragment (Thm. 3.12); got a non-positive query");
+  }
+  // For monotone queries, adding tuples to a possible world can only add
+  // answers, so the OWA infimum over supersets is attained at v(D) itself
+  // and cert⊥ under OWA coincides with cert⊥ under CWA.
+  return CertWithNulls(q, db, opts);
+}
+
+StatusOr<MultiplicityBounds> BagMultiplicityBounds(const AlgPtr& q,
+                                                   const Database& db,
+                                                   const Tuple& tuple,
+                                                   const CertainOptions& opts) {
+  INCDB_RETURN_IF_ERROR(CheckGeneric(q));
+  std::vector<uint64_t> nulls = NullIdVector(db);
+  std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+
+  MultiplicityBounds bounds;
+  bounds.min = UINT64_MAX;
+  bounds.max = 0;
+  Status inner = Status::OK();
+  Status st = ForEachValuation(
+      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
+        auto ans = EvalBag(q, v.ApplyBag(db), opts.eval);
+        if (!ans.ok()) {
+          inner = ans.status();
+          return false;
+        }
+        uint64_t m = ans->Count(v.Apply(tuple));
+        bounds.min = std::min(bounds.min, m);
+        bounds.max = std::max(bounds.max, m);
+        return true;
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  INCDB_RETURN_IF_ERROR(inner);
+  if (bounds.min == UINT64_MAX) bounds.min = 0;
+  return bounds;
+}
+
+StatusOr<std::optional<Valuation>> WhyNotCertain(const AlgPtr& q,
+                                                 const Database& db,
+                                                 const Tuple& tuple,
+                                                 const CertainOptions& opts) {
+  INCDB_RETURN_IF_ERROR(CheckGeneric(q));
+  std::vector<uint64_t> nulls = NullIdVector(db);
+  std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+  std::optional<Valuation> witness;
+  Status inner = Status::OK();
+  Status st = ForEachValuation(
+      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
+        auto ans = EvalSet(q, v.ApplySet(db), opts.eval);
+        if (!ans.ok()) {
+          inner = ans.status();
+          return false;
+        }
+        if (!ans->Contains(v.Apply(tuple))) {
+          witness = v;
+          return false;  // found a world where the answer fails
+        }
+        return true;
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  INCDB_RETURN_IF_ERROR(inner);
+  return witness;
+}
+
+}  // namespace incdb

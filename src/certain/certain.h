@@ -1,0 +1,78 @@
+#ifndef INCDB_CERTAIN_CERTAIN_H_
+#define INCDB_CERTAIN_CERTAIN_H_
+
+/// \file certain.h
+/// \brief Exact (brute-force) certain answers — the ground truth against
+/// which all approximation schemes are measured.
+///
+///  * cert∩ (Definition 3.7): intersection-based certain answers,
+///    ∩_{D' ∈ ⟦D⟧} Q(D'). Constants only.
+///  * cert⊥ (Definition 3.9): certain answers with nulls,
+///    { t̄ | v(t̄) ∈ Q(v(D)) for every valuation v } under CWA.
+///  * □Q / ◇Q (equations 6a/6b): minimum / maximum multiplicity of a tuple
+///    across possible worlds under bag semantics.
+///
+/// These are coNP-hard (Thm. 3.12), so the implementations enumerate a
+/// finite sufficient valuation family (see valuation_family.h) and are
+/// intended for small databases: ground truth for tests and the
+/// precision/recall experiments (E4, E8, E9).
+
+#include <optional>
+
+#include "algebra/algebra.h"
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+#include "core/valuation.h"
+#include "eval/eval.h"
+
+namespace incdb {
+
+struct CertainOptions {
+  /// Budget on the number of valuations enumerated; exceeded → error.
+  uint64_t max_valuations = 4'000'000;
+  EvalOptions eval;
+};
+
+/// cert∩(Q, D) under CWA: ∩_v Q(v(D)), computed over the sufficient
+/// family. The result consists of constant tuples only.
+StatusOr<Relation> CertIntersection(const AlgPtr& q, const Database& db,
+                                    const CertainOptions& opts = {});
+
+/// cert⊥(Q, D) under CWA: { t̄ ∈ Qnaive(D) | ∀v: v(t̄) ∈ Q(v(D)) }.
+/// (Candidates can be restricted to Qnaive(D): a bijective valuation onto
+/// fresh constants witnesses that any certain tuple is a naive answer.)
+StatusOr<Relation> CertWithNulls(const AlgPtr& q, const Database& db,
+                                 const CertainOptions& opts = {});
+
+/// Certain answers under OWA for monotone (positive) queries, where they
+/// coincide with the CWA ones; returns Unsupported for queries outside the
+/// positive fragment (Thm. 3.12: undecidable in general under OWA).
+StatusOr<Relation> CertWithNullsOwa(const AlgPtr& q, const Database& db,
+                                    const CertainOptions& opts = {});
+
+/// Range of multiplicities of ā across possible worlds under bag semantics.
+struct MultiplicityBounds {
+  uint64_t min = 0;  ///< □Q(D, ā), eq. (6a)
+  uint64_t max = 0;  ///< ◇Q(D, ā), eq. (6b)
+};
+
+/// Computes (□Q(D,ā), ◇Q(D,ā)) by enumerating the sufficient family;
+/// valuations are applied to bags by adding up multiplicities of collapsing
+/// tuples (the convention of [42] used in §4.2).
+StatusOr<MultiplicityBounds> BagMultiplicityBounds(
+    const AlgPtr& q, const Database& db, const Tuple& tuple,
+    const CertainOptions& opts = {});
+
+/// Explainability (in the spirit of "explainable certain answers" [4]):
+/// if `tuple` is not a certain answer, returns a *counterexample
+/// valuation* v with v(tuple) ∉ Q(v(D)) — a possible world where the
+/// answer fails; returns nullopt when the tuple is certain. The same
+/// caveats as CertWithNulls apply (generic queries, family enumeration).
+StatusOr<std::optional<Valuation>> WhyNotCertain(
+    const AlgPtr& q, const Database& db, const Tuple& tuple,
+    const CertainOptions& opts = {});
+
+}  // namespace incdb
+
+#endif  // INCDB_CERTAIN_CERTAIN_H_

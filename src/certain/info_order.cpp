@@ -1,0 +1,39 @@
+#include "certain/info_order.h"
+
+namespace incdb {
+
+bool InformationLeq(const Database& x, const Database& y) {
+  return ExistsHomomorphism(x, y, HomClass::kAny);
+}
+
+StatusOr<Relation> GlbNullFree(const std::vector<Relation>& answers) {
+  if (answers.empty()) {
+    return Status::InvalidArgument("glb of an empty family is undefined");
+  }
+  Relation acc = answers[0].ToSet();
+  for (size_t i = 1; i < answers.size(); ++i) {
+    if (answers[i].arity() != acc.arity()) {
+      return Status::InvalidArgument("glb: arity mismatch");
+    }
+    Relation next(acc.attrs());
+    for (const auto& [t, c] : acc.rows()) {
+      if (!t.AllConst()) {
+        return Status::InvalidArgument(
+            "GlbNullFree expects complete (null-free) relations");
+      }
+      if (answers[i].Contains(t)) {
+        INCDB_RETURN_IF_ERROR(next.Insert(t, 1));
+      }
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+StatusOr<Relation> CertInfoBased(const AlgPtr& q, const Database& db,
+                                 const CertainOptions& opts) {
+  // Proposition 3.8: with a null-free OWA answer domain, certO = cert∩.
+  return CertIntersection(q, db, opts);
+}
+
+}  // namespace incdb

@@ -1,0 +1,49 @@
+#ifndef INCDB_CERTAIN_INFO_ORDER_H_
+#define INCDB_CERTAIN_INFO_ORDER_H_
+
+/// \file info_order.h
+/// \brief The information pre-order ⪯ on database objects and
+/// information-based certain answers certO (paper §3.1–3.2).
+///
+/// x ⪯ y iff ⟦y⟧ ⊆ ⟦x⟧ — every possible world of y is a possible world of
+/// x, i.e. y is at least as informative. Under the OWA semantics this is
+/// characterised by homomorphisms: x ⪯ y iff there is a homomorphism
+/// x → y that is the identity on constants.
+///
+/// certO(Q, x) = ⋀ Q(⟦x⟧) — the most informative object below all query
+/// answers (Definition 3.3). It need not exist in general (Prop. 3.5 shows
+/// failure for CWA answer domains, and full FO under OWA can have
+/// infinitely many incomparable lower bounds). This module implements the
+/// decidable regimes the paper isolates:
+///  * Proposition 3.8: when the target admits no nulls (plain relations
+///    under OWA), certO exists for every generic query and coincides with
+///    cert∩ — the greatest lower bound of a family of complete relations
+///    under ⪯ is their intersection;
+///  * Proposition 3.4 (monotonicity): more informative inputs give more
+///    informative certO answers — exposed for testing via the pre-order.
+
+#include "certain/certain.h"
+#include "core/database.h"
+#include "hom/homomorphism.h"
+
+namespace incdb {
+
+/// x ⪯ y under the OWA reading (homomorphism witness). Reflexive and
+/// transitive; not antisymmetric (hom-equivalent non-isomorphic instances
+/// exist — the "cores" discussion after Thm. 3.11).
+bool InformationLeq(const Database& x, const Database& y);
+
+/// The ⪯-greatest lower bound of complete (null-free) relations:
+/// their intersection (Proposition 3.8's engine). All relations must have
+/// the same arity; attribute names are taken from the first.
+StatusOr<Relation> GlbNullFree(const std::vector<Relation>& answers);
+
+/// certO(Q, D) in the null-free-target regime of Proposition 3.8 —
+/// computed as cert∩(Q, D) and therefore equal to it by construction;
+/// kept as a named entry point so call sites state which notion they use.
+StatusOr<Relation> CertInfoBased(const AlgPtr& q, const Database& db,
+                                 const CertainOptions& opts = {});
+
+}  // namespace incdb
+
+#endif  // INCDB_CERTAIN_INFO_ORDER_H_

@@ -1,0 +1,76 @@
+#include "certain/valuation_family.h"
+
+#include <algorithm>
+
+namespace incdb {
+
+std::vector<Value> FamilyConstants(const Database& db,
+                                   const std::vector<Value>& query_consts) {
+  std::set<Value> consts = db.Constants();
+  for (const Value& v : query_consts) {
+    if (v.is_const()) consts.insert(v);
+  }
+  // Fresh integer constants: larger than any integer in sight.
+  int64_t base = 0;
+  for (const Value& v : consts) {
+    if (v.kind() == ValueKind::kInt) base = std::max(base, v.as_int());
+  }
+  // n+1 fresh constants, n = |Null(D)|: n realise the all-distinct
+  // pattern; the extra one guarantees that for every fresh constant f
+  // there is a family valuation avoiding f, so tuples mentioning f cannot
+  // spuriously survive an intersection over the family.
+  size_t n_fresh = db.NullIds().size() + 1;
+  for (size_t i = 1; i <= n_fresh; ++i) {
+    consts.insert(Value::Int(base + static_cast<int64_t>(i)));
+  }
+  return std::vector<Value>(consts.begin(), consts.end());
+}
+
+uint64_t FamilySize(size_t n_nulls, size_t n_constants) {
+  uint64_t size = 1;
+  for (size_t i = 0; i < n_nulls; ++i) {
+    if (size > (UINT64_MAX / 2) / std::max<size_t>(n_constants, 1)) {
+      return UINT64_MAX;
+    }
+    size *= n_constants;
+  }
+  return size;
+}
+
+Status ForEachValuation(const std::vector<uint64_t>& null_ids,
+                        const std::vector<Value>& constants,
+                        uint64_t max_valuations,
+                        const std::function<bool(const Valuation&)>& fn) {
+  if (null_ids.empty()) {
+    fn(Valuation());
+    return Status::OK();
+  }
+  if (constants.empty()) {
+    return Status::InvalidArgument("empty constant pool for valuations");
+  }
+  uint64_t total = FamilySize(null_ids.size(), constants.size());
+  if (total > max_valuations) {
+    return Status::ResourceExhausted(
+        "valuation family of size " + std::to_string(total) +
+        " exceeds budget " + std::to_string(max_valuations));
+  }
+  std::vector<size_t> idx(null_ids.size(), 0);
+  Valuation v;
+  for (size_t i = 0; i < null_ids.size(); ++i) v.Set(null_ids[i], constants[0]);
+  while (true) {
+    if (!fn(v)) return Status::OK();
+    size_t pos = null_ids.size();
+    while (pos > 0) {
+      --pos;
+      if (++idx[pos] < constants.size()) {
+        v.Set(null_ids[pos], constants[idx[pos]]);
+        break;
+      }
+      idx[pos] = 0;
+      v.Set(null_ids[pos], constants[0]);
+      if (pos == 0) return Status::OK();
+    }
+  }
+}
+
+}  // namespace incdb

@@ -1,0 +1,52 @@
+#ifndef INCDB_CERTAIN_VALUATION_FAMILY_H_
+#define INCDB_CERTAIN_VALUATION_FAMILY_H_
+
+/// \file valuation_family.h
+/// \brief Finite valuation families sufficient for deciding certainty of
+/// generic queries (paper §2, §3.2).
+///
+/// The space of valuations v : Null(D) → Const is infinite, but for a
+/// *generic* query Q (one commuting with permutations of Const that fix
+/// the constants mentioned in Q) two valuations that induce the same
+/// partition of Null(D) and agree on which "relevant" constants
+/// (Const(D) ∪ Const(Q)) are hit produce isomorphic possible worlds, and
+/// hence the same membership of v(t̄) in Q(v(D)). A family containing, for
+/// every null, every relevant constant plus |Null(D)| pairwise-distinct
+/// fresh constants therefore realises every such pattern, and universal /
+/// existential statements over all valuations can be decided over the
+/// family. This is the engine behind cert∩, cert⊥, □Q, ◇Q and the
+/// probabilistic µ_k computations.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "core/status.h"
+#include "core/valuation.h"
+
+namespace incdb {
+
+/// Const(D) ∪ query_consts ∪ {n+1 fresh constants}, n = |Null(D)|.
+/// Fresh constants are integers guaranteed not to collide with anything in
+/// the database or the query. n fresh constants realise every partition
+/// pattern of the nulls; the (n+1)-st ensures every fresh constant can be
+/// avoided by some family member (needed for intersection-style
+/// computations like cert∩).
+std::vector<Value> FamilyConstants(const Database& db,
+                                   const std::vector<Value>& query_consts);
+
+/// Number of valuations in the family: |constants|^|null_ids| (saturating).
+uint64_t FamilySize(size_t n_nulls, size_t n_constants);
+
+/// Invokes `fn` on every valuation mapping the given nulls into the given
+/// constants (|constants|^|null_ids| calls). `fn` returns false to stop
+/// early. Returns ResourceExhausted if the family exceeds `max_valuations`.
+Status ForEachValuation(const std::vector<uint64_t>& null_ids,
+                        const std::vector<Value>& constants,
+                        uint64_t max_valuations,
+                        const std::function<bool(const Valuation&)>& fn);
+
+}  // namespace incdb
+
+#endif  // INCDB_CERTAIN_VALUATION_FAMILY_H_

@@ -1,0 +1,84 @@
+#include "constraints/chase.h"
+
+#include <unordered_map>
+
+#include "core/valuation.h"
+
+namespace incdb {
+
+namespace {
+
+StatusOr<std::vector<size_t>> Positions(const Relation& rel,
+                                        const std::vector<std::string>& attrs) {
+  std::vector<size_t> out;
+  for (const std::string& a : attrs) {
+    auto idx = rel.AttrIndex(a);
+    if (!idx.ok()) return idx.status();
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+/// Replaces every occurrence of null `id` with `v` across the database.
+Database SubstituteNull(const Database& db, uint64_t id, const Value& v) {
+  Valuation subst;
+  subst.Set(id, v);  // Set() allows null targets (merging two nulls)
+  Database out;
+  for (const auto& [name, rel] : db.relations()) {
+    Relation nr(rel.attrs());
+    for (const auto& [t, c] : rel.rows()) {
+      Status st = nr.Insert(subst.Apply(t), c);
+      (void)st;
+    }
+    out.Put(name, nr.ToSet());
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ChaseResult> ChaseFDs(const Database& db,
+                               const std::vector<FD>& fds) {
+  ChaseResult result;
+  result.db = db;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FD& fd : fds) {
+      auto rel = result.db.Get(fd.rel);
+      if (!rel.ok()) return rel.status();
+      auto lhs = Positions(*rel, fd.lhs);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = Positions(*rel, fd.rhs);
+      if (!rhs.ok()) return rhs.status();
+
+      std::unordered_map<Tuple, Tuple> seen;  // lhs proj -> rhs proj
+      for (const auto& [t, c] : rel->rows()) {
+        Tuple key = t.Project(*lhs);
+        Tuple val = t.Project(*rhs);
+        auto [it, inserted] = seen.try_emplace(key, val);
+        if (inserted || it->second == val) continue;
+        // Violation: equate val with it->second component-wise.
+        for (size_t i = 0; i < val.arity(); ++i) {
+          const Value& a = it->second[i];
+          const Value& b = val[i];
+          if (a == b) continue;
+          if (a.is_const() && b.is_const()) {
+            result.success = false;  // hard conflict
+            return result;
+          }
+          const Value& null = a.is_null() ? a : b;
+          const Value& other = a.is_null() ? b : a;
+          result.db = SubstituteNull(result.db, null.null_id(), other);
+          changed = true;
+          break;
+        }
+        if (changed) break;
+      }
+      if (changed) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace incdb

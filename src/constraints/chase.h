@@ -1,0 +1,33 @@
+#ifndef INCDB_CONSTRAINTS_CHASE_H_
+#define INCDB_CONSTRAINTS_CHASE_H_
+
+/// \file chase.h
+/// \brief The chase of an incomplete database with functional dependencies
+/// (paper §4.3: with Σ consisting of FDs, µ(Q|Σ, D, ā) = µ(Q, DΣ, ā) where
+/// DΣ is the result of chasing D with Σ).
+///
+/// The FD chase equates values forced equal: two tuples agreeing
+/// (syntactically) on the left-hand side must agree on the right-hand
+/// side, so a null is replaced by its partner (globally), null–null pairs
+/// are merged, and two distinct constants mean the chase *fails* — no
+/// possible world of D satisfies Σ.
+
+#include "constraints/dependencies.h"
+#include "core/database.h"
+#include "core/status.h"
+
+namespace incdb {
+
+struct ChaseResult {
+  /// False iff the chase failed (Σ unsatisfiable over ⟦D⟧).
+  bool success = true;
+  Database db;
+};
+
+/// Chases `db` with the FDs to a fixpoint. Always terminates: every step
+/// strictly decreases the number of distinct nulls.
+StatusOr<ChaseResult> ChaseFDs(const Database& db, const std::vector<FD>& fds);
+
+}  // namespace incdb
+
+#endif  // INCDB_CONSTRAINTS_CHASE_H_

@@ -1,0 +1,89 @@
+#include "constraints/dependencies.h"
+
+#include <unordered_map>
+
+namespace incdb {
+
+namespace {
+std::string JoinAttrs(const std::vector<std::string>& attrs) {
+  std::string s;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i) s += ",";
+    s += attrs[i];
+  }
+  return s;
+}
+
+StatusOr<std::vector<size_t>> Positions(const Relation& rel,
+                                        const std::vector<std::string>& attrs) {
+  std::vector<size_t> out;
+  for (const std::string& a : attrs) {
+    auto idx = rel.AttrIndex(a);
+    if (!idx.ok()) return idx.status();
+    out.push_back(*idx);
+  }
+  return out;
+}
+}  // namespace
+
+std::string FD::ToString() const {
+  return rel + ": " + JoinAttrs(lhs) + " → " + JoinAttrs(rhs);
+}
+
+std::string IND::ToString() const {
+  return from_rel + "[" + JoinAttrs(from_attrs) + "] ⊆ " + to_rel + "[" +
+         JoinAttrs(to_attrs) + "]";
+}
+
+StatusOr<bool> Satisfies(const Database& db, const FD& fd) {
+  auto rel = db.Get(fd.rel);
+  if (!rel.ok()) return rel.status();
+  auto lhs = Positions(*rel, fd.lhs);
+  if (!lhs.ok()) return lhs.status();
+  auto rhs = Positions(*rel, fd.rhs);
+  if (!rhs.ok()) return rhs.status();
+  std::unordered_map<Tuple, Tuple> seen;
+  for (const auto& [t, c] : rel->rows()) {
+    Tuple key = t.Project(*lhs);
+    Tuple val = t.Project(*rhs);
+    auto [it, inserted] = seen.try_emplace(key, val);
+    if (!inserted && !(it->second == val)) return false;
+  }
+  return true;
+}
+
+StatusOr<bool> Satisfies(const Database& db, const IND& ind) {
+  auto from = db.Get(ind.from_rel);
+  if (!from.ok()) return from.status();
+  auto to = db.Get(ind.to_rel);
+  if (!to.ok()) return to.status();
+  auto fpos = Positions(*from, ind.from_attrs);
+  if (!fpos.ok()) return fpos.status();
+  auto tpos = Positions(*to, ind.to_attrs);
+  if (!tpos.ok()) return tpos.status();
+  if (fpos->size() != tpos->size()) {
+    return Status::InvalidArgument("IND: attribute list arity mismatch");
+  }
+  std::set<Tuple> targets;
+  for (const auto& [t, c] : to->rows()) targets.insert(t.Project(*tpos));
+  for (const auto& [t, c] : from->rows()) {
+    if (!targets.count(t.Project(*fpos))) return false;
+  }
+  return true;
+}
+
+StatusOr<bool> Satisfies(const Database& db, const ConstraintSet& sigma) {
+  for (const FD& fd : sigma.fds) {
+    auto ok = Satisfies(db, fd);
+    if (!ok.ok()) return ok;
+    if (!*ok) return false;
+  }
+  for (const IND& ind : sigma.inds) {
+    auto ok = Satisfies(db, ind);
+    if (!ok.ok()) return ok;
+    if (!*ok) return false;
+  }
+  return true;
+}
+
+}  // namespace incdb

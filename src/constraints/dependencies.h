@@ -1,0 +1,53 @@
+#ifndef INCDB_CONSTRAINTS_DEPENDENCIES_H_
+#define INCDB_CONSTRAINTS_DEPENDENCIES_H_
+
+/// \file dependencies.h
+/// \brief Integrity constraints Σ used by the conditional probabilities of
+/// §4.3: functional dependencies (keys) and inclusion dependencies
+/// (foreign keys). A constraint set is a generic Boolean query: it holds
+/// or fails on each complete possible world v(D).
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/status.h"
+
+namespace incdb {
+
+/// Functional dependency  rel : lhs → rhs.
+struct FD {
+  std::string rel;
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+
+  std::string ToString() const;
+};
+
+/// Inclusion dependency  from_rel[from_attrs] ⊆ to_rel[to_attrs].
+struct IND {
+  std::string from_rel;
+  std::vector<std::string> from_attrs;
+  std::string to_rel;
+  std::vector<std::string> to_attrs;
+
+  std::string ToString() const;
+};
+
+struct ConstraintSet {
+  std::vector<FD> fds;
+  std::vector<IND> inds;
+
+  bool Empty() const { return fds.empty() && inds.empty(); }
+};
+
+/// Checks the constraints on a database, comparing values syntactically —
+/// intended for complete worlds v(D) (where syntactic = semantic), but
+/// well-defined on incomplete instances too.
+StatusOr<bool> Satisfies(const Database& db, const FD& fd);
+StatusOr<bool> Satisfies(const Database& db, const IND& ind);
+StatusOr<bool> Satisfies(const Database& db, const ConstraintSet& sigma);
+
+}  // namespace incdb
+
+#endif  // INCDB_CONSTRAINTS_DEPENDENCIES_H_

@@ -1,0 +1,109 @@
+#include "core/database.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+namespace incdb {
+
+void Database::Put(const std::string& name, Relation rel) {
+  rels_[name] = std::move(rel);
+}
+
+bool Database::Has(const std::string& name) const {
+  return rels_.count(name) > 0;
+}
+
+StatusOr<Relation> Database::Get(const std::string& name) const {
+  auto it = rels_.find(name);
+  if (it == rels_.end()) return Status::NotFound("no relation named " + name);
+  return it->second;
+}
+
+const Relation& Database::at(const std::string& name) const {
+  auto it = rels_.find(name);
+  assert(it != rels_.end());
+  return it->second;
+}
+
+Relation* Database::mutable_at(const std::string& name) {
+  auto it = rels_.find(name);
+  assert(it != rels_.end());
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(rels_.size());
+  for (const auto& [name, rel] : rels_) out.push_back(name);
+  return out;
+}
+
+std::set<Value> Database::Constants() const {
+  std::set<Value> out;
+  for (const auto& [name, rel] : rels_) {
+    for (const auto& [t, c] : rel.rows()) {
+      for (const Value& v : t.values()) {
+        if (v.is_const()) out.insert(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::set<uint64_t> Database::NullIds() const {
+  std::set<uint64_t> out;
+  for (const auto& [name, rel] : rels_) {
+    for (const auto& [t, c] : rel.rows()) {
+      for (const Value& v : t.values()) {
+        if (v.is_null()) out.insert(v.null_id());
+      }
+    }
+  }
+  return out;
+}
+
+std::set<Value> Database::ActiveDomain() const {
+  std::set<Value> out = Constants();
+  for (uint64_t id : NullIds()) out.insert(Value::Null(id));
+  return out;
+}
+
+uint64_t Database::TotalSize() const {
+  uint64_t total = 0;
+  for (const auto& [name, rel] : rels_) total += rel.TotalSize();
+  return total;
+}
+
+Database Database::CoddifyNulls(uint64_t first_fresh_id) const {
+  Database out;
+  uint64_t next = first_fresh_id;
+  for (const auto& [name, rel] : rels_) {
+    Relation fresh(rel.attrs());
+    for (const auto& [t, c] : rel.SortedRows()) {
+      // Each *occurrence* of a null becomes a distinct null; a tuple with
+      // multiplicity m contributes m copies each with its own nulls.
+      for (uint64_t i = 0; i < c; ++i) {
+        Tuple nt = t;
+        for (size_t j = 0; j < nt.arity(); ++j) {
+          if (nt[j].is_null()) nt[j] = Value::Null(next++);
+        }
+        Status st = fresh.Insert(nt);
+        assert(st.ok());
+        (void)st;
+      }
+    }
+    out.Put(name, std::move(fresh));
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, rel] : rels_) {
+    os << name << rel.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace incdb

@@ -1,0 +1,74 @@
+#ifndef INCDB_CORE_DATABASE_H_
+#define INCDB_CORE_DATABASE_H_
+
+/// \file database.h
+/// \brief Incomplete relational instances D: named relations over
+/// Const ∪ Null, with the paper's §2 notions Const(D), Null(D), dom(D).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/status.h"
+
+namespace incdb {
+
+/// \brief An incomplete database instance.
+///
+/// A map from relation names to Relations. A database is *complete* iff it
+/// mentions no nulls. Relation name lookup is case-sensitive.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds (or replaces) a relation.
+  void Put(const std::string& name, Relation rel);
+
+  bool Has(const std::string& name) const;
+  StatusOr<Relation> Get(const std::string& name) const;
+  /// Unchecked access; aborts if absent (for internal use after validation).
+  const Relation& at(const std::string& name) const;
+  Relation* mutable_at(const std::string& name);
+
+  const std::map<std::string, Relation>& relations() const { return rels_; }
+  std::vector<std::string> RelationNames() const;
+
+  /// Const(D): the set of constants occurring in D.
+  std::set<Value> Constants() const;
+  /// Null(D): ids of the nulls occurring in D.
+  std::set<uint64_t> NullIds() const;
+  /// dom(D) = Const(D) ∪ Null(D), as Values.
+  std::set<Value> ActiveDomain() const;
+
+  bool IsComplete() const { return NullIds().empty(); }
+
+  /// Total number of tuple occurrences across all relations.
+  uint64_t TotalSize() const;
+
+  /// \brief Replaces each occurrence of NULL by a *fresh* marked null
+  /// (the `codd` transformation of §6 "Marked nulls").
+  ///
+  /// Returns a copy where every occurrence of every null gets a distinct
+  /// id, starting from `first_fresh_id`. The result has only Codd nulls.
+  Database CoddifyNulls(uint64_t first_fresh_id = 1000000) const;
+
+  bool operator==(const Database& other) const {
+    if (rels_.size() != other.rels_.size()) return false;
+    for (const auto& [name, rel] : rels_) {
+      auto it = other.rels_.find(name);
+      if (it == other.rels_.end() || !rel.SameRows(it->second)) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> rels_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_DATABASE_H_

@@ -1,0 +1,39 @@
+#ifndef INCDB_CORE_IO_H_
+#define INCDB_CORE_IO_H_
+
+/// \file io.h
+/// \brief Plain-text (CSV-style) import/export of incomplete relations.
+///
+/// Format, one relation per text block:
+///  * first line: comma-separated attribute names;
+///  * each further line: comma-separated values. A cell is
+///     - an integer (`42`) or decimal (`3.5`) literal,
+///     - a single-quoted string (`'abc'`) or a bare word (read as string),
+///     - `NULL` for a *fresh* Codd null, or
+///     - `_k` (e.g. `_1`) for the marked null ⊥k — repeatable, which plain
+///       CSV cannot express with SQL's NULL.
+///
+/// Whitespace around cells is trimmed. Deterministic export uses the same
+/// syntax, so Load(Dump(r)) round-trips.
+
+#include <string>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+
+namespace incdb {
+
+/// Parses one relation from CSV text. Fresh `NULL` cells take ids starting
+/// at `first_fresh_null` (pass distinct bases for distinct relations to
+/// keep Codd nulls distinct database-wide).
+StatusOr<Relation> LoadRelationCsv(const std::string& text,
+                                   uint64_t first_fresh_null = 1000000);
+
+/// Serialises a relation in the same format (sorted rows; marked nulls as
+/// `_k`; multiplicity m > 1 emits the row m times).
+std::string DumpRelationCsv(const Relation& rel);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_IO_H_

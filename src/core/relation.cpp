@@ -1,0 +1,111 @@
+#include "core/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace incdb {
+
+StatusOr<size_t> Relation::AttrIndex(const std::string& name) const {
+  size_t found = attrs_.size();
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == name) {
+      if (found != attrs_.size()) {
+        return Status::InvalidArgument("ambiguous attribute: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found == attrs_.size()) {
+    return Status::NotFound("no attribute named " + name);
+  }
+  return found;
+}
+
+Status Relation::Insert(const Tuple& t, uint64_t count) {
+  if (t.arity() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch: tuple " + t.ToString() + " into relation of arity " +
+        std::to_string(attrs_.size()));
+  }
+  if (count > 0) rows_[t] += count;
+  return Status::OK();
+}
+
+void Relation::Add(std::initializer_list<Value> values, uint64_t count) {
+  Status st = Insert(Tuple(values), count);
+  assert(st.ok());
+  (void)st;
+}
+
+uint64_t Relation::Count(const Tuple& t) const {
+  auto it = rows_.find(t);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+uint64_t Relation::TotalSize() const {
+  uint64_t total = 0;
+  for (const auto& [t, c] : rows_) total += c;
+  return total;
+}
+
+Relation Relation::ToSet() const {
+  Relation out(attrs_);
+  for (const auto& [t, c] : rows_) out.rows_[t] = 1;
+  return out;
+}
+
+bool Relation::IsSet() const {
+  for (const auto& [t, c] : rows_) {
+    if (c != 1) return false;
+  }
+  return true;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (const auto& [t, c] : rows_) out.push_back(t);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<Tuple, uint64_t>> Relation::SortedRows() const {
+  std::vector<std::pair<Tuple, uint64_t>> out(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Relation::SubBagOf(const Relation& other) const {
+  for (const auto& [t, c] : rows_) {
+    if (other.Count(t) < c) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attrs_[i];
+  }
+  os << ") {";
+  bool first = true;
+  for (const auto& [t, c] : SortedRows()) {
+    os << (first ? " " : ", ") << t.ToString();
+    if (c != 1) os << "×" << c;
+    first = false;
+  }
+  os << " }";
+  return os.str();
+}
+
+std::vector<std::string> DefaultAttrs(size_t arity, const std::string& prefix) {
+  std::vector<std::string> out;
+  out.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+}  // namespace incdb

@@ -1,0 +1,88 @@
+#ifndef INCDB_CORE_RELATION_H_
+#define INCDB_CORE_RELATION_H_
+
+/// \file relation.h
+/// \brief Named-schema relations under set and bag semantics.
+///
+/// A Relation stores tuples with multiplicities (a bag). Set semantics, used
+/// by most of the paper, is the multiplicity-≤1 restriction; bag semantics
+/// (§4.2 "Bag semantics", [20,22]) uses the full counts. Operations that are
+/// semantics-sensitive (union, difference, projection...) live in the
+/// evaluators (src/eval); Relation itself only manages storage.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tuple.h"
+
+namespace incdb {
+
+/// \brief A finite relation over Const ∪ Null with named attributes.
+///
+/// Multiplicities are explicit: #(ā, R) in the paper is `Count(ā)` here.
+/// Iteration helpers return deterministic (sorted) orders so tests and
+/// benchmark output are reproducible.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+
+  /// Index of an attribute name, or error if absent/ambiguous input.
+  StatusOr<size_t> AttrIndex(const std::string& name) const;
+
+  /// Adds `count` occurrences of `t`. Arity must match.
+  Status Insert(const Tuple& t, uint64_t count = 1);
+  /// Convenience for tests: aborts on arity mismatch.
+  void Add(std::initializer_list<Value> values, uint64_t count = 1);
+
+  /// Multiplicity #(ā, R); 0 if absent.
+  uint64_t Count(const Tuple& t) const;
+  bool Contains(const Tuple& t) const { return Count(t) > 0; }
+
+  /// Number of distinct tuples.
+  size_t DistinctSize() const { return rows_.size(); }
+  /// Total multiplicity (bag cardinality).
+  uint64_t TotalSize() const;
+  bool Empty() const { return rows_.empty(); }
+
+  /// Collapses every multiplicity to 1 (the set underlying the bag).
+  Relation ToSet() const;
+  /// True iff every multiplicity is 1.
+  bool IsSet() const;
+
+  /// Distinct tuples in deterministic (sorted) order.
+  std::vector<Tuple> SortedTuples() const;
+  /// (tuple, multiplicity) pairs in deterministic order.
+  std::vector<std::pair<Tuple, uint64_t>> SortedRows() const;
+
+  /// Unordered access for evaluators.
+  const std::unordered_map<Tuple, uint64_t>& rows() const { return rows_; }
+
+  /// Set-equality (ignores attribute names, compares tuple bags).
+  bool SameRows(const Relation& other) const { return rows_ == other.rows_; }
+
+  /// All tuples of `this` form a subset (with multiplicities) of `other`.
+  bool SubBagOf(const Relation& other) const;
+
+  /// Pretty table rendering for examples and benchmark reports.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attrs_;
+  std::unordered_map<Tuple, uint64_t> rows_;
+};
+
+/// Builds default attribute names a0..a{k-1}.
+std::vector<std::string> DefaultAttrs(size_t arity, const std::string& prefix = "a");
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_RELATION_H_

@@ -1,0 +1,113 @@
+#ifndef INCDB_CORE_STATUS_H_
+#define INCDB_CORE_STATUS_H_
+
+/// \file status.h
+/// \brief Error handling primitives for the incdb public API.
+///
+/// incdb does not throw exceptions across its public API. Fallible
+/// operations return a Status, or a StatusOr<T> when they also produce a
+/// value (the RocksDB / Arrow convention).
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace incdb {
+
+/// Machine-readable category for a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (schema mismatch, bad attribute...).
+  kNotFound,          ///< A named relation/attribute does not exist.
+  kUnsupported,       ///< Operation not defined for this input class.
+  kResourceExhausted, ///< An enumeration exceeded its configured budget.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// \brief The result of an operation that can fail.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy and
+/// compare; the message is for humans, the code for programs.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: arity mismatch".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Minimal absl::StatusOr-alike. Accessing value() on an error aborts in
+/// debug builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define INCDB_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::incdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_STATUS_H_

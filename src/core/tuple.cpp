@@ -1,0 +1,112 @@
+#include "core/tuple.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace incdb {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out = values_;
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& positions) const {
+  std::vector<Value> out;
+  out.reserve(positions.size());
+  for (size_t p : positions) {
+    assert(p < values_.size());
+    out.push_back(values_[p]);
+  }
+  return Tuple(std::move(out));
+}
+
+bool Tuple::AllConst() const {
+  for (const Value& v : values_) {
+    if (v.is_null()) return false;
+  }
+  return true;
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  return values_ < other.values_;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x51ed270b;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+/// Union-find over null ids with at most one constant representative per
+/// class. Merging two classes whose constants differ fails.
+class Unifier {
+ public:
+  bool Merge(const Value& a, const Value& b) {
+    if (a.is_const() && b.is_const()) return a == b;
+    if (a.is_null() && b.is_null()) {
+      return Union(Find(a.null_id()), Find(b.null_id()));
+    }
+    const Value& null = a.is_null() ? a : b;
+    const Value& cons = a.is_null() ? b : a;
+    uint64_t root = Find(null.null_id());
+    auto [it, inserted] = constant_.try_emplace(root, cons);
+    return inserted || it->second == cons;
+  }
+
+ private:
+  uint64_t Find(uint64_t id) {
+    auto it = parent_.find(id);
+    if (it == parent_.end()) {
+      parent_[id] = id;
+      return id;
+    }
+    if (it->second == id) return id;
+    uint64_t root = Find(it->second);
+    parent_[id] = root;
+    return root;
+  }
+
+  bool Union(uint64_t ra, uint64_t rb) {
+    if (ra == rb) return true;
+    parent_[ra] = rb;
+    auto ita = constant_.find(ra);
+    if (ita != constant_.end()) {
+      Value ca = ita->second;
+      constant_.erase(ita);
+      auto [itb, inserted] = constant_.try_emplace(rb, ca);
+      if (!inserted && !(itb->second == ca)) return false;
+    }
+    return true;
+  }
+
+  std::unordered_map<uint64_t, uint64_t> parent_;
+  std::unordered_map<uint64_t, Value> constant_;
+};
+
+}  // namespace
+
+bool Unifiable(const Tuple& a, const Tuple& b) {
+  if (a.arity() != b.arity()) return false;
+  Unifier u;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!u.Merge(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace incdb

@@ -1,0 +1,75 @@
+#ifndef INCDB_CORE_TUPLE_H_
+#define INCDB_CORE_TUPLE_H_
+
+/// \file tuple.h
+/// \brief Tuples over Const ∪ Null, plus the unifiability test r̄ ⇑ s̄
+/// used throughout the paper (anti-semijoin ⋉⇑ in Fig. 2, the ⟦·⟧unif
+/// semantics in §5.1).
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace incdb {
+
+/// \brief A fixed-arity tuple of values.
+///
+/// Comparison and hashing are syntactic (component-wise Value semantics),
+/// which makes containers of tuples behave like the paper's sets of tuples
+/// over Const ∪ Null.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation r̄s̄ (juxtaposition in the paper).
+  Tuple Concat(const Tuple& other) const;
+  /// Projection onto the given positions (may repeat / reorder).
+  Tuple Project(const std::vector<size_t>& positions) const;
+
+  /// True iff every component is a constant (Const(ā) in §5.2).
+  bool AllConst() const;
+  /// True iff some component is a null.
+  bool HasNull() const { return !AllConst(); }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// Renders e.g. "(1, 'a', ⊥2)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// \brief Unifiability r̄ ⇑ s̄: is there a valuation v with v(r̄) = v(s̄)?
+///
+/// Decided by union-find over the nulls occurring in the two tuples; the
+/// tuples unify unless some equivalence class is forced to contain two
+/// distinct constants. Linear-time in the spirit of Paterson–Wegman [57].
+bool Unifiable(const Tuple& a, const Tuple& b);
+
+}  // namespace incdb
+
+namespace std {
+template <>
+struct hash<incdb::Tuple> {
+  size_t operator()(const incdb::Tuple& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // INCDB_CORE_TUPLE_H_

@@ -1,0 +1,75 @@
+#include "core/valuation.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace incdb {
+
+Status Valuation::Bind(uint64_t id, const Value& c) {
+  if (c.is_null()) {
+    return Status::InvalidArgument("valuation must map nulls to constants");
+  }
+  map_[id] = c;
+  return Status::OK();
+}
+
+Value Valuation::Lookup(uint64_t id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? Value::Null(id) : it->second;
+}
+
+Value Valuation::Apply(const Value& v) const {
+  return v.is_null() ? Lookup(v.null_id()) : v;
+}
+
+Tuple Valuation::Apply(const Tuple& t) const {
+  Tuple out = t;
+  for (size_t i = 0; i < out.arity(); ++i) out[i] = Apply(out[i]);
+  return out;
+}
+
+Relation Valuation::ApplySet(const Relation& r) const {
+  Relation out(r.attrs());
+  for (const auto& [t, c] : r.rows()) {
+    Status st = out.Insert(Apply(t), 1);
+    assert(st.ok());
+    (void)st;
+  }
+  return out.ToSet();
+}
+
+Relation Valuation::ApplyBag(const Relation& r) const {
+  Relation out(r.attrs());
+  for (const auto& [t, c] : r.rows()) {
+    Status st = out.Insert(Apply(t), c);
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+Database Valuation::ApplySet(const Database& d) const {
+  Database out;
+  for (const auto& [name, rel] : d.relations()) out.Put(name, ApplySet(rel));
+  return out;
+}
+
+Database Valuation::ApplyBag(const Database& d) const {
+  Database out;
+  for (const auto& [name, rel] : d.relations()) out.Put(name, ApplyBag(rel));
+  return out;
+}
+
+std::string Valuation::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [id, v] : map_) {
+    os << (first ? "" : ", ") << "⊥" << id << "↦" << v.ToString();
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace incdb

@@ -1,0 +1,55 @@
+#ifndef INCDB_CORE_VALUATION_H_
+#define INCDB_CORE_VALUATION_H_
+
+/// \file valuation.h
+/// \brief Valuations v : Null(D) → Const and the semantics of
+/// incompleteness ⟦D⟧ = { v(D) | v valuation } (paper §2).
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+#include "core/status.h"
+
+namespace incdb {
+
+/// \brief A (partial) map from null ids to constants.
+///
+/// Applying a valuation to a value/tuple/relation/database replaces each
+/// null ⊥_i in its domain by v(⊥_i); nulls outside the domain are left
+/// untouched (useful for partial instantiation in the chase).
+class Valuation {
+ public:
+  Valuation() = default;
+
+  /// Binds ⊥_id to a constant. Returns InvalidArgument if `c` is a null.
+  Status Bind(uint64_t id, const Value& c);
+  /// Unchecked bind for internal enumeration loops.
+  void Set(uint64_t id, const Value& c) { map_[id] = c; }
+
+  bool Has(uint64_t id) const { return map_.count(id) > 0; }
+  /// v(⊥_id), or ⊥_id itself if unbound.
+  Value Lookup(uint64_t id) const;
+
+  Value Apply(const Value& v) const;
+  Tuple Apply(const Tuple& t) const;
+  /// Applies under set semantics: tuples that collapse are deduplicated.
+  Relation ApplySet(const Relation& r) const;
+  /// Applies under bag semantics: multiplicities of collapsing tuples add up
+  /// (the "add up" option of [42], §6 "Bag semantics").
+  Relation ApplyBag(const Relation& r) const;
+  Database ApplySet(const Database& d) const;
+  Database ApplyBag(const Database& d) const;
+
+  const std::map<uint64_t, Value>& map() const { return map_; }
+  size_t size() const { return map_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  std::map<uint64_t, Value> map_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_VALUATION_H_

@@ -1,0 +1,106 @@
+#include "core/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace incdb {
+
+namespace {
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+double BitsDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+}  // namespace
+
+Value Value::Int(int64_t v) {
+  return Value(ValueKind::kInt, static_cast<uint64_t>(v), {});
+}
+
+Value Value::Double(double v) {
+  return Value(ValueKind::kDouble, DoubleBits(v), {});
+}
+
+Value Value::String(std::string v) {
+  return Value(ValueKind::kString, 0, std::move(v));
+}
+
+Value Value::Null(uint64_t id) { return Value(ValueKind::kNull, id, {}); }
+
+uint64_t Value::null_id() const {
+  assert(is_null());
+  return bits_;
+}
+
+int64_t Value::as_int() const {
+  assert(kind_ == ValueKind::kInt);
+  return static_cast<int64_t>(bits_);
+}
+
+double Value::as_double() const {
+  assert(kind_ == ValueKind::kDouble);
+  return BitsDouble(bits_);
+}
+
+const std::string& Value::as_string() const {
+  assert(kind_ == ValueKind::kString);
+  return str_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  if (kind_ == ValueKind::kString) return str_ == other.str_;
+  return bits_ == other.bits_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case ValueKind::kNull:
+      return bits_ < other.bits_;
+    case ValueKind::kInt:
+      return as_int() < other.as_int();
+    case ValueKind::kDouble:
+      return as_double() < other.as_double();
+    case ValueKind::kString:
+      return str_ < other.str_;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "⊥" + std::to_string(bits_);
+    case ValueKind::kInt:
+      return std::to_string(as_int());
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case ValueKind::kString:
+      return "'" + str_ + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+  if (kind_ == ValueKind::kString) {
+    h ^= std::hash<std::string>()(str_) + 0x9e3779b97f4a7c15ULL + (h << 6);
+  } else {
+    h ^= std::hash<uint64_t>()(bits_) + 0x9e3779b97f4a7c15ULL + (h << 6);
+  }
+  return h;
+}
+
+}  // namespace incdb

@@ -1,0 +1,88 @@
+#ifndef INCDB_CORE_VALUE_H_
+#define INCDB_CORE_VALUE_H_
+
+/// \file value.h
+/// \brief Domain elements of incomplete databases: constants and marked
+/// nulls (paper §2, "Incomplete databases").
+///
+/// Databases are populated by two kinds of elements: *constants* from a
+/// countably infinite set Const, and *nulls* ⊥_i from a countably infinite
+/// set Null. Nulls are *marked* (labelled): the same null id may repeat
+/// within and across relations, which is strictly more general than SQL's
+/// Codd nulls. Constants are typed (int64, double, string) to support the
+/// TPC-H-like workloads; equality across constant types is syntactic
+/// (an Int(1) is a different constant from String("1")).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace incdb {
+
+/// Discriminator for the Value tagged union. Order matters: it defines the
+/// (arbitrary but deterministic) total order used to sort output relations.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// \brief One element of Const ∪ Null.
+///
+/// Immutable value type. Nulls carry an id, making them marked nulls ⊥_id;
+/// Codd nulls are recovered by never reusing an id (see
+/// Database::CoddifyNulls). Equality is syntactic: ⊥_1 == ⊥_1, ⊥_1 != ⊥_2,
+/// and a null never equals a constant. This syntactic equality is exactly
+/// what naive evaluation (paper §4.1) needs.
+class Value {
+ public:
+  /// Constants.
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  /// The marked null ⊥_id.
+  static Value Null(uint64_t id);
+
+  Value() : Value(Int(0)) {}
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_const() const { return !is_null(); }
+
+  uint64_t null_id() const;
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Syntactic equality (marked-null identity).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Deterministic total order: by kind, then payload.
+  bool operator<(const Value& other) const;
+
+  /// Renders e.g. "42", "3.5", "'abc'", "⊥3".
+  std::string ToString() const;
+
+  /// Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  Value(ValueKind kind, uint64_t bits, std::string str)
+      : kind_(kind), bits_(bits), str_(std::move(str)) {}
+
+  ValueKind kind_;
+  uint64_t bits_;    // int64 payload, double bit-pattern, or null id.
+  std::string str_;  // string payload (empty otherwise).
+};
+
+}  // namespace incdb
+
+namespace std {
+template <>
+struct hash<incdb::Value> {
+  size_t operator()(const incdb::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // INCDB_CORE_VALUE_H_

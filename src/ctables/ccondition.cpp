@@ -1,0 +1,345 @@
+#include "ctables/ccondition.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/kleene.h"
+
+namespace incdb {
+
+namespace {
+CCondPtr Make(CCKind kind, Value a = Value::Int(0), Value b = Value::Int(0),
+              CCondPtr l = nullptr, CCondPtr r = nullptr) {
+  auto c = std::make_shared<CCond>();
+  c->kind = kind;
+  c->a = std::move(a);
+  c->b = std::move(b);
+  c->l = std::move(l);
+  c->r = std::move(r);
+  return c;
+}
+
+const CCondPtr& TrueSingleton() {
+  static const CCondPtr t = Make(CCKind::kTrue);
+  return t;
+}
+const CCondPtr& FalseSingleton() {
+  static const CCondPtr f = Make(CCKind::kFalse);
+  return f;
+}
+const CCondPtr& UnknownSingleton() {
+  static const CCondPtr u = Make(CCKind::kUnknown);
+  return u;
+}
+}  // namespace
+
+CCondPtr CcTrue() { return TrueSingleton(); }
+CCondPtr CcFalse() { return FalseSingleton(); }
+CCondPtr CcUnknown() { return UnknownSingleton(); }
+
+CCondPtr CcEq(const Value& a, const Value& b) {
+  if (a == b) return CcTrue();
+  if (a.is_const() && b.is_const()) return CcFalse();
+  return Make(CCKind::kEq, a, b);
+}
+
+CCondPtr CcNeq(const Value& a, const Value& b) {
+  if (a == b) return CcFalse();
+  if (a.is_const() && b.is_const()) return CcTrue();
+  return Make(CCKind::kNeq, a, b);
+}
+
+CCondPtr CcAnd(CCondPtr a, CCondPtr b) {
+  if (a->kind == CCKind::kFalse || b->kind == CCKind::kFalse) return CcFalse();
+  if (a->kind == CCKind::kTrue) return b;
+  if (b->kind == CCKind::kTrue) return a;
+  return Make(CCKind::kAnd, Value::Int(0), Value::Int(0), std::move(a),
+              std::move(b));
+}
+
+CCondPtr CcOr(CCondPtr a, CCondPtr b) {
+  if (a->kind == CCKind::kTrue || b->kind == CCKind::kTrue) return CcTrue();
+  if (a->kind == CCKind::kFalse) return b;
+  if (b->kind == CCKind::kFalse) return a;
+  return Make(CCKind::kOr, Value::Int(0), Value::Int(0), std::move(a),
+              std::move(b));
+}
+
+CCondPtr CcNot(CCondPtr a) {
+  switch (a->kind) {
+    case CCKind::kTrue:
+      return CcFalse();
+    case CCKind::kFalse:
+      return CcTrue();
+    case CCKind::kUnknown:
+      return CcUnknown();
+    case CCKind::kEq:
+      return CcNeq(a->a, a->b);
+    case CCKind::kNeq:
+      return CcEq(a->a, a->b);
+    case CCKind::kNot:
+      return a->l;
+    default:
+      return Make(CCKind::kNot, Value::Int(0), Value::Int(0), std::move(a));
+  }
+}
+
+std::string CCond::ToString() const {
+  switch (kind) {
+    case CCKind::kTrue:
+      return "t";
+    case CCKind::kFalse:
+      return "f";
+    case CCKind::kUnknown:
+      return "u";
+    case CCKind::kEq:
+      return a.ToString() + "=" + b.ToString();
+    case CCKind::kNeq:
+      return a.ToString() + "≠" + b.ToString();
+    case CCKind::kAnd:
+      return "(" + l->ToString() + " ∧ " + r->ToString() + ")";
+    case CCKind::kOr:
+      return "(" + l->ToString() + " ∨ " + r->ToString() + ")";
+    case CCKind::kNot:
+      return "¬" + l->ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+/// A literal: (in)equality over two terms, or an opaque unknown.
+struct Literal {
+  bool eq;      // true: a = b, false: a ≠ b
+  bool opaque;  // unknown literal (ignored by the solver)
+  Value a, b;
+};
+
+using Clause = std::vector<Literal>;
+
+/// NNF → DNF expansion. Returns false on clause-budget overflow.
+bool ToDnf(const CCondPtr& c, bool negated, std::vector<Clause>* out,
+           size_t max_clauses) {
+  switch (c->kind) {
+    case CCKind::kTrue:
+      if (negated) {
+        out->clear();  // false: no clauses
+      } else {
+        out->assign(1, Clause{});  // true: one empty clause
+      }
+      return true;
+    case CCKind::kFalse:
+      return ToDnf(CcTrue(), !negated, out, max_clauses);
+    case CCKind::kUnknown: {
+      Clause cl;
+      cl.push_back(Literal{false, true, Value::Int(0), Value::Int(0)});
+      out->assign(1, cl);
+      return true;
+    }
+    case CCKind::kEq:
+    case CCKind::kNeq: {
+      bool eq = (c->kind == CCKind::kEq) != negated;
+      Clause cl;
+      cl.push_back(Literal{eq, false, c->a, c->b});
+      out->assign(1, cl);
+      return true;
+    }
+    case CCKind::kNot:
+      return ToDnf(c->l, !negated, out, max_clauses);
+    case CCKind::kAnd:
+    case CCKind::kOr: {
+      bool conj = (c->kind == CCKind::kAnd) != negated;
+      std::vector<Clause> left, right;
+      if (!ToDnf(c->l, negated, &left, max_clauses)) return false;
+      if (!ToDnf(c->r, negated, &right, max_clauses)) return false;
+      if (conj) {
+        // Distribute: every pair of clauses merges.
+        if (left.size() * right.size() > max_clauses) return false;
+        out->clear();
+        for (const Clause& lc : left) {
+          for (const Clause& rc : right) {
+            Clause merged = lc;
+            merged.insert(merged.end(), rc.begin(), rc.end());
+            out->push_back(std::move(merged));
+          }
+        }
+      } else {
+        if (left.size() + right.size() > max_clauses) return false;
+        out->clear();
+        out->insert(out->end(), left.begin(), left.end());
+        out->insert(out->end(), right.begin(), right.end());
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Union-find over terms with constant-conflict detection.
+class TermUnion {
+ public:
+  /// Returns false if the merge is inconsistent (two distinct constants).
+  bool Merge(const Value& a, const Value& b) {
+    Value ra = Find(a), rb = Find(b);
+    if (ra == rb) return true;
+    if (ra.is_const() && rb.is_const()) return false;
+    // Point the null at the other representative (constants stay roots).
+    if (ra.is_null()) {
+      parent_[ra.null_id()] = rb;
+    } else {
+      parent_[rb.null_id()] = ra;
+    }
+    return true;
+  }
+
+  Value Find(const Value& v) {
+    if (v.is_const()) return v;
+    auto it = parent_.find(v.null_id());
+    if (it == parent_.end()) return v;
+    Value root = Find(it->second);
+    parent_[v.null_id()] = root;
+    return root;
+  }
+
+ private:
+  std::unordered_map<uint64_t, Value> parent_;
+};
+
+/// Clause satisfiability: merge equalities, check inequalities.
+/// A clause over nulls is satisfiable iff the equalities are consistent and
+/// no inequality connects two terms of the same class. (Disequalities
+/// between distinct classes are always realisable: Const is infinite.)
+bool ClauseSat(const Clause& clause) {
+  TermUnion uf;
+  for (const Literal& lit : clause) {
+    if (lit.opaque) continue;
+    if (lit.eq && !uf.Merge(lit.a, lit.b)) return false;
+  }
+  for (const Literal& lit : clause) {
+    if (lit.opaque || lit.eq) continue;
+    if (uf.Find(lit.a) == uf.Find(lit.b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SatisfiableCC(const CCondPtr& c, size_t max_clauses) {
+  std::vector<Clause> dnf;
+  if (!ToDnf(c, /*negated=*/false, &dnf, max_clauses)) {
+    return true;  // budget overflow: safe (degrades Ground to u)
+  }
+  for (const Clause& clause : dnf) {
+    if (ClauseSat(clause)) return true;
+  }
+  return false;
+}
+
+bool ValidCC(const CCondPtr& c, size_t max_clauses) {
+  std::vector<Clause> dnf;
+  if (!ToDnf(c, /*negated=*/true, &dnf, max_clauses)) {
+    return false;  // budget overflow: safe
+  }
+  // c is valid iff ¬c is unsatisfiable. Opaque (unknown) literals make a
+  // clause satisfiable from the solver's point of view, so a condition
+  // containing unknowns is never valid — exactly the intended semantics.
+  for (const Clause& clause : dnf) {
+    if (ClauseSat(clause)) return false;
+  }
+  return true;
+}
+
+TV3 GroundCC(const CCondPtr& c) {
+  if (!SatisfiableCC(c)) return TV3::kF;
+  if (ValidCC(c)) return TV3::kT;
+  return TV3::kU;
+}
+
+CCondPtr SubstCC(const CCondPtr& c, const Valuation& v) {
+  switch (c->kind) {
+    case CCKind::kTrue:
+    case CCKind::kFalse:
+    case CCKind::kUnknown:
+      return c;
+    case CCKind::kEq:
+      return CcEq(v.Apply(c->a), v.Apply(c->b));
+    case CCKind::kNeq:
+      return CcNeq(v.Apply(c->a), v.Apply(c->b));
+    case CCKind::kAnd:
+      return CcAnd(SubstCC(c->l, v), SubstCC(c->r, v));
+    case CCKind::kOr:
+      return CcOr(SubstCC(c->l, v), SubstCC(c->r, v));
+    case CCKind::kNot:
+      return CcNot(SubstCC(c->l, v));
+  }
+  return c;
+}
+
+TV3 EvalCC(const CCondPtr& c, const Valuation& v) {
+  switch (c->kind) {
+    case CCKind::kTrue:
+      return TV3::kT;
+    case CCKind::kFalse:
+      return TV3::kF;
+    case CCKind::kUnknown:
+      return TV3::kU;
+    case CCKind::kEq:
+      return FromBool(v.Apply(c->a) == v.Apply(c->b));
+    case CCKind::kNeq:
+      return FromBool(!(v.Apply(c->a) == v.Apply(c->b)));
+    case CCKind::kAnd:
+      return Kleene::And(EvalCC(c->l, v), EvalCC(c->r, v));
+    case CCKind::kOr:
+      return Kleene::Or(EvalCC(c->l, v), EvalCC(c->r, v));
+    case CCKind::kNot:
+      return Kleene::Not(EvalCC(c->l, v));
+  }
+  return TV3::kU;
+}
+
+namespace {
+void CollectConjunctEqualities(const CCondPtr& c, TermUnion* uf) {
+  if (c->kind == CCKind::kAnd) {
+    CollectConjunctEqualities(c->l, uf);
+    CollectConjunctEqualities(c->r, uf);
+  } else if (c->kind == CCKind::kEq) {
+    uf->Merge(c->a, c->b);  // inconsistent conditions handled by grounding
+  }
+}
+
+void CollectNulls(const CCondPtr& c, std::set<uint64_t>* out) {
+  switch (c->kind) {
+    case CCKind::kEq:
+    case CCKind::kNeq:
+      if (c->a.is_null()) out->insert(c->a.null_id());
+      if (c->b.is_null()) out->insert(c->b.null_id());
+      return;
+    case CCKind::kAnd:
+    case CCKind::kOr:
+      CollectNulls(c->l, out);
+      CollectNulls(c->r, out);
+      return;
+    case CCKind::kNot:
+      CollectNulls(c->l, out);
+      return;
+    default:
+      return;
+  }
+}
+}  // namespace
+
+std::map<uint64_t, Value> ForcedBindings(const CCondPtr& c) {
+  TermUnion uf;
+  CollectConjunctEqualities(c, &uf);
+  std::set<uint64_t> nulls;
+  CollectNulls(c, &nulls);
+  std::map<uint64_t, Value> out;
+  for (uint64_t id : nulls) {
+    Value root = uf.Find(Value::Null(id));
+    if (!(root == Value::Null(id))) out[id] = root;
+  }
+  return out;
+}
+
+}  // namespace incdb

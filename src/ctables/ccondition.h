@@ -1,0 +1,97 @@
+#ifndef INCDB_CTABLES_CCONDITION_H_
+#define INCDB_CTABLES_CCONDITION_H_
+
+/// \file ccondition.h
+/// \brief Conditions attached to c-tuples in conditional tables (paper
+/// §4.2, "Approximation schemes based on conditional tables"; cf. [43]).
+///
+/// A condition is a Boolean combination of (in)equality atoms over terms,
+/// where a term is a constant or a marked null. In addition to the logical
+/// constants true/false there is an *unknown* constant: the result of
+/// *grounding* a condition that is neither valid nor unsatisfiable. The
+/// eager strategies of [36] replace conditions by their ground value after
+/// each operator, so unknown participates in later conditions via Kleene
+/// connectives.
+///
+/// Smart constructors fold constants eagerly (c = c ↦ true, c = d ↦ false,
+/// true ∧ φ ↦ φ, ...), keeping conditions small; satisfiability and
+/// validity are decided by NNF → DNF expansion with union-find per clause.
+/// Unknown literals are treated as unconstraining (an opaque proposition),
+/// which makes Ground() sound in both directions: a tuple is reported
+/// certainly-true only if its condition is valid, certainly-false only if
+/// unsatisfiable.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+#include "core/valuation.h"
+#include "core/value.h"
+#include "logic/truth.h"
+
+namespace incdb {
+
+struct CCond;
+using CCondPtr = std::shared_ptr<const CCond>;
+
+enum class CCKind : uint8_t {
+  kTrue,
+  kFalse,
+  kUnknown,  ///< Grounded "u" — an opaque truth value.
+  kEq,       ///< term = term
+  kNeq,      ///< term ≠ term
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// \brief Immutable condition node.
+struct CCond {
+  CCKind kind;
+  Value a, b;      ///< Terms of kEq / kNeq.
+  CCondPtr l, r;   ///< Children (kAnd/kOr both, kNot left only).
+
+  std::string ToString() const;
+};
+
+/// Smart constructors (fold constants and trivial identities).
+CCondPtr CcTrue();
+CCondPtr CcFalse();
+CCondPtr CcUnknown();
+CCondPtr CcEq(const Value& a, const Value& b);
+CCondPtr CcNeq(const Value& a, const Value& b);
+CCondPtr CcAnd(CCondPtr a, CCondPtr b);
+CCondPtr CcOr(CCondPtr a, CCondPtr b);
+CCondPtr CcNot(CCondPtr a);
+
+/// Satisfiability: is there a valuation of the nulls making the condition
+/// true (unknown literals unconstrained)? Decided via DNF; `max_clauses`
+/// bounds the expansion — on overflow the *safe* answer true is returned
+/// (callers use this only through Ground(), where it degrades t/f to u).
+bool SatisfiableCC(const CCondPtr& c, size_t max_clauses = 100000);
+
+/// Validity: true in every valuation. !Satisfiable(¬c), same budget note.
+bool ValidCC(const CCondPtr& c, size_t max_clauses = 100000);
+
+/// Grounding: valid ↦ t, unsatisfiable ↦ f, otherwise ↦ u.
+TV3 GroundCC(const CCondPtr& c);
+
+/// Substitutes nulls by the valuation (partial valuations fine).
+CCondPtr SubstCC(const CCondPtr& c, const Valuation& v);
+
+/// Kleene evaluation under a *total* valuation of the nulls occurring in
+/// the condition; kUnknown evaluates to u.
+TV3 EvalCC(const CCondPtr& c, const Valuation& v);
+
+/// Equalities forced by the top-level conjunction: null ↦ constant or
+/// null ↦ representative null bindings implied by the conjuncts that are
+/// equality atoms (the "equality propagation" of the semi-eager, lazy and
+/// aware strategies of [36]). Returns a substitution mapping null ids to
+/// terms (constants, or the class representative).
+std::map<uint64_t, Value> ForcedBindings(const CCondPtr& c);
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CCONDITION_H_

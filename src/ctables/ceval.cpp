@@ -1,0 +1,343 @@
+#include "ctables/ceval.h"
+
+#include <cassert>
+
+#include "algebra/builder.h"
+
+namespace incdb {
+
+const char* ToString(CStrategy s) {
+  switch (s) {
+    case CStrategy::kEager:
+      return "eager";
+    case CStrategy::kSemiEager:
+      return "semi-eager";
+    case CStrategy::kLazy:
+      return "lazy";
+    case CStrategy::kAware:
+      return "aware";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Condition of the whole-tuple equality t̄ = s̄ as a c-condition.
+CCondPtr TupleEqCond(const Tuple& a, const Tuple& b) {
+  CCondPtr out = CcTrue();
+  for (size_t i = 0; i < a.arity(); ++i) {
+    out = CcAnd(out, CcEq(a[i], b[i]));
+  }
+  return out;
+}
+
+/// Translates a selection condition θ on a concrete (possibly
+/// null-carrying) tuple into a condition on the nulls, under the
+/// possible-world reading: in every world all cells hold constants, so
+/// const(A) ↦ true and null(A) ↦ false.
+StatusOr<CCondPtr> SelCond(const CondPtr& theta,
+                           const std::vector<std::string>& attrs,
+                           const Tuple& t) {
+  auto resolve = [&attrs](const std::string& name) -> StatusOr<size_t> {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == name) return i;
+    }
+    return Status::NotFound("condition references unknown attribute " + name);
+  };
+  switch (theta->kind) {
+    case CondKind::kTrue:
+      return CcTrue();
+    case CondKind::kFalse:
+      return CcFalse();
+    case CondKind::kAnd: {
+      auto l = SelCond(theta->left, attrs, t);
+      if (!l.ok()) return l;
+      auto r = SelCond(theta->right, attrs, t);
+      if (!r.ok()) return r;
+      return CcAnd(*l, *r);
+    }
+    case CondKind::kOr: {
+      auto l = SelCond(theta->left, attrs, t);
+      if (!l.ok()) return l;
+      auto r = SelCond(theta->right, attrs, t);
+      if (!r.ok()) return r;
+      return CcOr(*l, *r);
+    }
+    case CondKind::kEqAttrAttr: {
+      auto i = resolve(theta->lhs);
+      if (!i.ok()) return i.status();
+      auto j = resolve(theta->rhs);
+      if (!j.ok()) return j.status();
+      return CcEq(t[*i], t[*j]);
+    }
+    case CondKind::kNeqAttrAttr: {
+      auto i = resolve(theta->lhs);
+      if (!i.ok()) return i.status();
+      auto j = resolve(theta->rhs);
+      if (!j.ok()) return j.status();
+      return CcNeq(t[*i], t[*j]);
+    }
+    case CondKind::kEqAttrConst: {
+      auto i = resolve(theta->lhs);
+      if (!i.ok()) return i.status();
+      return CcEq(t[*i], theta->constant);
+    }
+    case CondKind::kNeqAttrConst: {
+      auto i = resolve(theta->lhs);
+      if (!i.ok()) return i.status();
+      return CcNeq(t[*i], theta->constant);
+    }
+    case CondKind::kIsConst:
+      return CcTrue();  // every world instantiates nulls by constants
+    case CondKind::kIsNull:
+      return CcFalse();
+    default:
+      return Status::Unsupported(
+          "the [36] strategies are defined over (in)equality conditions; "
+          "c-table conditions have no order atoms");
+  }
+  return Status::Internal("unknown condition kind");
+}
+
+class CEvaluator {
+ public:
+  CEvaluator(const Database& db, CStrategy strategy)
+      : db_(db), cdb_(CDatabase::FromDatabase(db)), strategy_(strategy) {}
+
+  StatusOr<CTable> Eval(const AlgPtr& q) {
+    auto out = EvalInner(q);
+    if (!out.ok()) return out;
+    switch (strategy_) {
+      case CStrategy::kEager:
+        return GroundAll(*out, /*propagate=*/false);
+      case CStrategy::kSemiEager:
+        return GroundAll(*out, /*propagate=*/true);
+      default:
+        return out;
+    }
+  }
+
+  /// Top-level entry: applies the aware strategy's final pass.
+  StatusOr<CTable> EvalTop(const AlgPtr& q) {
+    auto out = Eval(q);
+    if (!out.ok()) return out;
+    if (strategy_ == CStrategy::kAware || strategy_ == CStrategy::kLazy) {
+      // Final equality propagation (lazy applies it at differences too; a
+      // difference-free query would otherwise never propagate).
+      return Propagate(out->Normalized());
+    }
+    return out;
+  }
+
+ private:
+  /// Grounds every condition to t/f/u (dropping f) after merging
+  /// duplicates; optionally propagates forced equalities into data first.
+  static CTable GroundAll(const CTable& in, bool propagate) {
+    CTable merged = propagate ? Propagate(in).Normalized() : in.Normalized();
+    CTable out(merged.attrs());
+    for (const CTuple& ct : merged.tuples()) {
+      switch (GroundCC(ct.cond)) {
+        case TV3::kT:
+          out.Add(ct.data, CcTrue());
+          break;
+        case TV3::kU:
+          out.Add(ct.data, CcUnknown());
+          break;
+        case TV3::kF:
+          break;
+      }
+    }
+    return out;
+  }
+
+  /// Applies forced-equality substitutions to the *data* of each tuple.
+  /// The condition is kept untouched: the rewriting ⟨⊥2, ⊥1=c ∧ ⊥1=⊥2⟩ ↦
+  /// ⟨c, ⊥1=c ∧ ⊥1=⊥2⟩ is sound because in every world where the
+  /// condition holds the two tuples denote the same fact — whereas
+  /// substituting into the condition itself would wrongly discharge it
+  /// (⊥1=c would become true). Grounding the untouched condition then
+  /// yields the paper's ⟨c, u⟩.
+  static CTable Propagate(const CTable& in) {
+    CTable out(in.attrs());
+    for (const CTuple& ct : in.tuples()) {
+      std::map<uint64_t, Value> forced = ForcedBindings(ct.cond);
+      if (forced.empty()) {
+        out.Add(ct.data, ct.cond);
+        continue;
+      }
+      Tuple data = ct.data;
+      for (size_t i = 0; i < data.arity(); ++i) {
+        if (data[i].is_null()) {
+          auto it = forced.find(data[i].null_id());
+          if (it != forced.end()) data[i] = it->second;
+        }
+      }
+      out.Add(std::move(data), ct.cond);
+    }
+    return out;
+  }
+
+  StatusOr<CTable> EvalInner(const AlgPtr& q) {
+    switch (q->kind) {
+      case OpKind::kScan: {
+        auto it = cdb_.tables.find(q->rel_name);
+        if (it == cdb_.tables.end()) {
+          return Status::NotFound("no relation named " + q->rel_name);
+        }
+        return it->second;
+      }
+      case OpKind::kSelect: {
+        auto in = Eval(q->left);
+        if (!in.ok()) return in;
+        CTable out(in->attrs());
+        for (const CTuple& ct : in->tuples()) {
+          auto c = SelCond(q->cond, in->attrs(), ct.data);
+          if (!c.ok()) return c.status();
+          out.Add(ct.data, CcAnd(ct.cond, *c));
+        }
+        return out;
+      }
+      case OpKind::kProject: {
+        auto in = Eval(q->left);
+        if (!in.ok()) return in;
+        std::vector<size_t> pos;
+        for (const std::string& a : q->attrs) {
+          bool found = false;
+          for (size_t i = 0; i < in->attrs().size(); ++i) {
+            if (in->attrs()[i] == a) {
+              pos.push_back(i);
+              found = true;
+              break;
+            }
+          }
+          if (!found) return Status::NotFound("projection attribute " + a);
+        }
+        CTable out(q->attrs);
+        for (const CTuple& ct : in->tuples()) {
+          out.Add(ct.data.Project(pos), ct.cond);
+        }
+        return out;
+      }
+      case OpKind::kRename: {
+        auto in = Eval(q->left);
+        if (!in.ok()) return in;
+        if (q->attrs.size() != in->arity()) {
+          return Status::InvalidArgument("rename: arity mismatch");
+        }
+        CTable out(q->attrs);
+        for (const CTuple& ct : in->tuples()) out.Add(ct.data, ct.cond);
+        return out;
+      }
+      case OpKind::kProduct: {
+        auto l = Eval(q->left);
+        if (!l.ok()) return l;
+        auto r = Eval(q->right);
+        if (!r.ok()) return r;
+        std::vector<std::string> attrs = l->attrs();
+        for (const std::string& a : r->attrs()) {
+          for (const std::string& b : l->attrs()) {
+            if (a == b) {
+              return Status::InvalidArgument("product: attribute " + a +
+                                             " appears on both sides");
+            }
+          }
+          attrs.push_back(a);
+        }
+        CTable out(attrs);
+        for (const CTuple& lt : l->tuples()) {
+          for (const CTuple& rt : r->tuples()) {
+            out.Add(lt.data.Concat(rt.data), CcAnd(lt.cond, rt.cond));
+          }
+        }
+        return out;
+      }
+      case OpKind::kUnion: {
+        auto l = Eval(q->left);
+        if (!l.ok()) return l;
+        auto r = Eval(q->right);
+        if (!r.ok()) return r;
+        if (l->arity() != r->arity()) {
+          return Status::InvalidArgument("union: arity mismatch");
+        }
+        CTable out(l->attrs());
+        for (const CTuple& ct : l->tuples()) out.Add(ct.data, ct.cond);
+        for (const CTuple& ct : r->tuples()) out.Add(ct.data, ct.cond);
+        return out;
+      }
+      case OpKind::kDifference: {
+        auto l = Eval(q->left);
+        if (!l.ok()) return l;
+        auto r = Eval(q->right);
+        if (!r.ok()) return r;
+        if (l->arity() != r->arity()) {
+          return Status::InvalidArgument("difference: arity mismatch");
+        }
+        CTable out(l->attrs());
+        for (const CTuple& lt : l->tuples()) {
+          CCondPtr cond = lt.cond;
+          for (const CTuple& rt : r->tuples()) {
+            cond = CcAnd(
+                cond, CcNot(CcAnd(rt.cond, TupleEqCond(lt.data, rt.data))));
+          }
+          out.Add(lt.data, cond);
+        }
+        // The lazy strategy grounds (with propagation) at differences.
+        if (strategy_ == CStrategy::kLazy) {
+          return GroundAll(out, /*propagate=*/true);
+        }
+        return out;
+      }
+      case OpKind::kIntersect: {
+        auto l = Eval(q->left);
+        if (!l.ok()) return l;
+        auto r = Eval(q->right);
+        if (!r.ok()) return r;
+        if (l->arity() != r->arity()) {
+          return Status::InvalidArgument("intersection: arity mismatch");
+        }
+        CTable out(l->attrs());
+        for (const CTuple& lt : l->tuples()) {
+          CCondPtr any = CcFalse();
+          for (const CTuple& rt : r->tuples()) {
+            any = CcOr(any, CcAnd(rt.cond, TupleEqCond(lt.data, rt.data)));
+          }
+          out.Add(lt.data, CcAnd(lt.cond, any));
+        }
+        return out;
+      }
+      default:
+        return Status::Unsupported(
+            "conditional evaluation covers the core grammar + ∩; desugar "
+            "the query first");
+    }
+  }
+
+  const Database& db_;
+  CDatabase cdb_;
+  CStrategy strategy_;
+};
+
+}  // namespace
+
+StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s) {
+  auto desugared = Desugar(q, db);
+  if (!desugared.ok()) return desugared.status();
+  CEvaluator ev(db, s);
+  return ev.EvalTop(*desugared);
+}
+
+StatusOr<Relation> CEvalCertain(const AlgPtr& q, const Database& db,
+                                CStrategy s) {
+  auto t = CEval(q, db, s);
+  if (!t.ok()) return t.status();
+  return t->CertainTuples();
+}
+
+StatusOr<Relation> CEvalPossible(const AlgPtr& q, const Database& db,
+                                 CStrategy s) {
+  auto t = CEval(q, db, s);
+  if (!t.ok()) return t.status();
+  return t->PossibleTuples();
+}
+
+}  // namespace incdb

@@ -1,0 +1,48 @@
+#ifndef INCDB_CTABLES_CEVAL_H_
+#define INCDB_CTABLES_CEVAL_H_
+
+/// \file ceval.h
+/// \brief Conditional evaluation of relational algebra over c-tables and
+/// the four approximation strategies of Greco, Molinaro & Trubitsyna [36]
+/// (paper §4.2, Theorem 4.9):
+///
+///  * Eager (Evalᵉ)      — conditions are grounded to t/f/u immediately
+///                         after every operator;
+///  * Semi-eager (Evalˢ) — as eager, but forced equalities are first
+///                         propagated into the tuple data (⟨⊥2, ⊥1=c ∧
+///                         ⊥1=⊥2⟩ becomes ⟨c, u⟩);
+///  * Lazy (Evalˡ)       — propagation + grounding happen only at each
+///                         difference operator;
+///  * Aware (Evalᵃ)      — everything is postponed to the very end and
+///                         performed on a minimal rewriting of conditions.
+///
+/// All four run in PTIME and have correctness guarantees:
+/// Eval⋆t(Q, D) ⊆ cert⊥(Q, D). Moreover Q+(D) = Evalᵉt(Q, D) and
+/// Q?(D) = Evalᵉp(Q, D) (Theorem 4.9), which the test suite verifies.
+
+#include "algebra/algebra.h"
+#include "core/database.h"
+#include "core/status.h"
+#include "ctables/ctable.h"
+
+namespace incdb {
+
+enum class CStrategy { kEager, kSemiEager, kLazy, kAware };
+
+const char* ToString(CStrategy s);
+
+/// Evaluates `q` (core grammar + ∩; sugar is desugared internally) over the
+/// conditional database obtained from `db` with all-true conditions,
+/// applying the given strategy's grounding discipline.
+StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s);
+
+/// Eval⋆t(Q, D): tuples reported certainly true (eq. 9a).
+StatusOr<Relation> CEvalCertain(const AlgPtr& q, const Database& db,
+                                CStrategy s);
+/// Eval⋆p(Q, D): tuples reported possible, i.e. t or u (eq. 9b).
+StatusOr<Relation> CEvalPossible(const AlgPtr& q, const Database& db,
+                                 CStrategy s);
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CEVAL_H_

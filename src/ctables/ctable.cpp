@@ -1,0 +1,101 @@
+#include "ctables/ctable.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace incdb {
+
+void CTable::Add(Tuple t, CCondPtr cond) {
+  assert(t.arity() == attrs_.size());
+  if (cond->kind == CCKind::kFalse) return;
+  tuples_.push_back(CTuple{std::move(t), std::move(cond)});
+}
+
+CTable CTable::Normalized() const {
+  std::map<Tuple, CCondPtr> merged;
+  std::vector<Tuple> order;
+  for (const CTuple& ct : tuples_) {
+    if (ct.cond->kind == CCKind::kFalse) continue;
+    auto it = merged.find(ct.data);
+    if (it == merged.end()) {
+      merged[ct.data] = ct.cond;
+      order.push_back(ct.data);
+    } else {
+      it->second = CcOr(it->second, ct.cond);
+    }
+  }
+  CTable out(attrs_);
+  for (const Tuple& t : order) out.Add(t, merged[t]);
+  return out;
+}
+
+Relation CTable::TuplesWithGround(TV3 tau) const {
+  Relation out(attrs_);
+  const CTable normalized = Normalized();
+  for (const CTuple& ct : normalized.tuples()) {
+    if (GroundCC(ct.cond) == tau) {
+      Status st = out.Insert(ct.data, 1);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return out;
+}
+
+Relation CTable::CertainTuples() const { return TuplesWithGround(TV3::kT); }
+
+Relation CTable::PossibleTuples() const {
+  Relation out(attrs_);
+  const CTable normalized = Normalized();
+  for (const CTuple& ct : normalized.tuples()) {
+    if (GroundCC(ct.cond) != TV3::kF) {
+      Status st = out.Insert(ct.data, 1);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return out;
+}
+
+Relation CTable::Instantiate(const Valuation& v) const {
+  Relation out(attrs_);
+  for (const CTuple& ct : tuples_) {
+    if (EvalCC(ct.cond, v) == TV3::kT) {
+      Status st = out.Insert(v.Apply(ct.data), 1);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return out.ToSet();
+}
+
+std::string CTable::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) os << ", ";
+    os << attrs_[i];
+  }
+  os << ") {";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    os << (i ? ", " : " ") << "⟨" << tuples_[i].data.ToString() << ", "
+       << tuples_[i].cond->ToString() << "⟩";
+  }
+  os << " }";
+  return os.str();
+}
+
+CDatabase CDatabase::FromDatabase(const Database& db) {
+  CDatabase out;
+  for (const auto& [name, rel] : db.relations()) {
+    CTable table(rel.attrs());
+    for (const Tuple& t : rel.SortedTuples()) {
+      table.Add(t, CcTrue());
+    }
+    out.tables[name] = std::move(table);
+  }
+  return out;
+}
+
+}  // namespace incdb

@@ -1,0 +1,73 @@
+#ifndef INCDB_CTABLES_CTABLE_H_
+#define INCDB_CTABLES_CTABLE_H_
+
+/// \file ctable.h
+/// \brief Conditional tables: tuples paired with conditions (paper §4.2,
+/// [36, 43]). The starting point of the Eval⋆ strategies is an ordinary
+/// incomplete database converted to a conditional database whose
+/// conditions are all true.
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "ctables/ccondition.h"
+
+namespace incdb {
+
+/// A c-tuple ⟨t̄, φ⟩: the tuple t̄ is present when φ holds.
+struct CTuple {
+  Tuple data;
+  CCondPtr cond;
+};
+
+/// \brief A conditional table: named attributes plus a list of c-tuples.
+///
+/// Unlike Relation, a CTable is not deduplicated — the same data tuple may
+/// appear under several conditions (their disjunction governs presence).
+class CTable {
+ public:
+  CTable() = default;
+  explicit CTable(std::vector<std::string> attrs) : attrs_(std::move(attrs)) {}
+
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+  const std::vector<CTuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  void Add(Tuple t, CCondPtr cond);
+
+  /// Drops c-tuples whose condition is syntactically false and merges
+  /// duplicates ⟨t̄, φ1⟩, ⟨t̄, φ2⟩ into ⟨t̄, φ1 ∨ φ2⟩.
+  CTable Normalized() const;
+
+  /// The tuples whose condition has the given ground value; this realises
+  /// Eval⋆t (τ = t) and the u-part of Eval⋆p (eq. 9a/9b).
+  Relation TuplesWithGround(TV3 tau) const;
+  /// Evalp: tuples whose condition grounds to t or u (eq. 9b).
+  Relation PossibleTuples() const;
+  /// Evalt: tuples whose condition grounds to t (eq. 9a).
+  Relation CertainTuples() const;
+
+  /// The set-semantics relation of the possible world chosen by a total
+  /// valuation: v applied to data of tuples whose condition holds under v.
+  Relation Instantiate(const Valuation& v) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attrs_;
+  std::vector<CTuple> tuples_;
+};
+
+/// A conditional database.
+struct CDatabase {
+  std::map<std::string, CTable> tables;
+
+  static CDatabase FromDatabase(const Database& db);
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CTABLE_H_

@@ -1,0 +1,74 @@
+#include "eval/codd.h"
+
+#include <algorithm>
+#include <map>
+
+namespace incdb {
+
+namespace {
+
+/// Null-blind tuple order: nulls compare equal to each other and below
+/// every constant, making the order invariant under null renaming.
+bool NullBlindLess(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.arity(), b.arity());
+  for (size_t i = 0; i < n; ++i) {
+    bool an = a[i].is_null(), bn = b[i].is_null();
+    if (an != bn) return an;  // nulls first
+    if (an && bn) continue;
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.arity() < b.arity();
+}
+
+/// Codd-ifies a relation: each null occurrence becomes a fresh null.
+Relation CoddifyRelation(const Relation& rel) {
+  Relation out(rel.attrs());
+  uint64_t next = 0;
+  for (const auto& [t, c] : rel.SortedRows()) {
+    for (uint64_t i = 0; i < c; ++i) {
+      Tuple nt = t;
+      for (size_t j = 0; j < nt.arity(); ++j) {
+        if (nt[j].is_null()) nt[j] = Value::Null(next++);
+      }
+      Status st = out.Insert(nt, 1);
+      (void)st;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Relation CanonicalizeNulls(const Relation& rel) {
+  std::vector<Tuple> tuples = rel.SortedTuples();
+  std::stable_sort(tuples.begin(), tuples.end(), NullBlindLess);
+  std::map<uint64_t, uint64_t> renaming;
+  Relation out(rel.attrs());
+  for (const Tuple& t : tuples) {
+    Tuple nt = t;
+    for (size_t i = 0; i < nt.arity(); ++i) {
+      if (!nt[i].is_null()) continue;
+      auto [it, inserted] =
+          renaming.try_emplace(nt[i].null_id(), renaming.size());
+      nt[i] = Value::Null(it->second);
+    }
+    Status st = out.Insert(nt, rel.Count(t));
+    (void)st;
+  }
+  return out;
+}
+
+StatusOr<bool> CoddCommutes(const AlgPtr& q, const Database& db,
+                            const EvalOptions& opts) {
+  // Left: evaluate on the Codd-ified database.
+  auto lhs = EvalSet(q, db.CoddifyNulls(), opts);
+  if (!lhs.ok()) return lhs.status();
+  // Right: evaluate first, then Codd-ify the answer.
+  auto ans = EvalSet(q, db, opts);
+  if (!ans.ok()) return ans.status();
+  Relation rhs = CoddifyRelation(*ans);
+  return CanonicalizeNulls(*lhs).SameRows(CanonicalizeNulls(rhs));
+}
+
+}  // namespace incdb

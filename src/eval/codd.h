@@ -1,0 +1,41 @@
+#ifndef INCDB_EVAL_CODD_H_
+#define INCDB_EVAL_CODD_H_
+
+/// \file codd.h
+/// \brief The Codd-interpretation of SQL nulls and its interaction with
+/// query evaluation (paper §6, "Marked nulls" open problem).
+///
+/// SQL has a single placeholder NULL; the standard theoretical reading
+/// turns each occurrence into a *fresh* marked null (the `codd`
+/// transformation, Database::CoddifyNulls). A query is Codd-insensitive
+/// when Q(codd(D)) and codd(Q(D)) coincide up to a renaming of nulls —
+/// then it does not matter whether SQL nulls are expanded before or after
+/// evaluation. The paper notes this fails in general and the failing class
+/// has no syntactic characterisation; CoddCommutes() decides individual
+/// instances.
+
+#include "algebra/algebra.h"
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+#include "eval/eval.h"
+
+namespace incdb {
+
+/// Renames the nulls of a relation to 0, 1, 2, ... in first-occurrence
+/// order over the sorted tuple list — a canonical form under null
+/// renaming. Two relations are equal up to null renaming iff their
+/// canonical forms are equal... for *Codd* relations (each null occurring
+/// once) always, and for general relations whenever the occurrence
+/// pattern is position-determined (sufficient for CoddCommutes, whose
+/// operands both originate from Codd-ified inputs).
+Relation CanonicalizeNulls(const Relation& rel);
+
+/// Does naive evaluation commute with the codd transformation on this
+/// database: Q(codd(D)) ≡ codd(Q(D)) up to null renaming?
+StatusOr<bool> CoddCommutes(const AlgPtr& q, const Database& db,
+                            const EvalOptions& opts = {});
+
+}  // namespace incdb
+
+#endif  // INCDB_EVAL_CODD_H_

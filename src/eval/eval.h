@@ -1,0 +1,72 @@
+#ifndef INCDB_EVAL_EVAL_H_
+#define INCDB_EVAL_EVAL_H_
+
+/// \file eval.h
+/// \brief Query evaluators over (incomplete) databases.
+///
+/// Three evaluation disciplines from the paper:
+///
+///  * EvalSet — *naive evaluation* (§4.1): nulls are treated as fresh
+///    constants and the query is evaluated classically under set semantics.
+///    On complete databases this is plain relational algebra evaluation.
+///    Data complexity AC0.
+///  * EvalBag — the same naive discipline under SQL-style *bag semantics*
+///    (§4.2): union adds multiplicities, difference subtracts up to zero,
+///    projection adds, product multiplies.
+///  * EvalSql — models SQL's actual behaviour (§1, §5.2): selection
+///    conditions are evaluated in Kleene's 3VL with every null comparison
+///    yielding u, and only rows evaluating to t are kept (the assertion
+///    operator ↑); difference behaves like NOT IN and intersection like IN.
+///    This evaluator reproduces SQL's false positives and false negatives.
+///
+/// All evaluators execute the sugar operators (join/semijoin/antijoon)
+/// natively with EXISTS-style semantics and use hash-join fast paths for
+/// top-level equality conjuncts.
+
+#include "algebra/algebra.h"
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+
+namespace incdb {
+
+/// Resource limits and optimizer toggles for an evaluation.
+/// The toggles exist for the ablation study (bench_ablation): disabling
+/// them never changes results, only cost.
+struct EvalOptions {
+  /// Abort with ResourceExhausted once a single operator has produced this
+  /// many tuple occurrences. Dom^k products (Fig. 2a) hit this quickly,
+  /// which is experiment E2.
+  uint64_t max_tuples = 100'000'000;
+  /// Hash join on top-level equality conjuncts (vs nested loops).
+  bool enable_hash_join = true;
+  /// σ_{θ1∨θ2}(l×r) = σ_{θ1}(l×r) ∪ σ_{θ2}(l×r) under set semantics —
+  /// rescues the disjunctions produced by the Fig. 2(b) σ?-rule.
+  bool enable_or_expansion = true;
+  /// π(σ(l×r)) projects at emit time instead of materialising pairs.
+  bool enable_projection_fusion = true;
+  /// Null-mask index for ⋉⇑ probes (vs quadratic unifiability scans).
+  bool enable_unify_index = true;
+};
+
+/// Naive evaluation under set semantics (treat nulls as fresh constants).
+StatusOr<Relation> EvalSet(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts = {});
+
+/// Naive evaluation under bag semantics.
+StatusOr<Relation> EvalBag(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts = {});
+
+/// SQL-style evaluation: 3VL WHERE (keep t), NOT-IN-style difference,
+/// IN-style intersection; set semantics output (DISTINCT).
+StatusOr<Relation> EvalSql(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts = {});
+
+/// Kleene truth value of the whole-tuple comparison r̄ = s̄ under SQL 3VL:
+/// f if some position has two distinct constants, else u if any null is
+/// involved, else t. (Used by NOT IN / IN modelling.)
+TV3 SqlTupleEq(const Tuple& a, const Tuple& b);
+
+}  // namespace incdb
+
+#endif  // INCDB_EVAL_EVAL_H_

@@ -1,0 +1,144 @@
+#include "hom/homomorphism.h"
+
+#include <unordered_map>
+
+namespace incdb {
+
+const char* ToString(HomClass c) {
+  switch (c) {
+    case HomClass::kAny:
+      return "any";
+    case HomClass::kOnto:
+      return "onto";
+    case HomClass::kStrongOnto:
+      return "strong-onto";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Fact {
+  std::string rel;
+  Tuple tuple;
+};
+
+class HomSearch {
+ public:
+  HomSearch(const Database& from, const Database& to, HomClass cls)
+      : from_(from), to_(to), cls_(cls) {
+    for (const auto& [name, rel] : from.relations()) {
+      for (const Tuple& t : rel.SortedTuples()) {
+        facts_.push_back(Fact{name, t});
+      }
+    }
+  }
+
+  bool Run() { return Search(0); }
+
+ private:
+  bool Search(size_t fact_idx) {
+    if (fact_idx == facts_.size()) return FinalChecks();
+    const Fact& fact = facts_[fact_idx];
+    auto rel = to_.Get(fact.rel);
+    if (!rel.ok()) return false;  // no relation to map this fact into
+    for (const Tuple& target : rel->SortedTuples()) {
+      std::vector<uint64_t> newly_bound;
+      if (TryMatch(fact.tuple, target, &newly_bound)) {
+        if (Search(fact_idx + 1)) return true;
+      }
+      for (uint64_t id : newly_bound) assignment_.erase(id);
+    }
+    return false;
+  }
+
+  /// Attempts to extend the assignment so h(src) = target.
+  bool TryMatch(const Tuple& src, const Tuple& target,
+                std::vector<uint64_t>* newly_bound) {
+    if (src.arity() != target.arity()) return false;
+    for (size_t i = 0; i < src.arity(); ++i) {
+      const Value& s = src[i];
+      const Value& t = target[i];
+      if (s.is_const()) {
+        if (!(s == t)) {
+          Rollback(newly_bound);
+          return false;
+        }
+        continue;
+      }
+      auto it = assignment_.find(s.null_id());
+      if (it != assignment_.end()) {
+        if (!(it->second == t)) {
+          Rollback(newly_bound);
+          return false;
+        }
+      } else {
+        assignment_[s.null_id()] = t;
+        newly_bound->push_back(s.null_id());
+      }
+    }
+    return true;
+  }
+
+  void Rollback(std::vector<uint64_t>* newly_bound) {
+    for (uint64_t id : *newly_bound) assignment_.erase(id);
+    newly_bound->clear();
+  }
+
+  bool FinalChecks() {
+    // Any unconstrained null (occurring in no fact — impossible by
+    // construction) would be free; all nulls of `from_` are assigned here.
+    if (cls_ == HomClass::kAny) return true;
+    if (cls_ == HomClass::kOnto) {
+      // h(dom(from)) = dom(to).
+      std::set<Value> image;
+      for (const Value& c : from_.Constants()) image.insert(c);
+      for (const auto& [id, v] : assignment_) image.insert(v);
+      return image == to_.ActiveDomain();
+    }
+    // Strong onto: h(D) = D' relation by relation.
+    for (const auto& [name, rel] : to_.relations()) {
+      std::set<Tuple> image;
+      auto from_rel = from_.Get(name);
+      if (from_rel.ok()) {
+        for (const Tuple& t : from_rel->SortedTuples()) {
+          Tuple mapped = t;
+          for (size_t i = 0; i < mapped.arity(); ++i) {
+            if (mapped[i].is_null()) {
+              mapped[i] = assignment_.at(mapped[i].null_id());
+            }
+          }
+          image.insert(mapped);
+        }
+      }
+      std::set<Tuple> target;
+      for (const Tuple& t : rel.SortedTuples()) target.insert(t);
+      if (image != target) return false;
+    }
+    return true;
+  }
+
+  const Database& from_;
+  const Database& to_;
+  HomClass cls_;
+  std::vector<Fact> facts_;
+  std::unordered_map<uint64_t, Value> assignment_;
+};
+
+}  // namespace
+
+bool ExistsHomomorphism(const Database& from, const Database& to,
+                        HomClass cls) {
+  // Every relation of `from` with at least one fact must exist in `to`.
+  for (const auto& [name, rel] : from.relations()) {
+    if (!rel.Empty() && !to.Has(name)) return false;
+  }
+  return HomSearch(from, to, cls).Run();
+}
+
+bool IsPossibleWorld(const Database& d, const Database& world, HomClass cls) {
+  if (!world.IsComplete()) return false;
+  return ExistsHomomorphism(d, world, cls);
+}
+
+}  // namespace incdb

@@ -1,0 +1,41 @@
+#ifndef INCDB_HOM_HOMOMORPHISM_H_
+#define INCDB_HOM_HOMOMORPHISM_H_
+
+/// \file homomorphism.h
+/// \brief Homomorphisms between database instances and the semantics of
+/// incompleteness they induce (paper §4.1, Theorem 4.3).
+///
+/// A homomorphism h : D → D' maps dom(D) to dom(D') such that h(ā) ∈ R^D'
+/// for every ā ∈ R^D; here h is always the identity on constants (the
+/// class relevant for incompleteness semantics). Three classes:
+///  * kAny        — arbitrary: ⟦D⟧_H = ⟦D⟧_OWA;
+///  * kOnto       — h(dom(D)) = dom(D');
+///  * kStrongOnto — h(D) = D' (every fact of D' is the image of a fact of
+///                  D): ⟦D⟧_H = ⟦D⟧ (CWA).
+
+#include <optional>
+
+#include "core/database.h"
+#include "core/valuation.h"
+
+namespace incdb {
+
+enum class HomClass { kAny, kOnto, kStrongOnto };
+
+const char* ToString(HomClass c);
+
+/// Searches for a homomorphism from `from` to `to` that is the identity on
+/// constants. Nulls of `from` may map to constants *or nulls* of `to`
+/// (general instance-to-instance homomorphisms). Backtracking search —
+/// intended for the small instances used in tests and benches.
+bool ExistsHomomorphism(const Database& from, const Database& to,
+                        HomClass cls);
+
+/// Membership of D' in the H-semantics of D (⟦D⟧_H of Thm. 4.3): D' must
+/// be complete and admit a homomorphism of the class from D.
+/// kAny ↦ OWA semantics; kStrongOnto ↦ CWA semantics.
+bool IsPossibleWorld(const Database& d, const Database& world, HomClass cls);
+
+}  // namespace incdb
+
+#endif  // INCDB_HOM_HOMOMORPHISM_H_

@@ -1,0 +1,319 @@
+#include "logic/capture.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace incdb {
+
+FormulaPtr FTrueConst() {
+  return FEq(Term::Const(Value::Int(0)), Term::Const(Value::Int(0)));
+}
+
+FormulaPtr FFalseConst() { return FNot(FTrueConst()); }
+
+namespace {
+
+/// All partitions of {0..n-1} as lists of classes, via restricted-growth
+/// strings.
+void Partitions(size_t n, std::vector<std::vector<std::vector<size_t>>>* out) {
+  std::vector<size_t> rgs(n, 0);
+  auto emit = [&]() {
+    size_t classes = 0;
+    for (size_t v : rgs) classes = std::max(classes, v + 1);
+    std::vector<std::vector<size_t>> part(classes);
+    for (size_t i = 0; i < n; ++i) part[rgs[i]].push_back(i);
+    out->push_back(std::move(part));
+  };
+  // Iterative enumeration of restricted growth strings.
+  std::vector<size_t> maxv(n, 0);
+  size_t pos = n;  // build from scratch
+  (void)pos;
+  // Recursive lambda is clearer here.
+  std::function<void(size_t, size_t)> rec = [&](size_t i, size_t m) {
+    if (i == n) {
+      emit();
+      return;
+    }
+    for (size_t v = 0; v <= m; ++v) {
+      rgs[i] = v;
+      rec(i + 1, std::max(m, v + 1));
+    }
+  };
+  if (n == 0) {
+    out->push_back({});
+    return;
+  }
+  rgs[0] = 0;
+  rec(1, 1);
+}
+
+FormulaPtr AndAll(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return FTrueConst();
+  FormulaPtr out = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) out = FAnd(out, fs[i]);
+  return out;
+}
+
+FormulaPtr OrAll(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return FFalseConst();
+  FormulaPtr out = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) out = FOr(out, fs[i]);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<FormulaPtr> UnifiabilityFormula(const std::vector<Term>& xs,
+                                         const std::vector<Term>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("unifiability: arity mismatch");
+  }
+  size_t k = xs.size();
+  if (k > 10) {
+    return Status::ResourceExhausted(
+        "unifiability formula: arity too large for partition enumeration");
+  }
+  // Positions 0..k-1 are "pair blocks": block i carries terms xs[i], ys[i]
+  // (which any unifying valuation must send to the same constant). A
+  // partition P of the blocks witnesses unifiability if
+  //  (consistency) within a class, every two terms are equal or at least
+  //                one is a null, and
+  //  (guard)       across classes, no two terms are the same null (a
+  //                shared null would force the classes to merge).
+  std::vector<std::vector<std::vector<size_t>>> parts;
+  Partitions(k, &parts);
+
+  auto terms_of_class = [&](const std::vector<size_t>& cls) {
+    std::vector<Term> ts;
+    for (size_t i : cls) {
+      ts.push_back(xs[i]);
+      ts.push_back(ys[i]);
+    }
+    return ts;
+  };
+
+  std::vector<FormulaPtr> disjuncts;
+  for (const auto& part : parts) {
+    std::vector<FormulaPtr> conj;
+    // Consistency within classes.
+    for (const auto& cls : part) {
+      std::vector<Term> ts = terms_of_class(cls);
+      for (size_t i = 0; i < ts.size(); ++i) {
+        for (size_t j = i + 1; j < ts.size(); ++j) {
+          conj.push_back(FOr(FOr(FIsNull(ts[i]), FIsNull(ts[j])),
+                             FEq(ts[i], ts[j])));
+        }
+      }
+    }
+    // Guard across classes.
+    for (size_t c1 = 0; c1 < part.size(); ++c1) {
+      for (size_t c2 = c1 + 1; c2 < part.size(); ++c2) {
+        for (const Term& a : terms_of_class(part[c1])) {
+          for (const Term& b : terms_of_class(part[c2])) {
+            conj.push_back(FOr(FIsConst(a), FNot(FEq(a, b))));
+          }
+        }
+      }
+    }
+    disjuncts.push_back(AndAll(std::move(conj)));
+  }
+  return OrAll(std::move(disjuncts));
+}
+
+namespace {
+
+class Capturer {
+ public:
+  explicit Capturer(const MixedSemantics& sem) : sem_(sem) {}
+
+  StatusOr<FormulaPtr> Tr(const FormulaPtr& f, TV3 tau) {
+    switch (f->kind) {
+      case FKind::kAtom:
+        return TrAtom(f, tau);
+      case FKind::kEq:
+        return TrEq(f, tau);
+      case FKind::kIsConst:
+        // Always two-valued.
+        if (tau == TV3::kT) return FIsConst(f->terms[0]);
+        if (tau == TV3::kF) return FIsNull(f->terms[0]);
+        return FFalseConst();
+      case FKind::kIsNull:
+        if (tau == TV3::kT) return FIsNull(f->terms[0]);
+        if (tau == TV3::kF) return FIsConst(f->terms[0]);
+        return FFalseConst();
+      case FKind::kAnd: {
+        if (tau == TV3::kT) {
+          auto l = Tr(f->l, TV3::kT);
+          if (!l.ok()) return l;
+          auto r = Tr(f->r, TV3::kT);
+          if (!r.ok()) return r;
+          return FAnd(*l, *r);
+        }
+        if (tau == TV3::kF) {
+          auto l = Tr(f->l, TV3::kF);
+          if (!l.ok()) return l;
+          auto r = Tr(f->r, TV3::kF);
+          if (!r.ok()) return r;
+          return FOr(*l, *r);
+        }
+        return TrUnknownByComplement(f);
+      }
+      case FKind::kOr: {
+        if (tau == TV3::kT) {
+          auto l = Tr(f->l, TV3::kT);
+          if (!l.ok()) return l;
+          auto r = Tr(f->r, TV3::kT);
+          if (!r.ok()) return r;
+          return FOr(*l, *r);
+        }
+        if (tau == TV3::kF) {
+          auto l = Tr(f->l, TV3::kF);
+          if (!l.ok()) return l;
+          auto r = Tr(f->r, TV3::kF);
+          if (!r.ok()) return r;
+          return FAnd(*l, *r);
+        }
+        return TrUnknownByComplement(f);
+      }
+      case FKind::kNot:
+        // ⟦¬φ⟧ = τ iff ⟦φ⟧ = ¬τ; u is a fixpoint of Kleene negation.
+        return Tr(f->l, tau == TV3::kU
+                            ? TV3::kU
+                            : (tau == TV3::kT ? TV3::kF : TV3::kT));
+      case FKind::kAssert: {
+        if (tau == TV3::kT) return Tr(f->l, TV3::kT);
+        if (tau == TV3::kF) {
+          auto t = Tr(f->l, TV3::kT);
+          if (!t.ok()) return t;
+          return FNot(*t);
+        }
+        return FFalseConst();  // ↑ never yields u
+      }
+      case FKind::kExists: {
+        if (tau == TV3::kT) {
+          auto l = Tr(f->l, TV3::kT);
+          if (!l.ok()) return l;
+          return FExists(f->var, *l);
+        }
+        if (tau == TV3::kF) {
+          auto l = Tr(f->l, TV3::kF);
+          if (!l.ok()) return l;
+          return FForall(f->var, *l);
+        }
+        return TrUnknownByComplement(f);
+      }
+      case FKind::kForall: {
+        if (tau == TV3::kT) {
+          auto l = Tr(f->l, TV3::kT);
+          if (!l.ok()) return l;
+          return FForall(f->var, *l);
+        }
+        if (tau == TV3::kF) {
+          auto l = Tr(f->l, TV3::kF);
+          if (!l.ok()) return l;
+          return FExists(f->var, *l);
+        }
+        return TrUnknownByComplement(f);
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+ private:
+  /// ψ^u = ¬(ψ^t ∨ ψ^f) — the three translations partition all cases.
+  StatusOr<FormulaPtr> TrUnknownByComplement(const FormulaPtr& f) {
+    auto t = Tr(f, TV3::kT);
+    if (!t.ok()) return t;
+    auto ff = Tr(f, TV3::kF);
+    if (!ff.ok()) return ff;
+    return FNot(FOr(*t, *ff));
+  }
+
+  StatusOr<FormulaPtr> TrAtom(const FormulaPtr& f, TV3 tau) {
+    switch (sem_.relations) {
+      case AtomSem::kBool:
+        if (tau == TV3::kT) return FAtom(f->rel, f->terms);
+        if (tau == TV3::kF) return FNot(FAtom(f->rel, f->terms));
+        return FFalseConst();
+      case AtomSem::kNullfree: {
+        std::vector<FormulaPtr> consts, nulls;
+        for (const Term& t : f->terms) {
+          consts.push_back(FIsConst(t));
+          nulls.push_back(FIsNull(t));
+        }
+        if (tau == TV3::kT) {
+          return FAnd(FAtom(f->rel, f->terms), AndAll(consts));
+        }
+        if (tau == TV3::kF) {
+          return FAnd(FNot(FAtom(f->rel, f->terms)), AndAll(consts));
+        }
+        return OrAll(nulls);
+      }
+      case AtomSem::kUnif: {
+        if (tau == TV3::kT) return FAtom(f->rel, f->terms);
+        // f: no tuple of R unifies with the arguments. Quantify fresh
+        // variables over the atom and require non-unifiability.
+        std::vector<Term> ys;
+        std::vector<std::string> yvars;
+        for (size_t i = 0; i < f->terms.size(); ++i) {
+          std::string y = "$u" + std::to_string(fresh_++);
+          yvars.push_back(y);
+          ys.push_back(Term::Var(y));
+        }
+        auto unif = UnifiabilityFormula(f->terms, ys);
+        if (!unif.ok()) return unif;
+        FormulaPtr exists_unifiable = FAnd(FAtom(f->rel, ys), *unif);
+        for (auto it = yvars.rbegin(); it != yvars.rend(); ++it) {
+          exists_unifiable = FExists(*it, exists_unifiable);
+        }
+        FormulaPtr not_unifiable = FNot(exists_unifiable);
+        if (tau == TV3::kF) return not_unifiable;
+        // u: not in R but some tuple unifies.
+        return FAnd(FNot(FAtom(f->rel, f->terms)), exists_unifiable);
+      }
+    }
+    return Status::Internal("unknown atom semantics");
+  }
+
+  StatusOr<FormulaPtr> TrEq(const FormulaPtr& f, TV3 tau) {
+    const Term& x = f->terms[0];
+    const Term& y = f->terms[1];
+    switch (sem_.equality) {
+      case AtomSem::kBool:
+        if (tau == TV3::kT) return FEq(x, y);
+        if (tau == TV3::kF) return FNot(FEq(x, y));
+        return FFalseConst();
+      case AtomSem::kNullfree:
+        if (tau == TV3::kT) {
+          return AndAll({FIsConst(x), FIsConst(y), FEq(x, y)});
+        }
+        if (tau == TV3::kF) {
+          return AndAll({FIsConst(x), FIsConst(y), FNot(FEq(x, y))});
+        }
+        return FOr(FIsNull(x), FIsNull(y));
+      case AtomSem::kUnif:
+        // (13b): t iff syntactically equal; f iff distinct constants.
+        if (tau == TV3::kT) return FEq(x, y);
+        if (tau == TV3::kF) {
+          return AndAll({FIsConst(x), FIsConst(y), FNot(FEq(x, y))});
+        }
+        return AndAll(
+            {FNot(FEq(x, y)), FOr(FIsNull(x), FIsNull(y))});
+    }
+    return Status::Internal("unknown atom semantics");
+  }
+
+  MixedSemantics sem_;
+  uint64_t fresh_ = 0;
+};
+
+}  // namespace
+
+StatusOr<FormulaPtr> CaptureTranslate(const FormulaPtr& f,
+                                      const MixedSemantics& sem, TV3 tau) {
+  Capturer cap(sem);
+  return cap.Tr(f, tau);
+}
+
+}  // namespace incdb

@@ -1,0 +1,43 @@
+#ifndef INCDB_LOGIC_CAPTURE_H_
+#define INCDB_LOGIC_CAPTURE_H_
+
+/// \file capture.h
+/// \brief The Boolean-FO capture of many-valued logics (paper §5.2,
+/// Theorems 5.4 and 5.5): for every formula φ of (FO(L3v↑), ⟦·⟧) under any
+/// mixed semantics and every truth value τ ∈ {t, f, u}, a plain Boolean FO
+/// formula ψ^τ with  ⟦φ⟧_{D,ā} = τ  iff  D ⊨ ψ^τ(ā).
+///
+/// Consequences implemented and tested here:
+///  * SQL's three-valued logic adds no expressive power: the query
+///    Q_φ = { ā | ⟦φ⟧sql = t } of FO↑SQL is expressible in Boolean FO.
+///  * The ⟦·⟧unif f-case for relational atoms requires expressing
+///    unifiability of two k-tuples in FO; UnifiabilityFormula() builds it
+///    by enumerating the (Bell(k)-many) partitions of positions and
+///    checking class consistency — a finitary encoding of the union-find
+///    argument.
+
+#include "core/status.h"
+#include "logic/fo_eval.h"
+#include "logic/formula.h"
+
+namespace incdb {
+
+/// Boolean FO formula equivalent to "the tuples (a1..ak) and (b1..bk)
+/// denoted by `xs` and `ys` are unifiable". `xs` and `ys` must have equal
+/// length k ≤ 10 (partition enumeration).
+StatusOr<FormulaPtr> UnifiabilityFormula(const std::vector<Term>& xs,
+                                         const std::vector<Term>& ys);
+
+/// The translation φ, τ ↦ ψ^τ of Theorem 5.4/5.5 for the given mixed
+/// semantics (covers ⟦·⟧bool, ⟦·⟧unif, ⟦·⟧nullfree atoms and the assertion
+/// operator ↑). The output is to be evaluated with EvalBoolFO.
+StatusOr<FormulaPtr> CaptureTranslate(const FormulaPtr& f,
+                                      const MixedSemantics& sem, TV3 tau);
+
+/// Convenience Boolean constants as formulae (c = c and its negation).
+FormulaPtr FTrueConst();
+FormulaPtr FFalseConst();
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_CAPTURE_H_

@@ -1,0 +1,232 @@
+#include "logic/fo_eval.h"
+
+#include <cassert>
+
+#include "logic/kleene.h"
+
+namespace incdb {
+
+namespace {
+
+StatusOr<Value> ResolveTerm(const Term& t, const Assignment& a) {
+  if (!t.is_var) return t.constant;
+  auto it = a.find(t.var);
+  if (it == a.end()) {
+    return Status::InvalidArgument("unbound variable " + t.var);
+  }
+  return it->second;
+}
+
+TV3 EqSem(const Value& a, const Value& b, AtomSem sem) {
+  switch (sem) {
+    case AtomSem::kBool:
+      return FromBool(a == b);
+    case AtomSem::kUnif:
+      // (13b): t if syntactically equal; f only for two distinct constants.
+      if (a == b) return TV3::kT;
+      if (a.is_const() && b.is_const()) return TV3::kF;
+      return TV3::kU;
+    case AtomSem::kNullfree:
+      // (14) applied to Eq as an extra relation: u on any null.
+      if (a.is_null() || b.is_null()) return TV3::kU;
+      return FromBool(a == b);
+  }
+  return TV3::kU;
+}
+
+TV3 AtomSemEval(const Relation& rel, const Tuple& args, AtomSem sem) {
+  switch (sem) {
+    case AtomSem::kBool:
+      return FromBool(rel.Contains(args));
+    case AtomSem::kUnif: {
+      // (13a): t if ā ∈ R; f if no tuple of R unifies with ā; else u.
+      if (rel.Contains(args)) return TV3::kT;
+      for (const auto& [t, c] : rel.rows()) {
+        if (Unifiable(args, t)) return TV3::kU;
+      }
+      return TV3::kF;
+    }
+    case AtomSem::kNullfree: {
+      // (14): two-valued on constant tuples, u otherwise.
+      if (!args.AllConst()) return TV3::kU;
+      return FromBool(rel.Contains(args));
+    }
+  }
+  return TV3::kU;
+}
+
+class FOEvaluator {
+ public:
+  FOEvaluator(const Database& db, const MixedSemantics& sem)
+      : db_(db), sem_(sem) {
+    for (const Value& v : db.ActiveDomain()) domain_.push_back(v);
+  }
+
+  StatusOr<TV3> Eval(const FormulaPtr& f, Assignment& a) {
+    switch (f->kind) {
+      case FKind::kAtom: {
+        auto rel = db_.Get(f->rel);
+        if (!rel.ok()) return rel.status();
+        if (rel->arity() != f->terms.size()) {
+          return Status::InvalidArgument("atom arity mismatch for " + f->rel);
+        }
+        Tuple args;
+        for (const Term& t : f->terms) {
+          auto v = ResolveTerm(t, a);
+          if (!v.ok()) return v.status();
+          args.Append(*v);
+        }
+        return AtomSemEval(rel->ToSet(), args, sem_.relations);
+      }
+      case FKind::kEq: {
+        auto x = ResolveTerm(f->terms[0], a);
+        if (!x.ok()) return x.status();
+        auto y = ResolveTerm(f->terms[1], a);
+        if (!y.ok()) return y.status();
+        return EqSem(*x, *y, sem_.equality);
+      }
+      case FKind::kIsConst: {
+        auto x = ResolveTerm(f->terms[0], a);
+        if (!x.ok()) return x.status();
+        return FromBool(x->is_const());
+      }
+      case FKind::kIsNull: {
+        auto x = ResolveTerm(f->terms[0], a);
+        if (!x.ok()) return x.status();
+        return FromBool(x->is_null());
+      }
+      case FKind::kAnd: {
+        auto l = Eval(f->l, a);
+        if (!l.ok()) return l;
+        if (*l == TV3::kF) return TV3::kF;  // short-circuit is sound in L3v
+        auto r = Eval(f->r, a);
+        if (!r.ok()) return r;
+        return Kleene::And(*l, *r);
+      }
+      case FKind::kOr: {
+        auto l = Eval(f->l, a);
+        if (!l.ok()) return l;
+        if (*l == TV3::kT) return TV3::kT;
+        auto r = Eval(f->r, a);
+        if (!r.ok()) return r;
+        return Kleene::Or(*l, *r);
+      }
+      case FKind::kNot: {
+        auto l = Eval(f->l, a);
+        if (!l.ok()) return l;
+        return Kleene::Not(*l);
+      }
+      case FKind::kAssert: {
+        auto l = Eval(f->l, a);
+        if (!l.ok()) return l;
+        return Kleene::Assert(*l);
+      }
+      case FKind::kExists:
+      case FKind::kForall: {
+        // (11): big ∨ / ∧ over the active domain.
+        bool exists = f->kind == FKind::kExists;
+        TV3 acc = exists ? TV3::kF : TV3::kT;
+        auto saved = a.find(f->var) != a.end()
+                         ? std::optional<Value>(a[f->var])
+                         : std::nullopt;
+        for (const Value& v : domain_) {
+          a[f->var] = v;
+          auto res = Eval(f->l, a);
+          if (!res.ok()) {
+            RestoreVar(a, f->var, saved);
+            return res;
+          }
+          acc = exists ? Kleene::Or(acc, *res) : Kleene::And(acc, *res);
+          if ((exists && acc == TV3::kT) || (!exists && acc == TV3::kF)) {
+            break;
+          }
+        }
+        RestoreVar(a, f->var, saved);
+        return acc;
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+  const std::vector<Value>& domain() const { return domain_; }
+
+ private:
+  static void RestoreVar(Assignment& a, const std::string& var,
+                         const std::optional<Value>& saved) {
+    if (saved.has_value()) {
+      a[var] = *saved;
+    } else {
+      a.erase(var);
+    }
+  }
+
+  const Database& db_;
+  MixedSemantics sem_;
+  std::vector<Value> domain_;
+};
+
+}  // namespace
+
+StatusOr<TV3> EvalFO(const FormulaPtr& f, const Database& db,
+                     const Assignment& assignment,
+                     const MixedSemantics& sem) {
+  FOEvaluator ev(db, sem);
+  Assignment a = assignment;
+  return ev.Eval(f, a);
+}
+
+StatusOr<bool> EvalBoolFO(const FormulaPtr& f, const Database& db,
+                          const Assignment& assignment) {
+  auto tv = EvalFO(f, db, assignment, MixedSemantics::Bool());
+  if (!tv.ok()) return tv.status();
+  // With kBool atoms every connective input is two-valued, except below ↑
+  // which never produces u either; u is impossible.
+  assert(*tv != TV3::kU);
+  return *tv == TV3::kT;
+}
+
+StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
+                                         const Database& db,
+                                         const MixedSemantics& sem,
+                                         TV3 tau) {
+  std::vector<std::string> vars = FreeVariables(f);
+  std::vector<Value> domain;
+  for (const Value& v : db.ActiveDomain()) domain.push_back(v);
+
+  Relation out(vars.empty() ? std::vector<std::string>{}
+                            : std::vector<std::string>(vars.begin(),
+                                                       vars.end()));
+  Assignment a;
+  // Iterate over all |domain|^|vars| assignments.
+  if (vars.empty()) {
+    auto tv = EvalFO(f, db, a, sem);
+    if (!tv.ok()) return tv.status();
+    if (*tv == tau) INCDB_RETURN_IF_ERROR(out.Insert(Tuple{}, 1));
+    return out;
+  }
+  if (domain.empty()) return out;
+  std::vector<size_t> idx(vars.size(), 0);
+  while (true) {
+    Tuple t;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      a[vars[i]] = domain[idx[i]];
+      t.Append(domain[idx[i]]);
+    }
+    auto tv = EvalFO(f, db, a, sem);
+    if (!tv.ok()) return tv.status();
+    if (*tv == tau) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+    size_t pos = vars.size();
+    bool done = true;
+    while (pos > 0) {
+      --pos;
+      if (++idx[pos] < domain.size()) {
+        done = false;
+        break;
+      }
+      idx[pos] = 0;
+    }
+    if (done) return out;
+  }
+}
+
+}  // namespace incdb

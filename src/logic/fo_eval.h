@@ -1,0 +1,68 @@
+#ifndef INCDB_LOGIC_FO_EVAL_H_
+#define INCDB_LOGIC_FO_EVAL_H_
+
+/// \file fo_eval.h
+/// \brief Many-valued first-order semantics ⟦·⟧ (paper §5): evaluation of
+/// FO(L) formulae over incomplete databases under the atom semantics of
+/// §5.1–5.2 and either Kleene's L3v or Boolean L2v for the connectives.
+///
+/// Atom semantics (the paper's names):
+///  * kBool (eq. 12)       — two-valued, syntactic: R(ā) is t iff ā ∈ R;
+///                           a = b is t iff syntactically equal.
+///  * kUnif (eq. 13a/13b)  — R(ā) is f only when no tuple of R unifies with
+///                           ā; a = b is f only for two distinct constants.
+///                           This semantics has correctness guarantees
+///                           w.r.t. cert⊥ (Corollary 5.2).
+///  * kNullfree (eq. 14)   — u as soon as a null is involved; SQL's
+///                           comparison behaviour.
+///
+/// A MixedSemantics assigns one atom semantics to schema relations and one
+/// to equality; ⟦·⟧sql (eq. 15) = (kBool relations, kNullfree equality).
+/// Quantifiers range over the active domain of the database.
+
+#include "core/database.h"
+#include "core/status.h"
+#include "logic/formula.h"
+#include "logic/truth.h"
+
+namespace incdb {
+
+enum class AtomSem { kBool, kUnif, kNullfree };
+
+/// A mixed semantics in the sense of §5.2.
+struct MixedSemantics {
+  AtomSem relations = AtomSem::kBool;
+  AtomSem equality = AtomSem::kBool;
+
+  /// ⟦·⟧bool — plain Boolean FO reading (nulls are just elements).
+  static MixedSemantics Bool() { return {AtomSem::kBool, AtomSem::kBool}; }
+  /// ⟦·⟧unif — the correctness-guaranteed semantics of §5.1.
+  static MixedSemantics Unif() { return {AtomSem::kUnif, AtomSem::kUnif}; }
+  /// ⟦·⟧sql (eq. 15) — SQL's semantics: Boolean relations, null-free
+  /// comparisons.
+  static MixedSemantics Sql() { return {AtomSem::kBool, AtomSem::kNullfree}; }
+};
+
+/// Evaluates ⟦φ⟧_{D, ā} in FO(L3v) under the given mixed semantics.
+/// The assignment must bind every free variable. The assertion operator ↑
+/// is interpreted per §5.2 (FO(L3v↑)).
+StatusOr<TV3> EvalFO(const FormulaPtr& f, const Database& db,
+                     const Assignment& assignment, const MixedSemantics& sem);
+
+/// Two-valued evaluation: Boolean FO over the domain Const ∪ Null with the
+/// kBool atom semantics (never yields u). Used as the target of the
+/// capture translations of Theorems 5.4/5.5.
+StatusOr<bool> EvalBoolFO(const FormulaPtr& f, const Database& db,
+                          const Assignment& assignment);
+
+/// The query Q_φ(D) = { ā | ⟦φ⟧_{D,ā} = t } of §5.2: evaluates the formula
+/// for every assignment of active-domain elements to its free variables
+/// (in the sorted order of FreeVariables(f)).
+StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
+                                         const Database& db,
+                                         const MixedSemantics& sem,
+                                         TV3 tau);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_FO_EVAL_H_

@@ -1,0 +1,213 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+#include <set>
+
+namespace incdb {
+
+namespace {
+FormulaPtr Make(FKind kind) {
+  auto f = std::make_shared<Formula>();
+  f->kind = kind;
+  return f;
+}
+}  // namespace
+
+FormulaPtr FAtom(std::string rel, std::vector<Term> terms) {
+  auto f = Make(FKind::kAtom);
+  auto m = std::const_pointer_cast<Formula>(f);
+  m->rel = std::move(rel);
+  m->terms = std::move(terms);
+  return f;
+}
+
+FormulaPtr FEq(Term a, Term b) {
+  auto f = Make(FKind::kEq);
+  auto m = std::const_pointer_cast<Formula>(f);
+  m->terms = {std::move(a), std::move(b)};
+  return f;
+}
+
+FormulaPtr FIsConst(Term t) {
+  auto f = Make(FKind::kIsConst);
+  std::const_pointer_cast<Formula>(f)->terms = {std::move(t)};
+  return f;
+}
+
+FormulaPtr FIsNull(Term t) {
+  auto f = Make(FKind::kIsNull);
+  std::const_pointer_cast<Formula>(f)->terms = {std::move(t)};
+  return f;
+}
+
+FormulaPtr FAnd(FormulaPtr a, FormulaPtr b) {
+  auto f = Make(FKind::kAnd);
+  auto m = std::const_pointer_cast<Formula>(f);
+  m->l = std::move(a);
+  m->r = std::move(b);
+  return f;
+}
+
+FormulaPtr FOr(FormulaPtr a, FormulaPtr b) {
+  auto f = Make(FKind::kOr);
+  auto m = std::const_pointer_cast<Formula>(f);
+  m->l = std::move(a);
+  m->r = std::move(b);
+  return f;
+}
+
+FormulaPtr FNot(FormulaPtr a) {
+  auto f = Make(FKind::kNot);
+  std::const_pointer_cast<Formula>(f)->l = std::move(a);
+  return f;
+}
+
+FormulaPtr FExists(std::string var, FormulaPtr a) {
+  auto f = Make(FKind::kExists);
+  auto m = std::const_pointer_cast<Formula>(f);
+  m->var = std::move(var);
+  m->l = std::move(a);
+  return f;
+}
+
+FormulaPtr FForall(std::string var, FormulaPtr a) {
+  auto f = Make(FKind::kForall);
+  auto m = std::const_pointer_cast<Formula>(f);
+  m->var = std::move(var);
+  m->l = std::move(a);
+  return f;
+}
+
+FormulaPtr FAssert(FormulaPtr a) {
+  auto f = Make(FKind::kAssert);
+  std::const_pointer_cast<Formula>(f)->l = std::move(a);
+  return f;
+}
+
+FormulaPtr FGuardedForall(const std::vector<std::string>& vars,
+                          FormulaPtr guard_atom, FormulaPtr body) {
+  FormulaPtr f = FOr(FNot(std::move(guard_atom)), std::move(body));
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    f = FForall(*it, std::move(f));
+  }
+  return f;
+}
+
+std::string Formula::ToString() const {
+  auto term_list = [this]() {
+    std::string s;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i) s += ", ";
+      s += terms[i].ToString();
+    }
+    return s;
+  };
+  switch (kind) {
+    case FKind::kAtom:
+      return rel + "(" + term_list() + ")";
+    case FKind::kEq:
+      return terms[0].ToString() + " = " + terms[1].ToString();
+    case FKind::kIsConst:
+      return "const(" + terms[0].ToString() + ")";
+    case FKind::kIsNull:
+      return "null(" + terms[0].ToString() + ")";
+    case FKind::kAnd:
+      return "(" + l->ToString() + " ∧ " + r->ToString() + ")";
+    case FKind::kOr:
+      return "(" + l->ToString() + " ∨ " + r->ToString() + ")";
+    case FKind::kNot:
+      return "¬" + l->ToString();
+    case FKind::kExists:
+      return "∃" + var + " " + l->ToString();
+    case FKind::kForall:
+      return "∀" + var + " " + l->ToString();
+    case FKind::kAssert:
+      return "↑" + l->ToString();
+  }
+  return "?";
+}
+
+namespace {
+void CollectFree(const FormulaPtr& f, std::set<std::string>* bound,
+                 std::set<std::string>* free) {
+  switch (f->kind) {
+    case FKind::kAtom:
+    case FKind::kEq:
+    case FKind::kIsConst:
+    case FKind::kIsNull:
+      for (const Term& t : f->terms) {
+        if (t.is_var && !bound->count(t.var)) free->insert(t.var);
+      }
+      return;
+    case FKind::kAnd:
+    case FKind::kOr:
+      CollectFree(f->l, bound, free);
+      CollectFree(f->r, bound, free);
+      return;
+    case FKind::kNot:
+    case FKind::kAssert:
+      CollectFree(f->l, bound, free);
+      return;
+    case FKind::kExists:
+    case FKind::kForall: {
+      bool was_bound = bound->count(f->var) > 0;
+      bound->insert(f->var);
+      CollectFree(f->l, bound, free);
+      if (!was_bound) bound->erase(f->var);
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::vector<std::string> FreeVariables(const FormulaPtr& f) {
+  std::set<std::string> bound, free;
+  CollectFree(f, &bound, &free);
+  return std::vector<std::string>(free.begin(), free.end());
+}
+
+bool IsExistentialPositive(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FKind::kAtom:
+    case FKind::kEq:
+      return true;
+    case FKind::kAnd:
+    case FKind::kOr:
+      return IsExistentialPositive(f->l) && IsExistentialPositive(f->r);
+    case FKind::kExists:
+      return IsExistentialPositive(f->l);
+    default:
+      return false;
+  }
+}
+
+namespace {
+/// Positive fragment: atoms, =, ∧, ∨, ∃, ∀ plus the guarded-∀ shape
+/// ∀x̄ (¬α ∨ φ). A ¬ is only allowed immediately on a guard atom inside
+/// the ∀-prefix disjunction.
+bool IsPosG(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FKind::kAtom:
+    case FKind::kEq:
+      return true;
+    case FKind::kAnd:
+    case FKind::kOr:
+      // Allow the guard disjunct ¬α ∨ φ: negation must wrap a plain atom
+      // (with pairwise-distinct variables, checked leniently here).
+      if (f->kind == FKind::kOr && f->l->kind == FKind::kNot &&
+          f->l->l->kind == FKind::kAtom) {
+        return IsPosG(f->r);
+      }
+      return IsPosG(f->l) && IsPosG(f->r);
+    case FKind::kExists:
+    case FKind::kForall:
+      return IsPosG(f->l);
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+bool IsPosForallGFormula(const FormulaPtr& f) { return IsPosG(f); }
+
+}  // namespace incdb

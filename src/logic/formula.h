@@ -1,0 +1,105 @@
+#ifndef INCDB_LOGIC_FORMULA_H_
+#define INCDB_LOGIC_FORMULA_H_
+
+/// \file formula.h
+/// \brief First-order formulae over a relational vocabulary (paper §2 and
+/// §5): relational atoms R(x̄), equality, const(x)/null(x) tests, the
+/// connectives ∧ ∨ ¬, quantifiers ∃ ∀, and Bochvar's assertion operator ↑
+/// (the FO(L3v↑) extension of §5.2 capturing SQL's WHERE).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace incdb {
+
+/// A term: a variable or a constant.
+struct Term {
+  bool is_var = true;
+  std::string var;
+  Value constant;
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.is_var = false;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  std::string ToString() const {
+    return is_var ? var : constant.ToString();
+  }
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+enum class FKind : uint8_t {
+  kAtom,     ///< R(t̄)
+  kEq,       ///< t1 = t2
+  kIsConst,  ///< const(t)
+  kIsNull,   ///< null(t)
+  kAnd,
+  kOr,
+  kNot,
+  kExists,
+  kForall,
+  kAssert,   ///< ↑φ (collapses u to f)
+};
+
+/// \brief Immutable FO formula node.
+struct Formula {
+  FKind kind;
+  std::string rel;          ///< kAtom.
+  std::vector<Term> terms;  ///< kAtom arguments; kEq/kIsConst/kIsNull terms.
+  std::string var;          ///< kExists / kForall bound variable.
+  FormulaPtr l, r;
+
+  std::string ToString() const;
+};
+
+/// Constructors.
+FormulaPtr FAtom(std::string rel, std::vector<Term> terms);
+FormulaPtr FEq(Term a, Term b);
+FormulaPtr FIsConst(Term t);
+FormulaPtr FIsNull(Term t);
+FormulaPtr FAnd(FormulaPtr a, FormulaPtr b);
+FormulaPtr FOr(FormulaPtr a, FormulaPtr b);
+FormulaPtr FNot(FormulaPtr a);
+FormulaPtr FExists(std::string var, FormulaPtr a);
+FormulaPtr FForall(std::string var, FormulaPtr a);
+FormulaPtr FAssert(FormulaPtr a);
+
+/// Free variables of the formula (sorted).
+std::vector<std::string> FreeVariables(const FormulaPtr& f);
+
+/// True iff the formula is in the ∃,∧(,=)-fragment (conjunctive query)
+/// after ignoring const tests; used to classify UCQs.
+bool IsExistentialPositive(const FormulaPtr& f);
+
+/// True iff the formula lies in the Pos∀G fragment of [18] (§4.1):
+/// positive formulae closed under ∀x̄(α(x̄) → φ) with α a relational atom
+/// over distinct variables. Recognises the syntactic shape
+/// ∀x1..xk ¬α ∨ φ produced by FGuardedForall below.
+bool IsPosForallGFormula(const FormulaPtr& f);
+
+/// Convenience constructor for the Pos∀G guard rule:
+/// ∀x̄ (α(x̄) → φ) encoded as ∀x1 ... ∀xk (¬α(x̄) ∨ φ).
+FormulaPtr FGuardedForall(const std::vector<std::string>& vars,
+                          FormulaPtr guard_atom, FormulaPtr body);
+
+/// A variable assignment.
+using Assignment = std::map<std::string, Value>;
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_FORMULA_H_

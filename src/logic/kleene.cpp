@@ -1,0 +1,42 @@
+#include "logic/kleene.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incdb {
+
+// The Kleene tables coincide with min/max under the truth order f < u < t,
+// which is exactly how the enum values are laid out.
+TV3 Kleene::And(TV3 a, TV3 b) { return std::min(a, b); }
+TV3 Kleene::Or(TV3 a, TV3 b) { return std::max(a, b); }
+
+TV3 Kleene::Not(TV3 a) {
+  switch (a) {
+    case TV3::kT:
+      return TV3::kF;
+    case TV3::kF:
+      return TV3::kT;
+    case TV3::kU:
+      return TV3::kU;
+  }
+  return TV3::kU;
+}
+
+TV3 Kleene::Assert(TV3 a) { return a == TV3::kT ? TV3::kT : TV3::kF; }
+
+TV3 Boolean2::And(TV3 a, TV3 b) {
+  assert(a != TV3::kU && b != TV3::kU);
+  return Kleene::And(a, b);
+}
+
+TV3 Boolean2::Or(TV3 a, TV3 b) {
+  assert(a != TV3::kU && b != TV3::kU);
+  return Kleene::Or(a, b);
+}
+
+TV3 Boolean2::Not(TV3 a) {
+  assert(a != TV3::kU);
+  return Kleene::Not(a);
+}
+
+}  // namespace incdb

@@ -1,0 +1,36 @@
+#ifndef INCDB_LOGIC_KLEENE_H_
+#define INCDB_LOGIC_KLEENE_H_
+
+/// \file kleene.h
+/// \brief Kleene's three-valued logic L3v (paper Fig. 3) and its extension
+/// L3v↑ with Bochvar's assertion operator (§5.2).
+///
+/// SQL propagates the truth value u ("unknown") through ∧, ∨, ¬ using
+/// exactly these tables, then the WHERE clause keeps only rows whose
+/// condition is t — the collapse modelled by the assertion operator ↑.
+
+#include "logic/truth.h"
+
+namespace incdb {
+
+/// Connectives of L3v (truth tables of Fig. 3) as pure functions.
+struct Kleene {
+  static TV3 And(TV3 a, TV3 b);
+  static TV3 Or(TV3 a, TV3 b);
+  static TV3 Not(TV3 a);
+  /// Bochvar's assertion operator: ↑t = t, ↑u = ↑f = f. Collapses 3VL back
+  /// to Boolean; this is the step SQL performs after WHERE (§5.2), and the
+  /// operator that breaks knowledge-order monotonicity.
+  static TV3 Assert(TV3 a);
+};
+
+/// Connectives of the Boolean logic L2v on {f, t} ⊂ TV3 (never yield u).
+struct Boolean2 {
+  static TV3 And(TV3 a, TV3 b);
+  static TV3 Or(TV3 a, TV3 b);
+  static TV3 Not(TV3 a);
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_KLEENE_H_

@@ -1,0 +1,51 @@
+#include "logic/lifting.h"
+
+#include "logic/kleene.h"
+
+namespace incdb {
+
+PropositionalLogic PropositionalLogic::Kleene3() {
+  PropositionalLogic l;
+  l.name = "L3v";
+  l.values = {TV3::kF, TV3::kU, TV3::kT};
+  l.conj = &Kleene::And;
+  l.disj = &Kleene::Or;
+  l.neg = &Kleene::Not;
+  l.knowledge_leq = [](TV3 a, TV3 b) { return KnowledgeLeq(a, b); };
+  l.bottom = TV3::kU;
+  return l;
+}
+
+PropositionalLogic PropositionalLogic::Kleene3WithAssert() {
+  PropositionalLogic l = Kleene3();
+  l.name = "L3v↑";
+  l.extra_unary.emplace_back("↑", &Kleene::Assert);
+  return l;
+}
+
+std::string FirstKnowledgeOrderViolation(const PropositionalLogic& logic) {
+  auto leq = logic.knowledge_leq;
+  for (TV3 a : logic.values) {
+    for (TV3 a2 : logic.values) {
+      if (!leq(a, a2)) continue;
+      if (!leq(logic.neg(a), logic.neg(a2))) return "¬";
+      for (const auto& [name, op] : logic.extra_unary) {
+        if (!leq(op(a), op(a2))) return name;
+      }
+      for (TV3 b : logic.values) {
+        for (TV3 b2 : logic.values) {
+          if (!leq(b, b2)) continue;
+          if (!leq(logic.conj(a, b), logic.conj(a2, b2))) return "∧";
+          if (!leq(logic.disj(a, b), logic.disj(a2, b2))) return "∨";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+bool KnowledgeMonotone(const PropositionalLogic& logic) {
+  return FirstKnowledgeOrderViolation(logic).empty();
+}
+
+}  // namespace incdb

@@ -1,0 +1,60 @@
+#ifndef INCDB_LOGIC_LIFTING_H_
+#define INCDB_LOGIC_LIFTING_H_
+
+/// \file lifting.h
+/// \brief The lifting criterion of Theorem 5.1 (paper §5.1, [19]): if
+///
+///  (1) the notion of correct answers respects the propositional logic L
+///      on non-bottom truth values, and
+///  (2) L's connectives respect the knowledge order ⪯_L,
+///
+/// then correctness guarantees for *atomic* formulae lift to correctness
+/// guarantees for *all* FO(L) formulae.
+///
+/// This module makes the criterion executable: a propositional many-valued
+/// logic is a finite table structure, condition (2) is checked exhaustively
+/// (KnowledgeMonotone), and condition "atomic correctness" is checked
+/// empirically against brute-force certain answers (the tests drive this).
+/// Kleene's logic passes; adding Bochvar's assertion operator ↑ breaks (2)
+/// — which is precisely §5.2's diagnosis of SQL.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "logic/truth.h"
+
+namespace incdb {
+
+/// A finite propositional many-valued logic (T, Ω) over TV3-coded values
+/// plus its knowledge order. Connectives beyond ∧/∨/¬ (e.g. ↑) are listed
+/// as extra unary connectives.
+struct PropositionalLogic {
+  std::string name;
+  std::vector<TV3> values;
+  std::function<TV3(TV3, TV3)> conj;
+  std::function<TV3(TV3, TV3)> disj;
+  std::function<TV3(TV3)> neg;
+  /// Additional unary connectives (name, table).
+  std::vector<std::pair<std::string, std::function<TV3(TV3)>>> extra_unary;
+  /// Knowledge order ⪯_L.
+  std::function<bool(TV3, TV3)> knowledge_leq;
+  /// The no-information value τ0 (least element of ⪯_L).
+  TV3 bottom = TV3::kU;
+
+  static PropositionalLogic Kleene3();
+  /// Kleene's logic extended with the assertion operator ↑ (FO(L3v↑)).
+  static PropositionalLogic Kleene3WithAssert();
+};
+
+/// Condition (2) of Theorem 5.1, checked exhaustively over the (finite)
+/// value set for every connective including the extra unary ones. Returns
+/// the name of the first violating connective, or empty when monotone.
+std::string FirstKnowledgeOrderViolation(const PropositionalLogic& logic);
+
+/// Convenience: condition (2) holds.
+bool KnowledgeMonotone(const PropositionalLogic& logic);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_LIFTING_H_

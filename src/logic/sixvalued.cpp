@@ -1,0 +1,247 @@
+#include "logic/sixvalued.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace incdb {
+
+namespace {
+
+// A possible-world interpretation of one formula over W = {0, 1, 2}:
+// per world, the formula is known-true (T), known-false (F), or nothing is
+// known (N). t(α) = worlds marked T, f(α) = worlds marked F; the
+// disjointness requirement t ∩ f = ∅ holds by construction.
+constexpr int kWorlds = 3;
+enum class W : uint8_t { kN = 0, kT = 1, kF = 2 };
+using Interp = std::array<W, kWorlds>;
+
+/// Classification of an interpretation into one of the six maximally
+/// consistent theories (paper §5.2).
+TV6 Classify(const Interp& i) {
+  int nt = 0, nf = 0;
+  for (W w : i) {
+    if (w == W::kT) ++nt;
+    if (w == W::kF) ++nf;
+  }
+  if (nt == kWorlds) return TV6::kT;   // K(α)
+  if (nf == kWorlds) return TV6::kF;   // K(¬α)
+  if (nt > 0 && nf > 0) return TV6::kS;
+  if (nt > 0) return TV6::kST;
+  if (nf > 0) return TV6::kSF;
+  return TV6::kU;
+}
+
+/// Knowledge combination of connectives on interpretations:
+/// w ∈ t(α∧β) iff w ∈ t(α) ∩ t(β); w ∈ f(α∧β) iff w ∈ f(α) ∪ f(β).
+Interp AndI(const Interp& a, const Interp& b) {
+  Interp out;
+  for (int w = 0; w < kWorlds; ++w) {
+    if (a[w] == W::kT && b[w] == W::kT) {
+      out[w] = W::kT;
+    } else if (a[w] == W::kF || b[w] == W::kF) {
+      out[w] = W::kF;
+    } else {
+      out[w] = W::kN;
+    }
+  }
+  return out;
+}
+
+Interp OrI(const Interp& a, const Interp& b) {
+  Interp out;
+  for (int w = 0; w < kWorlds; ++w) {
+    if (a[w] == W::kT || b[w] == W::kT) {
+      out[w] = W::kT;
+    } else if (a[w] == W::kF && b[w] == W::kF) {
+      out[w] = W::kF;
+    } else {
+      out[w] = W::kN;
+    }
+  }
+  return out;
+}
+
+Interp NotI(const Interp& a) {
+  Interp out;
+  for (int w = 0; w < kWorlds; ++w) {
+    out[w] = a[w] == W::kT ? W::kF : (a[w] == W::kF ? W::kT : W::kN);
+  }
+  return out;
+}
+
+std::vector<Interp> AllInterps() {
+  std::vector<Interp> out;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        out.push_back(Interp{static_cast<W>(a), static_cast<W>(b),
+                             static_cast<W>(c)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TV6> Dedup(std::vector<TV6> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<TV6> ConsistentAnd(TV6 a, TV6 b) {
+  std::vector<TV6> out;
+  for (const Interp& ia : AllInterps()) {
+    if (Classify(ia) != a) continue;
+    for (const Interp& ib : AllInterps()) {
+      if (Classify(ib) != b) continue;
+      out.push_back(Classify(AndI(ia, ib)));
+    }
+  }
+  return Dedup(std::move(out));
+}
+
+std::vector<TV6> ConsistentOr(TV6 a, TV6 b) {
+  std::vector<TV6> out;
+  for (const Interp& ia : AllInterps()) {
+    if (Classify(ia) != a) continue;
+    for (const Interp& ib : AllInterps()) {
+      if (Classify(ib) != b) continue;
+      out.push_back(Classify(OrI(ia, ib)));
+    }
+  }
+  return Dedup(std::move(out));
+}
+
+std::vector<TV6> ConsistentNot(TV6 a) {
+  std::vector<TV6> out;
+  for (const Interp& ia : AllInterps()) {
+    if (Classify(ia) == a) out.push_back(Classify(NotI(ia)));
+  }
+  return Dedup(std::move(out));
+}
+
+std::optional<TV6> MostGeneral(const std::vector<TV6>& vals) {
+  for (TV6 cand : vals) {
+    bool least = true;
+    for (TV6 other : vals) {
+      if (!KnowledgeLeq(cand, other)) {
+        least = false;
+        break;
+      }
+    }
+    if (least) return cand;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+constexpr int kSix = 6;
+
+struct Tables {
+  TV6 and_table[kSix][kSix];
+  TV6 or_table[kSix][kSix];
+  TV6 not_table[kSix];
+};
+
+const Tables& DerivedTables() {
+  static const Tables tables = [] {
+    Tables t;
+    for (int a = 0; a < kSix; ++a) {
+      auto nn = MostGeneral(ConsistentNot(static_cast<TV6>(a)));
+      assert(nn.has_value());
+      t.not_table[a] = *nn;
+      for (int b = 0; b < kSix; ++b) {
+        auto aa = MostGeneral(ConsistentAnd(static_cast<TV6>(a),
+                                            static_cast<TV6>(b)));
+        auto oo = MostGeneral(ConsistentOr(static_cast<TV6>(a),
+                                           static_cast<TV6>(b)));
+        assert(aa.has_value() && oo.has_value());
+        t.and_table[a][b] = *aa;
+        t.or_table[a][b] = *oo;
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+TV6 Six::And(TV6 a, TV6 b) {
+  return DerivedTables().and_table[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+TV6 Six::Or(TV6 a, TV6 b) {
+  return DerivedTables().or_table[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+TV6 Six::Not(TV6 a) { return DerivedTables().not_table[static_cast<int>(a)]; }
+
+bool Sublogic::Closed() const {
+  auto in = [this](TV6 v) {
+    return std::find(values.begin(), values.end(), v) != values.end();
+  };
+  for (TV6 a : values) {
+    if (!in(Six::Not(a))) return false;
+    for (TV6 b : values) {
+      if (!in(Six::And(a, b)) || !in(Six::Or(a, b))) return false;
+    }
+  }
+  return true;
+}
+
+bool Sublogic::Idempotent() const {
+  for (TV6 a : values) {
+    if (Six::And(a, a) != a || Six::Or(a, a) != a) return false;
+  }
+  return true;
+}
+
+bool Sublogic::Distributive() const {
+  for (TV6 a : values) {
+    for (TV6 b : values) {
+      for (TV6 c : values) {
+        if (Six::And(a, Six::Or(b, c)) !=
+            Six::Or(Six::And(a, b), Six::And(a, c))) {
+          return false;
+        }
+        if (Six::Or(a, Six::And(b, c)) !=
+            Six::And(Six::Or(a, b), Six::Or(a, c))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TV6 Embed(TV3 v) {
+  switch (v) {
+    case TV3::kT:
+      return TV6::kT;
+    case TV3::kF:
+      return TV6::kF;
+    case TV3::kU:
+      return TV6::kU;
+  }
+  return TV6::kU;
+}
+
+std::optional<TV3> Restrict(TV6 v) {
+  switch (v) {
+    case TV6::kT:
+      return TV3::kT;
+    case TV6::kF:
+      return TV3::kF;
+    case TV6::kU:
+      return TV3::kU;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace incdb

@@ -1,0 +1,63 @@
+#ifndef INCDB_LOGIC_SIXVALUED_H_
+#define INCDB_LOGIC_SIXVALUED_H_
+
+/// \file sixvalued.h
+/// \brief The six-valued epistemic logic L6v of paper §5.2 and the
+/// machinery behind Theorem 5.3 (Kleene's L3v is the maximal distributive
+/// and idempotent sublogic of L6v).
+///
+/// Truth values are maximally consistent theories of the epistemic
+/// modalities K(α), P(α), K(¬α), P(¬α) over possible-world interpretations
+/// (W, t, f) with t(α) ∩ f(α) = ∅. The connective tables are *derived*,
+/// not postulated: ω(τ1, τ2) is the most general truth value consistent
+/// with the operands (see DeriveAnd/DeriveOr/DeriveNot, which enumerate
+/// interpretations over a three-element world set — enough to realise
+/// every consistency pattern).
+
+#include <optional>
+#include <vector>
+
+#include "logic/truth.h"
+
+namespace incdb {
+
+/// Connectives of L6v. Tables are computed once via the epistemic
+/// derivation and cached.
+struct Six {
+  static TV6 And(TV6 a, TV6 b);
+  static TV6 Or(TV6 a, TV6 b);
+  static TV6 Not(TV6 a);
+};
+
+/// The set of truth values consistent with ω(τ1, τ2) over possible-world
+/// interpretations, and the most-general (knowledge-minimal) choice.
+/// Exposed so tests can re-derive the cached tables from first principles.
+std::vector<TV6> ConsistentAnd(TV6 a, TV6 b);
+std::vector<TV6> ConsistentOr(TV6 a, TV6 b);
+std::vector<TV6> ConsistentNot(TV6 a);
+
+/// Knowledge-minimal element of a non-empty consistent set; nullopt if the
+/// set has no least element (never happens for L6v — asserted by tests).
+std::optional<TV6> MostGeneral(const std::vector<TV6>& vals);
+
+/// A sublogic of L6v: a subset of truth values closed under the
+/// connectives (checked by Closed()).
+struct Sublogic {
+  std::vector<TV6> values;
+
+  bool Closed() const;
+  /// ∧/∨ idempotent: a∧a = a and a∨a = a for all values in the sublogic.
+  bool Idempotent() const;
+  /// Distributivity: a∧(b∨c) = (a∧b)∨(a∧c) and dually, over the sublogic.
+  bool Distributive() const;
+};
+
+/// The embedding of Kleene's values into L6v used by Theorem 5.3:
+/// t ↦ t, f ↦ f, u ↦ u.
+TV6 Embed(TV3 v);
+/// Partial inverse: t/f/u ↦ t/f/u; other values have no preimage.
+std::optional<TV3> Restrict(TV6 v);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_SIXVALUED_H_

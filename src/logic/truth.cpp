@@ -1,0 +1,48 @@
+#include "logic/truth.h"
+
+namespace incdb {
+
+const char* ToString(TV3 v) {
+  switch (v) {
+    case TV3::kF:
+      return "f";
+    case TV3::kU:
+      return "u";
+    case TV3::kT:
+      return "t";
+  }
+  return "?";
+}
+
+const char* ToString(TV6 v) {
+  switch (v) {
+    case TV6::kF:
+      return "f";
+    case TV6::kSF:
+      return "sf";
+    case TV6::kS:
+      return "s";
+    case TV6::kU:
+      return "u";
+    case TV6::kST:
+      return "st";
+    case TV6::kT:
+      return "t";
+  }
+  return "?";
+}
+
+bool KnowledgeLeq(TV3 a, TV3 b) {
+  if (a == b) return true;
+  return a == TV3::kU;
+}
+
+bool KnowledgeLeq(TV6 a, TV6 b) {
+  if (a == b) return true;
+  if (a == TV6::kU) return true;
+  if (a == TV6::kST) return b == TV6::kT || b == TV6::kS;
+  if (a == TV6::kSF) return b == TV6::kF || b == TV6::kS;
+  return false;
+}
+
+}  // namespace incdb

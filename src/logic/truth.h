@@ -1,0 +1,44 @@
+#ifndef INCDB_LOGIC_TRUTH_H_
+#define INCDB_LOGIC_TRUTH_H_
+
+/// \file truth.h
+/// \brief Truth values of the propositional logics used in the paper:
+/// Boolean L2v, Kleene's L3v (Fig. 3), and the six-valued epistemic logic
+/// L6v of §5.2, plus the knowledge order ⪯_L.
+
+#include <cstdint>
+#include <string>
+
+namespace incdb {
+
+/// Kleene's three truth values. SQL's "unknown" is kU.
+enum class TV3 : uint8_t { kF = 0, kU = 1, kT = 2 };
+
+/// The six truth values of L6v (§5.2): derived from maximally consistent
+/// theories of the epistemic modalities K(α), P(α), K(¬α), P(¬α).
+///  kT  — α true in all worlds;
+///  kF  — α false in all worlds;
+///  kS  — true in some worlds, false in others ("sometimes");
+///  kST — true somewhere, possibly everywhere ("sometimes true");
+///  kSF — false somewhere, possibly everywhere ("sometimes false");
+///  kU  — no information whatsoever.
+enum class TV6 : uint8_t { kF = 0, kSF = 1, kS = 2, kU = 3, kST = 4, kT = 5 };
+
+const char* ToString(TV3 v);
+const char* ToString(TV6 v);
+
+/// Lifts a Boolean to TV3.
+inline TV3 FromBool(bool b) { return b ? TV3::kT : TV3::kF; }
+
+/// Knowledge order of L3v: u ⪯ t, u ⪯ f, and reflexivity; t, f incomparable.
+bool KnowledgeLeq(TV3 a, TV3 b);
+
+/// Knowledge order of L6v: u is the least element; s below st and sf is NOT
+/// part of the order used here — we use the order induced by set inclusion
+/// of the epistemic theories (more formulas known = more knowledge):
+/// u ⪯ st ⪯ {t, s}, u ⪯ sf ⪯ {f, s}, and reflexivity.
+bool KnowledgeLeq(TV6 a, TV6 b);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_TRUTH_H_

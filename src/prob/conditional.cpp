@@ -1,0 +1,50 @@
+#include "constraints/chase.h"
+#include "eval/eval.h"
+#include "prob/prob.h"
+
+namespace incdb {
+
+StatusOr<double> MuLimitConditionalFDs(const AlgPtr& q,
+                                       const std::vector<FD>& fds,
+                                       const Database& db, const Tuple& tuple,
+                                       const ProbOptions& opts) {
+  // §4.3: with Σ a set of FDs, µ(Q|Σ, D, ā) = µ(Q, DΣ, ā) where DΣ is the
+  // chase of D with Σ; combined with the 0–1 law the value is naive
+  // membership on the chased database.
+  auto chased = ChaseFDs(db, fds);
+  if (!chased.ok()) return chased.status();
+  if (!chased->success) return 0.0;  // Supp(Σ, D) empty: convention µ = 0
+  // The chase may have merged nulls appearing in the tuple as well.
+  // Re-evaluate naive membership with the tuple rewritten through the same
+  // substitutions: since the chase substitutes globally, rewriting is
+  // achieved by chasing a copy with the tuple planted in a scratch
+  // relation.
+  Database scratch = db;
+  Relation holder(DefaultAttrs(tuple.arity(), "$t"));
+  if (tuple.arity() > 0) {
+    INCDB_RETURN_IF_ERROR(holder.Insert(tuple, 1));
+  }
+  scratch.Put("$tuple_holder", std::move(holder));
+  auto chased2 = ChaseFDs(scratch, fds);
+  if (!chased2.ok()) return chased2.status();
+  if (!chased2->success) return 0.0;
+  Tuple rewritten = tuple;
+  if (tuple.arity() > 0) {
+    auto rows = chased2->db.at("$tuple_holder").SortedTuples();
+    if (rows.size() != 1) {
+      return Status::Internal("chase holder relation corrupted");
+    }
+    rewritten = rows[0];
+  }
+  Database chased_db = chased2->db;
+  // Drop the scratch relation before evaluating the query.
+  Database clean;
+  for (const auto& [name, rel] : chased_db.relations()) {
+    if (name != "$tuple_holder") clean.Put(name, rel);
+  }
+  auto act = AlmostCertainlyTrue(q, clean, rewritten, opts);
+  if (!act.ok()) return act.status();
+  return *act ? 1.0 : 0.0;
+}
+
+}  // namespace incdb

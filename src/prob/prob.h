@@ -1,0 +1,81 @@
+#ifndef INCDB_PROB_PROB_H_
+#define INCDB_PROB_PROB_H_
+
+/// \file prob.h
+/// \brief Probabilistic approximation of certain answers (paper §4.3):
+/// supports Supp(Q, D, ā), the finite-range probabilities µ_k, the
+/// asymptotic µ with its 0–1 law (Theorem 4.10), and conditional
+/// probabilities µ(Q|Σ) under integrity constraints (Theorem 4.11).
+///
+/// µ_k(Q, D, ā) is the fraction of valuations with range in the first k
+/// constants of an enumeration of Const that witness v(ā) ∈ Q(v(D)). The
+/// enumeration starts with the constants of D and Q (for generic queries
+/// the limit is independent of the remainder), continued by fresh integer
+/// constants.
+
+#include "algebra/algebra.h"
+#include "constraints/dependencies.h"
+#include "core/database.h"
+#include "core/status.h"
+#include "eval/eval.h"
+
+namespace incdb {
+
+struct ProbOptions {
+  uint64_t max_valuations = 8'000'000;
+  EvalOptions eval;
+};
+
+/// Exact counts behind µ_k.
+struct SupportCount {
+  uint64_t support = 0;  ///< |Supp_k(Q, D, ā)| (∩ the constraint support)
+  uint64_t total = 0;    ///< |V_k(D)| (or |Supp_k(Σ, D)| when conditioned)
+
+  double ratio() const { return total == 0 ? 0.0 : double(support) / total; }
+};
+
+/// The first k constants of the canonical enumeration of Const for (D, Q):
+/// sorted Const(D) ∪ Const(Q) first, then fresh integers. k must be ≥ 1.
+std::vector<Value> EnumerationPrefix(const Database& db, const AlgPtr& q,
+                                     size_t k);
+
+/// µ_k(Q, D, ā): exact counting over all |prefix|^|Null(D)| valuations.
+StatusOr<SupportCount> MuK(const AlgPtr& q, const Database& db,
+                           const Tuple& tuple, size_t k,
+                           const ProbOptions& opts = {});
+
+/// µ_k(Q | Σ, D, ā): numerator counts valuations satisfying Σ ∧ witness,
+/// denominator counts valuations satisfying Σ (eq. in §4.3; 0 if the
+/// denominator is empty).
+StatusOr<SupportCount> MuKConditional(const AlgPtr& q,
+                                      const ConstraintSet& sigma,
+                                      const Database& db, const Tuple& tuple,
+                                      size_t k, const ProbOptions& opts = {});
+
+/// Theorem 4.10: ā is an almost-certainly-true answer (µ = 1) iff
+/// ā ∈ Qnaive(D); otherwise µ = 0.
+StatusOr<bool> AlmostCertainlyTrue(const AlgPtr& q, const Database& db,
+                                   const Tuple& tuple,
+                                   const ProbOptions& opts = {});
+
+/// The limit µ(Q, D, ā) ∈ {0, 1} given by the 0–1 law.
+StatusOr<double> MuLimit(const AlgPtr& q, const Database& db,
+                         const Tuple& tuple, const ProbOptions& opts = {});
+
+/// µ_k for a range of ks — the convergence series displayed by E6/E7.
+StatusOr<std::vector<SupportCount>> MuKSeries(const AlgPtr& q,
+                                              const Database& db,
+                                              const Tuple& tuple,
+                                              const std::vector<size_t>& ks,
+                                              const ProbOptions& opts = {});
+
+/// The FD special case of Theorem 4.11: µ(Q|Σ, D, ā) = µ(Q, DΣ, ā) with DΣ
+/// the FD-chase of D; value in {0, 1} (0 when the chase fails).
+StatusOr<double> MuLimitConditionalFDs(const AlgPtr& q,
+                                       const std::vector<FD>& fds,
+                                       const Database& db, const Tuple& tuple,
+                                       const ProbOptions& opts = {});
+
+}  // namespace incdb
+
+#endif  // INCDB_PROB_PROB_H_

@@ -1,0 +1,99 @@
+#include <algorithm>
+
+#include "certain/valuation_family.h"
+#include "eval/eval.h"
+#include "prob/prob.h"
+
+namespace incdb {
+
+std::vector<Value> EnumerationPrefix(const Database& db, const AlgPtr& q,
+                                     size_t k) {
+  std::set<Value> relevant = db.Constants();
+  for (const Value& v : QueryConstants(q)) {
+    if (v.is_const()) relevant.insert(v);
+  }
+  std::vector<Value> out(relevant.begin(), relevant.end());
+  int64_t base = 0;
+  for (const Value& v : out) {
+    if (v.kind() == ValueKind::kInt) base = std::max(base, v.as_int());
+  }
+  int64_t next = base + 1;
+  while (out.size() < k) out.push_back(Value::Int(next++));
+  out.resize(std::min(out.size(), k));
+  return out;
+}
+
+namespace {
+
+StatusOr<SupportCount> CountSupport(
+    const AlgPtr& q, const Database& db, const Tuple& tuple, size_t k,
+    const ConstraintSet* sigma, const ProbOptions& opts) {
+  if (QueryHasOrderComparison(q)) {
+    return Status::Unsupported(
+        "µ_k requires generic queries (order comparisons are not invariant "
+        "under constant permutations)");
+  }
+  std::set<uint64_t> null_set = db.NullIds();
+  std::vector<uint64_t> nulls(null_set.begin(), null_set.end());
+  std::vector<Value> constants = EnumerationPrefix(db, q, k);
+  if (constants.empty()) {
+    return Status::InvalidArgument("µ_k needs k ≥ 1 constants");
+  }
+
+  SupportCount count;
+  Status inner = Status::OK();
+  Status st = ForEachValuation(
+      nulls, constants, opts.max_valuations, [&](const Valuation& v) {
+        Database world = v.ApplySet(db);
+        if (sigma != nullptr && !sigma->Empty()) {
+          auto sat = Satisfies(world, *sigma);
+          if (!sat.ok()) {
+            inner = sat.status();
+            return false;
+          }
+          if (!*sat) return true;  // outside Supp_k(Σ, D)
+        }
+        ++count.total;
+        auto ans = EvalSet(q, world, opts.eval);
+        if (!ans.ok()) {
+          inner = ans.status();
+          return false;
+        }
+        if (ans->Contains(v.Apply(tuple))) ++count.support;
+        return true;
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  INCDB_RETURN_IF_ERROR(inner);
+  return count;
+}
+
+}  // namespace
+
+StatusOr<SupportCount> MuK(const AlgPtr& q, const Database& db,
+                           const Tuple& tuple, size_t k,
+                           const ProbOptions& opts) {
+  return CountSupport(q, db, tuple, k, nullptr, opts);
+}
+
+StatusOr<std::vector<SupportCount>> MuKSeries(const AlgPtr& q,
+                                              const Database& db,
+                                              const Tuple& tuple,
+                                              const std::vector<size_t>& ks,
+                                              const ProbOptions& opts) {
+  std::vector<SupportCount> out;
+  for (size_t k : ks) {
+    auto mu = MuK(q, db, tuple, k, opts);
+    if (!mu.ok()) return mu.status();
+    out.push_back(*mu);
+  }
+  return out;
+}
+
+StatusOr<SupportCount> MuKConditional(const AlgPtr& q,
+                                      const ConstraintSet& sigma,
+                                      const Database& db, const Tuple& tuple,
+                                      size_t k, const ProbOptions& opts) {
+  return CountSupport(q, db, tuple, k, &sigma, opts);
+}
+
+}  // namespace incdb

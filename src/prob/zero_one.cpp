@@ -1,0 +1,22 @@
+#include "eval/eval.h"
+#include "prob/prob.h"
+
+namespace incdb {
+
+StatusOr<bool> AlmostCertainlyTrue(const AlgPtr& q, const Database& db,
+                                   const Tuple& tuple,
+                                   const ProbOptions& opts) {
+  // Theorem 4.10: µ(Q, D, ā) = 1 iff ā ∈ Qnaive(D), and 0 otherwise.
+  auto naive = EvalSet(q, db, opts.eval);
+  if (!naive.ok()) return naive.status();
+  return naive->Contains(tuple);
+}
+
+StatusOr<double> MuLimit(const AlgPtr& q, const Database& db,
+                         const Tuple& tuple, const ProbOptions& opts) {
+  auto act = AlmostCertainlyTrue(q, db, tuple, opts);
+  if (!act.ok()) return act.status();
+  return *act ? 1.0 : 0.0;
+}
+
+}  // namespace incdb

@@ -1,0 +1,36 @@
+#ifndef INCDB_SQL_LEXER_H_
+#define INCDB_SQL_LEXER_H_
+
+/// \file lexer.h
+/// \brief Tokenizer for the mini-SQL frontend (the SELECT/FROM/WHERE
+/// fragment used by the paper's examples and the TPC-H-like workload).
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace incdb {
+
+enum class TokKind : uint8_t {
+  kKeyword,  ///< SELECT, FROM, WHERE, AND, OR, NOT, IN, EXISTS, IS, NULL,
+             ///< DISTINCT, AS (uppercased in `text`).
+  kIdent,    ///< identifiers (case preserved)
+  kNumber,   ///< integer or decimal literal
+  kString,   ///< 'single quoted'
+  kSymbol,   ///< ( ) , . = * and <>
+  kEof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< keyword (uppercase), identifier, literal or symbol
+  size_t pos = 0;    ///< byte offset, for error messages
+};
+
+/// Splits `sql` into tokens; the final token is always kEof.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_LEXER_H_

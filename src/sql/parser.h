@@ -1,0 +1,90 @@
+#ifndef INCDB_SQL_PARSER_H_
+#define INCDB_SQL_PARSER_H_
+
+/// \file parser.h
+/// \brief AST and recursive-descent parser for the mini-SQL fragment:
+///
+///   query  := select (UNION select)*
+///   select := SELECT [DISTINCT] (∗ | col (, col)*)
+///             FROM table [alias] (, table [alias])*
+///             [WHERE cond]
+///   cond   := disjunctions/conjunctions/negations of:
+///             col (= | <> | < | <= | > | >=) (col | literal)
+///           | col IS [NOT] NULL
+///           | col [NOT] IN ( query )
+///           | [NOT] EXISTS ( query )
+///
+/// This covers the paper's §1 examples and the negation-heavy TPC-H-style
+/// workload of [37]. Subqueries may be correlated (reference outer
+/// aliases).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/value.h"
+#include "sql/lexer.h"
+
+namespace incdb {
+
+/// A (possibly qualified) column reference `qualifier.name` or `name`.
+struct SqlColumn {
+  std::string qualifier;  ///< empty when unqualified
+  std::string name;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+struct SqlQuery;
+using SqlQueryPtr = std::shared_ptr<const SqlQuery>;
+
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<const SqlExpr>;
+
+/// Comparison operators of the mini-SQL fragment.
+enum class SqlCmpOp : uint8_t { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+enum class SqlExprKind : uint8_t {
+  kCmpColCol,    ///< col (=|<>) col
+  kCmpColLit,    ///< col (=|<>) literal
+  kIsNull,       ///< col IS [NOT] NULL
+  kInSubquery,   ///< col [NOT] IN (query)
+  kExists,       ///< [NOT] EXISTS (query)
+  kAnd,
+  kOr,
+  kNot,
+};
+
+struct SqlExpr {
+  SqlExprKind kind;
+  bool negated = false;  ///< kIsNull / kInSubquery / kExists variants
+  SqlCmpOp op = SqlCmpOp::kEq;  ///< comparisons
+  SqlColumn lhs, rhs;
+  Value literal;
+  SqlQueryPtr subquery;
+  SqlExprPtr l, r;
+};
+
+struct SqlTableRef {
+  std::string table;
+  std::string alias;  ///< defaults to the table name
+};
+
+struct SqlQuery {
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<SqlColumn> select;
+  std::vector<SqlTableRef> from;
+  SqlExprPtr where;        ///< null when absent
+  SqlQueryPtr union_next;  ///< SELECT ... UNION SELECT ... chaining
+};
+
+/// Parses one SELECT statement (the entire input must be consumed).
+StatusOr<SqlQueryPtr> ParseSql(const std::string& sql);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_PARSER_H_

@@ -1,0 +1,374 @@
+#include "sql/translate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/builder.h"
+
+namespace incdb {
+
+namespace {
+
+/// One lexical scope: the qualified attribute names of a query's FROM
+/// product. Attributes are stored as "q<id>.<alias>.<column>"; resolution
+/// walks the scope chain outwards.
+struct Scope {
+  std::vector<std::string> attrs;
+  const Scope* outer = nullptr;
+};
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Resolves a column within one scope. Qualified: exact ".alias.col"
+/// suffix; unqualified: unique ".col" suffix.
+StatusOr<std::string> ResolveInScope(const SqlColumn& col,
+                                     const std::vector<std::string>& attrs) {
+  std::string suffix = col.qualifier.empty()
+                           ? "." + col.name
+                           : "." + col.qualifier + "." + col.name;
+  std::string found;
+  for (const std::string& a : attrs) {
+    if (HasSuffix(a, suffix)) {
+      if (!found.empty()) {
+        return Status::InvalidArgument("ambiguous column " + col.ToString());
+      }
+      found = a;
+    }
+  }
+  if (found.empty()) return Status::NotFound("no column " + col.ToString());
+  return found;
+}
+
+/// Resolves along the scope chain, innermost first.
+StatusOr<std::string> Resolve(const SqlColumn& col, const Scope& scope) {
+  for (const Scope* s = &scope; s != nullptr; s = s->outer) {
+    auto r = ResolveInScope(col, s->attrs);
+    if (r.ok()) return r;
+    if (r.status().code() == StatusCode::kInvalidArgument) return r;
+  }
+  return Status::NotFound("unknown column " + col.ToString());
+}
+
+bool IsPlainExpr(const SqlExprPtr& e) {
+  switch (e->kind) {
+    case SqlExprKind::kCmpColCol:
+    case SqlExprKind::kCmpColLit:
+    case SqlExprKind::kIsNull:
+      return true;
+    case SqlExprKind::kAnd:
+    case SqlExprKind::kOr:
+      return IsPlainExpr(e->l) && IsPlainExpr(e->r);
+    case SqlExprKind::kNot:
+      return IsPlainExpr(e->l);
+    default:
+      return false;
+  }
+}
+
+/// Translates a plain boolean expression to a selection condition, with
+/// columns resolved through the scope chain.
+StatusOr<CondPtr> PlainCond(const SqlExprPtr& e, const Scope& scope) {
+  switch (e->kind) {
+    case SqlExprKind::kCmpColCol: {
+      auto l = Resolve(e->lhs, scope);
+      if (!l.ok()) return l.status();
+      auto r = Resolve(e->rhs, scope);
+      if (!r.ok()) return r.status();
+      switch (e->op) {
+        case SqlCmpOp::kEq:
+          return CEq(*l, *r);
+        case SqlCmpOp::kNeq:
+          return CNeq(*l, *r);
+        case SqlCmpOp::kLt:
+          return CLt(*l, *r);
+        case SqlCmpOp::kLe:
+          return CLe(*l, *r);
+        case SqlCmpOp::kGt:
+          return CLt(*r, *l);
+        case SqlCmpOp::kGe:
+          return CLe(*r, *l);
+      }
+      return Status::Internal("unknown comparison");
+    }
+    case SqlExprKind::kCmpColLit: {
+      auto l = Resolve(e->lhs, scope);
+      if (!l.ok()) return l.status();
+      switch (e->op) {
+        case SqlCmpOp::kEq:
+          return CEqc(*l, e->literal);
+        case SqlCmpOp::kNeq:
+          return CNeqc(*l, e->literal);
+        case SqlCmpOp::kLt:
+          return CLtc(*l, e->literal);
+        case SqlCmpOp::kLe:
+          return CLec(*l, e->literal);
+        case SqlCmpOp::kGt:
+          return CGtc(*l, e->literal);
+        case SqlCmpOp::kGe:
+          return CGec(*l, e->literal);
+      }
+      return Status::Internal("unknown comparison");
+    }
+    case SqlExprKind::kIsNull: {
+      auto l = Resolve(e->lhs, scope);
+      if (!l.ok()) return l.status();
+      return e->negated ? CIsConst(*l) : CIsNull(*l);
+    }
+    case SqlExprKind::kAnd: {
+      auto l = PlainCond(e->l, scope);
+      if (!l.ok()) return l;
+      auto r = PlainCond(e->r, scope);
+      if (!r.ok()) return r;
+      return CAnd(*l, *r);
+    }
+    case SqlExprKind::kOr: {
+      auto l = PlainCond(e->l, scope);
+      if (!l.ok()) return l;
+      auto r = PlainCond(e->r, scope);
+      if (!r.ok()) return r;
+      return COr(*l, *r);
+    }
+    case SqlExprKind::kNot: {
+      auto l = PlainCond(e->l, scope);
+      if (!l.ok()) return l;
+      // The condition grammar has no ¬; propagate it. Note ¬ propagation
+      // is faithful to SQL 3VL: Kleene negation commutes this way.
+      return Negate(*l);
+    }
+    default:
+      return Status::Unsupported(
+          "IN/EXISTS predicates must be top-level WHERE conjuncts");
+  }
+}
+
+void SplitConjuncts(const SqlExprPtr& e, std::vector<SqlExprPtr>* out) {
+  if (e->kind == SqlExprKind::kAnd) {
+    SplitConjuncts(e->l, out);
+    SplitConjuncts(e->r, out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+/// Attributes referenced by a condition must lie within `allowed`.
+Status CheckCondScope(const CondPtr& cond,
+                      const std::vector<std::string>& allowed,
+                      const char* what) {
+  for (const std::string& a : CondAttrs(cond)) {
+    if (std::find(allowed.begin(), allowed.end(), a) == allowed.end()) {
+      return Status::Unsupported(
+          std::string(what) +
+          ": condition references an attribute beyond one level of "
+          "correlation: " +
+          a);
+    }
+  }
+  return Status::OK();
+}
+
+class Translator {
+ public:
+  explicit Translator(const Database& db) : db_(db) {}
+
+  /// Translates a query. `outer` is the enclosing scope chain (nullptr at
+  /// top level). Produces algebra over prefixed attributes plus the
+  /// conjuncts that reference outer attributes (to be folded into the
+  /// enclosing predicate's condition).
+  struct Result {
+    AlgPtr alg;
+    std::vector<std::string> out_attrs;
+    CondPtr lifted = CTrue();
+  };
+
+  StatusOr<Result> Translate(const SqlQueryPtr& q, const Scope* outer) {
+    size_t scope_id = next_scope_++;
+    std::string prefix = "q" + std::to_string(scope_id);
+
+    // ---- FROM ----
+    if (q->from.empty()) {
+      return Status::InvalidArgument("FROM clause is empty");
+    }
+    AlgPtr from;
+    Scope scope;
+    scope.outer = outer;
+    std::set<std::string> aliases;
+    for (const SqlTableRef& ref : q->from) {
+      if (!aliases.insert(ref.alias).second) {
+        return Status::InvalidArgument("duplicate alias " + ref.alias);
+      }
+      auto rel = db_.Get(ref.table);
+      if (!rel.ok()) return rel.status();
+      std::vector<std::string> qualified;
+      for (const std::string& a : rel->attrs()) {
+        qualified.push_back(prefix + "." + ref.alias + "." + a);
+      }
+      AlgPtr scan = Rename(Scan(ref.table), qualified);
+      from = from ? Product(from, scan) : scan;
+      scope.attrs.insert(scope.attrs.end(), qualified.begin(),
+                         qualified.end());
+    }
+
+    // ---- WHERE ----
+    AlgPtr cur = from;
+    CondPtr local = CTrue();
+    CondPtr lifted = CTrue();
+    std::vector<SqlExprPtr> conjuncts;
+    if (q->where) SplitConjuncts(q->where, &conjuncts);
+    // Plain conjuncts first (cheap selections before semijoins).
+    for (const SqlExprPtr& e : conjuncts) {
+      if (!IsPlainExpr(e)) continue;
+      auto cond = PlainCond(e, scope);
+      if (!cond.ok()) return cond.status();
+      // Local if all attributes resolve within this scope.
+      bool is_local = true;
+      for (const std::string& a : CondAttrs(*cond)) {
+        if (std::find(scope.attrs.begin(), scope.attrs.end(), a) ==
+            scope.attrs.end()) {
+          is_local = false;
+          break;
+        }
+      }
+      if (is_local) {
+        local = CAnd(local, *cond);
+      } else {
+        lifted = CAnd(lifted, *cond);
+      }
+    }
+    if (local->kind != CondKind::kTrue) cur = Select(cur, local);
+
+    // Subquery predicates.
+    for (const SqlExprPtr& e : conjuncts) {
+      if (IsPlainExpr(e)) continue;
+      switch (e->kind) {
+        case SqlExprKind::kInSubquery: {
+          auto lhs = Resolve(e->lhs, scope);
+          if (!lhs.ok()) return lhs.status();
+          auto sub = Translate(e->subquery, &scope);
+          if (!sub.ok()) return sub;
+          if (sub->out_attrs.size() != 1) {
+            return Status::InvalidArgument(
+                "IN subquery must select exactly one column");
+          }
+          std::vector<std::string> allowed = scope.attrs;
+          auto sub_attrs = OutputAttrs(sub->alg, db_);
+          if (!sub_attrs.ok()) return sub_attrs.status();
+          allowed.insert(allowed.end(), sub_attrs->begin(), sub_attrs->end());
+          INCDB_RETURN_IF_ERROR(
+              CheckCondScope(sub->lifted, allowed, "IN subquery"));
+          cur = e->negated ? NotInPredicate(cur, sub->alg, {*lhs},
+                                            {sub->out_attrs[0]}, sub->lifted)
+                           : InPredicate(cur, sub->alg, {*lhs},
+                                         {sub->out_attrs[0]}, sub->lifted);
+          break;
+        }
+        case SqlExprKind::kExists: {
+          auto sub = Translate(e->subquery, &scope);
+          if (!sub.ok()) return sub;
+          std::vector<std::string> allowed = scope.attrs;
+          auto sub_attrs = OutputAttrs(sub->alg, db_);
+          if (!sub_attrs.ok()) return sub_attrs.status();
+          allowed.insert(allowed.end(), sub_attrs->begin(), sub_attrs->end());
+          INCDB_RETURN_IF_ERROR(
+              CheckCondScope(sub->lifted, allowed, "EXISTS subquery"));
+          cur = e->negated ? Antijoin(cur, sub->alg, sub->lifted)
+                           : Semijoin(cur, sub->alg, sub->lifted);
+          break;
+        }
+        default:
+          return Status::Unsupported(
+              "IN/EXISTS must appear as top-level WHERE conjuncts");
+      }
+    }
+
+    // ---- SELECT ----
+    Result result;
+    std::vector<std::string> selected;
+    if (q->select_star) {
+      selected = scope.attrs;
+    } else {
+      for (const SqlColumn& col : q->select) {
+        auto r = ResolveInScope(col, scope.attrs);
+        if (!r.ok()) return r.status();
+        selected.push_back(*r);
+      }
+    }
+    cur = Project(cur, selected);
+    if (q->distinct) cur = Distinct(cur);
+    result.alg = cur;
+    result.out_attrs = selected;
+    result.lifted = lifted;
+
+    // UNION chaining: translate the next SELECT in the same outer scope
+    // and fold it in (arity is validated by the evaluators; names come
+    // from the first branch).
+    if (q->union_next) {
+      auto next = Translate(q->union_next, outer);
+      if (!next.ok()) return next;
+      if (next->out_attrs.size() != result.out_attrs.size()) {
+        return Status::InvalidArgument(
+            "UNION branches must select the same number of columns");
+      }
+      if (next->lifted->kind != CondKind::kTrue) {
+        return Status::Unsupported(
+            "correlated UNION branches are not supported");
+      }
+      result.alg = Union(result.alg, next->alg);
+    }
+    return result;
+  }
+
+ private:
+  const Database& db_;
+  size_t next_scope_ = 0;
+};
+
+/// Bare output name of a qualified attribute "q0.alias.col" → "col".
+std::string BareName(const std::string& qualified) {
+  size_t pos = qualified.rfind('.');
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 1);
+}
+
+/// "q0.alias.col" → "alias.col".
+std::string AliasName(const std::string& qualified) {
+  size_t first = qualified.find('.');
+  return first == std::string::npos ? qualified : qualified.substr(first + 1);
+}
+
+}  // namespace
+
+StatusOr<AlgPtr> SqlToAlgebra(const SqlQueryPtr& q, const Database& db) {
+  Translator tr(db);
+  auto res = tr.Translate(q, nullptr);
+  if (!res.ok()) return res.status();
+  if (res->lifted->kind != CondKind::kTrue) {
+    return Status::InvalidArgument(
+        "top-level query references unknown (outer) columns");
+  }
+  // Rename outputs to readable names: bare column names when unique,
+  // alias-qualified otherwise.
+  std::vector<std::string> bare;
+  std::set<std::string> seen;
+  bool unique = true;
+  for (const std::string& a : res->out_attrs) {
+    std::string b = BareName(a);
+    if (!seen.insert(b).second) unique = false;
+    bare.push_back(b);
+  }
+  if (!unique) {
+    bare.clear();
+    for (const std::string& a : res->out_attrs) bare.push_back(AliasName(a));
+  }
+  return Rename(res->alg, bare);
+}
+
+StatusOr<AlgPtr> ParseSqlToAlgebra(const std::string& sql,
+                                   const Database& db) {
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+  return SqlToAlgebra(*parsed, db);
+}
+
+}  // namespace incdb

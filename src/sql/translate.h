@@ -1,0 +1,39 @@
+#ifndef INCDB_SQL_TRANSLATE_H_
+#define INCDB_SQL_TRANSLATE_H_
+
+/// \file translate.h
+/// \brief Translation of mini-SQL to relational algebra.
+///
+/// The translated tree uses the sugar operators (kIn/kNotIn for IN
+/// predicates, kSemijoin/kAntijoin for EXISTS), so that
+///  * EvalSql reproduces exactly what a SQL engine would return (3VL WHERE,
+///    NOT IN null traps, NOT EXISTS two-valuedness), and
+///  * after Desugar() the very same tree feeds the Fig. 2 approximation
+///    translations, giving certain-answer guarantees for the same SQL text.
+///
+/// Restrictions: IN/EXISTS predicates must appear as top-level conjuncts of
+/// WHERE (not under OR/NOT, except NOT EXISTS / NOT IN); correlation depth
+/// is one level (a subquery may reference its immediate outer query).
+
+#include "algebra/algebra.h"
+#include "sql/parser.h"
+
+namespace incdb {
+
+/// Result of translating one (sub)query.
+struct TranslatedQuery {
+  AlgPtr alg;                           ///< algebra over prefixed attributes
+  std::vector<std::string> out_attrs;   ///< output attribute names of `alg`
+};
+
+/// Translates a parsed query against the database's schemas. The output
+/// relation's attributes are the bare selected column names (qualified
+/// with their alias when bare names would collide).
+StatusOr<AlgPtr> SqlToAlgebra(const SqlQueryPtr& q, const Database& db);
+
+/// Parse + translate.
+StatusOr<AlgPtr> ParseSqlToAlgebra(const std::string& sql, const Database& db);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_TRANSLATE_H_

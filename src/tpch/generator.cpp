@@ -1,0 +1,138 @@
+#include <random>
+
+#include "tpch/schema.h"
+#include "tpch/tpch.h"
+
+namespace incdb {
+namespace tpch {
+
+namespace {
+
+/// Deterministic generator state. Null ids are drawn from a dedicated
+/// range so user code can mix in its own nulls without collisions.
+class Gen {
+ public:
+  explicit Gen(const GenOptions& opts)
+      : opts_(opts), rng_(opts.seed), next_null_(1) {}
+
+  Value MaybeNull(Value v) {
+    if (opts_.null_rate > 0.0 && uniform_(rng_) < opts_.null_rate) {
+      return Value::Null(next_null_++);
+    }
+    return v;
+  }
+
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
+  }
+
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng_);
+  }
+
+ private:
+  GenOptions opts_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  uint64_t next_null_;
+};
+
+size_t Scaled(double scale, size_t base) {
+  return std::max<size_t>(1, static_cast<size_t>(base * scale));
+}
+
+}  // namespace
+
+Database Generate(const GenOptions& opts) {
+  Gen gen(opts);
+  Database db;
+
+  const size_t n_nation = std::min<size_t>(25, Scaled(opts.scale, 25));
+  const size_t n_customer = Scaled(opts.scale, 150);
+  const size_t n_supplier = Scaled(opts.scale, 100);
+  const size_t n_part = Scaled(opts.scale, 200);
+  const size_t n_orders = Scaled(opts.scale, 1500);
+  const size_t n_lineitem = Scaled(opts.scale, 6000);
+
+  static const char* kNationNames[] = {
+      "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+      "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+      "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+      "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+      "UNITED STATES"};
+  static const char* kStatuses[] = {"O", "F", "P"};
+  static const char* kBrands[] = {"Brand#11", "Brand#22", "Brand#33",
+                                  "Brand#44", "Brand#55"};
+
+  Relation nation(NationAttrs());
+  for (size_t i = 0; i < n_nation; ++i) {
+    nation.Add({Value::Int(static_cast<int64_t>(i)),
+                Value::String(kNationNames[i % 25]),
+                gen.MaybeNull(Value::Int(gen.UniformInt(0, 4)))});
+  }
+  db.Put("nation", std::move(nation));
+
+  Relation customer(CustomerAttrs());
+  for (size_t i = 0; i < n_customer; ++i) {
+    customer.Add(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::String("Customer#" + std::to_string(i)),
+         gen.MaybeNull(Value::Int(
+             gen.UniformInt(0, static_cast<int64_t>(n_nation) - 1))),
+         gen.MaybeNull(Value::Int(gen.UniformInt(-999, 9999)))});
+  }
+  db.Put("customer", std::move(customer));
+
+  Relation supplier(SupplierAttrs());
+  for (size_t i = 0; i < n_supplier; ++i) {
+    supplier.Add(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::String("Supplier#" + std::to_string(i)),
+         gen.MaybeNull(Value::Int(
+             gen.UniformInt(0, static_cast<int64_t>(n_nation) - 1))),
+         gen.MaybeNull(Value::Int(gen.UniformInt(-999, 9999)))});
+  }
+  db.Put("supplier", std::move(supplier));
+
+  Relation part(PartAttrs());
+  for (size_t i = 0; i < n_part; ++i) {
+    part.Add({Value::Int(static_cast<int64_t>(i)),
+              Value::String("Part#" + std::to_string(i)),
+              gen.MaybeNull(Value::String(kBrands[gen.UniformInt(0, 4)])),
+              gen.MaybeNull(Value::Int(gen.UniformInt(1, 50)))});
+  }
+  db.Put("part", std::move(part));
+
+  Relation orders(OrdersAttrs());
+  for (size_t i = 0; i < n_orders; ++i) {
+    orders.Add(
+        {Value::Int(static_cast<int64_t>(i)),
+         gen.MaybeNull(Value::Int(
+             gen.UniformInt(0, static_cast<int64_t>(n_customer) - 1))),
+         gen.MaybeNull(Value::Int(gen.UniformInt(100, 100000))),
+         gen.MaybeNull(Value::String(kStatuses[gen.UniformInt(0, 2)]))});
+  }
+  db.Put("orders", std::move(orders));
+
+  Relation lineitem(LineitemAttrs());
+  for (size_t i = 0; i < n_lineitem; ++i) {
+    // ~10% of orders have no lineitem at all, making the NOT IN family of
+    // queries produce non-trivial answers.
+    int64_t okey =
+        gen.UniformInt(0, static_cast<int64_t>(n_orders * 9 / 10));
+    lineitem.Add(
+        {gen.MaybeNull(Value::Int(okey)),
+         gen.MaybeNull(Value::Int(
+             gen.UniformInt(0, static_cast<int64_t>(n_part) - 1))),
+         gen.MaybeNull(Value::Int(
+             gen.UniformInt(0, static_cast<int64_t>(n_supplier) - 1))),
+         gen.MaybeNull(Value::Int(gen.UniformInt(1, 50))),
+         gen.MaybeNull(Value::Int(gen.UniformInt(100, 10000)))});
+  }
+  db.Put("lineitem", std::move(lineitem));
+
+  return db;
+}
+
+}  // namespace tpch
+}  // namespace incdb

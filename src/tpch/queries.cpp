@@ -1,0 +1,103 @@
+#include "algebra/builder.h"
+#include "tpch/tpch.h"
+
+namespace incdb {
+namespace tpch {
+
+namespace {
+
+/// π_{o_orderkey}(orders) NOT IN π_{l_orderkey}(lineitem): orders nobody
+/// shipped. The star query of the paper's §1 false-negative discussion.
+BenchQuery UnshippedOrders() {
+  AlgPtr q = NotInPredicate(Project(Scan("orders"), {"o_orderkey"}),
+                            Project(Scan("lineitem"), {"l_orderkey"}),
+                            {"o_orderkey"}, {"l_orderkey"}, CTrue());
+  return {"W1-unshipped-orders",
+          "orders with no lineitem (NOT IN; false-negative prone)", q};
+}
+
+/// Customers without any order (correlated NOT EXISTS; Q22 spirit).
+BenchQuery InactiveCustomers() {
+  AlgPtr q = Antijoin(Scan("customer"), Scan("orders"),
+                      CEq("c_custkey", "o_custkey"));
+  return {"W2-inactive-customers",
+          "customers with no order (NOT EXISTS; false-positive prone)",
+          Project(q, {"c_custkey"})};
+}
+
+/// Big orders whose key does not appear among shipped keys (difference,
+/// with a TPC-H-style price range predicate).
+BenchQuery UnpaidBigOrders() {
+  AlgPtr big = Project(
+      Select(Scan("orders"), CAnd(CNeqc("o_status", Value::String("F")),
+                                  CGtc("o_totalprice", Value::Int(50000)))),
+      {"o_orderkey"});
+  AlgPtr shipped = Project(Scan("lineitem"), {"l_orderkey"});
+  AlgPtr renamed = Rename(shipped, {"o_orderkey"});
+  return {"W3-open-unshipped",
+          "big non-finished orders minus shipped keys (−, range)",
+          Diff(big, renamed)};
+}
+
+/// Positive control: customer ⨝ orders ⨝ nation.
+BenchQuery OrderJoin() {
+  AlgPtr q = Join(Scan("customer"), Scan("orders"),
+                  CEq("c_custkey", "o_custkey"));
+  q = Join(q, Scan("nation"), CEq("c_nationkey", "n_nationkey"));
+  return {"W4-order-join", "customers ⨝ orders ⨝ nation (positive control)",
+          Project(q, {"c_custkey", "o_orderkey", "n_name"})};
+}
+
+/// Parts that never appear in a lineitem (Q16 spirit).
+BenchQuery LostParts() {
+  AlgPtr q = NotInPredicate(Project(Scan("part"), {"p_partkey"}),
+                            Project(Scan("lineitem"), {"l_partkey"}),
+                            {"p_partkey"}, {"l_partkey"}, CTrue());
+  return {"W5-lost-parts", "parts never ordered (NOT IN)", q};
+}
+
+/// Q22-like: customers with positive balance and no orders.
+BenchQuery RichInactive() {
+  AlgPtr rich = Select(Scan("customer"), CGtc("c_acctbal", Value::Int(0)));
+  AlgPtr q =
+      Antijoin(rich, Scan("orders"), CEq("c_custkey", "o_custkey"));
+  return {"W6-rich-inactive",
+          "positive-balance customers with no order (Q22-like)",
+          Project(q, {"c_custkey", "c_acctbal"})};
+}
+
+/// Positive control: union of two selections.
+BenchQuery UnionProbe() {
+  AlgPtr a = Project(
+      Select(Scan("orders"), CEqc("o_status", Value::String("O"))),
+      {"o_orderkey"});
+  AlgPtr b = Project(
+      Select(Scan("orders"), CEqc("o_status", Value::String("P"))),
+      {"o_orderkey"});
+  return {"W7-union-probe", "open ∪ pending order keys (positive control)",
+          Union(a, b)};
+}
+
+/// R − (S − T): the double-negation pattern of §5.1 where SQL returns
+/// almost-certainly-false answers.
+BenchQuery DoubleNegation() {
+  AlgPtr all = Project(Scan("orders"), {"o_orderkey"});
+  AlgPtr big = Project(
+      Select(Scan("orders"), CNeqc("o_status", Value::String("F"))),
+      {"o_orderkey"});
+  AlgPtr shipped = Rename(Project(Scan("lineitem"), {"l_orderkey"}),
+                          {"o_orderkey"});
+  return {"W8-double-negation", "orders − (open-orders − shipped): R−(S−T)",
+          Diff(all, Diff(big, shipped))};
+}
+
+}  // namespace
+
+std::vector<BenchQuery> Workload() {
+  return {UnshippedOrders(), InactiveCustomers(), UnpaidBigOrders(),
+          OrderJoin(),       LostParts(),         RichInactive(),
+          UnionProbe(),      DoubleNegation()};
+}
+
+}  // namespace tpch
+}  // namespace incdb

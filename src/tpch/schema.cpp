@@ -1,0 +1,47 @@
+#include "tpch/tpch.h"
+
+namespace incdb {
+namespace tpch {
+
+// Schema construction lives with the generator; this translation unit
+// hosts the shared attribute-name definitions so queries and generator
+// cannot drift apart.
+
+const std::vector<std::string>& NationAttrs() {
+  static const std::vector<std::string> a = {"n_nationkey", "n_name",
+                                             "n_regionkey"};
+  return a;
+}
+
+const std::vector<std::string>& CustomerAttrs() {
+  static const std::vector<std::string> a = {"c_custkey", "c_name",
+                                             "c_nationkey", "c_acctbal"};
+  return a;
+}
+
+const std::vector<std::string>& SupplierAttrs() {
+  static const std::vector<std::string> a = {"s_suppkey", "s_name",
+                                             "s_nationkey", "s_acctbal"};
+  return a;
+}
+
+const std::vector<std::string>& PartAttrs() {
+  static const std::vector<std::string> a = {"p_partkey", "p_name", "p_brand",
+                                             "p_size"};
+  return a;
+}
+
+const std::vector<std::string>& OrdersAttrs() {
+  static const std::vector<std::string> a = {"o_orderkey", "o_custkey",
+                                             "o_totalprice", "o_status"};
+  return a;
+}
+
+const std::vector<std::string>& LineitemAttrs() {
+  static const std::vector<std::string> a = {
+      "l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_price"};
+  return a;
+}
+
+}  // namespace tpch
+}  // namespace incdb

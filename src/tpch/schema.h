@@ -1,0 +1,24 @@
+#ifndef INCDB_TPCH_SCHEMA_H_
+#define INCDB_TPCH_SCHEMA_H_
+
+/// \file schema.h
+/// \brief Shared attribute-name lists for the TPC-H-lite schema (see
+/// tpch.h for the schema overview).
+
+#include <string>
+#include <vector>
+
+namespace incdb {
+namespace tpch {
+
+const std::vector<std::string>& NationAttrs();
+const std::vector<std::string>& CustomerAttrs();
+const std::vector<std::string>& SupplierAttrs();
+const std::vector<std::string>& PartAttrs();
+const std::vector<std::string>& OrdersAttrs();
+const std::vector<std::string>& LineitemAttrs();
+
+}  // namespace tpch
+}  // namespace incdb
+
+#endif  // INCDB_TPCH_SCHEMA_H_

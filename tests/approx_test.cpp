@@ -1,0 +1,274 @@
+// Tests for src/approx: the (Qt, Qf) scheme of Fig. 2(a) and the (Q+, Q?)
+// scheme of Fig. 2(b), against the theorems of §4.2:
+//  * Theorem 4.6: Qt(D) ⊆ cert⊥(Q,D), Qf(D) ⊆ cert⊥(¬Q,D), Qt = Q on
+//    complete databases;
+//  * Theorem 4.7: Q+(D) ⊆ cert⊥(Q,D) and v(Q+(D)) ⊆ Q(v(D)) ⊆ v(Q?(D));
+//  * Theorem 4.8: bag bounds #(ā,Q+(D)) ≤ □Q(D,ā) ≤ #(ā,Q?(D)).
+
+#include <gtest/gtest.h>
+
+#include "approx/approx.h"
+#include "certain/certain.h"
+#include "certain/valuation_family.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+using testing_util::FigureOne;
+using testing_util::QueryZoo;
+using testing_util::RandomDatabase;
+
+// --- Structure of the translations -------------------------------------------
+
+TEST(TranslateTest, BaseRelationIsItself) {
+  Database db = FigureOne(true);
+  auto plus = TranslatePlus(Scan("Orders"), db);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ((*plus)->ToString(), "Orders");
+  auto maybe = TranslateMaybe(Scan("Orders"), db);
+  ASSERT_TRUE(maybe.ok());
+  EXPECT_EQ((*maybe)->ToString(), "Orders");
+}
+
+TEST(TranslateTest, DifferenceBecomesUnificationAntijoin) {
+  Database db = FigureOne(true);
+  AlgPtr q = Diff(Project(Scan("Orders"), {"oid"}),
+                  Rename(Project(Scan("Payments"), {"oid"}), {"oid"}));
+  auto plus = TranslatePlus(q, db);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_NE((*plus)->ToString().find("⋉⇑"), std::string::npos);
+}
+
+TEST(TranslateTest, Fig2aUsesDomProducts) {
+  Database db = FigureOne(true);
+  AlgPtr q = Diff(Project(Scan("Orders"), {"oid"}),
+                  Rename(Project(Scan("Payments"), {"oid"}), {"oid"}));
+  auto qt = TranslateCertTrue(q, db);
+  ASSERT_TRUE(qt.ok());
+  EXPECT_NE((*qt)->ToString().find("Dom"), std::string::npos);
+}
+
+TEST(TranslateTest, RejectsNonCoreOperators) {
+  Database db;
+  db.Put("R", Relation({"a", "b"}));
+  db.Put("S", Relation({"b"}));
+  auto res = TranslatePlus(Division(Scan("R"), Scan("S")), db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TranslateTest, IntersectionIsRewrittenViaDifference) {
+  Database db;
+  Relation r({"x"}), s({"x"});
+  r.Add({Value::Int(1)});
+  s.Add({Value::Int(1)});
+  db.Put("R", r);
+  db.Put("S", s);
+  auto prepared = PrepareForTranslation(Intersect(Scan("R"), Scan("S")), db);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(IsCoreGrammar(*prepared));
+  auto plus = TranslatePlus(Intersect(Scan("R"), Scan("S")), db);
+  ASSERT_TRUE(plus.ok());
+}
+
+// --- Figure 1 behaviour -------------------------------------------------------
+
+TEST(ApproxFig1Test, UnpaidOrdersPlusIsEmptyAndMaybeKeepsAll) {
+  Database db = FigureOne(true);
+  AlgPtr q = Diff(Project(Scan("Orders"), {"oid"}),
+                  Rename(Project(Scan("Payments"), {"oid"}), {"oid"}));
+  auto plus = EvalPlus(q, db);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_TRUE(plus->Empty());  // no certainly-unpaid order
+  auto maybe = EvalMaybe(q, db);
+  ASSERT_TRUE(maybe.ok());
+  // o2 and o3 are possibly unpaid (o1 is definitely paid).
+  EXPECT_EQ(maybe->SortedTuples(),
+            (std::vector<Tuple>{Tuple{Value::String("o2")},
+                                Tuple{Value::String("o3")}}));
+}
+
+TEST(ApproxFig1Test, TautologySelectionRecoveredByPlus) {
+  // Q+ returns {c1, c2} where SQL returned only {c1}: the θ* translation
+  // of the disjunction keeps the null row via the possible branch... and
+  // here both rows are certain.
+  Database db = FigureOne(true);
+  AlgPtr q = Project(Select(Scan("Payments"),
+                            COr(CEqc("oid", Value::String("o2")),
+                                CNeqc("oid", Value::String("o2")))),
+                     {"cid"});
+  auto plus = EvalPlus(q, db);
+  ASSERT_TRUE(plus.ok());
+  // (A≠c)* demands const(A), so the ⊥ row is *not* certain under Q+ —
+  // the approximation is allowed to miss it (it under-approximates).
+  auto cert = CertWithNulls(q, db);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(plus->SubBagOf(*cert));
+  EXPECT_TRUE(plus->Contains(Tuple{Value::String("c1")}));
+}
+
+// --- Theorem 4.7: correctness guarantees (property tests) ---------------------
+
+class SchemeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemeProperty, PlusIsSubsetOfCertAndSandwich) {
+  std::mt19937_64 rng(GetParam());
+  Database db = RandomDatabase(rng, 3, 3, 2);
+  std::set<uint64_t> ids = db.NullIds();
+  std::vector<uint64_t> nulls(ids.begin(), ids.end());
+  for (const AlgPtr& q : QueryZoo()) {
+    auto plus = EvalPlus(q, db);
+    auto maybe = EvalMaybe(q, db);
+    auto cert = CertWithNulls(q, db);
+    ASSERT_TRUE(plus.ok() && maybe.ok() && cert.ok()) << q->ToString();
+    // Q+(D) ⊆ cert⊥(Q, D).
+    EXPECT_TRUE(plus->SubBagOf(*cert))
+        << q->ToString() << "\n Q+: " << plus->ToString()
+        << "\n cert⊥: " << cert->ToString();
+    // Sandwich (5): v(Q+(D)) ⊆ Q(v(D)) ⊆ v(Q?(D)) for every valuation v.
+    std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+    Status st = ForEachValuation(
+        nulls, consts, 200000, [&](const Valuation& v) {
+          auto ans = EvalSet(q, v.ApplySet(db));
+          EXPECT_TRUE(ans.ok());
+          for (const Tuple& t : plus->SortedTuples()) {
+            EXPECT_TRUE(ans->Contains(v.Apply(t)))
+                << "false positive in Q+ for " << q->ToString();
+          }
+          Relation vmaybe = v.ApplySet(*maybe);
+          for (const Tuple& t : ans->SortedTuples()) {
+            EXPECT_TRUE(vmaybe.Contains(t))
+                << "Q? missed possible answer for " << q->ToString();
+          }
+          return !::testing::Test::HasFailure();
+        });
+    ASSERT_TRUE(st.ok());
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST_P(SchemeProperty, Fig2aSoundAndFig2bEquallyOrMorePrecise) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  Database db = RandomDatabase(rng, 3, 3, 2);
+  EvalOptions big;
+  big.max_tuples = 5'000'000;
+  for (const AlgPtr& q : QueryZoo()) {
+    auto qt = EvalCertTrue(q, db, big);
+    auto cert = CertWithNulls(q, db);
+    ASSERT_TRUE(cert.ok());
+    if (!qt.ok()) {
+      // Dom-product blow-up is expected for some shapes (that is E2).
+      EXPECT_EQ(qt.status().code(), StatusCode::kResourceExhausted)
+          << qt.status().ToString();
+      continue;
+    }
+    // Theorem 4.6: Qt(D) ⊆ cert⊥(Q, D).
+    EXPECT_TRUE(qt->SubBagOf(*cert))
+        << q->ToString() << "\n Qt: " << qt->ToString()
+        << "\n cert⊥: " << cert->ToString();
+  }
+}
+
+TEST_P(SchemeProperty, QfIsSubsetOfCertainlyFalse) {
+  std::mt19937_64 rng(GetParam() + 2000);
+  Database db = RandomDatabase(rng, 2, 2, 1);
+  std::set<uint64_t> ids = db.NullIds();
+  std::vector<uint64_t> nulls(ids.begin(), ids.end());
+  EvalOptions big;
+  big.max_tuples = 5'000'000;
+  for (const AlgPtr& q : QueryZoo()) {
+    auto qf = EvalCertFalse(q, db, big);
+    if (!qf.ok()) {
+      EXPECT_EQ(qf.status().code(), StatusCode::kResourceExhausted);
+      continue;
+    }
+    // Every tuple of Qf is certainly absent from the answer: for every
+    // valuation v, v(t) ∉ Q(v(D)).
+    std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+    Status st = ForEachValuation(
+        nulls, consts, 100000, [&](const Valuation& v) {
+          auto ans = EvalSet(q, v.ApplySet(db));
+          EXPECT_TRUE(ans.ok());
+          for (const Tuple& t : qf->SortedTuples()) {
+            EXPECT_FALSE(ans->Contains(v.Apply(t)))
+                << "Qf contains a possible answer for " << q->ToString();
+          }
+          return !::testing::Test::HasFailure();
+        });
+    ASSERT_TRUE(st.ok());
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Complete databases: no loss ----------------------------------------------
+
+TEST(ApproxCompleteTest, PlusAndMaybeEqualQueryOnCompleteDb) {
+  // Theorem 4.6/4.7: on complete databases the schemes lose nothing.
+  std::mt19937_64 rng(17);
+  for (int round = 0; round < 10; ++round) {
+    Database db = RandomDatabase(rng, 4, 4, /*n_nulls=*/0);
+    for (const AlgPtr& q : QueryZoo()) {
+      auto plain = EvalSet(q, db);
+      auto plus = EvalPlus(q, db);
+      auto maybe = EvalMaybe(q, db);
+      ASSERT_TRUE(plain.ok() && plus.ok() && maybe.ok());
+      EXPECT_TRUE(plain->SameRows(*plus)) << q->ToString();
+      EXPECT_TRUE(plain->SameRows(*maybe)) << q->ToString();
+    }
+  }
+}
+
+// --- Theorem 4.8: bag bounds ----------------------------------------------------
+
+TEST(ApproxBagTest, PlusAndMaybeBracketMinimalMultiplicity) {
+  std::mt19937_64 rng(23);
+  for (int round = 0; round < 6; ++round) {
+    Database db = RandomDatabase(rng, 3, 3, 2);
+    for (const AlgPtr& q : QueryZoo()) {
+      auto plus_q = TranslatePlus(q, db);
+      auto maybe_q = TranslateMaybe(q, db);
+      ASSERT_TRUE(plus_q.ok() && maybe_q.ok());
+      auto plus = EvalBag(*plus_q, db);
+      auto maybe = EvalBag(*maybe_q, db);
+      ASSERT_TRUE(plus.ok() && maybe.ok());
+      // Probe: every tuple appearing in Q?(D) (superset of candidates).
+      for (const Tuple& t : maybe->SortedTuples()) {
+        auto bounds = BagMultiplicityBounds(q, db, t);
+        ASSERT_TRUE(bounds.ok());
+        EXPECT_LE(plus->Count(t), bounds->min)
+            << q->ToString() << " tuple " << t.ToString();
+        EXPECT_LE(bounds->min, maybe->Count(t))
+            << q->ToString() << " tuple " << t.ToString();
+      }
+      // And tuples of Q+ (must also satisfy the bracket).
+      for (const Tuple& t : plus->SortedTuples()) {
+        auto bounds = BagMultiplicityBounds(q, db, t);
+        ASSERT_TRUE(bounds.ok());
+        EXPECT_LE(plus->Count(t), bounds->min) << q->ToString();
+      }
+    }
+  }
+}
+
+TEST(TranslateTest, DistinctAndSqlSugarAreHandled) {
+  // The SQL translator emits Distinct and [NOT] IN nodes; the Fig. 2
+  // pipeline must accept them via PrepareForTranslation.
+  Database db = FigureOne(true);
+  AlgPtr q = Distinct(NotInPredicate(
+      Project(Scan("Orders"), {"oid"}),
+      Rename(Project(Scan("Payments"), {"oid"}), {"poid"}), {"oid"},
+      {"poid"}, CTrue()));
+  auto prepared = PrepareForTranslation(q, db);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_TRUE(IsCoreGrammar(*prepared));
+  auto plus = EvalPlus(q, db);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_TRUE(plus->Empty());  // nothing certainly unpaid under the NULL
+}
+
+}  // namespace
+}  // namespace incdb

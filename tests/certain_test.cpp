@@ -1,0 +1,297 @@
+// Tests for src/certain: brute-force cert∩ (Def. 3.7), cert⊥ (Def. 3.9)
+// and the bag multiplicity bounds □Q / ◇Q (eq. 6a/6b).
+
+#include <gtest/gtest.h>
+
+#include "certain/certain.h"
+#include "certain/valuation_family.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+using testing_util::FigureOne;
+
+// --- Valuation families -------------------------------------------------------
+
+TEST(ValuationFamilyTest, FreshConstantsAreDisjoint) {
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Int(5)});
+  r.Add({Value::Null(1)});
+  r.Add({Value::Null(2)});
+  db.Put("R", r);
+  auto consts = FamilyConstants(db, {Value::Int(7)});
+  // {5, 7} plus n+1 = 3 fresh (8, 9, 10).
+  ASSERT_EQ(consts.size(), 5u);
+  std::set<Value> s(consts.begin(), consts.end());
+  EXPECT_TRUE(s.count(Value::Int(5)));
+  EXPECT_TRUE(s.count(Value::Int(7)));
+  EXPECT_TRUE(s.count(Value::Int(8)));
+  EXPECT_TRUE(s.count(Value::Int(9)));
+  EXPECT_TRUE(s.count(Value::Int(10)));
+}
+
+TEST(ValuationFamilyTest, EnumeratesAllCombinations) {
+  std::vector<Value> consts = {Value::Int(1), Value::Int(2), Value::Int(3)};
+  size_t count = 0;
+  std::set<std::string> distinct;
+  Status st = ForEachValuation({10, 20}, consts, 1000, [&](const Valuation& v) {
+    ++count;
+    distinct.insert(v.ToString());
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 9u);
+  EXPECT_EQ(distinct.size(), 9u);
+}
+
+TEST(ValuationFamilyTest, BudgetEnforced) {
+  std::vector<Value> consts;
+  for (int i = 0; i < 10; ++i) consts.push_back(Value::Int(i));
+  Status st = ForEachValuation({1, 2, 3, 4, 5, 6, 7}, consts, 1000,
+                               [](const Valuation&) { return true; });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ValuationFamilyTest, EarlyStop) {
+  std::vector<Value> consts = {Value::Int(1), Value::Int(2)};
+  size_t count = 0;
+  Status st = ForEachValuation({1, 2, 3}, consts, 1000,
+                               [&](const Valuation&) { return ++count < 3; });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 3u);
+}
+
+// --- cert∩ and cert⊥ on the paper's examples ----------------------------------
+
+TEST(CertainTest, SimpleMembershipKeepsNull) {
+  // D = {R(⊥)}, Q = R: cert∩ = ∅ but cert⊥ = {⊥} (§3.2 discussion).
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Null(1)});
+  db.Put("R", r);
+  auto ci = CertIntersection(Scan("R"), db);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_TRUE(ci->Empty());
+  auto cn = CertWithNulls(Scan("R"), db);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_EQ(cn->SortedTuples(), std::vector<Tuple>{Tuple{Value::Null(1)}});
+}
+
+TEST(CertainTest, DifferenceAgainstNullIsUncertain) {
+  // {1} − {⊥}: certain answers empty (⊥ might be 1).
+  Database db;
+  Relation r({"x"}), s({"x"});
+  r.Add({Value::Int(1)});
+  s.Add({Value::Null(0)});
+  db.Put("R", r);
+  db.Put("S", s);
+  auto cn = CertWithNulls(Diff(Scan("R"), Scan("S")), db);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_TRUE(cn->Empty());
+}
+
+TEST(CertainTest, TautologySelection) {
+  // σ(oid = 'o2' ∨ oid ≠ 'o2')(Payments) is certain for every tuple: the
+  // condition is a tautology in every possible world.
+  Database db = FigureOne(true);
+  AlgPtr q = Project(Select(Scan("Payments"),
+                            COr(CEqc("oid", Value::String("o2")),
+                                CNeqc("oid", Value::String("o2")))),
+                     {"cid"});
+  auto cn = CertWithNulls(q, db);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_EQ(cn->SortedTuples(),
+            (std::vector<Tuple>{Tuple{Value::String("c1")},
+                                Tuple{Value::String("c2")}}));
+}
+
+TEST(CertainTest, UnpaidOrdersCertainlyEmpty) {
+  // With the NULL, no order is certainly unpaid (§1).
+  Database db = FigureOne(true);
+  AlgPtr q = Diff(Project(Scan("Orders"), {"oid"}),
+                  Rename(Project(Scan("Payments"), {"oid"}), {"oid"}));
+  auto cn = CertWithNulls(q, db);
+  ASSERT_TRUE(cn.ok());
+  EXPECT_TRUE(cn->Empty());
+}
+
+TEST(CertainTest, CertIntersectionIsConstantPartOfCertWithNulls) {
+  // Proposition 3.10: cert∩(Q,D) = cert⊥(Q,D) ∩ Const(D)^m.
+  std::mt19937_64 rng(3);
+  for (int round = 0; round < 10; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+    for (const AlgPtr& q : testing_util::QueryZoo()) {
+      auto ci = CertIntersection(q, db);
+      auto cn = CertWithNulls(q, db);
+      ASSERT_TRUE(ci.ok() && cn.ok()) << q->ToString();
+      Relation const_part(cn->attrs());
+      for (const Tuple& t : cn->SortedTuples()) {
+        if (t.AllConst()) ASSERT_TRUE(const_part.Insert(t, 1).ok());
+      }
+      EXPECT_TRUE(ci->SameRows(const_part))
+          << q->ToString() << "\n cert∩: " << ci->ToString()
+          << "\n cert⊥ const part: " << const_part.ToString();
+    }
+  }
+}
+
+TEST(CertainTest, ValuationsOfCertainAnswersAreAnswers) {
+  // Proposition 3.10: v(cert⊥(Q,D)) ⊆ Q(v(D)) for every valuation.
+  std::mt19937_64 rng(5);
+  for (int round = 0; round < 5; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+    std::set<uint64_t> ids = db.NullIds();
+    std::vector<uint64_t> nulls(ids.begin(), ids.end());
+    for (const AlgPtr& q : testing_util::QueryZoo()) {
+      auto cn = CertWithNulls(q, db);
+      ASSERT_TRUE(cn.ok());
+      std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+      Status st = ForEachValuation(
+          nulls, consts, 100000, [&](const Valuation& v) {
+            auto ans = EvalSet(q, v.ApplySet(db));
+            EXPECT_TRUE(ans.ok());
+            for (const Tuple& t : cn->SortedTuples()) {
+              EXPECT_TRUE(ans->Contains(v.Apply(t)))
+                  << q->ToString() << " tuple " << t.ToString() << " under "
+                  << v.ToString();
+            }
+            return true;
+          });
+      ASSERT_TRUE(st.ok());
+    }
+  }
+}
+
+TEST(CertainTest, OwaRequiresPositiveQueries) {
+  Database db = FigureOne(true);
+  auto bad = CertWithNullsOwa(Diff(Scan("Orders"), Scan("Orders")), db);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+  auto good = CertWithNullsOwa(Project(Scan("Orders"), {"oid"}), db);
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(CertainTest, CompleteDatabaseCertEqualsEval) {
+  Database db = FigureOne(false);
+  for (const AlgPtr& q :
+       {Project(Scan("Orders"), {"oid"}),
+        Diff(Project(Scan("Orders"), {"oid"}),
+             Rename(Project(Scan("Payments"), {"oid"}), {"oid"}))}) {
+    auto cn = CertWithNulls(q, db);
+    auto ev = EvalSet(q, db);
+    ASSERT_TRUE(cn.ok() && ev.ok());
+    EXPECT_TRUE(cn->SameRows(*ev));
+  }
+}
+
+// --- Bag multiplicity bounds ---------------------------------------------------
+
+TEST(BagBoundsTest, CollapsingValuationsChangeCounts) {
+  // R = {(⊥1), (1)} as a bag; Q = R. #(1, Q(v(D))) is 2 when v(⊥1)=1 and
+  // 1 otherwise: □ = 1, ◇ = 2 (multiplicities add up, [42]).
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Null(1)});
+  r.Add({Value::Int(1)});
+  db.Put("R", r);
+  auto bounds = BagMultiplicityBounds(Scan("R"), db, Tuple{Value::Int(1)});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->min, 1u);
+  EXPECT_EQ(bounds->max, 2u);
+}
+
+TEST(BagBoundsTest, DifferenceBounds) {
+  // R = {1×2}, S = {⊥}: R−S has #1 = 1 if v(⊥)=1, else 2.
+  Database db;
+  Relation r({"x"}), s({"x"});
+  r.Add({Value::Int(1)}, 2);
+  s.Add({Value::Null(0)});
+  db.Put("R", r);
+  db.Put("S", s);
+  auto bounds =
+      BagMultiplicityBounds(Diff(Scan("R"), Scan("S")), db,
+                            Tuple{Value::Int(1)});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->min, 1u);
+  EXPECT_EQ(bounds->max, 2u);
+}
+
+TEST(BagBoundsTest, CertainTupleHasPositiveMin) {
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Int(7)}, 3);
+  db.Put("R", r);
+  auto bounds = BagMultiplicityBounds(Scan("R"), db, Tuple{Value::Int(7)});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->min, 3u);
+  EXPECT_EQ(bounds->max, 3u);
+}
+
+TEST(BagBoundsTest, TupleWithNullEvaluatesUnderValuation) {
+  // □Q(D, ⊥1) for Q = R, R = {⊥1}: v(⊥1) ∈ v(R) always → min = max = 1.
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Null(1)});
+  db.Put("R", r);
+  auto bounds = BagMultiplicityBounds(Scan("R"), db, Tuple{Value::Null(1)});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->min, 1u);
+  EXPECT_EQ(bounds->max, 1u);
+}
+
+// --- Explainability: counterexample worlds -----------------------------------
+
+TEST(WhyNotCertainTest, ProducesFailingWorld) {
+  // {1} − {⊥0}: (1) is a naive answer but not certain; the witness must
+  // map ⊥0 to 1.
+  Database db;
+  Relation r({"x"}), s({"x"});
+  r.Add({Value::Int(1)});
+  s.Add({Value::Null(0)});
+  db.Put("R", r);
+  db.Put("S", s);
+  AlgPtr q = Diff(Scan("R"), Scan("S"));
+  auto why = WhyNotCertain(q, db, Tuple{Value::Int(1)});
+  ASSERT_TRUE(why.ok());
+  ASSERT_TRUE(why->has_value());
+  const Valuation& v = **why;
+  // Verify the witness actually refutes certainty.
+  auto world = EvalSet(q, v.ApplySet(db));
+  ASSERT_TRUE(world.ok());
+  EXPECT_FALSE(world->Contains(v.Apply(Tuple{Value::Int(1)})));
+  EXPECT_EQ(v.Lookup(0), Value::Int(1));
+}
+
+TEST(WhyNotCertainTest, CertainTupleHasNoWitness) {
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Int(1)});
+  db.Put("R", r);
+  auto why = WhyNotCertain(Scan("R"), db, Tuple{Value::Int(1)});
+  ASSERT_TRUE(why.ok());
+  EXPECT_FALSE(why->has_value());
+}
+
+TEST(WhyNotCertainTest, AgreesWithCertWithNulls) {
+  // For every naive answer: witness exists iff the tuple is not in cert⊥.
+  std::mt19937_64 rng(83);
+  for (int round = 0; round < 5; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+    for (const AlgPtr& q : testing_util::QueryZoo()) {
+      auto naive = EvalSet(q, db);
+      auto cert = CertWithNulls(q, db);
+      ASSERT_TRUE(naive.ok() && cert.ok());
+      for (const Tuple& t : naive->SortedTuples()) {
+        auto why = WhyNotCertain(q, db, t);
+        ASSERT_TRUE(why.ok());
+        EXPECT_EQ(why->has_value(), !cert->Contains(t))
+            << q->ToString() << " " << t.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,112 @@
+// Tests for src/eval/codd: the Codd-null commutation question of §6
+// ("Marked nulls"): for which queries does it not matter whether SQL
+// NULLs are expanded into fresh marked nulls before or after evaluation?
+
+#include <gtest/gtest.h>
+
+#include "algebra/builder.h"
+#include "eval/codd.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+TEST(CanonicalizeTest, RenamingInvariance) {
+  Relation a({"x", "y"});
+  a.Add({Value::Null(5), Value::Int(1)});
+  a.Add({Value::Null(2), Value::Int(2)});
+  Relation b({"x", "y"});
+  b.Add({Value::Null(1), Value::Int(1)});
+  b.Add({Value::Null(9), Value::Int(2)});
+  EXPECT_TRUE(CanonicalizeNulls(a).SameRows(CanonicalizeNulls(b)));
+}
+
+TEST(CanonicalizeTest, RepeatedNullsDistinguished) {
+  Relation a({"x", "y"});
+  a.Add({Value::Null(1), Value::Null(1)});  // one shared unknown
+  Relation b({"x", "y"});
+  b.Add({Value::Null(1), Value::Null(2)});  // two independent unknowns
+  EXPECT_FALSE(CanonicalizeNulls(a).SameRows(CanonicalizeNulls(b)));
+}
+
+TEST(CanonicalizeTest, CrossTupleSharingDistinguished) {
+  Relation a({"x"});
+  a.Add({Value::Null(1)});
+  a.Add({Value::Null(2)});
+  Relation b({"x"});
+  b.Add({Value::Null(1)});
+  // Different cardinality of distinct tuples: b has one tuple.
+  EXPECT_FALSE(CanonicalizeNulls(a).SameRows(CanonicalizeNulls(b)));
+}
+
+TEST(CoddCommutesTest, ProjectionAndSelectionCommute) {
+  Database db;
+  Relation r({"a", "b"});
+  r.Add({Value::Int(1), Value::Null(1)});
+  r.Add({Value::Int(2), Value::Int(3)});
+  db.Put("R", r);
+  auto proj = CoddCommutes(Project(Scan("R"), {"b"}), db);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(*proj);
+  auto sel = CoddCommutes(Select(Scan("R"), CEqc("a", Value::Int(1))), db);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(*sel);
+}
+
+TEST(CoddCommutesTest, SelfJoinOnNullFails) {
+  // σ_{a=b}(R) with R = {(⊥1, ⊥1)}: on the original database the tuple
+  // satisfies a = b syntactically; after Codd-ification the two
+  // occurrences become distinct nulls and the naive answer is empty.
+  Database db;
+  Relation r({"a", "b"});
+  r.Add({Value::Null(1), Value::Null(1)});
+  db.Put("R", r);
+  auto res = CoddCommutes(Select(Scan("R"), CEq("a", "b")), db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(*res);
+}
+
+TEST(CoddCommutesTest, DifferenceAgainstSharedNullFails) {
+  // R = {⊥1}, S = {⊥1} (the same unknown): R − S is empty with marked
+  // nulls, but after Codd-ification the nulls differ and the naive
+  // difference keeps the tuple.
+  Database db;
+  Relation r({"x"}), s({"x"});
+  r.Add({Value::Null(1)});
+  s.Add({Value::Null(1)});
+  db.Put("R", r);
+  db.Put("S", s);
+  auto res = CoddCommutes(Diff(Scan("R"), Scan("S")), db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(*res);
+}
+
+TEST(CoddCommutesTest, CommutesOnCoddDatabases) {
+  // If D already has only Codd nulls (no repetition), codd(D) ≅ D and
+  // everything commutes trivially — across the query zoo.
+  std::mt19937_64 rng(71);
+  for (int round = 0; round < 5; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 3, 3, 0);
+    // Inject non-repeating nulls manually.
+    Relation r = db.at("R");
+    r.Add({Value::Null(50), Value::Null(51)});
+    db.Put("R", r);
+    for (const AlgPtr& q : testing_util::QueryZoo()) {
+      // Skip queries that repeat R (self-joins duplicate the null).
+      auto rels = ScannedRelations(q);
+      auto res = CoddCommutes(q, db);
+      ASSERT_TRUE(res.ok()) << q->ToString();
+      // Queries over a Codd database *usually* commute but self-joins/
+      // products can still duplicate a null into two output occurrences
+      // whose correlation codd() then loses; only assert for the
+      // single-occurrence-safe shapes (no product).
+      bool has_product = q->ToString().find("×") != std::string::npos;
+      if (!has_product) {
+        EXPECT_TRUE(*res) << q->ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,287 @@
+// Unit tests for src/core: values, tuples, unifiability, relations,
+// databases, valuations.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+#include "core/tuple.h"
+#include "core/valuation.h"
+#include "core/value.h"
+
+namespace incdb {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  Value i = Value::Int(42);
+  Value d = Value::Double(3.5);
+  Value s = Value::String("abc");
+  Value n = Value::Null(7);
+
+  EXPECT_TRUE(i.is_const());
+  EXPECT_TRUE(d.is_const());
+  EXPECT_TRUE(s.is_const());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(i.as_int(), 42);
+  EXPECT_DOUBLE_EQ(d.as_double(), 3.5);
+  EXPECT_EQ(s.as_string(), "abc");
+  EXPECT_EQ(n.null_id(), 7u);
+}
+
+TEST(ValueTest, SyntacticEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  // Typed constants: Int(1) and String("1") are different constants.
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  // Marked nulls: identical iff same id; a null never equals a constant.
+  EXPECT_EQ(Value::Null(1), Value::Null(1));
+  EXPECT_NE(Value::Null(1), Value::Null(2));
+  EXPECT_NE(Value::Null(1), Value::Int(1));
+}
+
+TEST(ValueTest, TotalOrderIsDeterministic) {
+  std::vector<Value> vals = {Value::String("b"), Value::Int(2), Value::Null(1),
+                             Value::Int(1), Value::String("a"),
+                             Value::Double(0.5), Value::Null(0)};
+  std::sort(vals.begin(), vals.end());
+  // Nulls sort before ints before doubles before strings (by kind).
+  EXPECT_EQ(vals[0], Value::Null(0));
+  EXPECT_EQ(vals[1], Value::Null(1));
+  EXPECT_EQ(vals[2], Value::Int(1));
+  EXPECT_EQ(vals[3], Value::Int(2));
+  EXPECT_EQ(vals[4], Value::Double(0.5));
+  EXPECT_EQ(vals[5], Value::String("a"));
+  EXPECT_EQ(vals[6], Value::String("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Null(3).Hash(), Value::Null(3).Hash());
+  EXPECT_EQ(Value::String("xy").Hash(), Value::String("xy").Hash());
+  // Null id 3 and Int 3 must not collide by construction of the kind salt.
+  EXPECT_NE(Value::Null(3).Hash(), Value::Int(3).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Null(2).ToString(), "⊥2");
+}
+
+TEST(TupleTest, ConcatAndProject) {
+  Tuple a{Value::Int(1), Value::Int(2)};
+  Tuple b{Value::Int(3)};
+  Tuple c = a.Concat(b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c[2], Value::Int(3));
+  Tuple p = c.Project({2, 0});
+  EXPECT_EQ(p, (Tuple{Value::Int(3), Value::Int(1)}));
+}
+
+TEST(TupleTest, AllConst) {
+  EXPECT_TRUE((Tuple{Value::Int(1), Value::String("a")}).AllConst());
+  EXPECT_FALSE((Tuple{Value::Int(1), Value::Null(0)}).AllConst());
+  EXPECT_TRUE(Tuple{}.AllConst());
+}
+
+// --- Unifiability (r̄ ⇑ s̄), the basis of ⋉⇑ and ⟦·⟧unif -------------------
+
+TEST(UnifiableTest, ConstantsMustMatch) {
+  EXPECT_TRUE(Unifiable(Tuple{Value::Int(1)}, Tuple{Value::Int(1)}));
+  EXPECT_FALSE(Unifiable(Tuple{Value::Int(1)}, Tuple{Value::Int(2)}));
+}
+
+TEST(UnifiableTest, NullMatchesAnything) {
+  EXPECT_TRUE(Unifiable(Tuple{Value::Null(1)}, Tuple{Value::Int(5)}));
+  EXPECT_TRUE(Unifiable(Tuple{Value::Null(1)}, Tuple{Value::Null(2)}));
+}
+
+TEST(UnifiableTest, RepeatedMarkedNullConstraints) {
+  // (⊥1, ⊥1) unifies with (1, 1) but not with (1, 2).
+  Tuple r{Value::Null(1), Value::Null(1)};
+  EXPECT_TRUE(Unifiable(r, Tuple{Value::Int(1), Value::Int(1)}));
+  EXPECT_FALSE(Unifiable(r, Tuple{Value::Int(1), Value::Int(2)}));
+}
+
+TEST(UnifiableTest, TransitiveNullChains) {
+  // (⊥1, ⊥1, ⊥2) vs (⊥3, 7, ⊥3): ⊥1~⊥3, ⊥1~7 → ⊥3~7, ⊥2~⊥3 fine.
+  Tuple a{Value::Null(1), Value::Null(1), Value::Null(2)};
+  Tuple b{Value::Null(3), Value::Int(7), Value::Null(3)};
+  EXPECT_TRUE(Unifiable(a, b));
+  // (⊥1, ⊥1, 8) vs (⊥3, 7, ⊥3): chain forces 7 = 8 → fail.
+  Tuple c{Value::Null(1), Value::Null(1), Value::Int(8)};
+  EXPECT_FALSE(Unifiable(c, b));
+}
+
+TEST(UnifiableTest, ArityMismatchNeverUnifies) {
+  EXPECT_FALSE(Unifiable(Tuple{Value::Null(1)}, Tuple{}));
+}
+
+TEST(UnifiableTest, CrossTupleSharedNulls) {
+  // The same marked null on both sides is one variable: (⊥1, 1) ⇑ (2, ⊥1)
+  // forces ⊥1 = 2 and ⊥1 = 1 → fail.
+  Tuple a{Value::Null(1), Value::Int(1)};
+  Tuple b{Value::Int(2), Value::Null(1)};
+  EXPECT_FALSE(Unifiable(a, b));
+  // (⊥1, 1) ⇑ (1, ⊥1) forces ⊥1 = 1 twice → ok.
+  Tuple c{Value::Int(1), Value::Null(1)};
+  EXPECT_TRUE(Unifiable(a, c));
+}
+
+// --- Relation --------------------------------------------------------------
+
+TEST(RelationTest, InsertCountAndMultiplicity) {
+  Relation r({"a", "b"});
+  r.Add({Value::Int(1), Value::Int(2)});
+  r.Add({Value::Int(1), Value::Int(2)}, 2);
+  r.Add({Value::Int(3), Value::Null(0)});
+  EXPECT_EQ(r.Count(Tuple{Value::Int(1), Value::Int(2)}), 3u);
+  EXPECT_EQ(r.DistinctSize(), 2u);
+  EXPECT_EQ(r.TotalSize(), 4u);
+  EXPECT_FALSE(r.IsSet());
+  Relation s = r.ToSet();
+  EXPECT_TRUE(s.IsSet());
+  EXPECT_EQ(s.TotalSize(), 2u);
+}
+
+TEST(RelationTest, ArityMismatchRejected) {
+  Relation r({"a"});
+  Status st = r.Insert(Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, AttrIndexLookup) {
+  Relation r({"x", "y"});
+  ASSERT_TRUE(r.AttrIndex("y").ok());
+  EXPECT_EQ(r.AttrIndex("y").value(), 1u);
+  EXPECT_EQ(r.AttrIndex("z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RelationTest, SubBagOf) {
+  Relation a({"x"}), b({"x"});
+  a.Add({Value::Int(1)}, 2);
+  b.Add({Value::Int(1)}, 3);
+  b.Add({Value::Int(2)});
+  EXPECT_TRUE(a.SubBagOf(b));
+  EXPECT_FALSE(b.SubBagOf(a));
+}
+
+TEST(RelationTest, SortedTuplesDeterministic) {
+  Relation r({"x"});
+  r.Add({Value::Int(3)});
+  r.Add({Value::Int(1)});
+  r.Add({Value::Null(0)});
+  auto ts = r.SortedTuples();
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0], Tuple{Value::Null(0)});
+  EXPECT_EQ(ts[1], Tuple{Value::Int(1)});
+  EXPECT_EQ(ts[2], Tuple{Value::Int(3)});
+}
+
+// --- Database --------------------------------------------------------------
+
+Database FigureOneDb() {
+  // The Orders / Payments / Customers database of paper Figure 1.
+  Database db;
+  Relation orders({"oid", "title", "price"});
+  orders.Add({Value::String("o1"), Value::String("Big Data"), Value::Int(30)});
+  orders.Add({Value::String("o2"), Value::String("SQL"), Value::Int(35)});
+  orders.Add({Value::String("o3"), Value::String("Logic"), Value::Int(50)});
+  Relation payments({"cid", "oid"});
+  payments.Add({Value::String("c1"), Value::String("o1")});
+  payments.Add({Value::String("c2"), Value::String("o2")});
+  Relation customers({"cid", "name"});
+  customers.Add({Value::String("c1"), Value::String("John")});
+  customers.Add({Value::String("c2"), Value::String("Mary")});
+  db.Put("Orders", std::move(orders));
+  db.Put("Payments", std::move(payments));
+  db.Put("Customers", std::move(customers));
+  return db;
+}
+
+TEST(DatabaseTest, ConstantsNullsActiveDomain) {
+  Database db = FigureOneDb();
+  EXPECT_TRUE(db.IsComplete());
+  EXPECT_EQ(db.NullIds().size(), 0u);
+  EXPECT_EQ(db.TotalSize(), 7u);
+
+  // Introduce the paper's NULL into Payments.
+  Relation* p = db.mutable_at("Payments");
+  Relation p2({"cid", "oid"});
+  p2.Add({Value::String("c1"), Value::String("o1")});
+  p2.Add({Value::String("c2"), Value::Null(1)});
+  *p = p2;
+  EXPECT_FALSE(db.IsComplete());
+  EXPECT_EQ(db.NullIds(), std::set<uint64_t>{1});
+  EXPECT_EQ(db.ActiveDomain().size(), db.Constants().size() + 1);
+}
+
+TEST(DatabaseTest, GetMissingRelation) {
+  Database db;
+  EXPECT_EQ(db.Get("R").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, CoddifyMakesNullsDistinct) {
+  Database db;
+  Relation r({"a", "b"});
+  r.Add({Value::Null(0), Value::Null(0)});
+  r.Add({Value::Null(0), Value::Int(1)});
+  db.Put("R", std::move(r));
+  Database codd = db.CoddifyNulls(100);
+  // Three null occurrences → three distinct ids.
+  EXPECT_EQ(codd.NullIds().size(), 3u);
+  EXPECT_EQ(codd.at("R").TotalSize(), 2u);
+}
+
+// --- Valuation -------------------------------------------------------------
+
+TEST(ValuationTest, ApplyAndIdentityOutsideDomain) {
+  Valuation v;
+  ASSERT_TRUE(v.Bind(1, Value::Int(9)).ok());
+  EXPECT_EQ(v.Apply(Value::Null(1)), Value::Int(9));
+  EXPECT_EQ(v.Apply(Value::Null(2)), Value::Null(2));
+  EXPECT_EQ(v.Apply(Value::Int(5)), Value::Int(5));
+}
+
+TEST(ValuationTest, BindRejectsNullTarget) {
+  Valuation v;
+  EXPECT_FALSE(v.Bind(1, Value::Null(2)).ok());
+}
+
+TEST(ValuationTest, SetVsBagCollapse) {
+  // R = {(⊥1), (1)} and v(⊥1) = 1: set semantics collapses to {(1)},
+  // bag semantics adds multiplicities to (1)×2 — the two options of [42].
+  Relation r({"x"});
+  r.Add({Value::Null(1)});
+  r.Add({Value::Int(1)});
+  Valuation v;
+  v.Set(1, Value::Int(1));
+  Relation set = v.ApplySet(r);
+  EXPECT_EQ(set.TotalSize(), 1u);
+  EXPECT_EQ(set.Count(Tuple{Value::Int(1)}), 1u);
+  Relation bag = v.ApplyBag(r);
+  EXPECT_EQ(bag.Count(Tuple{Value::Int(1)}), 2u);
+}
+
+TEST(ValuationTest, ApplyDatabase) {
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Null(1)});
+  db.Put("R", std::move(r));
+  Valuation v;
+  v.Set(1, Value::Int(3));
+  Database out = v.ApplySet(db);
+  EXPECT_TRUE(out.IsComplete());
+  EXPECT_TRUE(out.at("R").Contains(Tuple{Value::Int(3)}));
+}
+
+TEST(StatusTest, ToStringAndCodes) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status st = Status::InvalidArgument("bad");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad");
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace incdb

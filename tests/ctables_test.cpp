@@ -1,0 +1,341 @@
+// Tests for src/ctables: condition satisfiability/validity/grounding, the
+// conditional evaluation of algebra, and the four strategies of [36]
+// (paper §4.2, Theorem 4.9).
+
+#include <gtest/gtest.h>
+
+#include "approx/approx.h"
+#include "certain/certain.h"
+#include "ctables/ceval.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+const Value kC1 = Value::Int(1);
+const Value kC2 = Value::Int(2);
+const Value kN1 = Value::Null(1);
+const Value kN2 = Value::Null(2);
+
+// --- Smart constructors -------------------------------------------------------
+
+TEST(CCondTest, SmartConstructorsFoldConstants) {
+  EXPECT_EQ(CcEq(kC1, kC1)->kind, CCKind::kTrue);
+  EXPECT_EQ(CcEq(kC1, kC2)->kind, CCKind::kFalse);
+  EXPECT_EQ(CcEq(kN1, kN1)->kind, CCKind::kTrue);
+  EXPECT_EQ(CcNeq(kC1, kC2)->kind, CCKind::kTrue);
+  EXPECT_EQ(CcAnd(CcTrue(), CcEq(kN1, kC1))->kind, CCKind::kEq);
+  EXPECT_EQ(CcAnd(CcFalse(), CcEq(kN1, kC1))->kind, CCKind::kFalse);
+  EXPECT_EQ(CcOr(CcTrue(), CcEq(kN1, kC1))->kind, CCKind::kTrue);
+  EXPECT_EQ(CcNot(CcNot(CcEq(kN1, kC1)))->kind, CCKind::kEq);
+}
+
+// --- Satisfiability / validity / grounding -------------------------------------
+
+TEST(CCondTest, SatisfiabilityUnionFind) {
+  // ⊥1 = 1 ∧ ⊥1 = 2 is unsatisfiable.
+  CCondPtr c = CcAnd(CcEq(kN1, kC1), CcEq(kN1, kC2));
+  EXPECT_FALSE(SatisfiableCC(c));
+  // ⊥1 = 1 ∧ ⊥2 = 2 is satisfiable.
+  EXPECT_TRUE(SatisfiableCC(CcAnd(CcEq(kN1, kC1), CcEq(kN2, kC2))));
+  // ⊥1 = ⊥2 ∧ ⊥1 = 1 ∧ ⊥2 = 2 is unsatisfiable (transitivity).
+  EXPECT_FALSE(SatisfiableCC(
+      CcAnd(CcEq(kN1, kN2), CcAnd(CcEq(kN1, kC1), CcEq(kN2, kC2)))));
+  // ⊥1 ≠ ⊥1 is unsatisfiable (folded to false already).
+  EXPECT_EQ(CcNeq(kN1, kN1)->kind, CCKind::kFalse);
+}
+
+TEST(CCondTest, ValidityExamples) {
+  // ⊥1 = 1 ∨ ⊥1 ≠ 1 is valid.
+  EXPECT_TRUE(ValidCC(CcOr(CcEq(kN1, kC1), CcNeq(kN1, kC1))));
+  // ⊥1 = 1 alone is satisfiable but not valid.
+  EXPECT_TRUE(SatisfiableCC(CcEq(kN1, kC1)));
+  EXPECT_FALSE(ValidCC(CcEq(kN1, kC1)));
+  // ⊥1 ≠ 1 ∨ ⊥1 ≠ 2 is valid (no value equals both).
+  EXPECT_TRUE(ValidCC(CcOr(CcNeq(kN1, kC1), CcNeq(kN1, kC2))));
+  // ⊥1 = 1 ∨ ⊥1 ≠ 2 is NOT valid (v(⊥1) = 2 falsifies both disjuncts).
+  EXPECT_FALSE(ValidCC(CcOr(CcEq(kN1, kC1), CcNeq(kN1, kC2))));
+  // ⊥1 = 1 ∨ ⊥2 ≠ 2: not valid (⊥1=3, ⊥2=2).
+  EXPECT_FALSE(ValidCC(CcOr(CcEq(kN1, kC1), CcNeq(kN2, kC2))));
+}
+
+TEST(CCondTest, GroundingThreeWay) {
+  EXPECT_EQ(GroundCC(CcOr(CcEq(kN1, kC1), CcNeq(kN1, kC1))), TV3::kT);
+  EXPECT_EQ(GroundCC(CcAnd(CcEq(kN1, kC1), CcEq(kN1, kC2))), TV3::kF);
+  EXPECT_EQ(GroundCC(CcEq(kN1, kC1)), TV3::kU);
+}
+
+TEST(CCondTest, UnknownLiteralBlocksValidity) {
+  // u is satisfiable but never valid; u ∨ valid is valid.
+  EXPECT_TRUE(SatisfiableCC(CcUnknown()));
+  EXPECT_FALSE(ValidCC(CcUnknown()));
+  EXPECT_EQ(GroundCC(CcUnknown()), TV3::kU);
+  EXPECT_EQ(GroundCC(CcOr(CcUnknown(), CcOr(CcEq(kN1, kC1),
+                                            CcNeq(kN1, kC1)))),
+            TV3::kT);
+  EXPECT_EQ(GroundCC(CcAnd(CcUnknown(), CcNeq(kN1, kN1))), TV3::kF);
+}
+
+TEST(CCondTest, EvalUnderTotalValuation) {
+  Valuation v;
+  v.Set(1, kC1);
+  v.Set(2, kC2);
+  EXPECT_EQ(EvalCC(CcEq(kN1, kC1), v), TV3::kT);
+  EXPECT_EQ(EvalCC(CcEq(kN1, kN2), v), TV3::kF);
+  EXPECT_EQ(EvalCC(CcNot(CcEq(kN1, kN2)), v), TV3::kT);
+}
+
+TEST(CCondTest, ForcedBindingsFromConjuncts) {
+  // ⊥1 = 1 ∧ ⊥1 = ⊥2: both nulls forced (⊥1 ↦ 1, ⊥2 ↦ 1).
+  CCondPtr c = CcAnd(CcEq(kN1, kC1), CcEq(kN1, kN2));
+  auto forced = ForcedBindings(c);
+  EXPECT_EQ(forced.at(1), kC1);
+  EXPECT_EQ(forced.at(2), kC1);
+  // Disjunctions force nothing.
+  auto none = ForcedBindings(CcOr(CcEq(kN1, kC1), CcEq(kN2, kC2)));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(CCondTest, SubstPartialValuation) {
+  Valuation v;
+  v.Set(1, kC1);
+  CCondPtr c = SubstCC(CcAnd(CcEq(kN1, kC1), CcEq(kN2, kC2)), v);
+  // First conjunct folds to true; the second remains.
+  EXPECT_EQ(c->kind, CCKind::kEq);
+}
+
+// --- Conditional tables ---------------------------------------------------------
+
+TEST(CTableTest, NormalizedMergesDuplicates) {
+  CTable t({"x"});
+  t.Add(Tuple{kC1}, CcEq(kN1, kC1));
+  t.Add(Tuple{kC1}, CcNeq(kN1, kC1));
+  CTable n = t.Normalized();
+  ASSERT_EQ(n.size(), 1u);
+  // Merged condition ⊥1=1 ∨ ⊥1≠1 is valid → certain.
+  EXPECT_TRUE(n.CertainTuples().Contains(Tuple{kC1}));
+}
+
+TEST(CTableTest, InstantiateSelectsHoldingTuples) {
+  CTable t({"x"});
+  t.Add(Tuple{kN1}, CcEq(kN1, kC1));
+  t.Add(Tuple{kC2}, CcTrue());
+  Valuation v;
+  v.Set(1, kC1);
+  Relation world = t.Instantiate(v);
+  EXPECT_TRUE(world.Contains(Tuple{kC1}));
+  EXPECT_TRUE(world.Contains(Tuple{kC2}));
+  Valuation v2;
+  v2.Set(1, kC2);
+  Relation world2 = t.Instantiate(v2);
+  EXPECT_FALSE(world2.Contains(Tuple{kC2}) && world2.TotalSize() == 2);
+}
+
+TEST(CTableTest, FromDatabaseAllTrue) {
+  Database db = testing_util::FigureOne(true);
+  CDatabase cdb = CDatabase::FromDatabase(db);
+  EXPECT_EQ(cdb.tables.at("Payments").size(), 2u);
+  for (const CTuple& ct : cdb.tables.at("Payments").tuples()) {
+    EXPECT_EQ(ct.cond->kind, CCKind::kTrue);
+  }
+}
+
+// --- The paper's semi-eager example ---------------------------------------------
+
+TEST(StrategyTest, SemiEagerPropagatesEqualities) {
+  // The c-tuple ⟨⊥2, ⊥1 = c ∧ ⊥1 = ⊥2⟩ should give ⟨c, u⟩ rather than
+  // ⟨⊥2, u⟩ (paper's description of Evalˢ). We reproduce it through the
+  // Propagate path: σ conditions that force the equality.
+  // R(a, b) = {(⊥1, ⊥2)}; σ_{a = 1 ∧ a = b}(R) then project to b.
+  Database db;
+  Relation r({"a", "b"});
+  r.Add({kN1, kN2});
+  db.Put("R", r);
+  AlgPtr q = Project(Select(Scan("R"), CAnd(CEqc("a", kC1), CEq("a", "b"))),
+                     {"b"});
+  auto eager = CEval(q, db, CStrategy::kEager);
+  auto semi = CEval(q, db, CStrategy::kSemiEager);
+  ASSERT_TRUE(eager.ok() && semi.ok());
+  // Eager keeps the null datum.
+  ASSERT_EQ(eager->size(), 1u);
+  EXPECT_EQ(eager->tuples()[0].data, Tuple{kN2});
+  // Semi-eager rewrites it to the forced constant.
+  ASSERT_EQ(semi->size(), 1u);
+  EXPECT_EQ(semi->tuples()[0].data, Tuple{kC1});
+}
+
+// --- Theorem 4.9 -----------------------------------------------------------------
+
+class StrategyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyProperty, EagerEqualsFig2bScheme) {
+  // Theorem 4.9: Q+(D) = Evalᵉt(Q, D) and Q?(D) = Evalᵉp(Q, D). The
+  // theorem is stated for the paper's core grammar, so both sides are fed
+  // the same PrepareForTranslation output (∩ is rewritten as Q1−(Q1−Q2);
+  // the conditional evaluator's native ∩ is *more* precise than that
+  // rewriting, which would otherwise break exact equality).
+  std::mt19937_64 rng(GetParam());
+  Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+  for (const AlgPtr& zoo_q : testing_util::QueryZoo()) {
+    auto prepared = PrepareForTranslation(zoo_q, db);
+    ASSERT_TRUE(prepared.ok()) << zoo_q->ToString();
+    const AlgPtr& q = *prepared;
+    auto plus = EvalPlus(q, db);
+    auto maybe = EvalMaybe(q, db);
+    auto ct = CEvalCertain(q, db, CStrategy::kEager);
+    auto cp = CEvalPossible(q, db, CStrategy::kEager);
+    ASSERT_TRUE(plus.ok() && maybe.ok() && ct.ok() && cp.ok())
+        << q->ToString();
+    EXPECT_TRUE(plus->SameRows(*ct))
+        << q->ToString() << "\n Q+: " << plus->ToString()
+        << "\n Evalᵉt: " << ct->ToString();
+    EXPECT_TRUE(maybe->SameRows(*cp))
+        << q->ToString() << "\n Q?: " << maybe->ToString()
+        << "\n Evalᵉp: " << cp->ToString();
+  }
+}
+
+TEST_P(StrategyProperty, AllStrategiesHaveCorrectnessGuarantees) {
+  // Theorem 4.9: Eval⋆t(Q, D) ⊆ cert⊥(Q, D) for every strategy.
+  std::mt19937_64 rng(GetParam() + 100);
+  Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+  for (const AlgPtr& q : testing_util::QueryZoo()) {
+    auto cert = CertWithNulls(q, db);
+    ASSERT_TRUE(cert.ok());
+    for (CStrategy s : {CStrategy::kEager, CStrategy::kSemiEager,
+                        CStrategy::kLazy, CStrategy::kAware}) {
+      auto ct = CEvalCertain(q, db, s);
+      ASSERT_TRUE(ct.ok()) << q->ToString() << " " << ToString(s);
+      EXPECT_TRUE(ct->SubBagOf(*cert))
+          << q->ToString() << " strategy " << ToString(s)
+          << "\n Eval⋆t: " << ct->ToString()
+          << "\n cert⊥: " << cert->ToString();
+    }
+  }
+}
+
+TEST_P(StrategyProperty, LaterStrategiesAreAtLeastAsPrecise) {
+  // [36]: deferring grounding only gains certain answers:
+  // Evalᵉt ⊆ Evalˢt ⊆ Evalˡt ⊆ Evalᵃt.
+  std::mt19937_64 rng(GetParam() + 200);
+  Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+  for (const AlgPtr& q : testing_util::QueryZoo()) {
+    auto e = CEvalCertain(q, db, CStrategy::kEager);
+    auto s = CEvalCertain(q, db, CStrategy::kSemiEager);
+    auto l = CEvalCertain(q, db, CStrategy::kLazy);
+    auto a = CEvalCertain(q, db, CStrategy::kAware);
+    ASSERT_TRUE(e.ok() && s.ok() && l.ok() && a.ok()) << q->ToString();
+    EXPECT_TRUE(e->SubBagOf(*s)) << q->ToString();
+    EXPECT_TRUE(s->SubBagOf(*l)) << q->ToString();
+    EXPECT_TRUE(l->SubBagOf(*a)) << q->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(StrategyTest, AwareStrictlyBeatsEagerSomewhere) {
+  // A witness where postponing grounding pays: R − (S − T) with
+  // R = S = {⊥1} and T = {⊥1}. The aware evaluation keeps the exact
+  // condition and certifies ⊥1; eager grounds intermediate u's away.
+  Database db;
+  Relation r({"x"}), s({"x"}), t({"x"});
+  r.Add({kN1});
+  s.Add({kN1});
+  t.Add({kC1});
+  db.Put("R", r);
+  db.Put("S", s);
+  db.Put("T", t);
+  AlgPtr q = Diff(Scan("R"), Diff(Scan("S"), Scan("T")));
+  auto eager = CEvalCertain(q, db, CStrategy::kEager);
+  auto aware = CEvalCertain(q, db, CStrategy::kAware);
+  auto cert = CertWithNulls(q, db);
+  ASSERT_TRUE(eager.ok() && aware.ok() && cert.ok());
+  // cert⊥ here: ⊥1 certain iff in every world v, v(⊥1) ∈ R−(S−T) =
+  // R − (S−T); S−T = ∅ if v(⊥1)=1 else {v(⊥1)}; so R−(S−T) = {v(⊥1)}
+  // iff v(⊥1)=1 ... not certain. Both must be sound:
+  EXPECT_TRUE(eager->SubBagOf(*cert));
+  EXPECT_TRUE(aware->SubBagOf(*cert));
+  EXPECT_TRUE(eager->SubBagOf(*aware));
+}
+
+TEST(StrategyTest, AwareRecoversValidDisjunction) {
+  // σ_{x=1}(R) ∪ σ_{x≠1}(R) with R = {⊥1}: the union's condition is the
+  // valid ⊥1=1 ∨ ⊥1≠1. Aware (grounding at the end, after merging
+  // duplicates) certifies ⊥1; eager grounds each branch to u first and —
+  // after the duplicate merge u ∨ u — still reports u.
+  Database db;
+  Relation r({"x"});
+  r.Add({kN1});
+  db.Put("R", r);
+  AlgPtr q = Union(Select(Scan("R"), CEqc("x", kC1)),
+                   Select(Scan("R"), CNeqc("x", kC1)));
+  auto eager = CEvalCertain(q, db, CStrategy::kEager);
+  auto aware = CEvalCertain(q, db, CStrategy::kAware);
+  ASSERT_TRUE(eager.ok() && aware.ok());
+  EXPECT_TRUE(eager->Empty());
+  EXPECT_TRUE(aware->Contains(Tuple{kN1}));
+  // And the certain answers agree with aware here.
+  auto cert = CertWithNulls(q, db);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(aware->SameRows(*cert));
+}
+
+TEST(StrategyTest, PolynomialSizedConditions) {
+  // Eval strategies stay polynomial: a moderately sized difference query
+  // completes quickly (sanity check, not a benchmark).
+  Database db;
+  Relation r({"x"}), s({"x"});
+  for (int i = 0; i < 30; ++i) r.Add({Value::Int(i)});
+  for (int i = 0; i < 15; ++i) s.Add({Value::Int(2 * i)});
+  s.Add({Value::Null(1)});
+  db.Put("R", r);
+  db.Put("S", s);
+  AlgPtr q = Diff(Scan("R"), Scan("S"));
+  for (CStrategy st : {CStrategy::kEager, CStrategy::kSemiEager,
+                       CStrategy::kLazy, CStrategy::kAware}) {
+    auto res = CEvalCertain(q, db, st);
+    ASSERT_TRUE(res.ok()) << ToString(st);
+    // Odd constants unify with ⊥1 → only certain if... none are certain
+    // (⊥1 can hit any odd value); evens are in S definitely.
+    EXPECT_TRUE(res->Empty()) << ToString(st);
+  }
+}
+
+TEST(StrategyTest, SugarOperatorsAreDesugaredInternally) {
+  // CEval accepts the SQL-translator output (kNotIn etc.) by desugaring;
+  // results must agree with the Fig. 2(b) scheme per Theorem 4.9.
+  Database db;
+  Relation r({"x"}), s({"y"});
+  r.Add({Value::Int(1)});
+  r.Add({Value::Int(2)});
+  s.Add({Value::Int(1)});
+  s.Add({Value::Null(1)});
+  db.Put("R", r);
+  db.Put("S", s);
+  AlgPtr q = NotInPredicate(Scan("R"), Scan("S"), {"x"}, {"y"}, CTrue());
+  auto ct = CEvalCertain(q, db, CStrategy::kEager);
+  auto plus = EvalPlus(q, db);
+  ASSERT_TRUE(ct.ok() && plus.ok());
+  EXPECT_TRUE(ct->SameRows(*plus));
+  // Nothing is certain: ⊥1 can be 2.
+  EXPECT_TRUE(ct->Empty());
+  // Aware agrees here (no valid disjunction to recover).
+  auto aware = CEvalCertain(q, db, CStrategy::kAware);
+  ASSERT_TRUE(aware.ok());
+  EXPECT_TRUE(aware->Empty());
+}
+
+TEST(StrategyTest, OrderConditionsRejected) {
+  Database db;
+  Relation r({"x"});
+  r.Add({Value::Null(1)});
+  db.Put("R", r);
+  auto res = CEvalCertain(Select(Scan("R"), CLtc("x", Value::Int(5))), db,
+                          CStrategy::kEager);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,132 @@
+// Tests for src/hom: homomorphism search by class (§4.1) and the induced
+// semantics of incompleteness (Theorem 4.3's ⟦D⟧_H).
+
+#include <gtest/gtest.h>
+
+#include "certain/valuation_family.h"
+#include "eval/eval.h"
+#include "hom/homomorphism.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+Database Single(const std::string& rel, std::vector<Tuple> tuples,
+                size_t arity) {
+  Database db;
+  Relation r(DefaultAttrs(arity));
+  for (const Tuple& t : tuples) {
+    Status st = r.Insert(t, 1);
+    EXPECT_TRUE(st.ok());
+  }
+  db.Put(rel, std::move(r));
+  return db;
+}
+
+TEST(HomTest, IdentityAndConstantFixing) {
+  Database d = Single("R", {Tuple{Value::Int(1), Value::Int(2)}}, 2);
+  EXPECT_TRUE(ExistsHomomorphism(d, d, HomClass::kAny));
+  // Constants must map to themselves: no hom into a mismatched instance.
+  Database e = Single("R", {Tuple{Value::Int(3), Value::Int(4)}}, 2);
+  EXPECT_FALSE(ExistsHomomorphism(d, e, HomClass::kAny));
+}
+
+TEST(HomTest, NullsMapAnywhere) {
+  Database d = Single("R", {Tuple{Value::Null(1), Value::Int(2)}}, 2);
+  Database e = Single("R", {Tuple{Value::Int(7), Value::Int(2)}}, 2);
+  EXPECT_TRUE(ExistsHomomorphism(d, e, HomClass::kAny));
+  // Repeated marked null must map consistently.
+  Database d2 = Single("R", {Tuple{Value::Null(1), Value::Null(1)}}, 2);
+  Database e2 = Single("R", {Tuple{Value::Int(1), Value::Int(2)}}, 2);
+  EXPECT_FALSE(ExistsHomomorphism(d2, e2, HomClass::kAny));
+  Database e3 = Single("R", {Tuple{Value::Int(5), Value::Int(5)}}, 2);
+  EXPECT_TRUE(ExistsHomomorphism(d2, e3, HomClass::kAny));
+}
+
+TEST(HomTest, PaperOntoButNotStrongOntoExample) {
+  // §4.1: D = {R(⊥1, ⊥2)}, D' = {R(1,2), R(2,1)}; h(⊥1)=1, h(⊥2)=2 is
+  // onto (image covers dom D') but not strong onto (no preimage of (2,1)).
+  Database d = Single("R", {Tuple{Value::Null(1), Value::Null(2)}}, 2);
+  Database e = Single("R", {Tuple{Value::Int(1), Value::Int(2)},
+                            Tuple{Value::Int(2), Value::Int(1)}},
+                      2);
+  EXPECT_TRUE(ExistsHomomorphism(d, e, HomClass::kAny));
+  EXPECT_TRUE(ExistsHomomorphism(d, e, HomClass::kOnto));
+  EXPECT_FALSE(ExistsHomomorphism(d, e, HomClass::kStrongOnto));
+}
+
+TEST(HomTest, StrongOntoIsCwaPossibleWorld) {
+  // ⟦D⟧ (CWA) = complete D' with a strong onto hom from D. Compare with
+  // the valuation-based definition on small instances.
+  Database d = Single("R", {Tuple{Value::Null(1), Value::Int(2)},
+                            Tuple{Value::Int(2), Value::Int(2)}},
+                      2);
+  // v(⊥1) = 2 collapses both tuples.
+  Database w1 = Single("R", {Tuple{Value::Int(2), Value::Int(2)}}, 2);
+  EXPECT_TRUE(IsPossibleWorld(d, w1, HomClass::kStrongOnto));
+  // A world with an extra fact is an OWA world but not a CWA world.
+  Database w2 = Single("R", {Tuple{Value::Int(1), Value::Int(2)},
+                             Tuple{Value::Int(2), Value::Int(2)},
+                             Tuple{Value::Int(9), Value::Int(9)}},
+                       2);
+  EXPECT_TRUE(IsPossibleWorld(d, w2, HomClass::kAny));
+  EXPECT_FALSE(IsPossibleWorld(d, w2, HomClass::kStrongOnto));
+  // Incomplete instances are never possible worlds.
+  EXPECT_FALSE(IsPossibleWorld(d, d, HomClass::kAny));
+}
+
+TEST(HomTest, CwaWorldsMatchValuationSemantics) {
+  // For each valuation v in the family, v(D) must be a strong-onto world;
+  // and a constant-renamed variant must not be (unless realised by some
+  // other valuation).
+  std::mt19937_64 rng(19);
+  Database db = testing_util::RandomDatabase(rng, 3, 2, 2);
+  std::set<uint64_t> ids = db.NullIds();
+  std::vector<uint64_t> nulls(ids.begin(), ids.end());
+  std::vector<Value> consts = FamilyConstants(db, {});
+  Status st = ForEachValuation(nulls, consts, 10000, [&](const Valuation& v) {
+    EXPECT_TRUE(IsPossibleWorld(db, v.ApplySet(db), HomClass::kStrongOnto))
+        << v.ToString();
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(HomTest, MissingRelationBlocksHom) {
+  Database d = Single("R", {Tuple{Value::Int(1)}}, 1);
+  Database e = Single("S", {Tuple{Value::Int(1)}}, 1);
+  EXPECT_FALSE(ExistsHomomorphism(d, e, HomClass::kAny));
+  // An empty relation on the source is fine.
+  Database d2;
+  d2.Put("R", Relation(DefaultAttrs(1)));
+  EXPECT_TRUE(ExistsHomomorphism(d2, e, HomClass::kAny));
+}
+
+TEST(HomTest, PreservationOfUCQUnderHomomorphisms) {
+  // Sanity instance of Theorem 4.3's engine: if D → D' and a UCQ holds in
+  // D (naively), it holds in D'. Checked over the query zoo's positive
+  // shapes and family worlds.
+  std::mt19937_64 rng(29);
+  Database db = testing_util::RandomDatabase(rng, 3, 2, 2);
+  std::set<uint64_t> ids = db.NullIds();
+  std::vector<uint64_t> nulls(ids.begin(), ids.end());
+  std::vector<Value> consts = FamilyConstants(db, {});
+  for (const AlgPtr& q : testing_util::QueryZoo(/*include_negative=*/false)) {
+    auto naive = EvalSet(q, db);
+    ASSERT_TRUE(naive.ok());
+    Status st =
+        ForEachValuation(nulls, consts, 10000, [&](const Valuation& v) {
+          auto world_ans = EvalSet(q, v.ApplySet(db));
+          EXPECT_TRUE(world_ans.ok());
+          for (const Tuple& t : naive->SortedTuples()) {
+            EXPECT_TRUE(world_ans->Contains(v.Apply(t)))
+                << q->ToString() << " " << t.ToString();
+          }
+          return !::testing::Test::HasFailure();
+        });
+    ASSERT_TRUE(st.ok());
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,109 @@
+// Tests for src/logic/lifting: the Theorem 5.1 lifting criterion (§5.1),
+// executable end to end — condition (2) checked exhaustively, atomic and
+// lifted correctness checked empirically against brute-force cert⊥.
+
+#include <gtest/gtest.h>
+
+#include "approx/approx.h"
+#include "certain/certain.h"
+#include "certain/valuation_family.h"
+#include "logic/fo_eval.h"
+#include "logic/lifting.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+TEST(LiftingTest, KleeneRespectsKnowledgeOrder) {
+  EXPECT_TRUE(KnowledgeMonotone(PropositionalLogic::Kleene3()));
+}
+
+TEST(LiftingTest, AssertBreaksKnowledgeOrder) {
+  // §5.2's diagnosis: the assertion operator is the culprit.
+  PropositionalLogic l = PropositionalLogic::Kleene3WithAssert();
+  EXPECT_FALSE(KnowledgeMonotone(l));
+  EXPECT_EQ(FirstKnowledgeOrderViolation(l), "↑");
+}
+
+TEST(LiftingTest, BoolAtomSemanticsFailsAtomicCorrectness) {
+  // The paper's (12)-semantics counterexample: D = {R(1, ⊥)} gives
+  // ⟦R(1,1)⟧bool = f, but (1,1) is not certainly absent (v(⊥)=1).
+  Database db;
+  Relation r({"a", "b"});
+  r.Add({Value::Int(1), Value::Null(1)});
+  db.Put("R", r);
+  FormulaPtr atom = FAtom("R", {Term::Const(Value::Int(1)),
+                                Term::Const(Value::Int(1))});
+  auto tv = EvalFO(atom, db, {}, MixedSemantics::Bool());
+  ASSERT_TRUE(tv.ok());
+  EXPECT_EQ(*tv, TV3::kF);  // claims certainly false...
+  // ...but the valuation ⊥ ↦ 1 makes R(1,1) true, so f is not sound.
+  Valuation v;
+  v.Set(1, Value::Int(1));
+  Database world = v.ApplySet(db);
+  EXPECT_TRUE(world.at("R").Contains(Tuple{Value::Int(1), Value::Int(1)}));
+}
+
+TEST(LiftingTest, UnifAtomicCorrectnessLiftsToCompoundFormulae) {
+  // The constructive direction of Theorem 5.1: ⟦·⟧unif is correct on
+  // atoms (Corollary 5.2's premise); with Kleene connectives the whole
+  // FO evaluation stays correct. Empirically: on random databases, every
+  // t-valued compound formula answer is in cert⊥ of the matching algebra
+  // query, and every f-valued one is certainly absent.
+  std::mt19937_64 rng(91);
+  for (int round = 0; round < 8; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+    // φ(x) = T(x) ∧ ¬∃y S(x, y) — uses ∧, ¬, ∃ above the atoms.
+    FormulaPtr phi =
+        FAnd(FAtom("T", {Term::Var("x")}),
+             FNot(FExists("y", FAtom("S", {Term::Var("x"), Term::Var("y")}))));
+    AlgPtr q = Diff(Scan("T"), Rename(Project(Scan("S"), {"S_a"}), {"T_a"}));
+    auto cert_pos = CertWithNulls(q, db);
+    ASSERT_TRUE(cert_pos.ok());
+    for (const Value& a : db.ActiveDomain()) {
+      auto tv = EvalFO(phi, db, {{"x", a}}, MixedSemantics::Unif());
+      ASSERT_TRUE(tv.ok());
+      if (*tv == TV3::kT) {
+        EXPECT_TRUE(cert_pos->Contains(Tuple{a}))
+            << "t-answer " << a.ToString() << " not certain";
+      } else if (*tv == TV3::kF) {
+        // Certainly false: v(a) ∉ Q(v(D)) for *every* valuation of the
+        // sufficient family.
+        std::set<uint64_t> ids = db.NullIds();
+        std::vector<uint64_t> nulls(ids.begin(), ids.end());
+        std::vector<Value> consts = FamilyConstants(db, QueryConstants(q));
+        Status st = ForEachValuation(
+            nulls, consts, 200000, [&](const Valuation& v) {
+              auto world_ans = EvalSet(q, v.ApplySet(db));
+              EXPECT_TRUE(world_ans.ok());
+              EXPECT_FALSE(world_ans->Contains(v.Apply(Tuple{a})))
+                  << "f-answer " << a.ToString() << " holds under "
+                  << v.ToString();
+              return !::testing::Test::HasFailure();
+            });
+        ASSERT_TRUE(st.ok());
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(LiftingTest, AssertedFormulaeCanClaimFalseWrongly) {
+  // With ↑ in the logic, the f value is no longer a certainty claim:
+  // ↑(x = ⊥) is f even though x = ⊥ may hold. This is why FO(L3v↑)
+  // (i.e. SQL) loses the almost-certainly-true guarantee (§5.2).
+  Database db;
+  Relation r({"a"});
+  r.Add({Value::Null(1)});
+  db.Put("R", r);
+  FormulaPtr eq = FEq(Term::Const(Value::Int(1)), Term::Const(Value::Null(1)));
+  auto plain = EvalFO(eq, db, {}, MixedSemantics::Unif());
+  auto asserted = EvalFO(FAssert(eq), db, {}, MixedSemantics::Unif());
+  ASSERT_TRUE(plain.ok() && asserted.ok());
+  EXPECT_EQ(*plain, TV3::kU);      // honest: unknown
+  EXPECT_EQ(*asserted, TV3::kF);   // ↑ collapses to false — unsound as
+                                   // a certainty claim (v(⊥1)=1 refutes)
+}
+
+}  // namespace
+}  // namespace incdb

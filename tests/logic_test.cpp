@@ -1,0 +1,393 @@
+// Tests for src/logic: Kleene truth tables (Fig. 3), knowledge order,
+// the six-valued epistemic logic and Theorem 5.3, many-valued FO
+// semantics (§5.1–5.2), Corollary 5.2 and the Boolean-FO capture
+// (Theorems 5.4/5.5).
+
+#include <gtest/gtest.h>
+
+#include "certain/certain.h"
+#include "logic/capture.h"
+#include "logic/fo_eval.h"
+#include "logic/kleene.h"
+#include "logic/sixvalued.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+constexpr TV3 kT3 = TV3::kT;
+constexpr TV3 kF3 = TV3::kF;
+constexpr TV3 kU3 = TV3::kU;
+
+// --- Figure 3: Kleene's truth tables, exhaustively ---------------------------
+
+TEST(KleeneTest, FigureThreeTables) {
+  // ∧ : t f u / f f f / u f u
+  EXPECT_EQ(Kleene::And(kT3, kT3), kT3);
+  EXPECT_EQ(Kleene::And(kT3, kF3), kF3);
+  EXPECT_EQ(Kleene::And(kT3, kU3), kU3);
+  EXPECT_EQ(Kleene::And(kF3, kT3), kF3);
+  EXPECT_EQ(Kleene::And(kF3, kF3), kF3);
+  EXPECT_EQ(Kleene::And(kF3, kU3), kF3);
+  EXPECT_EQ(Kleene::And(kU3, kT3), kU3);
+  EXPECT_EQ(Kleene::And(kU3, kF3), kF3);
+  EXPECT_EQ(Kleene::And(kU3, kU3), kU3);
+  // ∨ : t t t / t f u / t u u
+  EXPECT_EQ(Kleene::Or(kT3, kT3), kT3);
+  EXPECT_EQ(Kleene::Or(kT3, kF3), kT3);
+  EXPECT_EQ(Kleene::Or(kT3, kU3), kT3);
+  EXPECT_EQ(Kleene::Or(kF3, kT3), kT3);
+  EXPECT_EQ(Kleene::Or(kF3, kF3), kF3);
+  EXPECT_EQ(Kleene::Or(kF3, kU3), kU3);
+  EXPECT_EQ(Kleene::Or(kU3, kT3), kT3);
+  EXPECT_EQ(Kleene::Or(kU3, kF3), kU3);
+  EXPECT_EQ(Kleene::Or(kU3, kU3), kU3);
+  // ¬ : t↦f, f↦t, u↦u
+  EXPECT_EQ(Kleene::Not(kT3), kF3);
+  EXPECT_EQ(Kleene::Not(kF3), kT3);
+  EXPECT_EQ(Kleene::Not(kU3), kU3);
+}
+
+TEST(KleeneTest, AssertCollapsesToBoolean) {
+  EXPECT_EQ(Kleene::Assert(kT3), kT3);
+  EXPECT_EQ(Kleene::Assert(kF3), kF3);
+  EXPECT_EQ(Kleene::Assert(kU3), kF3);
+}
+
+TEST(KnowledgeOrderTest, UIsLeastTandFIncomparable) {
+  EXPECT_TRUE(KnowledgeLeq(kU3, kT3));
+  EXPECT_TRUE(KnowledgeLeq(kU3, kF3));
+  EXPECT_TRUE(KnowledgeLeq(kT3, kT3));
+  EXPECT_FALSE(KnowledgeLeq(kT3, kF3));
+  EXPECT_FALSE(KnowledgeLeq(kF3, kT3));
+  EXPECT_FALSE(KnowledgeLeq(kT3, kU3));
+}
+
+TEST(KnowledgeOrderTest, KleeneConnectivesAreMonotone) {
+  // §5.1 condition (2): if τ1 ⪯ τ1' and τ2 ⪯ τ2' then ω(τ1,τ2) ⪯
+  // ω(τ1',τ2'). Exhaustive over all pairs.
+  const TV3 all[] = {kF3, kU3, kT3};
+  for (TV3 a : all) {
+    for (TV3 a2 : all) {
+      if (!KnowledgeLeq(a, a2)) continue;
+      EXPECT_TRUE(KnowledgeLeq(Kleene::Not(a), Kleene::Not(a2)));
+      for (TV3 b : all) {
+        for (TV3 b2 : all) {
+          if (!KnowledgeLeq(b, b2)) continue;
+          EXPECT_TRUE(KnowledgeLeq(Kleene::And(a, b), Kleene::And(a2, b2)));
+          EXPECT_TRUE(KnowledgeLeq(Kleene::Or(a, b), Kleene::Or(a2, b2)));
+        }
+      }
+    }
+  }
+}
+
+TEST(KnowledgeOrderTest, AssertBreaksMonotonicity) {
+  // §5.2 conclusion: u ⪯ t but ↑u = f ⪯̸ t = ↑t. The culprit behind SQL's
+  // almost-certainly-false answers.
+  EXPECT_TRUE(KnowledgeLeq(kU3, kT3));
+  EXPECT_FALSE(KnowledgeLeq(Kleene::Assert(kU3), Kleene::Assert(kT3)));
+}
+
+// --- L6v: derivation from the epistemic semantics ------------------------------
+
+TEST(SixValuedTest, TablesMatchFirstPrinciplesDerivation) {
+  // Every cached table entry equals the most general consistent value.
+  const TV6 all[] = {TV6::kF, TV6::kSF, TV6::kS,
+                     TV6::kU, TV6::kST, TV6::kT};
+  for (TV6 a : all) {
+    auto nn = MostGeneral(ConsistentNot(a));
+    ASSERT_TRUE(nn.has_value());
+    EXPECT_EQ(Six::Not(a), *nn);
+    for (TV6 b : all) {
+      auto aa = MostGeneral(ConsistentAnd(a, b));
+      auto oo = MostGeneral(ConsistentOr(a, b));
+      ASSERT_TRUE(aa.has_value()) << ToString(a) << "," << ToString(b);
+      ASSERT_TRUE(oo.has_value());
+      EXPECT_EQ(Six::And(a, b), *aa);
+      EXPECT_EQ(Six::Or(a, b), *oo);
+    }
+  }
+}
+
+TEST(SixValuedTest, SpotChecks) {
+  // Known entries: negation swaps st/sf, fixes s and u.
+  EXPECT_EQ(Six::Not(TV6::kT), TV6::kF);
+  EXPECT_EQ(Six::Not(TV6::kST), TV6::kSF);
+  EXPECT_EQ(Six::Not(TV6::kS), TV6::kS);
+  EXPECT_EQ(Six::Not(TV6::kU), TV6::kU);
+  // t ∧ x = x for x ∈ {t, f, s, st, sf} (t is the ∧-identity on
+  // knowledge-definite values).
+  EXPECT_EQ(Six::And(TV6::kT, TV6::kS), TV6::kS);
+  EXPECT_EQ(Six::And(TV6::kT, TV6::kST), TV6::kST);
+  // f dominates ∧.
+  for (TV6 x : {TV6::kT, TV6::kS, TV6::kST, TV6::kSF, TV6::kU}) {
+    EXPECT_EQ(Six::And(TV6::kF, x), TV6::kF) << ToString(x);
+  }
+}
+
+TEST(SixValuedTest, RestrictionToTFUIsKleene) {
+  // The {t, f, u} fragment of L6v is exactly Kleene's logic.
+  const TV6 three[] = {TV6::kT, TV6::kF, TV6::kU};
+  auto to3 = [](TV6 v) { return *Restrict(v); };
+  for (TV6 a : three) {
+    EXPECT_EQ(to3(Six::Not(a)), Kleene::Not(to3(a)));
+    for (TV6 b : three) {
+      ASSERT_TRUE(Restrict(Six::And(a, b)).has_value());
+      EXPECT_EQ(to3(Six::And(a, b)), Kleene::And(to3(a), to3(b)));
+      EXPECT_EQ(to3(Six::Or(a, b)), Kleene::Or(to3(a), to3(b)));
+    }
+  }
+}
+
+TEST(SixValuedTest, L6vIsNeitherDistributiveNorIdempotent) {
+  Sublogic full{{TV6::kF, TV6::kSF, TV6::kS, TV6::kU, TV6::kST, TV6::kT}};
+  EXPECT_TRUE(full.Closed());
+  EXPECT_FALSE(full.Idempotent());
+  EXPECT_FALSE(full.Distributive());
+}
+
+TEST(SixValuedTest, TheoremFiveThreeKleeneIsMaximal) {
+  // Theorem 5.3: {t, f, u} is closed, distributive and idempotent, and
+  // every strictly larger subset of L6v values fails one of the three.
+  Sublogic kleene{{TV6::kT, TV6::kF, TV6::kU}};
+  EXPECT_TRUE(kleene.Closed());
+  EXPECT_TRUE(kleene.Idempotent());
+  EXPECT_TRUE(kleene.Distributive());
+
+  const TV6 extras[] = {TV6::kS, TV6::kST, TV6::kSF};
+  // All supersets of {t,f,u} within the 6 values: add any non-empty
+  // subset of the extras.
+  for (int mask = 1; mask < 8; ++mask) {
+    Sublogic candidate{{TV6::kT, TV6::kF, TV6::kU}};
+    for (int i = 0; i < 3; ++i) {
+      if (mask & (1 << i)) candidate.values.push_back(extras[i]);
+    }
+    bool good = candidate.Closed() && candidate.Idempotent() &&
+                candidate.Distributive();
+    EXPECT_FALSE(good) << "superset with mask " << mask
+                       << " should fail Theorem 5.3 maximality";
+  }
+}
+
+TEST(SixValuedTest, KnowledgeOrderOnSix) {
+  EXPECT_TRUE(KnowledgeLeq(TV6::kU, TV6::kT));
+  EXPECT_TRUE(KnowledgeLeq(TV6::kST, TV6::kT));
+  EXPECT_TRUE(KnowledgeLeq(TV6::kST, TV6::kS));
+  EXPECT_TRUE(KnowledgeLeq(TV6::kSF, TV6::kF));
+  EXPECT_FALSE(KnowledgeLeq(TV6::kST, TV6::kF));
+  EXPECT_FALSE(KnowledgeLeq(TV6::kT, TV6::kS));
+}
+
+// --- Many-valued FO evaluation --------------------------------------------------
+
+class FOEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation r({"a", "b"});
+    r.Add({Value::Int(1), Value::Null(1)});
+    r.Add({Value::Int(2), Value::Int(3)});
+    db_.Put("R", r);
+  }
+  Database db_;
+};
+
+TEST_F(FOEvalTest, BoolSemanticsIsSyntactic) {
+  // R(1, ⊥1) is t; R(1, 1) is f under ⟦·⟧bool (eq. 12).
+  auto t1 = EvalFO(FAtom("R", {Term::Const(Value::Int(1)),
+                               Term::Const(Value::Null(1))}),
+                   db_, {}, MixedSemantics::Bool());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(*t1, kT3);
+  auto t2 = EvalFO(FAtom("R", {Term::Const(Value::Int(1)),
+                               Term::Const(Value::Int(1))}),
+                   db_, {}, MixedSemantics::Bool());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t2, kF3);
+}
+
+TEST_F(FOEvalTest, UnifSemanticsReportsUnknownOnUnifiableMiss) {
+  // §5.1 example: with R(1, ⊥1), the atom R(1, 1) is u (it unifies) while
+  // R(9, 9) is f (nothing unifies).
+  MixedSemantics unif = MixedSemantics::Unif();
+  auto u = EvalFO(FAtom("R", {Term::Const(Value::Int(1)),
+                              Term::Const(Value::Int(1))}),
+                  db_, {}, unif);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, kU3);
+  auto f = EvalFO(FAtom("R", {Term::Const(Value::Int(9)),
+                              Term::Const(Value::Int(9))}),
+                  db_, {}, unif);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, kF3);
+}
+
+TEST_F(FOEvalTest, NullfreeEquality) {
+  MixedSemantics sql = MixedSemantics::Sql();
+  auto u = EvalFO(FEq(Term::Const(Value::Null(1)),
+                      Term::Const(Value::Null(1))),
+                  db_, {}, sql);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, kU3);  // SQL: NULL = NULL is unknown
+  auto t = EvalFO(FEq(Term::Const(Value::Int(3)),
+                      Term::Const(Value::Int(3))),
+                  db_, {}, sql);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, kT3);
+}
+
+TEST_F(FOEvalTest, QuantifiersFoldOverActiveDomain) {
+  // ∃x R(x, 3) is t (witness 2); ∀x R(x, 3) is f.
+  FormulaPtr exists =
+      FExists("x", FAtom("R", {Term::Var("x"), Term::Const(Value::Int(3))}));
+  auto t = EvalFO(exists, db_, {}, MixedSemantics::Bool());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, kT3);
+  FormulaPtr forall =
+      FForall("x", FAtom("R", {Term::Var("x"), Term::Const(Value::Int(3))}));
+  auto f = EvalFO(forall, db_, {}, MixedSemantics::Bool());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, kF3);
+}
+
+TEST_F(FOEvalTest, UnboundVariableIsError) {
+  auto res = EvalFO(FAtom("R", {Term::Var("x"), Term::Var("y")}), db_, {},
+                    MixedSemantics::Bool());
+  EXPECT_FALSE(res.ok());
+}
+
+TEST_F(FOEvalTest, FreeVariablesAndAnswers) {
+  FormulaPtr f = FExists(
+      "y", FAtom("R", {Term::Var("x"), Term::Var("y")}));
+  EXPECT_EQ(FreeVariables(f), std::vector<std::string>{"x"});
+  auto answers =
+      AnswersWithTruthValue(f, db_, MixedSemantics::Bool(), kT3);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->Contains(Tuple{Value::Int(1)}));
+  EXPECT_TRUE(answers->Contains(Tuple{Value::Int(2)}));
+  EXPECT_FALSE(answers->Contains(Tuple{Value::Int(3)}));
+}
+
+// --- Corollary 5.2: the unif semantics has correctness guarantees ---------------
+
+TEST(UnifCorrectnessTest, TrueAnswersAreCertain) {
+  // For formulas mirroring the query zoo: if ⟦φ⟧unif = t on ā then ā ∈
+  // cert⊥(φ, D). We check with the R−S difference formula
+  // φ(x) = T(x) ∧ ¬∃y (S(x, y)) over random databases.
+  std::mt19937_64 rng(31);
+  for (int round = 0; round < 15; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+    FormulaPtr phi =
+        FAnd(FAtom("T", {Term::Var("x")}),
+             FNot(FExists("y", FAtom("S", {Term::Var("x"), Term::Var("y")}))));
+    auto answers =
+        AnswersWithTruthValue(phi, db, MixedSemantics::Unif(), kT3);
+    ASSERT_TRUE(answers.ok());
+    // Equivalent algebra query: T − π_{S_a}(S).
+    AlgPtr q = Diff(Scan("T"), Rename(Project(Scan("S"), {"S_a"}), {"T_a"}));
+    auto cert = CertWithNulls(q, db);
+    ASSERT_TRUE(cert.ok());
+    for (const Tuple& t : answers->SortedTuples()) {
+      EXPECT_TRUE(cert->Contains(t))
+          << "⟦φ⟧unif = t but not certain: " << t.ToString();
+    }
+  }
+}
+
+// --- Theorems 5.4 / 5.5: Boolean FO captures the many-valued logics -------------
+
+TEST(UnifiabilityFormulaTest, MatchesSyntacticUnifiability) {
+  // The FO encoding of r̄ ⇑ s̄ agrees with Unifiable() on all pairs of
+  // tuples over a small domain with repeated nulls.
+  std::vector<Value> domain = {Value::Int(1), Value::Int(2), Value::Null(1),
+                               Value::Null(2)};
+  Database db;
+  Relation dummy({"x"});
+  for (const Value& v : domain) dummy.Add({v});
+  db.Put("D", dummy);
+
+  std::vector<Term> xs = {Term::Var("x1"), Term::Var("x2")};
+  std::vector<Term> ys = {Term::Var("y1"), Term::Var("y2")};
+  auto formula = UnifiabilityFormula(xs, ys);
+  ASSERT_TRUE(formula.ok());
+
+  for (const Value& a1 : domain) {
+    for (const Value& a2 : domain) {
+      for (const Value& b1 : domain) {
+        for (const Value& b2 : domain) {
+          Assignment asg = {{"x1", a1}, {"x2", a2}, {"y1", b1}, {"y2", b2}};
+          auto res = EvalBoolFO(*formula, db, asg);
+          ASSERT_TRUE(res.ok());
+          Tuple r{a1, a2}, s{b1, b2};
+          EXPECT_EQ(*res, Unifiable(r, s))
+              << r.ToString() << " vs " << s.ToString();
+        }
+      }
+    }
+  }
+}
+
+class CaptureTest : public ::testing::TestWithParam<int> {
+ protected:
+  // A small pool of FO(L3v↑) formulas with one free variable x.
+  static std::vector<FormulaPtr> Formulas() {
+    Term x = Term::Var("x");
+    Term y = Term::Var("y");
+    std::vector<FormulaPtr> out;
+    out.push_back(FAtom("T", {x}));
+    out.push_back(FNot(FAtom("T", {x})));
+    out.push_back(FExists("y", FAtom("R", {x, y})));
+    out.push_back(FNot(FExists("y", FAtom("S", {x, y}))));
+    out.push_back(FAnd(FAtom("T", {x}),
+                       FNot(FExists("y", FAtom("R", {x, y})))));
+    out.push_back(FOr(FEq(x, Term::Const(Value::Int(1))),
+                      FNot(FEq(x, Term::Const(Value::Int(1))))));
+    out.push_back(FForall("y", FOr(FNot(FAtom("R", {x, y})),
+                                   FAtom("T", {y}))));
+    out.push_back(FAssert(FExists("y", FAtom("R", {x, y}))));
+    out.push_back(FNot(FAssert(FEq(x, Term::Const(Value::Int(0))))));
+    return out;
+  }
+};
+
+TEST_P(CaptureTest, TranslationAgreesWithManyValuedSemantics) {
+  std::mt19937_64 rng(GetParam());
+  Database db = testing_util::RandomDatabase(rng, 3, 3, 2);
+  for (const MixedSemantics& sem :
+       {MixedSemantics::Bool(), MixedSemantics::Sql(),
+        MixedSemantics::Unif()}) {
+    for (const FormulaPtr& phi : Formulas()) {
+      for (TV3 tau : {kT3, kF3, kU3}) {
+        auto psi = CaptureTranslate(phi, sem, tau);
+        ASSERT_TRUE(psi.ok()) << phi->ToString();
+        for (const Value& a : db.ActiveDomain()) {
+          Assignment asg = {{"x", a}};
+          auto mv = EvalFO(phi, db, asg, sem);
+          auto bl = EvalBoolFO(*psi, db, asg);
+          ASSERT_TRUE(mv.ok() && bl.ok()) << phi->ToString();
+          EXPECT_EQ(*mv == tau, *bl)
+              << "φ = " << phi->ToString() << ", τ = " << ToString(tau)
+              << ", x = " << a.ToString() << ", sem relations "
+              << static_cast<int>(sem.relations);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaptureTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(FormulaTest, ToStringAndFragments) {
+  Term x = Term::Var("x");
+  FormulaPtr ucq = FExists("y", FAnd(FAtom("R", {x, Term::Var("y")}),
+                                     FAtom("T", {Term::Var("y")})));
+  EXPECT_TRUE(IsExistentialPositive(ucq));
+  EXPECT_FALSE(IsExistentialPositive(FNot(ucq)));
+  FormulaPtr guarded = FGuardedForall(
+      {"y"}, FAtom("R", {x, Term::Var("y")}), FAtom("T", {Term::Var("y")}));
+  EXPECT_TRUE(IsPosForallGFormula(guarded));
+  EXPECT_EQ(guarded->ToString(), "∀y (¬R(x, y) ∨ T(y))");
+}
+
+}  // namespace
+}  // namespace incdb

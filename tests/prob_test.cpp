@@ -1,0 +1,279 @@
+// Tests for src/prob and src/constraints: µ_k counting, the 0–1 law
+// (Theorem 4.10), conditional probabilities (Theorem 4.11) and the FD
+// chase.
+
+#include <gtest/gtest.h>
+
+#include "constraints/chase.h"
+#include "eval/eval.h"
+#include "prob/prob.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+// The running example of §4.3: R = {1}, S = {⊥}, Q = R − S.
+Database RMinusSDb() {
+  Database db;
+  Relation r({"x"}), s({"x"});
+  r.Add({Value::Int(1)});
+  s.Add({Value::Null(0)});
+  db.Put("R", r);
+  db.Put("S", s);
+  return db;
+}
+
+AlgPtr RMinusS() { return Diff(Scan("R"), Scan("S")); }
+
+TEST(MuKTest, DifferenceExampleConvergesToOne) {
+  // µ_k(Q, D, (1)) = (k−1)/k: the only bad valuation maps ⊥ to 1.
+  Database db = RMinusSDb();
+  for (size_t k : {2, 3, 5, 10}) {
+    auto mu = MuK(RMinusS(), db, Tuple{Value::Int(1)}, k);
+    ASSERT_TRUE(mu.ok());
+    EXPECT_EQ(mu->total, k);
+    EXPECT_EQ(mu->support, k - 1);
+  }
+  // Theorem 4.10 limit: 1, matching naive membership.
+  auto limit = MuLimit(RMinusS(), db, Tuple{Value::Int(1)});
+  ASSERT_TRUE(limit.ok());
+  EXPECT_DOUBLE_EQ(*limit, 1.0);
+}
+
+TEST(MuKTest, NonNaiveAnswerHasMuZeroLimit) {
+  // The tuple (2): never an answer (2 ∉ R), support 0.
+  Database db = RMinusSDb();
+  auto mu = MuK(RMinusS(), db, Tuple{Value::Int(2)}, 5);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_EQ(mu->support, 0u);
+  auto limit = MuLimit(RMinusS(), db, Tuple{Value::Int(2)});
+  ASSERT_TRUE(limit.ok());
+  EXPECT_DOUBLE_EQ(*limit, 0.0);
+}
+
+TEST(MuKTest, NaiveAnswersDominateGenericValuations) {
+  // The engine of Theorem 4.10: every "generic" valuation — injective,
+  // avoiding the relevant constants — witnesses each naive answer, so
+  // |Supp_k| ≥ (k−r)(k−r−1)···(k−r−n+1), and this fraction → 1.
+  std::mt19937_64 rng(13);
+  for (int round = 0; round < 6; ++round) {
+    Database db = testing_util::RandomDatabase(rng, 2, 2, 2);
+    size_t n = db.NullIds().size();
+    for (const AlgPtr& q : testing_util::QueryZoo()) {
+      size_t r = db.Constants().size() + QueryConstants(q).size();
+      size_t k = r + n + 2;
+      auto naive = EvalSet(q, db);
+      ASSERT_TRUE(naive.ok());
+      for (const Tuple& t : naive->SortedTuples()) {
+        auto mu = MuK(q, db, t, k);
+        ASSERT_TRUE(mu.ok()) << q->ToString();
+        uint64_t generic = 1;
+        for (size_t i = 0; i < n; ++i) generic *= (k - r - i);
+        EXPECT_GE(mu->support, generic)
+            << q->ToString() << " tuple " << t.ToString();
+        EXPECT_LE(mu->support, mu->total);
+        auto acp = AlmostCertainlyTrue(q, db, t);
+        ASSERT_TRUE(acp.ok());
+        EXPECT_TRUE(*acp);
+      }
+    }
+  }
+}
+
+TEST(MuKTest, BudgetEnforced) {
+  Database db;
+  Relation r({"x"});
+  for (int i = 0; i < 12; ++i) r.Add({Value::Null(i)});
+  db.Put("R", r);
+  ProbOptions opts;
+  opts.max_valuations = 100;
+  auto mu = MuK(Scan("R"), db, Tuple{Value::Int(1)}, 5, opts);
+  EXPECT_FALSE(mu.ok());
+  EXPECT_EQ(mu.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Conditional probabilities (§4.3) -------------------------------------------
+
+TEST(ConditionalTest, InclusionConstraintGivesOneHalf) {
+  // T = {1, 2}, S = {⊥}, Σ: S ⊆ T, Q = T − S. The answer {1} appears
+  // with probability 1/2 (⊥ ↦ 2), independent of k ≥ 2.
+  Database db;
+  Relation t({"x"}), s({"x"});
+  t.Add({Value::Int(1)});
+  t.Add({Value::Int(2)});
+  s.Add({Value::Null(0)});
+  db.Put("T", t);
+  db.Put("S", s);
+  ConstraintSet sigma;
+  sigma.inds.push_back(IND{"S", {"x"}, "T", {"x"}});
+  AlgPtr q = Diff(Scan("T"), Scan("S"));
+  for (size_t k : {2, 4, 8}) {
+    auto mu = MuKConditional(q, sigma, db, Tuple{Value::Int(1)}, k);
+    ASSERT_TRUE(mu.ok());
+    EXPECT_EQ(mu->total, 2u) << "only ⊥↦1 and ⊥↦2 satisfy S ⊆ T";
+    EXPECT_EQ(mu->support, 1u);
+    EXPECT_DOUBLE_EQ(mu->ratio(), 0.5);
+  }
+}
+
+TEST(ConditionalTest, UnsatisfiableConstraintGivesZero) {
+  // S ⊆ T with T empty: no valuation satisfies Σ; convention µ_k = 0.
+  Database db;
+  Relation t({"x"}), s({"x"});
+  s.Add({Value::Null(0)});
+  db.Put("T", t);
+  db.Put("S", s);
+  ConstraintSet sigma;
+  sigma.inds.push_back(IND{"S", {"x"}, "T", {"x"}});
+  auto mu = MuKConditional(Diff(Scan("T"), Scan("S")), sigma, db,
+                           Tuple{Value::Int(1)}, 4);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_EQ(mu->total, 0u);
+  EXPECT_DOUBLE_EQ(mu->ratio(), 0.0);
+}
+
+TEST(ConditionalTest, FunctionalDependenciesAreZeroOne) {
+  // With Σ only FDs, µ(Q|Σ) ∈ {0,1} and equals µ(Q, DΣ) on the chased
+  // database. R(k, v) with FD k → v and tuples (1, ⊥1), (1, 5) forces
+  // ⊥1 = 5 under Σ; the null also occurs in S.
+  Database db;
+  Relation r({"k", "v"});
+  r.Add({Value::Int(1), Value::Null(1)});
+  r.Add({Value::Int(1), Value::Int(5)});
+  Relation s({"x"});
+  s.Add({Value::Null(1)});
+  db.Put("R", r);
+  db.Put("S", s);
+  std::vector<FD> fds = {FD{"R", {"k"}, {"v"}}};
+  // Q: σ_{x=5}(S). Unconditionally, (5) is an answer only when v(⊥1)=5 —
+  // probability 0. Under the FD, ⊥1 = 5 is forced: probability 1.
+  AlgPtr q = Select(Scan("S"), CEqc("x", Value::Int(5)));
+  auto mu = MuLimitConditionalFDs(q, fds, db, Tuple{Value::Int(5)});
+  ASSERT_TRUE(mu.ok());
+  EXPECT_DOUBLE_EQ(*mu, 1.0);
+  auto unconditional = MuLimit(q, db, Tuple{Value::Int(5)});
+  ASSERT_TRUE(unconditional.ok());
+  EXPECT_DOUBLE_EQ(*unconditional, 0.0);
+  // And the conditional limit matches exhaustive conditional counting.
+  ConstraintSet sigma;
+  sigma.fds = fds;
+  auto muk = MuKConditional(q, sigma, db, Tuple{Value::Int(5)}, 6);
+  ASSERT_TRUE(muk.ok());
+  EXPECT_DOUBLE_EQ(muk->ratio(), 1.0);
+}
+
+// --- FD chase --------------------------------------------------------------------
+
+TEST(ChaseTest, EquatesNullWithConstant) {
+  Database db;
+  Relation r({"k", "v"});
+  r.Add({Value::Int(1), Value::Null(1)});
+  r.Add({Value::Int(1), Value::Int(5)});
+  db.Put("R", r);
+  auto res = ChaseFDs(db, {FD{"R", {"k"}, {"v"}}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->success);
+  EXPECT_EQ(res->db.at("R").TotalSize(), 1u);  // tuples merged
+  EXPECT_TRUE(res->db.at("R").Contains(Tuple{Value::Int(1), Value::Int(5)}));
+}
+
+TEST(ChaseTest, MergesTwoNulls) {
+  Database db;
+  Relation r({"k", "v"});
+  r.Add({Value::Int(1), Value::Null(1)});
+  r.Add({Value::Int(1), Value::Null(2)});
+  db.Put("R", r);
+  auto res = ChaseFDs(db, {FD{"R", {"k"}, {"v"}}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->success);
+  EXPECT_EQ(res->db.NullIds().size(), 1u);
+  EXPECT_EQ(res->db.at("R").TotalSize(), 1u);
+}
+
+TEST(ChaseTest, ConstantConflictFails) {
+  Database db;
+  Relation r({"k", "v"});
+  r.Add({Value::Int(1), Value::Int(4)});
+  r.Add({Value::Int(1), Value::Int(5)});
+  db.Put("R", r);
+  auto res = ChaseFDs(db, {FD{"R", {"k"}, {"v"}}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->success);
+}
+
+TEST(ChaseTest, TransitiveChaining) {
+  // FD fires transitively: k→v equates ⊥1 with ⊥2, then a second relation
+  // sharing ⊥1 sees the substitution.
+  Database db;
+  Relation r({"k", "v"});
+  r.Add({Value::Int(1), Value::Null(1)});
+  r.Add({Value::Int(1), Value::Null(2)});
+  Relation s({"w"});
+  s.Add({Value::Null(1)});
+  s.Add({Value::Null(2)});
+  db.Put("R", r);
+  db.Put("S", s);
+  auto res = ChaseFDs(db, {FD{"R", {"k"}, {"v"}}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->success);
+  EXPECT_EQ(res->db.at("S").TotalSize(), 1u);  // ⊥1 = ⊥2 collapsed in S too
+}
+
+// --- Constraint checks --------------------------------------------------------------
+
+TEST(ConstraintTest, FDSatisfaction) {
+  Database db;
+  Relation r({"k", "v"});
+  r.Add({Value::Int(1), Value::Int(2)});
+  r.Add({Value::Int(2), Value::Int(2)});
+  db.Put("R", r);
+  auto ok = Satisfies(db, FD{"R", {"k"}, {"v"}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  Relation bad = db.at("R");
+  bad.Add({Value::Int(1), Value::Int(9)});
+  db.Put("R", bad);
+  auto notok = Satisfies(db, FD{"R", {"k"}, {"v"}});
+  ASSERT_TRUE(notok.ok());
+  EXPECT_FALSE(*notok);
+}
+
+TEST(ConstraintTest, INDSatisfaction) {
+  Database db;
+  Relation s({"x"}), t({"y"});
+  s.Add({Value::Int(1)});
+  t.Add({Value::Int(1)});
+  t.Add({Value::Int(2)});
+  db.Put("S", s);
+  db.Put("T", t);
+  auto ok = Satisfies(db, IND{"S", {"x"}, "T", {"y"}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  auto rev = Satisfies(db, IND{"T", {"y"}, "S", {"x"}});
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(*rev);
+}
+
+TEST(ConstraintTest, UnknownRelationOrAttributeErrors) {
+  Database db;
+  db.Put("R", Relation({"a"}));
+  EXPECT_FALSE(Satisfies(db, FD{"Nope", {"a"}, {"a"}}).ok());
+  EXPECT_FALSE(Satisfies(db, FD{"R", {"zz"}, {"a"}}).ok());
+}
+
+TEST(MuKSeriesTest, MatchesPointwiseComputation) {
+  Database db = RMinusSDb();
+  std::vector<size_t> ks = {2, 3, 5, 8};
+  auto series = MuKSeries(RMinusS(), db, Tuple{Value::Int(1)}, ks);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) {
+    auto point = MuK(RMinusS(), db, Tuple{Value::Int(1)}, ks[i]);
+    ASSERT_TRUE(point.ok());
+    EXPECT_EQ((*series)[i].support, point->support);
+    EXPECT_EQ((*series)[i].total, point->total);
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,317 @@
+// Property-style sweeps over algebraic laws the implementation relies on:
+// Kleene/L6v logic identities, negation propagation, the θ* guard
+// property, unifiability as an existential statement, and bag-algebra
+// identities. These are the invariants behind the paper's theorems, so
+// they get exhaustive or randomized coverage of their own.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algebra/builder.h"
+#include "certain/valuation_family.h"
+#include "eval/eval.h"
+#include "logic/kleene.h"
+#include "logic/sixvalued.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+const TV3 kAll3[] = {TV3::kF, TV3::kU, TV3::kT};
+const TV6 kAll6[] = {TV6::kF, TV6::kSF, TV6::kS,
+                     TV6::kU, TV6::kST, TV6::kT};
+
+// --- Kleene laws (exhaustive) ------------------------------------------------
+
+TEST(KleeneLawsTest, CommutativityAndAssociativity) {
+  for (TV3 a : kAll3) {
+    for (TV3 b : kAll3) {
+      EXPECT_EQ(Kleene::And(a, b), Kleene::And(b, a));
+      EXPECT_EQ(Kleene::Or(a, b), Kleene::Or(b, a));
+      for (TV3 c : kAll3) {
+        EXPECT_EQ(Kleene::And(Kleene::And(a, b), c),
+                  Kleene::And(a, Kleene::And(b, c)));
+        EXPECT_EQ(Kleene::Or(Kleene::Or(a, b), c),
+                  Kleene::Or(a, Kleene::Or(b, c)));
+      }
+    }
+  }
+}
+
+TEST(KleeneLawsTest, DistributivityAndAbsorption) {
+  // The properties Theorem 5.3 says database optimizers need.
+  for (TV3 a : kAll3) {
+    EXPECT_EQ(Kleene::And(a, a), a);  // idempotence
+    EXPECT_EQ(Kleene::Or(a, a), a);
+    for (TV3 b : kAll3) {
+      EXPECT_EQ(Kleene::And(a, Kleene::Or(a, b)), a);  // absorption
+      EXPECT_EQ(Kleene::Or(a, Kleene::And(a, b)), a);
+      for (TV3 c : kAll3) {
+        EXPECT_EQ(Kleene::And(a, Kleene::Or(b, c)),
+                  Kleene::Or(Kleene::And(a, b), Kleene::And(a, c)));
+        EXPECT_EQ(Kleene::Or(a, Kleene::And(b, c)),
+                  Kleene::And(Kleene::Or(a, b), Kleene::Or(a, c)));
+      }
+    }
+  }
+}
+
+TEST(KleeneLawsTest, DeMorganAndDoubleNegation) {
+  for (TV3 a : kAll3) {
+    EXPECT_EQ(Kleene::Not(Kleene::Not(a)), a);
+    for (TV3 b : kAll3) {
+      EXPECT_EQ(Kleene::Not(Kleene::And(a, b)),
+                Kleene::Or(Kleene::Not(a), Kleene::Not(b)));
+      EXPECT_EQ(Kleene::Not(Kleene::Or(a, b)),
+                Kleene::And(Kleene::Not(a), Kleene::Not(b)));
+    }
+  }
+}
+
+TEST(KleeneLawsTest, ExcludedMiddleFailsOnU) {
+  // u ∨ ¬u = u — the reason the tautology query misbehaves in SQL.
+  EXPECT_EQ(Kleene::Or(TV3::kU, Kleene::Not(TV3::kU)), TV3::kU);
+}
+
+// --- L6v laws (exhaustive on the derived tables) --------------------------------
+
+TEST(SixLawsTest, CommutativityAndDeMorgan) {
+  for (TV6 a : kAll6) {
+    EXPECT_EQ(Six::Not(Six::Not(a)), a);
+    for (TV6 b : kAll6) {
+      EXPECT_EQ(Six::And(a, b), Six::And(b, a));
+      EXPECT_EQ(Six::Or(a, b), Six::Or(b, a));
+      EXPECT_EQ(Six::Not(Six::And(a, b)),
+                Six::Or(Six::Not(a), Six::Not(b)));
+    }
+  }
+}
+
+TEST(SixLawsTest, ConnectivesRespectKnowledgeOrder) {
+  // The §5.1 condition (2) for L6v — the property that guarantees
+  // almost-certainly-true answers, which ↑ (not part of L6v) breaks.
+  for (TV6 a : kAll6) {
+    for (TV6 a2 : kAll6) {
+      if (!KnowledgeLeq(a, a2)) continue;
+      EXPECT_TRUE(KnowledgeLeq(Six::Not(a), Six::Not(a2)))
+          << ToString(a) << " " << ToString(a2);
+      for (TV6 b : kAll6) {
+        for (TV6 b2 : kAll6) {
+          if (!KnowledgeLeq(b, b2)) continue;
+          EXPECT_TRUE(KnowledgeLeq(Six::And(a, b), Six::And(a2, b2)));
+          EXPECT_TRUE(KnowledgeLeq(Six::Or(a, b), Six::Or(a2, b2)));
+        }
+      }
+    }
+  }
+}
+
+// --- Condition algebra (randomized) ----------------------------------------------
+
+class CondProperty : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<std::string> attrs_{"a", "b", "c"};
+
+  CondPtr RandomCond(std::mt19937_64& rng, int depth) {
+    std::uniform_int_distribution<int> pick(0, depth > 0 ? 7 : 5);
+    switch (pick(rng)) {
+      case 0:
+        return CEq("a", "b");
+      case 1:
+        return CNeq("b", "c");
+      case 2:
+        return CEqc("a", Value::Int(static_cast<int64_t>(rng() % 3)));
+      case 3:
+        return CNeqc("c", Value::Int(static_cast<int64_t>(rng() % 3)));
+      case 4:
+        return CIsNull("b");
+      case 5:
+        return CIsConst("a");
+      case 6:
+        return CAnd(RandomCond(rng, depth - 1), RandomCond(rng, depth - 1));
+      default:
+        return COr(RandomCond(rng, depth - 1), RandomCond(rng, depth - 1));
+    }
+  }
+
+  Tuple RandomTuple(std::mt19937_64& rng) {
+    auto value = [&]() -> Value {
+      uint64_t v = rng() % 5;
+      return v < 3 ? Value::Int(static_cast<int64_t>(v))
+                   : Value::Null(v - 3);
+    };
+    return Tuple{value(), value(), value()};
+  }
+};
+
+TEST_P(CondProperty, NegateIsKleeneNegation) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    CondPtr c = RandomCond(rng, 3);
+    Tuple t = RandomTuple(rng);
+    for (CondMode mode :
+         {CondMode::kNaive, CondMode::kSql, CondMode::kUnif}) {
+      auto f = CompileCond(c, attrs_, mode);
+      auto nf = CompileCond(Negate(c), attrs_, mode);
+      ASSERT_TRUE(f.ok() && nf.ok());
+      EXPECT_EQ((*nf)(t), Kleene::Not((*f)(t)))
+          << c->ToString() << " on " << t.ToString();
+    }
+  }
+}
+
+TEST_P(CondProperty, StarTranslationGuardsAllValuations) {
+  // If θ* holds naively on t̄, then θ holds classically on v(t̄) for every
+  // valuation v — the soundness core of the Fig. 2 σ-rules.
+  std::mt19937_64 rng(GetParam() + 500);
+  std::vector<Value> pool = {Value::Int(0), Value::Int(1), Value::Int(2),
+                             Value::Int(7), Value::Int(8)};
+  for (int i = 0; i < 100; ++i) {
+    // θ over the =/≠ fragment only (the paper's source grammar).
+    CondPtr c;
+    do {
+      c = RandomCond(rng, 2);
+    } while (HasNullConstTest(c));
+    Tuple t = RandomTuple(rng);
+    auto star = CompileCond(StarTranslate(c), attrs_, CondMode::kNaive);
+    auto plain = CompileCond(c, attrs_, CondMode::kNaive);
+    ASSERT_TRUE(star.ok() && plain.ok());
+    if ((*star)(t) != TV3::kT) continue;
+    // Collect t's nulls and enumerate valuations.
+    std::vector<uint64_t> nulls;
+    for (const Value& v : t.values()) {
+      if (v.is_null()) nulls.push_back(v.null_id());
+    }
+    std::sort(nulls.begin(), nulls.end());
+    nulls.erase(std::unique(nulls.begin(), nulls.end()), nulls.end());
+    Status st = ForEachValuation(nulls, pool, 100000, [&](const Valuation& v) {
+      EXPECT_EQ((*plain)(v.Apply(t)), TV3::kT)
+          << c->ToString() << " tuple " << t.ToString() << " val "
+          << v.ToString();
+      return !::testing::Test::HasFailure();
+    });
+    ASSERT_TRUE(st.ok());
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CondProperty, ::testing::Values(1, 2, 3, 4));
+
+// --- Unifiability as an existential statement -------------------------------------
+
+class UnifProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnifProperty, UnifiableIffSomeValuationEquates) {
+  std::mt19937_64 rng(GetParam());
+  auto value = [&]() -> Value {
+    uint64_t v = rng() % 6;
+    return v < 3 ? Value::Int(static_cast<int64_t>(v)) : Value::Null(v - 3);
+  };
+  std::vector<Value> pool = {Value::Int(0), Value::Int(1), Value::Int(2),
+                             Value::Int(10), Value::Int(11), Value::Int(12)};
+  for (int i = 0; i < 150; ++i) {
+    Tuple a{value(), value(), value()};
+    Tuple b{value(), value(), value()};
+    EXPECT_EQ(Unifiable(a, b), Unifiable(b, a));
+    EXPECT_TRUE(Unifiable(a, a));
+    std::vector<uint64_t> nulls;
+    for (const Tuple* t : {&a, &b}) {
+      for (const Value& v : t->values()) {
+        if (v.is_null()) nulls.push_back(v.null_id());
+      }
+    }
+    std::sort(nulls.begin(), nulls.end());
+    nulls.erase(std::unique(nulls.begin(), nulls.end()), nulls.end());
+    bool witnessed = false;
+    Status st = ForEachValuation(nulls, pool, 1000000,
+                                 [&](const Valuation& v) {
+                                   if (v.Apply(a) == v.Apply(b)) {
+                                     witnessed = true;
+                                     return false;
+                                   }
+                                   return true;
+                                 });
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(Unifiable(a, b), witnessed)
+        << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifProperty, ::testing::Values(1, 2, 3));
+
+// --- Bag algebra identities ---------------------------------------------------------
+
+class BagLawsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BagLawsProperty, StandardIdentities) {
+  std::mt19937_64 rng(GetParam());
+  Database db = testing_util::RandomDatabase(rng, 4, 3, 2);
+  // Make the relations genuine bags.
+  for (const char* name : {"R", "S"}) {
+    Relation rel = db.at(name);
+    for (const Tuple& t : rel.SortedTuples()) {
+      if (rng() % 2) {
+        Status st = rel.Insert(t, rng() % 3);
+        ASSERT_TRUE(st.ok());
+      }
+    }
+    db.Put(name, rel);
+  }
+  AlgPtr r = Scan("R");
+  AlgPtr s = Rename(Scan("S"), {"R_a", "R_b"});
+  AlgPtr t = Rename(Scan("S"), {"R_a", "R_b"});  // alias for S
+
+  // (R − S) − S == R − (S ∪ S) under bag monus.
+  auto lhs = EvalBag(Diff(Diff(r, s), t), db);
+  auto rhs = EvalBag(Diff(r, Union(s, t)), db);
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+  EXPECT_TRUE(lhs->SameRows(*rhs));
+
+  // R ∩ S == R − (R − S) under bags.
+  auto inter = EvalBag(Intersect(r, s), db);
+  auto diff2 = EvalBag(Diff(r, Diff(r, s)), db);
+  ASSERT_TRUE(inter.ok() && diff2.ok());
+  EXPECT_TRUE(inter->SameRows(*diff2));
+
+  // Union is commutative and associative on multiplicities.
+  auto u1 = EvalBag(Union(r, s), db);
+  auto u2 = EvalBag(Union(s, r), db);
+  ASSERT_TRUE(u1.ok() && u2.ok());
+  EXPECT_TRUE(u1->SameRows(*u2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BagLawsProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Evaluator fast paths are semantics-preserving ----------------------------------
+
+class FastPathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastPathProperty, TogglesNeverChangeAnswers) {
+  std::mt19937_64 rng(GetParam());
+  Database db = testing_util::RandomDatabase(rng, 4, 3, 2);
+  EvalOptions plain;
+  plain.enable_hash_join = false;
+  plain.enable_or_expansion = false;
+  plain.enable_projection_fusion = false;
+  plain.enable_unify_index = false;
+  for (const AlgPtr& q : testing_util::QueryZoo()) {
+    for (auto eval : {EvalSet, EvalSql}) {
+      auto fast = eval(q, db, EvalOptions{});
+      auto slow = eval(q, db, plain);
+      ASSERT_TRUE(fast.ok() && slow.ok()) << q->ToString();
+      EXPECT_TRUE(fast->SameRows(*slow)) << q->ToString();
+    }
+    auto fast_bag = EvalBag(q, db, EvalOptions{});
+    auto slow_bag = EvalBag(q, db, plain);
+    ASSERT_TRUE(fast_bag.ok() && slow_bag.ok());
+    EXPECT_TRUE(fast_bag->SameRows(*slow_bag)) << q->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,250 @@
+// Tests for src/sql: lexer, parser, algebra translation, and the
+// end-to-end reproduction of the paper's §1 SQL queries.
+
+#include <gtest/gtest.h>
+
+#include "approx/approx.h"
+#include "certain/certain.h"
+#include "eval/eval.h"
+#include "sql/translate.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+using testing_util::FigureOne;
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, KeywordsIdentifiersLiterals) {
+  auto toks = Tokenize("select A from T where a <> 3.5 and b = 'txt'");
+  ASSERT_TRUE(toks.ok());
+  // 0:SELECT 1:A 2:FROM 3:T 4:WHERE 5:a 6:<> 7:3.5 8:AND 9:b 10:= 11:'txt'
+  EXPECT_EQ((*toks)[0].text, "SELECT");  // case-folded keyword
+  EXPECT_EQ((*toks)[1].kind, TokKind::kIdent);
+  EXPECT_EQ((*toks)[1].text, "A");  // identifier case preserved
+  EXPECT_EQ((*toks)[6].text, "<>");
+  EXPECT_EQ((*toks)[7].kind, TokKind::kNumber);
+  EXPECT_EQ((*toks)[7].text, "3.5");
+  EXPECT_EQ((*toks)[11].kind, TokKind::kString);
+  EXPECT_EQ((*toks)[11].text, "txt");
+  EXPECT_EQ(toks->back().kind, TokKind::kEof);
+}
+
+TEST(LexerTest, QualifiedNumbersVsDots) {
+  auto toks = Tokenize("T.a = 1.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "T");
+  EXPECT_EQ((*toks)[1].text, ".");
+  EXPECT_EQ((*toks)[2].text, "a");
+  EXPECT_EQ((*toks)[4].text, "1.5");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT a; DROP").ok());
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(ParserTest, BasicSelect) {
+  auto q = ParseSql("SELECT oid FROM Orders WHERE price = 30");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE((*q)->distinct);
+  ASSERT_EQ((*q)->select.size(), 1u);
+  EXPECT_EQ((*q)->select[0].name, "oid");
+  ASSERT_EQ((*q)->from.size(), 1u);
+  EXPECT_EQ((*q)->from[0].table, "Orders");
+  EXPECT_EQ((*q)->from[0].alias, "Orders");
+  ASSERT_TRUE((*q)->where != nullptr);
+  EXPECT_EQ((*q)->where->kind, SqlExprKind::kCmpColLit);
+}
+
+TEST(ParserTest, AliasesAndStar) {
+  auto q = ParseSql("SELECT * FROM Orders O, Payments AS P");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->select_star);
+  EXPECT_EQ((*q)->from[0].alias, "O");
+  EXPECT_EQ((*q)->from[1].alias, "P");
+}
+
+TEST(ParserTest, NotInSubquery) {
+  auto q = ParseSql(
+      "SELECT oid FROM Orders WHERE oid NOT IN "
+      "( SELECT oid FROM Payments )");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE((*q)->where != nullptr);
+  EXPECT_EQ((*q)->where->kind, SqlExprKind::kInSubquery);
+  EXPECT_TRUE((*q)->where->negated);
+  EXPECT_EQ((*q)->where->subquery->from[0].table, "Payments");
+}
+
+TEST(ParserTest, NotExistsFoldsNegation) {
+  auto q = ParseSql(
+      "SELECT C.cid FROM Customers C WHERE NOT EXISTS "
+      "( SELECT * FROM Orders O, Payments P "
+      "  WHERE C.cid = P.cid AND P.oid = O.oid )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->where->kind, SqlExprKind::kExists);
+  EXPECT_TRUE((*q)->where->negated);
+}
+
+TEST(ParserTest, IsNullAndBooleans) {
+  auto q = ParseSql(
+      "SELECT a FROM T WHERE a IS NOT NULL AND (b = 1 OR NOT c = 2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->where->kind, SqlExprKind::kAnd);
+}
+
+TEST(ParserTest, TrailingInputRejected) {
+  EXPECT_FALSE(ParseSql("SELECT a FROM T extra garbage ( ").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM T").ok());
+  EXPECT_FALSE(ParseSql("SELECT a WHERE b = 1").ok());
+}
+
+// --- Translation -------------------------------------------------------------
+
+TEST(TranslateSqlTest, SimpleSelectEvaluates) {
+  Database db = FigureOne(false);
+  auto alg = ParseSqlToAlgebra(
+      "SELECT oid FROM Orders WHERE price = 30", db);
+  ASSERT_TRUE(alg.ok()) << alg.status().ToString();
+  auto res = EvalSql(*alg, db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->SortedTuples(),
+            std::vector<Tuple>{Tuple{Value::String("o1")}});
+}
+
+TEST(TranslateSqlTest, UnknownTableOrColumn) {
+  Database db = FigureOne(false);
+  EXPECT_FALSE(ParseSqlToAlgebra("SELECT a FROM Nope", db).ok());
+  EXPECT_FALSE(ParseSqlToAlgebra("SELECT nope FROM Orders", db).ok());
+  EXPECT_FALSE(ParseSqlToAlgebra(
+                   "SELECT oid FROM Orders WHERE nope = 1", db)
+                   .ok());
+}
+
+TEST(TranslateSqlTest, AmbiguousColumnRejected) {
+  Database db = FigureOne(false);
+  // cid exists in both Payments and Customers.
+  auto res = ParseSqlToAlgebra(
+      "SELECT cid FROM Payments, Customers", db);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(TranslateSqlTest, QualifiedColumnsAndJoin) {
+  Database db = FigureOne(false);
+  auto alg = ParseSqlToAlgebra(
+      "SELECT C.name FROM Payments P, Customers C WHERE P.cid = C.cid",
+      db);
+  ASSERT_TRUE(alg.ok()) << alg.status().ToString();
+  auto res = EvalSql(*alg, db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->SortedTuples().size(), 2u);
+}
+
+// --- The paper's §1 queries, end to end ----------------------------------------
+
+const char* kUnpaidOrdersSql =
+    "SELECT oid FROM Orders WHERE oid NOT IN "
+    "( SELECT oid FROM Payments )";
+
+const char* kCustomersNoPaidSql =
+    "SELECT C.cid FROM Customers C WHERE NOT EXISTS "
+    "( SELECT * FROM Orders O, Payments P "
+    "  WHERE C.cid = P.cid AND P.oid = O.oid )";
+
+const char* kTautologySql =
+    "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'";
+
+TEST(PaperSqlTest, CompleteDatabase) {
+  Database db = FigureOne(false);
+  auto unpaid = ParseSqlToAlgebra(kUnpaidOrdersSql, db);
+  ASSERT_TRUE(unpaid.ok()) << unpaid.status().ToString();
+  auto r1 = EvalSql(*unpaid, db);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->SortedTuples(),
+            std::vector<Tuple>{Tuple{Value::String("o3")}});
+
+  auto nopaid = ParseSqlToAlgebra(kCustomersNoPaidSql, db);
+  ASSERT_TRUE(nopaid.ok()) << nopaid.status().ToString();
+  auto r2 = EvalSql(*nopaid, db);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->Empty());
+}
+
+TEST(PaperSqlTest, NullDatabaseFalseNegativesAndPositives) {
+  Database db = FigureOne(true);
+  // Unpaid orders: empty (false negative — certain answer is also empty,
+  // but SQL loses o3 which it itself returned before).
+  auto unpaid = ParseSqlToAlgebra(kUnpaidOrdersSql, db);
+  ASSERT_TRUE(unpaid.ok());
+  auto r1 = EvalSql(*unpaid, db);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->Empty());
+
+  // Customers with no paid order: SQL invents c2 — a false positive
+  // w.r.t. certain answers.
+  auto nopaid = ParseSqlToAlgebra(kCustomersNoPaidSql, db);
+  ASSERT_TRUE(nopaid.ok());
+  auto r2 = EvalSql(*nopaid, db);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->SortedTuples(),
+            std::vector<Tuple>{Tuple{Value::String("c2")}});
+  auto cert = CertWithNulls(*nopaid, db);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(cert->Empty()) << "c2 must not be certain";
+
+  // Tautology: SQL returns only c1; certain answers are {c1, c2}.
+  auto taut = ParseSqlToAlgebra(kTautologySql, db);
+  ASSERT_TRUE(taut.ok());
+  auto r3 = EvalSql(*taut, db);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->SortedTuples(),
+            std::vector<Tuple>{Tuple{Value::String("c1")}});
+  auto cert3 = CertWithNulls(*taut, db);
+  ASSERT_TRUE(cert3.ok());
+  EXPECT_EQ(cert3->SortedTuples().size(), 2u);
+}
+
+TEST(PaperSqlTest, TranslatedQueriesFeedApproximations) {
+  // The same parsed SQL runs through the Fig. 2(b) scheme: Q+ never
+  // returns the false positive.
+  Database db = FigureOne(true);
+  auto nopaid = ParseSqlToAlgebra(kCustomersNoPaidSql, db);
+  ASSERT_TRUE(nopaid.ok());
+  auto plus = EvalPlus(*nopaid, db);
+  ASSERT_TRUE(plus.ok()) << plus.status().ToString();
+  EXPECT_TRUE(plus->Empty());
+  auto maybe = EvalMaybe(*nopaid, db);
+  ASSERT_TRUE(maybe.ok());
+  EXPECT_TRUE(maybe->Contains(Tuple{Value::String("c2")}));
+}
+
+TEST(PaperSqlTest, CorrelationDepthLimit) {
+  // Depth-2 correlation (innermost references the outermost alias) is
+  // rejected with Unsupported, not silently mistranslated.
+  Database db = FigureOne(false);
+  auto res = ParseSqlToAlgebra(
+      "SELECT C.cid FROM Customers C WHERE NOT EXISTS "
+      "( SELECT * FROM Orders O WHERE EXISTS "
+      "  ( SELECT * FROM Payments P WHERE P.cid = C.cid ) )",
+      db);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(PaperSqlTest, DistinctIsAccepted) {
+  Database db = FigureOne(false);
+  auto alg = ParseSqlToAlgebra("SELECT DISTINCT cid FROM Payments", db);
+  ASSERT_TRUE(alg.ok());
+  auto res = EvalSql(*alg, db);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->SortedTuples().size(), 2u);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,112 @@
+#ifndef INCDB_TESTS_TESTING_UTIL_H_
+#define INCDB_TESTS_TESTING_UTIL_H_
+
+/// Shared helpers for property-style tests: the paper-running example
+/// (Figure 1), seeded random databases and random core-grammar queries.
+
+#include <random>
+#include <vector>
+
+#include "algebra/builder.h"
+#include "core/database.h"
+
+namespace incdb {
+namespace testing_util {
+
+/// The Orders / Payments / Customers database of paper Figure 1.
+/// With `with_null`, the oid of Payments' second tuple is ⊥1 (the paper's
+/// single-NULL modification).
+inline Database FigureOne(bool with_null) {
+  Database db;
+  Relation orders({"oid", "title", "price"});
+  orders.Add({Value::String("o1"), Value::String("Big Data"), Value::Int(30)});
+  orders.Add({Value::String("o2"), Value::String("SQL"), Value::Int(35)});
+  orders.Add({Value::String("o3"), Value::String("Logic"), Value::Int(50)});
+  Relation payments({"cid", "oid"});
+  payments.Add({Value::String("c1"), Value::String("o1")});
+  if (with_null) {
+    payments.Add({Value::String("c2"), Value::Null(1)});
+  } else {
+    payments.Add({Value::String("c2"), Value::String("o2")});
+  }
+  Relation customers({"cid", "name"});
+  customers.Add({Value::String("c1"), Value::String("John")});
+  customers.Add({Value::String("c2"), Value::String("Mary")});
+  db.Put("Orders", std::move(orders));
+  db.Put("Payments", std::move(payments));
+  db.Put("Customers", std::move(customers));
+  return db;
+}
+
+/// Random database over two binary relations R, S and a unary T, with
+/// values from a small constant pool plus repeated marked nulls — small
+/// enough for brute-force certain answers.
+inline Database RandomDatabase(std::mt19937_64& rng, size_t tuples_per_rel = 4,
+                               int n_constants = 3, int n_nulls = 2) {
+  auto value = [&]() -> Value {
+    std::uniform_int_distribution<int> pick(0, n_constants + n_nulls - 1);
+    int v = pick(rng);
+    if (v < n_constants) return Value::Int(v);
+    return Value::Null(static_cast<uint64_t>(v - n_constants));
+  };
+  Database db;
+  for (const char* name : {"R", "S"}) {
+    Relation rel({std::string(name) + "_a", std::string(name) + "_b"});
+    for (size_t i = 0; i < tuples_per_rel; ++i) {
+      rel.Add({value(), value()});
+    }
+    db.Put(name, rel.ToSet());
+  }
+  Relation t({"T_a"});
+  for (size_t i = 0; i < tuples_per_rel; ++i) t.Add({value()});
+  db.Put("T", t.ToSet());
+  return db;
+}
+
+/// A fixed family of interesting core-grammar query shapes over the
+/// RandomDatabase schema (random structural generation is hard to keep
+/// schema-correct; an enumerated zoo combined with random databases gives
+/// the same property-test coverage deterministically).
+inline std::vector<AlgPtr> QueryZoo(bool include_negative = true) {
+  std::vector<AlgPtr> zoo;
+  AlgPtr r = Scan("R");
+  AlgPtr s = Scan("S");
+  AlgPtr t = Scan("T");
+
+  // Positive / UCQ shapes.
+  zoo.push_back(r);
+  zoo.push_back(Project(r, {"R_a"}));
+  zoo.push_back(Select(r, CEqc("R_a", Value::Int(0))));
+  zoo.push_back(Select(r, CEq("R_a", "R_b")));
+  zoo.push_back(Union(Project(r, {"R_a"}), Project(s, {"S_a"})));
+  zoo.push_back(Project(
+      Select(Product(r, s), CEq("R_b", "S_a")), {"R_a", "S_b"}));
+  zoo.push_back(Union(r, Rename(s, {"R_a", "R_b"})));
+  zoo.push_back(Project(Select(Product(Project(r, {"R_a"}),
+                                       Rename(t, {"T_x"})),
+                               CEq("R_a", "T_x")),
+                        {"R_a"}));
+
+  if (!include_negative) return zoo;
+
+  // Negative / full-RA shapes.
+  zoo.push_back(Diff(Project(r, {"R_a"}), Rename(t, {"R_a"})));
+  zoo.push_back(Diff(r, s));
+  zoo.push_back(Select(r, CNeqc("R_a", Value::Int(1))));
+  zoo.push_back(Select(r, CNeq("R_a", "R_b")));
+  zoo.push_back(Diff(Project(r, {"R_a"}),
+                     Project(Select(s, CNeqc("S_b", Value::Int(0))),
+                             {"S_a"})));
+  zoo.push_back(
+      Diff(Rename(t, {"x"}),
+           Diff(Project(r, {"R_a"}), Project(s, {"S_a"}))));  // R−(S−T) shape
+  zoo.push_back(Intersect(Project(r, {"R_a"}), Project(s, {"S_a"})));
+  zoo.push_back(Select(Diff(r, s), COr(CEqc("R_a", Value::Int(0)),
+                                       CNeqc("R_b", Value::Int(2)))));
+  return zoo;
+}
+
+}  // namespace testing_util
+}  // namespace incdb
+
+#endif  // INCDB_TESTS_TESTING_UTIL_H_

@@ -1,0 +1,152 @@
+// Tests for src/tpch: generator determinism, scaling, null injection, and
+// the benchmark workload queries.
+
+#include <gtest/gtest.h>
+
+#include "approx/approx.h"
+#include "eval/eval.h"
+#include "tpch/tpch.h"
+
+namespace incdb {
+namespace {
+
+TEST(TpchGenTest, DeterministicInSeed) {
+  tpch::GenOptions opts;
+  opts.scale = 0.2;
+  opts.null_rate = 0.1;
+  Database a = tpch::Generate(opts);
+  Database b = tpch::Generate(opts);
+  EXPECT_TRUE(a == b);
+  opts.seed = 43;
+  Database c = tpch::Generate(opts);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TpchGenTest, ScaleControlsSizes) {
+  tpch::GenOptions small;
+  small.scale = 0.1;
+  tpch::GenOptions large;
+  large.scale = 1.0;
+  Database s = tpch::Generate(small);
+  Database l = tpch::Generate(large);
+  EXPECT_LT(s.at("orders").TotalSize(), l.at("orders").TotalSize());
+  EXPECT_EQ(l.at("orders").TotalSize(), 1500u);
+  EXPECT_EQ(l.at("lineitem").TotalSize(), 6000u);
+  EXPECT_EQ(l.at("customer").TotalSize(), 150u);
+}
+
+TEST(TpchGenTest, NullRateInjection) {
+  tpch::GenOptions clean;
+  clean.null_rate = 0.0;
+  EXPECT_TRUE(tpch::Generate(clean).IsComplete());
+
+  tpch::GenOptions dirty;
+  dirty.null_rate = 0.2;
+  Database db = tpch::Generate(dirty);
+  EXPECT_FALSE(db.IsComplete());
+  // Keys are never nulled: every o_orderkey is a constant.
+  auto okey = db.at("orders").AttrIndex("o_orderkey");
+  ASSERT_TRUE(okey.ok());
+  for (const auto& [t, c] : db.at("orders").rows()) {
+    EXPECT_TRUE(t[*okey].is_const());
+  }
+  // Injected nulls are all distinct (Codd-style injection).
+  size_t null_occurrences = 0;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const auto& [t, c] : rel.rows()) {
+      for (const Value& v : t.values()) {
+        if (v.is_null()) ++null_occurrences;
+      }
+    }
+  }
+  EXPECT_EQ(null_occurrences, db.NullIds().size());
+  // Rough rate check: nullable cells ≈ 14 per 25+150+100+200+1500+6000
+  // rows... just assert it is within a loose band of expectation.
+  EXPECT_GT(null_occurrences, 100u);
+}
+
+TEST(TpchWorkloadTest, AllQueriesValidateAndRun) {
+  tpch::GenOptions opts;
+  opts.scale = 0.2;
+  opts.null_rate = 0.05;
+  Database db = tpch::Generate(opts);
+  for (const tpch::BenchQuery& bq : tpch::Workload()) {
+    auto attrs = OutputAttrs(bq.algebra, db);
+    ASSERT_TRUE(attrs.ok()) << bq.name << ": " << attrs.status().ToString();
+    auto sql = EvalSql(bq.algebra, db);
+    ASSERT_TRUE(sql.ok()) << bq.name;
+    auto naive = EvalSet(bq.algebra, db);
+    ASSERT_TRUE(naive.ok()) << bq.name;
+  }
+}
+
+TEST(TpchWorkloadTest, QueriesTranslateThroughFig2b) {
+  tpch::GenOptions opts;
+  opts.scale = 0.1;
+  opts.null_rate = 0.05;
+  Database db = tpch::Generate(opts);
+  for (const tpch::BenchQuery& bq : tpch::Workload()) {
+    auto plus = EvalPlus(bq.algebra, db);
+    ASSERT_TRUE(plus.ok()) << bq.name << ": " << plus.status().ToString();
+    auto maybe = EvalMaybe(bq.algebra, db);
+    ASSERT_TRUE(maybe.ok()) << bq.name;
+    // Q+ ⊆ Q? (certain answers are possible).
+    for (const Tuple& t : plus->SortedTuples()) {
+      EXPECT_TRUE(maybe->Contains(t)) << bq.name << " " << t.ToString();
+    }
+  }
+}
+
+TEST(TpchWorkloadTest, NegationQueriesShrinkUnderSql) {
+  // On a database with nulls, SQL's NOT IN answers are a subset of the
+  // naive ones (every u-comparison eliminates rows).
+  tpch::GenOptions opts;
+  opts.scale = 0.2;
+  opts.null_rate = 0.1;
+  Database db = tpch::Generate(opts);
+  auto workload = tpch::Workload();
+  const tpch::BenchQuery& w1 = workload[0];  // W1 unshipped-orders
+  auto sql = EvalSql(w1.algebra, db);
+  auto naive = EvalSet(w1.algebra, db);
+  ASSERT_TRUE(sql.ok() && naive.ok());
+  EXPECT_TRUE(sql->SubBagOf(*naive));
+}
+
+class NullRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NullRateSweep, InvariantsAcrossIncompletenessLevels) {
+  // At every incompleteness level: keys stay constant, SQL ⊆ naive on the
+  // NOT IN query, Q+ ⊆ Q? pointwise, and the generator stays
+  // deterministic.
+  double rate = GetParam() / 100.0;
+  tpch::GenOptions opts;
+  opts.scale = 0.1;
+  opts.null_rate = rate;
+  Database db = tpch::Generate(opts);
+  EXPECT_TRUE(db == tpch::Generate(opts));
+  auto okey = db.at("orders").AttrIndex("o_orderkey");
+  ASSERT_TRUE(okey.ok());
+  for (const auto& [t, c] : db.at("orders").rows()) {
+    EXPECT_TRUE(t[*okey].is_const());
+  }
+  const tpch::BenchQuery w1 = tpch::Workload()[0];
+  auto sql = EvalSql(w1.algebra, db);
+  auto naive = EvalSet(w1.algebra, db);
+  auto plus = EvalPlus(w1.algebra, db);
+  auto maybe = EvalMaybe(w1.algebra, db);
+  ASSERT_TRUE(sql.ok() && naive.ok() && plus.ok() && maybe.ok());
+  EXPECT_TRUE(sql->SubBagOf(*naive));
+  EXPECT_TRUE(plus->SubBagOf(*maybe));
+  if (rate == 0.0) {
+    // Complete data: all four agree.
+    EXPECT_TRUE(sql->SameRows(*naive));
+    EXPECT_TRUE(plus->SameRows(*naive));
+    EXPECT_TRUE(maybe->SameRows(*naive));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, NullRateSweep,
+                         ::testing::Values(0, 2, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace incdb
