@@ -15,7 +15,7 @@
 
 using namespace incdb;  // NOLINT
 
-int main() {
+INCDB_BENCH(ablation) {
   bench::Header(
       "E11 (ablation)", "evaluator fast paths behind the Q+ feasibility",
       "not a paper table — quantifies which engine features the [37] "
@@ -77,7 +77,9 @@ int main() {
       }
       Relation result;
       bool ok = true;
-      double ms = bench::TimeMs(
+      // Single run per config: the point is the relative cost ordering of
+      // the ablations, and disabled-fast-path configs are slow.
+      double ms = ctx.TimeMs(
           [&] {
             auto r = EvalSet(*plus_q, db, cfg.opts);
             ok = r.ok();
@@ -97,6 +99,10 @@ int main() {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
       std::printf(" %16s", buf);
+      ctx.Report("ablation", ms)
+          .Timing(1)
+          .Param("config", cfg.name)
+          .Param("query", queries[qi].name);
     }
     std::printf("\n");
   }
@@ -107,5 +113,6 @@ int main() {
                 "every fast path is semantics-preserving; OR-expansion and "
                 "projection fusion carry the negation queries (disable "
                 "them and the σ?-disjunction cost returns).");
-  return results_stable ? 0 : 1;
+  ctx.ReportInfo("ablation_shape").Param("results_stable", results_stable);
+  if (!results_stable) ctx.SetFailed();
 }

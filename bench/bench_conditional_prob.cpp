@@ -26,7 +26,7 @@ Database InclusionDb(int m) {
 
 }  // namespace
 
-int main() {
+INCDB_BENCH(conditional_prob) {
   bench::Header(
       "E7", "conditional probabilities µ(Q|Σ) (Theorem 4.11)",
       "µ(Q|Σ, D, ā) exists and is rational; every rational in [0,1] is "
@@ -54,6 +54,11 @@ int main() {
       }
       std::printf(" %10.4f", mu->ratio());
       shape &= std::abs(mu->ratio() - theory) < 1e-9;
+      ctx.ReportInfo("inclusion_family")
+          .Param("m", m)
+          .Param("k", static_cast<int64_t>(k))
+          .Param("mu", mu->ratio())
+          .Param("theory", theory);
     }
     std::printf(" %12.4f\n", theory);
   }
@@ -87,5 +92,6 @@ int main() {
                 "the (m−1)/m family matches theory exactly at every k (the "
                 "constraint pins the null's range), and the FD case "
                 "collapses to 0/1 via the chase as predicted.");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("conditional_prob_shape").Param("shape_holds", shape);
+  if (!shape) ctx.SetFailed();
 }

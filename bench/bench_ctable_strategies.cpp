@@ -51,7 +51,7 @@ std::vector<AlgPtr> Queries() {
 
 }  // namespace
 
-int main() {
+INCDB_BENCH(ctable_strategies) {
   bench::Header(
       "E5", "the four Eval⋆ strategies of [36] (Theorem 4.9)",
       "all four have correctness guarantees and PTIME evaluation; "
@@ -110,6 +110,11 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     std::printf("%-12s %16.3f %14.2f\n", names[i],
                 total_certain[i] / instances, total_ms[i]);
+    ctx.Report("strategy", total_ms[i])
+        .Timing(1)
+        .Param("name", names[i])
+        .Param("instances", instances)
+        .Param("avg_certain", total_certain[i] / instances);
   }
   std::printf("\nEvalᵉ = Fig.2(b) on %d/%d instances\n", eager_eq_fig2b,
               instances);
@@ -123,5 +128,8 @@ int main() {
   bench::Footer(shape,
                 "Theorem 4.9 equalities hold on every instance; deferral "
                 "only gains certain answers and strictly gains on some.");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("ctable_shape")
+      .Param("shape_holds", shape)
+      .Param("strict_gain", strict_gain);
+  if (!shape) ctx.SetFailed();
 }

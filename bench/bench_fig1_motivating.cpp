@@ -47,7 +47,7 @@ std::string Cell(const StatusOr<Relation>& r) {
 
 }  // namespace
 
-int main() {
+INCDB_BENCH(fig1_motivating) {
   bench::Header(
       "E1", "SQL's false negatives and false positives (Fig. 1)",
       "unpaid-orders: {o3} on complete data, {} after one NULL; "
@@ -89,6 +89,13 @@ int main() {
     std::printf("%-15s %-12s %-12s %-14s %-12s %-18s\n", name.c_str(),
                 Cell(sql_c).c_str(), Cell(sql_n).c_str(), Cell(cert).c_str(),
                 Cell(plus).c_str(), Cell(maybe).c_str());
+    ctx.ReportInfo("fig1_query")
+        .Param("query", name)
+        .Param("sql_complete", Cell(sql_c))
+        .Param("sql_null", Cell(sql_n))
+        .Param("cert_null", Cell(cert))
+        .Param("plus_null", Cell(plus))
+        .Param("maybe_null", Cell(maybe));
     if (name == "unpaid-orders") {
       shape &= sql_c.ok() && sql_c->Contains(Tuple{Value::String("o3")});
       shape &= sql_n.ok() && sql_n->Empty();
@@ -109,5 +116,6 @@ int main() {
                 "SQL loses o3 (false negative), invents c2 (false "
                 "positive), drops the certain c2 on the tautology; Q+ stays "
                 "within cert⊥ on all three.");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("fig1_shape").Param("shape_holds", shape);
+  if (!shape) ctx.SetFailed();
 }

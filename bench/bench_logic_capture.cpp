@@ -52,7 +52,7 @@ void PrintTable3() {
 
 }  // namespace
 
-int main() {
+INCDB_BENCH(logic_capture) {
   bench::Header(
       "E10", "many-valued logics: Fig. 3, Theorem 5.3 and the capture",
       "Kleene's tables are the right 3VL (maximal distributive+idempotent "
@@ -140,11 +140,20 @@ int main() {
               agree, checked);
   std::printf("cost: FO(L3v) eval %.1f ms, translated Boolean FO %.1f ms\n",
               t_3vl, t_bool);
+  ctx.Report("fo_3vl_eval", t_3vl).Timing(1).Param("checked", checked);
+  ctx.Report("fo_bool_translated", t_bool)
+      .Timing(1)
+      .Param("checked", checked)
+      .Param("agree", agree);
 
   bool shape = derivation_ok && thm53 && failing_supersets == 7 &&
                checked > 0 && agree == checked;
   bench::Footer(shape,
                 "the 3VL is derivable, maximal, and eliminable — exactly "
                 "the paper's three-step story.");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("logic_capture_shape")
+      .Param("shape_holds", shape)
+      .Param("derivation_ok", derivation_ok)
+      .Param("thm53", thm53);
+  if (!shape) ctx.SetFailed();
 }

@@ -1,0 +1,196 @@
+// Common main() for the experiment binaries: registry storage, flag
+// parsing and the uniform JSON writer declared in bench_util.h.
+
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#ifndef INCDB_GIT_REV
+#define INCDB_GIT_REV "unknown"
+#endif
+
+namespace incdb {
+namespace bench {
+
+namespace {
+
+struct Registration {
+  std::string name;
+  BenchFn fn;
+};
+
+std::vector<Registration>& Registry() {
+  static std::vector<Registration>* r = new std::vector<Registration>();
+  return *r;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+std::string Basename(const char* argv0) {
+  std::string s(argv0 ? argv0 : "bench");
+  size_t slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+}  // namespace
+
+Record& Record::Param(const std::string& key, const std::string& value) {
+  params_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+Record& Record::Param(const std::string& key, const char* value) {
+  return Param(key, std::string(value));
+}
+Record& Record::Param(const std::string& key, double value) {
+  params_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+Record& Record::Param(const std::string& key, int64_t value) {
+  params_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+Record& Record::Param(const std::string& key, int value) {
+  return Param(key, static_cast<int64_t>(value));
+}
+Record& Record::Param(const std::string& key, bool value) {
+  params_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+int RegisterBench(const std::string& name, BenchFn fn) {
+  Registry().push_back({name, std::move(fn)});
+  return static_cast<int>(Registry().size());
+}
+
+const char* GitRev() { return INCDB_GIT_REV; }
+
+int Main(int argc, char** argv) {
+  std::string filter;
+  std::string json_path;
+  int reps = 3;
+  int warmup = 0;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--filter") {
+      filter = need_value("--filter");
+    } else if (arg == "--json") {
+      json_path = need_value("--json");
+    } else if (arg == "--reps") {
+      reps = std::atoi(need_value("--reps"));
+      if (reps < 1) reps = 1;
+    } else if (arg == "--warmup") {
+      warmup = std::atoi(need_value("--warmup"));
+      if (warmup < 0) warmup = 0;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--list] [--filter SUBSTR] [--reps N] [--warmup N] "
+          "[--json PATH]\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_only) {
+    for (const auto& reg : Registry()) std::printf("%s\n", reg.name.c_str());
+    return 0;
+  }
+
+  const std::string bin = Basename(argc > 0 ? argv[0] : nullptr);
+  Context ctx(reps, warmup);
+  int matched = 0;
+  for (const auto& reg : Registry()) {
+    if (!filter.empty() && reg.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    ++matched;
+    reg.fn(ctx);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "no benchmark matches --filter '%s'\n",
+                 filter.c_str());
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    out << "[\n";
+    const auto& records = ctx.records();
+    for (size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      out << "  {\"bench\": \"" << JsonEscape(bin) << "\", \"name\": \""
+          << JsonEscape(r.name()) << "\", \"ms\": "
+          << (r.timed() ? JsonNumber(r.ms()) : "null") << ", \"params\": {";
+      for (size_t j = 0; j < r.params().size(); ++j) {
+        if (j) out << ", ";
+        out << "\"" << JsonEscape(r.params()[j].first)
+            << "\": " << r.params()[j].second;
+      }
+      out << "}, \"reps\": "
+          << (r.timed() ? std::to_string(r.reps()) : "null")
+          << ", \"warmup\": "
+          << (r.timed() ? std::to_string(r.warmup()) : "null")
+          << ", \"git_rev\": \"" << JsonEscape(GitRev()) << "\"}";
+      if (i + 1 < records.size()) out << ",";
+      out << "\n";
+    }
+    out << "]\n";
+    std::printf("[bench] wrote %zu record(s) to %s\n", records.size(),
+                json_path.c_str());
+  }
+  return ctx.failed() ? 1 : 0;
+}
+
+}  // namespace bench
+}  // namespace incdb
+
+int main(int argc, char** argv) { return incdb::bench::Main(argc, argv); }

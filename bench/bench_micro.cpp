@@ -1,20 +1,23 @@
-// Micro-benchmarks of the hot primitives (google-benchmark harness):
-// tuple unifiability, the ⋉⇑ probe index, condition compilation and
-// evaluation, hash join and the naive evaluation of a NOT-IN query at
-// growing scale. These complement the experiment binaries: E2/E3 measure
-// end-to-end shapes, this file tracks the primitives they rest on.
-
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the hot primitives on the shared runner: tuple
+// unifiability, SQL tuple equality, condition compilation and
+// evaluation, hash join and the naive vs Q+ evaluation of a NOT-IN
+// query at growing scale. These complement the experiment binaries:
+// E2/E3 measure end-to-end shapes, this file tracks the primitives
+// they rest on.
 
 #include <random>
 
 #include "algebra/builder.h"
 #include "approx/approx.h"
+#include "bench/bench_util.h"
 #include "eval/eval.h"
 #include "tpch/tpch.h"
 
-namespace incdb {
+using namespace incdb;  // NOLINT
+
 namespace {
+
+constexpr int kBatch = 1 << 16;  // inner iterations per timed run
 
 Tuple RandomTuple(std::mt19937_64& rng, size_t arity, double null_rate) {
   std::uniform_real_distribution<double> coin(0, 1);
@@ -29,35 +32,51 @@ Tuple RandomTuple(std::mt19937_64& rng, size_t arity, double null_rate) {
   return Tuple(std::move(vals));
 }
 
-void BM_Unifiable(benchmark::State& state) {
+/// Report a batch-timed primitive: ms for kBatch calls plus derived ns/op.
+void ReportBatch(bench::Context& ctx, const char* name, double ms) {
+  std::printf("%-24s %10.3f ms / %d ops  (%.1f ns/op)\n", name, ms, kBatch,
+              ms * 1e6 / kBatch);
+  ctx.Report(name, ms).Param("batch", kBatch).Param("ns_per_op",
+                                                    ms * 1e6 / kBatch);
+}
+
+}  // namespace
+
+INCDB_BENCH(unifiable) {
   std::mt19937_64 rng(1);
   std::vector<std::pair<Tuple, Tuple>> pairs;
   for (int i = 0; i < 256; ++i) {
     pairs.emplace_back(RandomTuple(rng, 4, 0.3), RandomTuple(rng, 4, 0.3));
   }
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& [a, b] = pairs[i++ & 255];
-    benchmark::DoNotOptimize(Unifiable(a, b));
-  }
+  volatile bool sink = false;
+  double ms = ctx.TimeMs([&] {
+    for (int i = 0; i < kBatch; ++i) {
+      const auto& [a, b] = pairs[i & 255];
+      sink = Unifiable(a, b);
+    }
+  });
+  (void)sink;
+  ReportBatch(ctx, "unifiable", ms);
 }
-BENCHMARK(BM_Unifiable);
 
-void BM_SqlTupleEq(benchmark::State& state) {
+INCDB_BENCH(sql_tuple_eq) {
   std::mt19937_64 rng(2);
   std::vector<std::pair<Tuple, Tuple>> pairs;
   for (int i = 0; i < 256; ++i) {
     pairs.emplace_back(RandomTuple(rng, 4, 0.2), RandomTuple(rng, 4, 0.2));
   }
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& [a, b] = pairs[i++ & 255];
-    benchmark::DoNotOptimize(SqlTupleEq(a, b));
-  }
+  volatile int sink = 0;
+  double ms = ctx.TimeMs([&] {
+    for (int i = 0; i < kBatch; ++i) {
+      const auto& [a, b] = pairs[i & 255];
+      sink = static_cast<int>(SqlTupleEq(a, b));
+    }
+  });
+  (void)sink;
+  ReportBatch(ctx, "sql_tuple_eq", ms);
 }
-BENCHMARK(BM_SqlTupleEq);
 
-void BM_CompiledCondEval(benchmark::State& state) {
+INCDB_BENCH(compiled_cond_eval) {
   std::vector<std::string> attrs{"a", "b", "c", "d"};
   CondPtr cond = CAnd(COr(CEq("a", "b"), CNeqc("c", Value::Int(3))),
                       CIsConst("d"));
@@ -65,61 +84,58 @@ void BM_CompiledCondEval(benchmark::State& state) {
   std::mt19937_64 rng(3);
   std::vector<Tuple> tuples;
   for (int i = 0; i < 256; ++i) tuples.push_back(RandomTuple(rng, 4, 0.2));
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize((*pred)(tuples[i++ & 255]));
-  }
+  volatile int sink = 0;
+  double ms = ctx.TimeMs([&] {
+    for (int i = 0; i < kBatch; ++i) {
+      sink = static_cast<int>((*pred)(tuples[i & 255]));
+    }
+  });
+  (void)sink;
+  ReportBatch(ctx, "compiled_cond_eval", ms);
 }
-BENCHMARK(BM_CompiledCondEval);
 
-/// Naive evaluation of the W1 NOT-IN query at growing TPC-H-lite scale.
-void BM_NotInNaive(benchmark::State& state) {
-  tpch::GenOptions opts;
-  opts.scale = static_cast<double>(state.range(0)) / 10.0;
-  opts.null_rate = 0.02;
-  Database db = tpch::Generate(opts);
-  AlgPtr q = tpch::Workload()[0].algebra;
-  for (auto _ : state) {
-    auto r = EvalSet(q, db);
-    benchmark::DoNotOptimize(r.ok());
+/// Naive evaluation of the W1 NOT-IN query at growing TPC-H-lite scale,
+/// and the Q+ rewriting of the same query (⋉⇑ with the null-mask index).
+INCDB_BENCH(not_in_scaling) {
+  std::printf("\n%-18s %10s %12s %12s\n", "not-in @ scale", "tuples",
+              "naive ms", "Q+ ms");
+  for (int tenths : {5, 10, 20}) {
+    tpch::GenOptions opts;
+    opts.scale = static_cast<double>(tenths) / 10.0;
+    opts.null_rate = 0.02;
+    Database db = tpch::Generate(opts);
+    AlgPtr q = tpch::Workload()[0].algebra;
+    auto plus = TranslatePlus(q, db);
+    if (!plus.ok()) {
+      ctx.SetFailed();
+      continue;
+    }
+    double naive_ms = ctx.TimeMs([&] { EvalSet(q, db).ok(); });
+    double plus_ms = ctx.TimeMs([&] { EvalSet(*plus, db).ok(); });
+    std::printf("scale=%-12.1f %10llu %12.2f %12.2f\n", opts.scale,
+                static_cast<unsigned long long>(db.TotalSize()), naive_ms,
+                plus_ms);
+    ctx.Report("not_in_naive", naive_ms)
+        .Param("scale", opts.scale)
+        .Param("tuples", static_cast<int64_t>(db.TotalSize()));
+    ctx.Report("not_in_plus", plus_ms)
+        .Param("scale", opts.scale)
+        .Param("tuples", static_cast<int64_t>(db.TotalSize()));
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(db.TotalSize()));
 }
-BENCHMARK(BM_NotInNaive)->Arg(5)->Arg(10)->Arg(20);
-
-/// The Q+ rewriting of the same query (⋉⇑ with the null-mask index).
-void BM_NotInPlus(benchmark::State& state) {
-  tpch::GenOptions opts;
-  opts.scale = static_cast<double>(state.range(0)) / 10.0;
-  opts.null_rate = 0.02;
-  Database db = tpch::Generate(opts);
-  auto plus = TranslatePlus(tpch::Workload()[0].algebra, db);
-  for (auto _ : state) {
-    auto r = EvalSet(*plus, db);
-    benchmark::DoNotOptimize(r.ok());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(db.TotalSize()));
-}
-BENCHMARK(BM_NotInPlus)->Arg(5)->Arg(10)->Arg(20);
 
 /// Hash join throughput: customer ⨝ orders.
-void BM_HashJoin(benchmark::State& state) {
+INCDB_BENCH(hash_join) {
   tpch::GenOptions opts;
   opts.scale = 2.0;
   opts.null_rate = 0.02;
   Database db = tpch::Generate(opts);
   AlgPtr q = Join(Scan("customer"), Scan("orders"),
                   CEq("c_custkey", "o_custkey"));
-  for (auto _ : state) {
-    auto r = EvalSet(q, db);
-    benchmark::DoNotOptimize(r.ok());
-  }
+  double ms = ctx.TimeMs([&] { EvalSet(q, db).ok(); });
+  std::printf("\n%-24s %10.2f ms (%llu tuples)\n", "hash_join", ms,
+              static_cast<unsigned long long>(db.TotalSize()));
+  ctx.Report("hash_join", ms)
+      .Param("scale", opts.scale)
+      .Param("tuples", static_cast<int64_t>(db.TotalSize()));
 }
-BENCHMARK(BM_HashJoin);
-
-}  // namespace
-}  // namespace incdb
-
-BENCHMARK_MAIN();

@@ -45,7 +45,7 @@ struct FragmentStats {
 
 }  // namespace
 
-int main() {
+INCDB_BENCH(naive_certainty) {
   bench::Header(
       "E8", "when naive evaluation IS certain-answer evaluation (Thm 4.4)",
       "naive evaluation = cert⊥ for UCQs (any semantics) and for Pos∀G — "
@@ -103,6 +103,11 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     std::printf("%-20s %8d %14d %14d\n", fragment_names[i], stats[i].cases,
                 stats[i].exact, stats[i].overshoot);
+    ctx.ReportInfo("fragment")
+        .Param("name", fragment_names[i])
+        .Param("cases", stats[i].cases)
+        .Param("exact", stats[i].exact)
+        .Param("overshoot", stats[i].overshoot);
   }
 
   // The canonical counterexample, explicitly.
@@ -127,5 +132,6 @@ int main() {
                 "naive = cert⊥ on every UCQ and Pos∀G instance; full RA "
                 "overshoots on a substantial fraction, including the "
                 "paper's {1} − {⊥}.");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("naive_certainty_shape").Param("shape_holds", shape);
+  if (!shape) ctx.SetFailed();
 }

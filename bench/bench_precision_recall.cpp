@@ -86,7 +86,7 @@ PR Score(const Relation& reported, const Relation& truth) {
 
 }  // namespace
 
-int main() {
+INCDB_BENCH(precision_recall) {
   bench::Header(
       "E4", "precision/recall of Q+ and SQL vs exact certain answers ([27])",
       "\"the Q+ translation had obviously perfect precision (100%), but "
@@ -126,6 +126,13 @@ int main() {
     cert_sz /= rounds;
     std::printf("%8zu %10.1f | %10.3f %10.3f | %10.3f %10.3f\n", nulls,
                 cert_sz, plus_p, plus_r, sql_p, sql_r);
+    ctx.ReportInfo("precision_recall")
+        .Param("nulls", static_cast<int64_t>(nulls))
+        .Param("cert_size", cert_sz)
+        .Param("plus_precision", plus_p)
+        .Param("plus_recall", plus_r)
+        .Param("sql_precision", sql_p)
+        .Param("sql_recall", sql_r);
     plus_precision_perfect &= plus_p >= 1.0 - 1e-9;
     if (nulls == 0) recall_at_zero = plus_r;
     recall_at_max = plus_r;
@@ -139,5 +146,6 @@ int main() {
                 "Q+ precision pinned at 100% while its recall decays with "
                 "null count; SQL additionally reports non-certain tuples "
                 "(precision < 1).");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("precision_recall_shape").Param("shape_holds", shape);
+  if (!shape) ctx.SetFailed();
 }

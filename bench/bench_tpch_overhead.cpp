@@ -13,7 +13,7 @@
 
 using namespace incdb;  // NOLINT
 
-int main() {
+INCDB_BENCH(tpch_overhead) {
   bench::Header(
       "E3", "Q+ rewriting overhead on the TPC-H-like workload ([37])",
       "\"performance overhead of the rewritten queries is limited to a "
@@ -44,14 +44,20 @@ int main() {
       continue;
     }
     bool ok = true;
-    double t_orig = bench::TimeMs([&] { ok &= EvalSet(bq.algebra, db).ok(); });
-    double t_plus = bench::TimeMs([&] { ok &= EvalSet(*plus_q, db).ok(); });
-    double t_maybe = bench::TimeMs([&] { ok &= EvalSet(*maybe_q, db).ok(); });
+    double t_orig = ctx.TimeMs([&] { ok &= EvalSet(bq.algebra, db).ok(); });
+    double t_plus = ctx.TimeMs([&] { ok &= EvalSet(*plus_q, db).ok(); });
+    double t_maybe = ctx.TimeMs([&] { ok &= EvalSet(*maybe_q, db).ok(); });
     all_ok &= ok;
     double ovh = t_orig > 0 ? (t_plus / t_orig - 1.0) * 100.0 : 0.0;
     worst_ratio = std::max(worst_ratio, t_plus / std::max(t_orig, 1e-9));
     std::printf("%-24s %12.2f %12.2f %12.2f %9.1f%%\n", bq.name.c_str(),
                 t_orig, t_plus, t_maybe, ovh);
+    ctx.Report("tpch_query", t_plus)
+        .Param("query", bq.name)
+        .Param("orig_ms", t_orig)
+        .Param("maybe_ms", t_maybe)
+        .Param("overhead_pct", ovh)
+        .Param("scale", opts.scale);
   }
 
   // Shape: the rewriting stays within a small constant factor (we allow
@@ -65,5 +71,8 @@ int main() {
                  "x — constant-factor overhead, no blow-up on any of the "
                  "8 workload queries")
                     .c_str());
-  return shape ? 0 : 1;
+  ctx.ReportInfo("tpch_shape")
+      .Param("shape_holds", shape)
+      .Param("worst_ratio", worst_ratio);
+  if (!shape) ctx.SetFailed();
 }

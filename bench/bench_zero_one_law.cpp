@@ -9,7 +9,7 @@
 
 using namespace incdb;  // NOLINT
 
-int main() {
+INCDB_BENCH(zero_one_law) {
   bench::Header(
       "E6", "the 0–1 law of µ(Q, D, ā) (Theorem 4.10)",
       "a tuple is almost certainly true (µ = 1) iff it is a naive answer; "
@@ -71,6 +71,11 @@ int main() {
     bool lim_ok = limit.ok() && naive.ok();
     std::printf("  %.0f    %s\n", lim_ok ? *limit : -1.0,
                 lim_ok && *naive ? "yes" : "no");
+    ctx.ReportInfo("zero_one_probe")
+        .Param("probe", p.label)
+        .Param("mu_k34", last)
+        .Param("limit", lim_ok ? *limit : -1.0)
+        .Param("naive_answer", lim_ok && *naive);
     if (lim_ok) {
       // Convergence direction: the k=34 value must be within 0.15 of the
       // predicted limit.
@@ -84,5 +89,6 @@ int main() {
   bench::Footer(shape,
                 "every probe's µ_k sequence approaches the 0/1 limit "
                 "predicted by naive-evaluation membership.");
-  return shape ? 0 : 1;
+  ctx.ReportInfo("zero_one_shape").Param("shape_holds", shape);
+  if (!shape) ctx.SetFailed();
 }

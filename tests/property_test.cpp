@@ -9,6 +9,7 @@
 #include <random>
 
 #include "algebra/builder.h"
+#include "certain/certain.h"
 #include "certain/valuation_family.h"
 #include "eval/eval.h"
 #include "logic/kleene.h"
@@ -312,6 +313,108 @@ TEST_P(FastPathProperty, TogglesNeverChangeAnswers) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastPathProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Certain answers: brute-force possible worlds vs the lifted evaluator -----
+
+/// Constant pool for the brute force, built without FamilyConstants: every
+/// constant in the database or the query, plus n+1 fresh integers chosen
+/// past the largest int seen (n = number of distinct nulls). Genericity of
+/// the zoo queries makes this pool sufficient: any valuation is isomorphic
+/// to one over it.
+std::vector<Value> BruteForcePool(const Database& db, const AlgPtr& q) {
+  std::vector<Value> pool;
+  int64_t max_int = 0;
+  auto add = [&](const Value& v) {
+    if (!v.is_const()) return;
+    if (v.kind() == ValueKind::kInt && v.as_int() > max_int) {
+      max_int = v.as_int();
+    }
+    if (std::find(pool.begin(), pool.end(), v) == pool.end()) {
+      pool.push_back(v);
+    }
+  };
+  for (const auto& [name, rel] : db.relations()) {
+    for (const auto& [t, c] : rel.rows()) {
+      for (const Value& v : t.values()) add(v);
+    }
+  }
+  for (const Value& v : QueryConstants(q)) add(v);
+  size_t n_nulls = db.NullIds().size();
+  for (size_t i = 0; i <= n_nulls; ++i) {
+    pool.push_back(Value::Int(max_int + 1 + static_cast<int64_t>(i)));
+  }
+  return pool;
+}
+
+/// cert⊥ computed from first principles, independently of the production
+/// machinery in src/certain: candidates are the naive answers (a bijective
+/// valuation onto fresh constants witnesses that a certain tuple must be
+/// one), and a candidate t̄ survives iff v(t̄) ∈ Q(v(D)) in every possible
+/// world v(D), enumerating all pool^nulls valuations by hand — not via
+/// FamilyConstants/ForEachValuation, which are exactly what CertWithNulls
+/// uses and what this oracle cross-checks.
+StatusOr<Relation> BruteForceCertWithNulls(const AlgPtr& q,
+                                           const Database& db) {
+  auto naive = EvalSet(q, db);
+  if (!naive.ok()) return naive;
+  std::vector<Value> pool = BruteForcePool(db, q);
+  std::set<uint64_t> null_set = db.NullIds();
+  std::vector<uint64_t> nulls(null_set.begin(), null_set.end());
+  Relation out(naive->attrs());
+  for (const Tuple& t : naive->SortedTuples()) {
+    bool certain = true;
+    // Odometer over assignments nulls -> pool.
+    std::vector<size_t> digits(nulls.size(), 0);
+    while (certain) {
+      Valuation v;
+      for (size_t i = 0; i < nulls.size(); ++i) {
+        v.Set(nulls[i], pool[digits[i]]);
+      }
+      auto world = EvalSet(q, v.ApplySet(db));
+      if (!world.ok()) return world.status();
+      if (!world->Contains(v.Apply(t))) certain = false;
+      size_t pos = 0;
+      while (pos < digits.size() && ++digits[pos] == pool.size()) {
+        digits[pos++] = 0;
+      }
+      if (pos == digits.size()) break;  // odometer wrapped: all worlds seen
+    }
+    if (certain) {
+      Status st = out.Insert(t);
+      if (!st.ok()) return st;
+    }
+  }
+  return out;
+}
+
+class CertainRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertainRoundTripProperty, BruteForceAgreesWithLiftedEvaluator) {
+  // Seeded so CI is deterministic: 20 RandomDatabase instances per seed,
+  // every QueryZoo query on each.
+  std::mt19937_64 rng(1000 + GetParam());
+  for (int round = 0; round < 20; ++round) {
+    // Keep the instances small: the brute force enumerates
+    // |constants|^|nulls| possible worlds per candidate tuple.
+    Database db = testing_util::RandomDatabase(rng, /*tuples_per_rel=*/3,
+                                               /*n_constants=*/2,
+                                               /*n_nulls=*/2);
+    for (const AlgPtr& q : testing_util::QueryZoo()) {
+      auto brute = BruteForceCertWithNulls(q, db);
+      auto lifted = CertWithNulls(q, db);
+      ASSERT_TRUE(brute.ok()) << q->ToString() << ": "
+                              << brute.status().ToString();
+      ASSERT_TRUE(lifted.ok()) << q->ToString() << ": "
+                               << lifted.status().ToString();
+      EXPECT_TRUE(brute->SameRows(*lifted))
+          << q->ToString() << " on round " << round << ": brute "
+          << brute->ToString() << " vs lifted " << lifted->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertainRoundTripProperty,
+                         ::testing::Values(1, 2));
 
 }  // namespace
 }  // namespace incdb
