@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare two bench-runner JSON record files (see BUILDING.md).
+
+Usage: bench_compare.py CURRENT.json [BASELINE.json]
+
+Records are joined on (name, configuration params); `ns_per_op` is a
+measured output that lands in params, so it is excluded from the join
+key. Timed records missing from either side are reported. Exit code is
+always 0: the comparison is informational, not a gate.
+"""
+
+import json
+import signal
+import sys
+
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)  # behave when piped to head
+
+
+def key(record):
+    params = {k: v for k, v in record["params"].items() if k != "ns_per_op"}
+    return (record["name"], json.dumps(params, sort_keys=True))
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path = sys.argv[1]
+    baseline_path = sys.argv[2] if len(sys.argv) == 3 else "BENCH_baseline.json"
+    cur = {key(r): r for r in json.load(open(current_path))}
+    base = {key(r): r for r in json.load(open(baseline_path))}
+
+    print(f"{'record':<28} {'base ms':>10} {'now ms':>10} {'ratio':>7}")
+    for k, b in sorted(base.items()):
+        c = cur.get(k)
+        if c is None:
+            print(f"{b['name']:<28} {'(missing from current run)':>30}")
+        elif b["ms"] is None or c["ms"] is None:
+            continue  # correctness-only record
+        else:
+            ratio = c["ms"] / b["ms"] if b["ms"] else float("nan")
+            print(f"{b['name']:<28} {b['ms']:>10.3f} {c['ms']:>10.3f} "
+                  f"{ratio:>6.2f}x")
+    for k, c in sorted(cur.items()):
+        if k not in base:
+            print(f"{c['name']:<28} {'(not in baseline)':>30}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,10 +42,11 @@ StatusOr<Relation> CertIntersection(const AlgPtr& q, const Database& db,
           return false;
         }
         if (first) {
-          acc = *ans;
+          acc = std::move(*ans);
           first = false;
         } else {
           Relation next(acc.attrs());
+          next.Reserve(acc.rows().size());
           for (const auto& [t, c] : acc.rows()) {
             if (ans->Contains(t)) {
               Status is = next.Insert(t, 1);

@@ -26,11 +26,13 @@ Database SubstituteNull(const Database& db, uint64_t id, const Value& v) {
   Database out;
   for (const auto& [name, rel] : db.relations()) {
     Relation nr(rel.attrs());
+    nr.Reserve(rel.rows().size());
     for (const auto& [t, c] : rel.rows()) {
       Status st = nr.Insert(subst.Apply(t), c);
       (void)st;
     }
-    out.Put(name, nr.ToSet());
+    nr.CollapseCounts();
+    out.Put(name, std::move(nr));
   }
   return out;
 }

@@ -1,0 +1,76 @@
+#include "core/intern.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace incdb {
+
+namespace {
+
+/// Storage is a deque (stable element addresses across growth) plus a
+/// view-keyed map whose keys point into the deque. A shared_mutex keeps
+/// the pool usable from concurrent readers; interning takes the exclusive
+/// lock but happens once per distinct string, not once per operation.
+struct PoolImpl {
+  std::shared_mutex mu;
+  std::deque<std::string> store;
+  std::unordered_map<std::string_view, uint32_t> ids;
+
+  static PoolImpl& Instance() {
+    static PoolImpl* pool = new PoolImpl();  // leaked: ids outlive statics
+    return *pool;
+  }
+
+  bool Lookup(std::string_view s, uint32_t* id) {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = ids.find(s);
+    if (it == ids.end()) return false;
+    *id = it->second;
+    return true;
+  }
+
+  uint32_t InternImpl(std::string&& s) {
+    std::unique_lock<std::shared_mutex> lock(mu);
+    auto it = ids.find(std::string_view(s));
+    if (it != ids.end()) return it->second;
+    assert(store.size() < std::numeric_limits<uint32_t>::max());
+    uint32_t id = static_cast<uint32_t>(store.size());
+    store.push_back(std::move(s));
+    ids.emplace(std::string_view(store.back()), id);
+    return id;
+  }
+};
+
+}  // namespace
+
+uint32_t StringPool::Intern(const std::string& s) {
+  uint32_t id;
+  if (PoolImpl::Instance().Lookup(std::string_view(s), &id)) return id;
+  return PoolImpl::Instance().InternImpl(std::string(s));
+}
+
+uint32_t StringPool::Intern(std::string&& s) {
+  uint32_t id;
+  if (PoolImpl::Instance().Lookup(std::string_view(s), &id)) return id;
+  return PoolImpl::Instance().InternImpl(std::move(s));
+}
+
+const std::string& StringPool::Get(uint32_t id) {
+  PoolImpl& pool = PoolImpl::Instance();
+  std::shared_lock<std::shared_mutex> lock(pool.mu);
+  assert(id < pool.store.size());
+  return pool.store[id];
+}
+
+size_t StringPool::Size() {
+  PoolImpl& pool = PoolImpl::Instance();
+  std::shared_lock<std::shared_mutex> lock(pool.mu);
+  return pool.store.size();
+}
+
+}  // namespace incdb

@@ -1,0 +1,37 @@
+#ifndef INCDB_CORE_INTERN_H_
+#define INCDB_CORE_INTERN_H_
+
+/// \file intern.h
+/// \brief Process-wide string interning pool backing Value's string payload.
+///
+/// Value stores string payloads as 32-bit ids into this pool, which keeps
+/// Value trivially copyable and turns string equality and hashing into O(1)
+/// id comparisons on the evaluator hot paths. Ids are dense, start at 0,
+/// and are stable for the lifetime of the process; interning the same
+/// contents twice yields the same id. The pool only grows — the set of
+/// distinct strings in a workload is bounded by the data, not by the
+/// number of operations performed on it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace incdb {
+
+class StringPool {
+ public:
+  /// Id of `s`, interning it on first sight.
+  static uint32_t Intern(const std::string& s);
+  static uint32_t Intern(std::string&& s);
+
+  /// Contents of an interned id. The returned reference is stable for the
+  /// lifetime of the process.
+  static const std::string& Get(uint32_t id);
+
+  /// Number of distinct strings interned so far.
+  static size_t Size();
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_INTERN_H_

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 namespace incdb {
 
@@ -110,7 +111,7 @@ StatusOr<Relation> LoadRelationCsv(const std::string& text,
       }
       t.Append(*v);
     }
-    INCDB_RETURN_IF_ERROR(rel.Insert(t, 1));
+    INCDB_RETURN_IF_ERROR(rel.Insert(std::move(t), 1));
   }
   return rel;
 }

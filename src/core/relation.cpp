@@ -22,13 +22,52 @@ StatusOr<size_t> Relation::AttrIndex(const std::string& name) const {
   return found;
 }
 
+uint32_t Relation::FindRow(const Tuple& t) const {
+  auto [lo, hi] = index_.equal_range(t.Hash());
+  for (auto it = lo; it != hi; ++it) {
+    if (rows_[it->second].first == t) return it->second;
+  }
+  return kNoRow;
+}
+
 Status Relation::Insert(const Tuple& t, uint64_t count) {
   if (t.arity() != attrs_.size()) {
     return Status::InvalidArgument(
         "arity mismatch: tuple " + t.ToString() + " into relation of arity " +
         std::to_string(attrs_.size()));
   }
-  if (count > 0) rows_[t] += count;
+  if (count == 0) return Status::OK();
+  uint32_t row = FindRow(t);
+  if (row != kNoRow) {
+    rows_[row].second += count;
+    return Status::OK();
+  }
+  if (rows_.size() >= kNoRow) {
+    return Status::ResourceExhausted("relation exceeds 2^32-1 distinct rows");
+  }
+  rows_.emplace_back(t, count);  // copies t's cached hash along with it
+  index_.emplace(t.Hash(), static_cast<uint32_t>(rows_.size() - 1));
+  return Status::OK();
+}
+
+Status Relation::Insert(Tuple&& t, uint64_t count) {
+  if (t.arity() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch: tuple " + t.ToString() + " into relation of arity " +
+        std::to_string(attrs_.size()));
+  }
+  if (count == 0) return Status::OK();
+  const size_t h = t.Hash();  // cached into t, travels with the move below
+  uint32_t row = FindRow(t);
+  if (row != kNoRow) {
+    rows_[row].second += count;
+    return Status::OK();
+  }
+  if (rows_.size() >= kNoRow) {
+    return Status::ResourceExhausted("relation exceeds 2^32-1 distinct rows");
+  }
+  rows_.emplace_back(std::move(t), count);
+  index_.emplace(h, static_cast<uint32_t>(rows_.size() - 1));
   return Status::OK();
 }
 
@@ -38,9 +77,14 @@ void Relation::Add(std::initializer_list<Value> values, uint64_t count) {
   (void)st;
 }
 
+void Relation::Reserve(size_t n) {
+  rows_.reserve(n);
+  index_.reserve(n);
+}
+
 uint64_t Relation::Count(const Tuple& t) const {
-  auto it = rows_.find(t);
-  return it == rows_.end() ? 0 : it->second;
+  uint32_t row = FindRow(t);
+  return row == kNoRow ? 0 : rows_[row].second;
 }
 
 uint64_t Relation::TotalSize() const {
@@ -50,9 +94,17 @@ uint64_t Relation::TotalSize() const {
 }
 
 Relation Relation::ToSet() const {
-  Relation out(attrs_);
-  for (const auto& [t, c] : rows_) out.rows_[t] = 1;
+  Relation out = *this;  // rows and index copy verbatim; only counts change
+  out.CollapseCounts();
   return out;
+}
+
+Status Relation::RenameAttrs(std::vector<std::string> attrs) {
+  if (attrs.size() != attrs_.size()) {
+    return Status::InvalidArgument("rename: arity mismatch");
+  }
+  attrs_ = std::move(attrs);
+  return Status::OK();
 }
 
 bool Relation::IsSet() const {
@@ -74,6 +126,14 @@ std::vector<std::pair<Tuple, uint64_t>> Relation::SortedRows() const {
   std::vector<std::pair<Tuple, uint64_t>> out(rows_.begin(), rows_.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+bool Relation::SameRows(const Relation& other) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const auto& [t, c] : rows_) {
+    if (other.Count(t) != c) return false;
+  }
+  return true;
 }
 
 bool Relation::SubBagOf(const Relation& other) const {

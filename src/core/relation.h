@@ -9,11 +9,18 @@
 /// (§4.2 "Bag semantics", [20,22]) uses the full counts. Operations that are
 /// semantics-sensitive (union, difference, projection...) live in the
 /// evaluators (src/eval); Relation itself only manages storage.
+///
+/// Storage is a flat row vector (tuple, multiplicity) in first-insertion
+/// order, plus a hash→row-index multimap for O(1) lookup. Evaluators
+/// iterate the flat rows directly and build join indices over row indices
+/// instead of copying tuples; iteration order is deterministic
+/// (insertion order) independently of hashing.
 
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
@@ -28,6 +35,9 @@ namespace incdb {
 /// benchmark output are reproducible.
 class Relation {
  public:
+  /// One distinct tuple with its multiplicity.
+  using Row = std::pair<Tuple, uint64_t>;
+
   Relation() = default;
   explicit Relation(std::vector<std::string> attrs)
       : attrs_(std::move(attrs)) {}
@@ -40,12 +50,16 @@ class Relation {
 
   /// Adds `count` occurrences of `t`. Arity must match.
   Status Insert(const Tuple& t, uint64_t count = 1);
+  Status Insert(Tuple&& t, uint64_t count = 1);
   /// Convenience for tests: aborts on arity mismatch.
   void Add(std::initializer_list<Value> values, uint64_t count = 1);
 
+  /// Pre-sizes the row storage for `n` distinct tuples.
+  void Reserve(size_t n);
+
   /// Multiplicity #(ā, R); 0 if absent.
   uint64_t Count(const Tuple& t) const;
-  bool Contains(const Tuple& t) const { return Count(t) > 0; }
+  bool Contains(const Tuple& t) const { return FindRow(t) != kNoRow; }
 
   /// Number of distinct tuples.
   size_t DistinctSize() const { return rows_.size(); }
@@ -55,19 +69,32 @@ class Relation {
 
   /// Collapses every multiplicity to 1 (the set underlying the bag).
   Relation ToSet() const;
+  /// In-place ToSet: collapses every multiplicity of `this` to 1.
+  void CollapseCounts() {
+    for (Row& row : rows_) row.second = 1;
+  }
   /// True iff every multiplicity is 1.
   bool IsSet() const;
+
+  /// Replaces the attribute names without touching row storage (the
+  /// zero-copy backing of the rename operator). Arity must match.
+  Status RenameAttrs(std::vector<std::string> attrs);
 
   /// Distinct tuples in deterministic (sorted) order.
   std::vector<Tuple> SortedTuples() const;
   /// (tuple, multiplicity) pairs in deterministic order.
   std::vector<std::pair<Tuple, uint64_t>> SortedRows() const;
 
-  /// Unordered access for evaluators.
-  const std::unordered_map<Tuple, uint64_t>& rows() const { return rows_; }
+  /// Flat row access for evaluators: distinct tuples with multiplicities,
+  /// in first-insertion order. Row *indices* are stable under further
+  /// Insert calls (rows are never removed or reordered), but references
+  /// and pointers into the vector are invalidated by Insert like any
+  /// std::vector growth — only hold them across code that does not mutate
+  /// this relation.
+  const std::vector<Row>& rows() const { return rows_; }
 
   /// Set-equality (ignores attribute names, compares tuple bags).
-  bool SameRows(const Relation& other) const { return rows_ == other.rows_; }
+  bool SameRows(const Relation& other) const;
 
   /// All tuples of `this` form a subset (with multiplicities) of `other`.
   bool SubBagOf(const Relation& other) const;
@@ -76,8 +103,15 @@ class Relation {
   std::string ToString() const;
 
  private:
+  static constexpr uint32_t kNoRow = ~static_cast<uint32_t>(0);
+
+  /// Row index of `t`, or kNoRow.
+  uint32_t FindRow(const Tuple& t) const;
+
   std::vector<std::string> attrs_;
-  std::unordered_map<Tuple, uint64_t> rows_;
+  std::vector<Row> rows_;
+  /// Tuple hash → index into rows_ (multimap: hash collisions chain here).
+  std::unordered_multimap<size_t, uint32_t> index_;
 };
 
 /// Builds default attribute names a0..a{k-1}.

@@ -1,12 +1,13 @@
 #include "core/tuple.h"
 
 #include <cassert>
-#include <unordered_map>
 
 namespace incdb {
 
 Tuple Tuple::Concat(const Tuple& other) const {
-  std::vector<Value> out = values_;
+  std::vector<Value> out;
+  out.reserve(values_.size() + other.values_.size());
+  out.insert(out.end(), values_.begin(), values_.end());
   out.insert(out.end(), other.values_.begin(), other.values_.end());
   return Tuple(std::move(out));
 }
@@ -21,6 +22,27 @@ Tuple Tuple::Project(const std::vector<size_t>& positions) const {
   return Tuple(std::move(out));
 }
 
+void Tuple::AssignConcat(const Tuple& a, const Tuple& b) {
+  assert(this != &a && this != &b);
+  hash_ = kDirtyHash;
+  values_.resize(a.values_.size() + b.values_.size());
+  Value* out = values_.data();
+  for (const Value& v : a.values_) *out++ = v;
+  for (const Value& v : b.values_) *out++ = v;
+}
+
+void Tuple::AssignProject(const Tuple& src,
+                          const std::vector<size_t>& positions) {
+  assert(this != &src);
+  hash_ = kDirtyHash;
+  values_.resize(positions.size());
+  Value* out = values_.data();
+  for (size_t p : positions) {
+    assert(p < src.values_.size());
+    *out++ = src.values_[p];
+  }
+}
+
 bool Tuple::AllConst() const {
   for (const Value& v : values_) {
     if (v.is_null()) return false;
@@ -32,11 +54,12 @@ bool Tuple::operator<(const Tuple& other) const {
   return values_ < other.values_;
 }
 
-size_t Tuple::Hash() const {
+size_t Tuple::ComputeHash() const {
   size_t h = 0x51ed270b;
   for (const Value& v : values_) {
     h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
+  if (h == kDirtyHash) h = 0x51ed270b;  // keep the sentinel free
   return h;
 }
 
@@ -52,58 +75,93 @@ std::string Tuple::ToString() const {
 
 namespace {
 
-/// Union-find over null ids with at most one constant representative per
-/// class. Merging two classes whose constants differ fails.
+/// Union-find over the distinct null ids of one Unifiable() call. The ids
+/// live in a small stack buffer (heap fallback for very wide tuples), are
+/// looked up by linear scan — tuples are short, so this beats hashing —
+/// and each class carries at most one forced constant.
+struct NullClass {
+  uint64_t id = 0;
+  uint32_t parent = 0;
+  Value constant;
+  bool has_constant = false;
+};
+
 class Unifier {
  public:
+  Unifier(NullClass* buf) : cls_(buf) {}
+
   bool Merge(const Value& a, const Value& b) {
     if (a.is_const() && b.is_const()) return a == b;
     if (a.is_null() && b.is_null()) {
-      return Union(Find(a.null_id()), Find(b.null_id()));
+      uint32_t ra = Find(Slot(a.null_id()));
+      uint32_t rb = Find(Slot(b.null_id()));
+      if (ra == rb) return true;
+      cls_[ra].parent = rb;
+      if (cls_[ra].has_constant) {
+        if (cls_[rb].has_constant) {
+          return cls_[rb].constant == cls_[ra].constant;
+        }
+        cls_[rb].constant = cls_[ra].constant;
+        cls_[rb].has_constant = true;
+      }
+      return true;
     }
     const Value& null = a.is_null() ? a : b;
     const Value& cons = a.is_null() ? b : a;
-    uint64_t root = Find(null.null_id());
-    auto [it, inserted] = constant_.try_emplace(root, cons);
-    return inserted || it->second == cons;
-  }
-
- private:
-  uint64_t Find(uint64_t id) {
-    auto it = parent_.find(id);
-    if (it == parent_.end()) {
-      parent_[id] = id;
-      return id;
-    }
-    if (it->second == id) return id;
-    uint64_t root = Find(it->second);
-    parent_[id] = root;
-    return root;
-  }
-
-  bool Union(uint64_t ra, uint64_t rb) {
-    if (ra == rb) return true;
-    parent_[ra] = rb;
-    auto ita = constant_.find(ra);
-    if (ita != constant_.end()) {
-      Value ca = ita->second;
-      constant_.erase(ita);
-      auto [itb, inserted] = constant_.try_emplace(rb, ca);
-      if (!inserted && !(itb->second == ca)) return false;
-    }
+    uint32_t root = Find(Slot(null.null_id()));
+    if (cls_[root].has_constant) return cls_[root].constant == cons;
+    cls_[root].constant = cons;
+    cls_[root].has_constant = true;
     return true;
   }
 
-  std::unordered_map<uint64_t, uint64_t> parent_;
-  std::unordered_map<uint64_t, Value> constant_;
+ private:
+  uint32_t Slot(uint64_t id) {
+    for (uint32_t i = 0; i < n_; ++i) {
+      if (cls_[i].id == id) return i;
+    }
+    cls_[n_] = NullClass{id, n_, Value(), false};
+    return n_++;
+  }
+
+  uint32_t Find(uint32_t i) {
+    while (cls_[i].parent != i) {
+      cls_[i].parent = cls_[cls_[i].parent].parent;  // path halving
+      i = cls_[i].parent;
+    }
+    return i;
+  }
+
+  NullClass* cls_;
+  uint32_t n_ = 0;
 };
 
 }  // namespace
 
 bool Unifiable(const Tuple& a, const Tuple& b) {
-  if (a.arity() != b.arity()) return false;
-  Unifier u;
-  for (size_t i = 0; i < a.arity(); ++i) {
+  const size_t n = a.arity();
+  if (n != b.arity()) return false;
+  // Fast pass: reject on constant clashes, find the first null (if any).
+  size_t first_null = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i].is_null() || b[i].is_null()) {
+      if (first_null == n) first_null = i;
+    } else if (!(a[i] == b[i])) {
+      return false;
+    }
+  }
+  if (first_null == n) return true;
+
+  constexpr size_t kInlineIds = 16;
+  NullClass inline_buf[kInlineIds];
+  std::vector<NullClass> heap_buf;
+  NullClass* buf = inline_buf;
+  if (2 * n > kInlineIds) {
+    heap_buf.resize(2 * n);
+    buf = heap_buf.data();
+  }
+  Unifier u(buf);
+  for (size_t i = first_null; i < n; ++i) {
     if (!u.Merge(a[i], b[i])) return false;
   }
   return true;

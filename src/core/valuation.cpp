@@ -24,22 +24,29 @@ Value Valuation::Apply(const Value& v) const {
 
 Tuple Valuation::Apply(const Tuple& t) const {
   Tuple out = t;
-  for (size_t i = 0; i < out.arity(); ++i) out[i] = Apply(out[i]);
+  // Touch only null positions: constant components keep the copied values
+  // (and an all-constant tuple keeps its cached hash).
+  for (size_t i = 0; i < t.arity(); ++i) {
+    if (t[i].is_null()) out.Set(i, Lookup(t[i].null_id()));
+  }
   return out;
 }
 
 Relation Valuation::ApplySet(const Relation& r) const {
   Relation out(r.attrs());
+  out.Reserve(r.rows().size());
   for (const auto& [t, c] : r.rows()) {
     Status st = out.Insert(Apply(t), 1);
     assert(st.ok());
     (void)st;
   }
-  return out.ToSet();
+  out.CollapseCounts();
+  return out;
 }
 
 Relation Valuation::ApplyBag(const Relation& r) const {
   Relation out(r.attrs());
+  out.Reserve(r.rows().size());
   for (const auto& [t, c] : r.rows()) {
     Status st = out.Insert(Apply(t), c);
     assert(st.ok());

@@ -21,19 +21,9 @@ double BitsDouble(uint64_t bits) {
 }
 }  // namespace
 
-Value Value::Int(int64_t v) {
-  return Value(ValueKind::kInt, static_cast<uint64_t>(v), {});
-}
-
 Value Value::Double(double v) {
-  return Value(ValueKind::kDouble, DoubleBits(v), {});
+  return Value(ValueKind::kDouble, DoubleBits(v));
 }
-
-Value Value::String(std::string v) {
-  return Value(ValueKind::kString, 0, std::move(v));
-}
-
-Value Value::Null(uint64_t id) { return Value(ValueKind::kNull, id, {}); }
 
 uint64_t Value::null_id() const {
   assert(is_null());
@@ -52,13 +42,12 @@ double Value::as_double() const {
 
 const std::string& Value::as_string() const {
   assert(kind_ == ValueKind::kString);
-  return str_;
+  return StringPool::Get(static_cast<uint32_t>(bits_));
 }
 
-bool Value::operator==(const Value& other) const {
-  if (kind_ != other.kind_) return false;
-  if (kind_ == ValueKind::kString) return str_ == other.str_;
-  return bits_ == other.bits_;
+uint32_t Value::string_id() const {
+  assert(kind_ == ValueKind::kString);
+  return static_cast<uint32_t>(bits_);
 }
 
 bool Value::operator<(const Value& other) const {
@@ -71,7 +60,8 @@ bool Value::operator<(const Value& other) const {
     case ValueKind::kDouble:
       return as_double() < other.as_double();
     case ValueKind::kString:
-      return str_ < other.str_;
+      // Identical ids are identical contents; otherwise order by content.
+      return bits_ != other.bits_ && as_string() < other.as_string();
   }
   return false;
 }
@@ -88,19 +78,9 @@ std::string Value::ToString() const {
       return os.str();
     }
     case ValueKind::kString:
-      return "'" + str_ + "'";
+      return "'" + as_string() + "'";
   }
   return "?";
-}
-
-size_t Value::Hash() const {
-  size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
-  if (kind_ == ValueKind::kString) {
-    h ^= std::hash<std::string>()(str_) + 0x9e3779b97f4a7c15ULL + (h << 6);
-  } else {
-    h ^= std::hash<uint64_t>()(bits_) + 0x9e3779b97f4a7c15ULL + (h << 6);
-  }
-  return h;
 }
 
 }  // namespace incdb

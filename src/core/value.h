@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
+
+#include "core/intern.h"
 
 namespace incdb {
 
@@ -35,16 +38,30 @@ enum class ValueKind : uint8_t {
 /// Database::CoddifyNulls). Equality is syntactic: ⊥_1 == ⊥_1, ⊥_1 != ⊥_2,
 /// and a null never equals a constant. This syntactic equality is exactly
 /// what naive evaluation (paper §4.1) needs.
+///
+/// Layout: a 16-byte trivially-copyable tagged struct. Int64, double
+/// bit-pattern and null-id payloads live inline in `bits_`; string payloads
+/// are interned through StringPool and `bits_` holds the intern id, so
+/// string equality and hashing are id comparisons (content lives in the
+/// pool, shared by every occurrence).
 class Value {
  public:
   /// Constants.
-  static Value Int(int64_t v);
+  static Value Int(int64_t v) {
+    return Value(ValueKind::kInt, static_cast<uint64_t>(v));
+  }
   static Value Double(double v);
-  static Value String(std::string v);
+  static Value String(std::string v) {
+    return Value(ValueKind::kString, StringPool::Intern(std::move(v)));
+  }
+  /// A string constant from an already-interned pool id.
+  static Value InternedString(uint32_t id) {
+    return Value(ValueKind::kString, id);
+  }
   /// The marked null ⊥_id.
-  static Value Null(uint64_t id);
+  static Value Null(uint64_t id) { return Value(ValueKind::kNull, id); }
 
-  Value() : Value(Int(0)) {}
+  constexpr Value() : kind_(ValueKind::kInt), bits_(0) {}
 
   ValueKind kind() const { return kind_; }
   bool is_null() const { return kind_ == ValueKind::kNull; }
@@ -53,28 +70,43 @@ class Value {
   uint64_t null_id() const;
   int64_t as_int() const;
   double as_double() const;
+  /// The interned contents; stable reference into the StringPool.
   const std::string& as_string() const;
+  /// The StringPool id of a string constant.
+  uint32_t string_id() const;
 
-  /// Syntactic equality (marked-null identity).
-  bool operator==(const Value& other) const;
+  /// Syntactic equality (marked-null identity; strings by intern id, which
+  /// coincides with content equality).
+  bool operator==(const Value& other) const {
+    return kind_ == other.kind_ && bits_ == other.bits_;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
-  /// Deterministic total order: by kind, then payload.
+  /// Deterministic total order: by kind, then payload (strings by content).
   bool operator<(const Value& other) const;
 
   /// Renders e.g. "42", "3.5", "'abc'", "⊥3".
   std::string ToString() const;
 
   /// Hash compatible with operator==.
-  size_t Hash() const;
+  size_t Hash() const {
+    uint64_t x = bits_ + static_cast<uint64_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+    // splitmix64-style finalizer: cheap, good dispersion of dense ids.
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
 
  private:
-  Value(ValueKind kind, uint64_t bits, std::string str)
-      : kind_(kind), bits_(bits), str_(std::move(str)) {}
+  constexpr Value(ValueKind kind, uint64_t bits) : kind_(kind), bits_(bits) {}
 
   ValueKind kind_;
-  uint64_t bits_;    // int64 payload, double bit-pattern, or null id.
-  std::string str_;  // string payload (empty otherwise).
+  uint64_t bits_;  // int64 payload, double bit-pattern, null id or intern id.
 };
+
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must stay trivially copyable: relations memcpy rows");
+static_assert(sizeof(Value) <= 16, "Value must stay within 16 bytes");
 
 }  // namespace incdb
 

@@ -60,6 +60,7 @@ Relation CTable::PossibleTuples() const {
 
 Relation CTable::Instantiate(const Valuation& v) const {
   Relation out(attrs_);
+  out.Reserve(tuples_.size());
   for (const CTuple& ct : tuples_) {
     if (EvalCC(ct.cond, v) == TV3::kT) {
       Status st = out.Insert(v.Apply(ct.data), 1);
@@ -67,7 +68,8 @@ Relation CTable::Instantiate(const Valuation& v) const {
       (void)st;
     }
   }
-  return out.ToSet();
+  out.CollapseCounts();
+  return out;
 }
 
 std::string CTable::ToString() const {

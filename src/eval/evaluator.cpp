@@ -54,52 +54,61 @@ size_t IndexOf(const std::vector<std::string>& attrs, const std::string& a) {
 /// probe tuple then touches only one bucket per mask; probes containing
 /// nulls fall back to a scan. Candidates are always re-verified with
 /// Unifiable() (repeated marked nulls add constraints the index ignores).
+/// The index references the indexed relation's rows in place — it copies
+/// no tuples and must not outlive the relation.
 class UnifyIndex {
  public:
   UnifyIndex(const Relation& rel, bool use_index)
-      : arity_(rel.arity()), use_index_(use_index) {
+      : arity_(rel.arity()), use_index_(use_index && arity_ < 64) {
+    all_.reserve(rel.rows().size());
     for (const auto& [t, c] : rel.rows()) {
-      all_.push_back(t);
+      all_.push_back(&t);
       if (!use_index_) continue;
       uint64_t mask = 0;
       for (size_t i = 0; i < t.arity(); ++i) {
         if (t[i].is_null()) mask |= (1ULL << i);
       }
-      groups_[mask][ConstProjection(t, mask)].push_back(t);
+      Tuple key;
+      ConstProjectionInto(t, mask, &key);
+      groups_[mask][std::move(key)].push_back(&t);
     }
   }
 
-  bool AnyUnifiable(const Tuple& probe) const {
-    if (!use_index_ || probe.HasNull() || arity_ >= 64) {
-      for (const Tuple& t : all_) {
-        if (Unifiable(probe, t)) return true;
+  bool AnyUnifiable(const Tuple& probe) {
+    if (!use_index_ || probe.HasNull()) {
+      for (const Tuple* t : all_) {
+        if (Unifiable(probe, *t)) return true;
       }
       return false;
     }
     for (const auto& [mask, buckets] : groups_) {
-      auto it = buckets.find(ConstProjection(probe, mask));
+      ConstProjectionInto(probe, mask, &key_scratch_);
+      auto it = buckets.find(key_scratch_);
       if (it == buckets.end()) continue;
-      for (const Tuple& t : it->second) {
-        if (Unifiable(probe, t)) return true;
+      for (const Tuple* t : it->second) {
+        if (Unifiable(probe, *t)) return true;
       }
     }
     return false;
   }
 
  private:
-  static Tuple ConstProjection(const Tuple& t, uint64_t null_mask) {
-    std::vector<Value> vals;
+  static void ConstProjectionInto(const Tuple& t, uint64_t null_mask,
+                                  Tuple* out) {
+    out->Clear();
+    out->Reserve(t.arity());
     for (size_t i = 0; i < t.arity(); ++i) {
-      if (!(null_mask & (1ULL << i))) vals.push_back(t[i]);
+      if (!(null_mask & (1ULL << i))) out->Append(t[i]);
     }
-    return Tuple(std::move(vals));
   }
 
   size_t arity_;
   bool use_index_ = true;
-  std::vector<Tuple> all_;
-  std::unordered_map<uint64_t, std::unordered_map<Tuple, std::vector<Tuple>>>
+  std::vector<const Tuple*> all_;
+  std::unordered_map<uint64_t,
+                     std::unordered_map<Tuple, std::vector<const Tuple*>>>
       groups_;
+  Tuple key_scratch_;
 };
 
 class Evaluator {
@@ -144,7 +153,9 @@ class Evaluator {
       case OpKind::kDistinct: {
         auto in = Eval(q->left);
         if (!in.ok()) return in;
-        return in->ToSet();
+        Relation out = std::move(*in);
+        out.CollapseCounts();
+        return out;
       }
     }
     return Status::Internal("unknown operator");
@@ -163,9 +174,14 @@ class Evaluator {
   }
 
   StatusOr<Relation> EvalScan(const AlgPtr& q) {
-    auto rel = db_.Get(q->rel_name);
-    if (!rel.ok()) return rel.status();
-    return set_semantics() ? rel->ToSet() : *rel;
+    if (!db_.Has(q->rel_name)) {
+      return Status::NotFound("no relation named " + q->rel_name);
+    }
+    // Single copy out of the database; base relations are usually sets
+    // already, in which case ToSet's count collapse is skipped too.
+    const Relation& rel = db_.at(q->rel_name);
+    if (set_semantics() && !rel.IsSet()) return rel.ToSet();
+    return rel;
   }
 
   StatusOr<Relation> EvalSelect(const AlgPtr& q) {
@@ -178,6 +194,7 @@ class Evaluator {
     auto pred = CompileCond(q->cond, in->attrs(), ToCondMode(mode_));
     if (!pred.ok()) return pred.status();
     Relation out(in->attrs());
+    out.Reserve(in->rows().size());
     for (const auto& [t, c] : in->rows()) {
       if ((*pred)(t) == TV3::kT) {
         INCDB_RETURN_IF_ERROR(out.Insert(t, c));
@@ -225,23 +242,22 @@ class Evaluator {
       pos.push_back(i);
     }
     Relation out(q->attrs);
+    out.Reserve(in->rows().size());
+    Tuple scratch;
     for (const auto& [t, c] : in->rows()) {
-      INCDB_RETURN_IF_ERROR(out.Insert(t.Project(pos), c));
+      scratch.AssignProject(t, pos);
+      INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
-    return set_semantics() ? out.ToSet() : out;
+    if (set_semantics()) out.CollapseCounts();
+    return out;
   }
 
   StatusOr<Relation> EvalRename(const AlgPtr& q) {
     auto in = Eval(q->left);
     if (!in.ok()) return in;
-    if (q->attrs.size() != in->arity()) {
-      return Status::InvalidArgument("rename: arity mismatch");
-    }
-    Relation out(q->attrs);
-    for (const auto& [t, c] : in->rows()) {
-      INCDB_RETURN_IF_ERROR(out.Insert(t, c));
-    }
+    Relation out = std::move(*in);
+    INCDB_RETURN_IF_ERROR(out.RenameAttrs(q->attrs));
     return out;
   }
 
@@ -322,11 +338,12 @@ class Evaluator {
       if (!a.ok()) return a;
       auto b = JoinRelations(l, r, residual[0]->right, proj);
       if (!b.ok()) return b;
-      Relation merged = *a;
+      Relation merged = std::move(*a);
       for (const auto& [t, c] : b->rows()) {
         INCDB_RETURN_IF_ERROR(merged.Insert(t, 1));
       }
-      return merged.ToSet();
+      merged.CollapseCounts();
+      return merged;
     }
 
     CondPtr res_cond = CAndAll(residual);
@@ -369,21 +386,27 @@ class Evaluator {
     if (proj != nullptr && set_semantics() &&
         res_cond->kind == CondKind::kTrue && equi.empty()) {
       if (proj_left_only && !r.rows().empty()) {
-        std::vector<size_t> pos = proj_pos;  // already left positions
+        const std::vector<size_t>& pos = proj_pos;  // already left positions
         Relation out(*proj);
+        Tuple scratch;
         for (const auto& [lt, lc] : l.rows()) {
-          INCDB_RETURN_IF_ERROR(out.Insert(lt.Project(pos), 1));
+          scratch.AssignProject(lt, pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
         }
-        return out.ToSet();
+        out.CollapseCounts();
+        return out;
       }
       if (proj_right_only && !l.rows().empty()) {
         std::vector<size_t> pos;
         for (size_t i : proj_pos) pos.push_back(i - l.arity());
         Relation out(*proj);
+        Tuple scratch;
         for (const auto& [rt, rc] : r.rows()) {
-          INCDB_RETURN_IF_ERROR(out.Insert(rt.Project(pos), 1));
+          scratch.AssignProject(rt, pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
         }
-        return out.ToSet();
+        out.CollapseCounts();
+        return out;
       }
       if (l.rows().empty() || r.rows().empty()) return Relation(*proj);
     }
@@ -392,16 +415,20 @@ class Evaluator {
     if (!pred.ok()) return pred.status();
 
     Relation out(proj != nullptr ? *proj : attrs);
+    // Scratch tuples reused across every pair: the hot loop below performs
+    // no allocations except inserting kept tuples into `out`.
+    Tuple joint, projected;
     auto emit = [&](const Tuple& lt, uint64_t lc, const Tuple& rt,
                     uint64_t rc) -> Status {
       // With SQL-mode equality, a null join key never compares t; with
       // naive equality the hash join already used syntactic equality. The
       // residual condition is checked in the active mode.
-      Tuple joint = lt.Concat(rt);
+      joint.AssignConcat(lt, rt);
       if ((*pred)(joint) == TV3::kT) {
         uint64_t c = set_semantics() ? 1 : lc * rc;
         if (proj != nullptr) {
-          INCDB_RETURN_IF_ERROR(out.Insert(joint.Project(proj_pos), c));
+          projected.AssignProject(joint, proj_pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(projected, c));
         } else {
           INCDB_RETURN_IF_ERROR(out.Insert(joint, c));
         }
@@ -413,8 +440,8 @@ class Evaluator {
     // With a projection under set semantics, distinct pairs may collapse;
     // normalise multiplicities at the end.
     auto finish = [&]() -> Relation {
-      return (proj != nullptr && set_semantics()) ? out.ToSet()
-                                                  : std::move(out);
+      if (proj != nullptr && set_semantics()) out.CollapseCounts();
+      return std::move(out);
     };
 
     if (equi.empty()) {
@@ -427,25 +454,41 @@ class Evaluator {
     }
 
     // Hash join. Under SQL mode, rows with a null key cannot satisfy the
-    // equality with truth value t, so skipping them is sound.
+    // equality with truth value t, so skipping them is sound. The index is
+    // built over the smaller side and stores row indices into that side's
+    // flat storage — no tuples are copied.
     std::vector<size_t> lkeys, rkeys;
     for (const auto& [li, ri] : equi) {
       lkeys.push_back(li);
       rkeys.push_back(ri);
     }
-    std::unordered_map<Tuple, std::vector<std::pair<Tuple, uint64_t>>> index;
-    for (const auto& [rt, rc] : r.rows()) {
-      Tuple key = rt.Project(rkeys);
+    const bool build_left = l.rows().size() <= r.rows().size();
+    const Relation& build = build_left ? l : r;
+    const Relation& probe = build_left ? r : l;
+    const std::vector<size_t>& build_keys = build_left ? lkeys : rkeys;
+    const std::vector<size_t>& probe_keys = build_left ? rkeys : lkeys;
+
+    std::unordered_map<Tuple, std::vector<uint32_t>> index;
+    index.reserve(build.rows().size());
+    const std::vector<Relation::Row>& build_rows = build.rows();
+    Tuple key;  // scratch for both build and probe keys
+    for (uint32_t i = 0; i < build_rows.size(); ++i) {
+      key.AssignProject(build_rows[i].first, build_keys);
       if (mode_ == Mode::kSetSql && key.HasNull()) continue;
-      index[key].emplace_back(rt, rc);
+      index[key].push_back(i);
     }
-    for (const auto& [lt, lc] : l.rows()) {
-      Tuple key = lt.Project(lkeys);
+    for (const auto& [pt, pc] : probe.rows()) {
+      key.AssignProject(pt, probe_keys);
       if (mode_ == Mode::kSetSql && key.HasNull()) continue;
       auto it = index.find(key);
       if (it == index.end()) continue;
-      for (const auto& [rt, rc] : it->second) {
-        INCDB_RETURN_IF_ERROR(emit(lt, lc, rt, rc));
+      for (uint32_t bi : it->second) {
+        const auto& [bt, bc] = build_rows[bi];
+        if (build_left) {
+          INCDB_RETURN_IF_ERROR(emit(bt, bc, pt, pc));
+        } else {
+          INCDB_RETURN_IF_ERROR(emit(pt, pc, bt, bc));
+        }
       }
     }
     return finish();
@@ -459,12 +502,14 @@ class Evaluator {
     if (l->arity() != r->arity()) {
       return Status::InvalidArgument("union: arity mismatch");
     }
-    Relation out = *l;
+    Relation out = std::move(*l);  // the left input is ours: no deep copy
+    out.Reserve(out.rows().size() + r->rows().size());
     for (const auto& [t, c] : r->rows()) {
       INCDB_RETURN_IF_ERROR(out.Insert(t, c));
     }
     INCDB_RETURN_IF_ERROR(Budget(r->TotalSize()));
-    return set_semantics() ? out.ToSet() : out;
+    if (set_semantics()) out.CollapseCounts();
+    return out;
   }
 
   StatusOr<Relation> EvalDifference(const AlgPtr& q) {
@@ -478,13 +523,30 @@ class Evaluator {
     Relation out(l->attrs());
     if (mode_ == Mode::kSetSql) {
       // NOT IN semantics: keep r̄ only if the comparison with *every* tuple
-      // of the right side is certainly false (never t or u).
+      // of the right side is certainly false (never t or u). All-constant
+      // pairs compare t exactly when syntactically equal, so against the
+      // all-constant part of the right side an all-constant left tuple
+      // needs one hash lookup; only right tuples involving nulls keep the
+      // pairwise 3VL scan, and left tuples involving nulls scan everything.
+      std::vector<const Tuple*> null_rows;
+      for (const auto& [s, sc] : r->rows()) {
+        if (s.HasNull()) null_rows.push_back(&s);
+      }
       for (const auto& [t, c] : l->rows()) {
-        bool keep = true;
-        for (const auto& [s, sc] : r->rows()) {
-          if (SqlTupleEq(t, s) != TV3::kF) {
-            keep = false;
-            break;
+        bool keep;
+        if (t.AllConst()) {
+          keep = !r->Contains(t);
+          for (const Tuple* s : null_rows) {
+            if (!keep) break;
+            if (SqlTupleEq(t, *s) != TV3::kF) keep = false;
+          }
+        } else {
+          keep = true;
+          for (const auto& [s, sc] : r->rows()) {
+            if (SqlTupleEq(t, s) != TV3::kF) {
+              keep = false;
+              break;
+            }
           }
         }
         if (keep) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
@@ -512,13 +574,12 @@ class Evaluator {
     }
     Relation out(l->attrs());
     if (mode_ == Mode::kSetSql) {
-      // IN semantics: keep r̄ iff some right tuple compares t.
+      // IN semantics: keep r̄ iff some right tuple compares t. Under 3VL a
+      // comparison is t only when both tuples are all-constant and equal,
+      // so membership reduces to one hash lookup per left tuple.
       for (const auto& [t, c] : l->rows()) {
-        for (const auto& [s, sc] : r->rows()) {
-          if (SqlTupleEq(t, s) == TV3::kT) {
-            INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
-            break;
-          }
+        if (t.AllConst() && r->Contains(t)) {
+          INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
         }
       }
       return out;
@@ -672,29 +733,36 @@ class Evaluator {
 
     // Equality with a null key never evaluates to t in either mode unless
     // syntactically equal (naive) — the hash covers both, as naive equality
-    // is exactly key identity and SQL-mode null keys are skipped.
-    std::unordered_map<Tuple, std::vector<Tuple>> index;
+    // is exactly key identity and SQL-mode null keys are skipped. The index
+    // references right rows in place instead of copying them.
+    std::unordered_map<Tuple, std::vector<const Tuple*>> index;
     const bool hashed = !lkeys.empty();
+    const bool trivial_pred = residual.empty();
+    Tuple key, joint_t;  // scratch, reused across probes
     if (hashed) {
+      index.reserve(r->rows().size());
       for (const auto& [rt, rc] : r->rows()) {
-        Tuple key = rt.Project(rkeys);
+        key.AssignProject(rt, rkeys);
         if (mode_ == Mode::kSetSql && key.HasNull()) continue;
-        index[key].push_back(rt);
+        index[key].push_back(&rt);
       }
     }
     auto exists_match = [&](const Tuple& lt) -> bool {
       if (!hashed) {
         for (const auto& [rt, rc] : r->rows()) {
-          if ((*pred)(lt.Concat(rt)) == TV3::kT) return true;
+          joint_t.AssignConcat(lt, rt);
+          if ((*pred)(joint_t) == TV3::kT) return true;
         }
         return false;
       }
-      Tuple key = lt.Project(lkeys);
+      key.AssignProject(lt, lkeys);
       if (mode_ == Mode::kSetSql && key.HasNull()) return false;
       auto it = index.find(key);
       if (it == index.end()) return false;
-      for (const Tuple& rt : it->second) {
-        if ((*pred)(lt.Concat(rt)) == TV3::kT) return true;
+      if (trivial_pred) return true;  // any key match suffices
+      for (const Tuple* rt : it->second) {
+        joint_t.AssignConcat(lt, *rt);
+        if ((*pred)(joint_t) == TV3::kT) return true;
       }
       return false;
     };
@@ -749,20 +817,30 @@ class Evaluator {
     if (!pred.ok()) return pred.status();
     const bool correlated = q->cond->kind != CondKind::kTrue;
 
-    // Uncorrelated fast path: precompute the key multiset once.
+    // Uncorrelated fast path: precompute the key multiset once. Keys
+    // involving nulls are listed separately: under SQL 3VL they are the
+    // only right keys an all-constant left key cannot dismiss with one
+    // hash lookup.
     std::unordered_map<Tuple, uint64_t> keys;
-    bool right_has_null_key = false;
+    std::vector<const Tuple*> null_keys;
+    Tuple key_scratch;
     if (!correlated) {
+      keys.reserve(r->rows().size());
       for (const auto& [rt, rc] : r->rows()) {
-        Tuple key = rt.Project(rpos);
-        keys[key] += rc;
-        if (key.HasNull()) right_has_null_key = true;
+        key_scratch.AssignProject(rt, rpos);
+        auto [it, inserted] = keys.try_emplace(key_scratch, rc);
+        if (!inserted) {
+          it->second += rc;
+        } else if (it->first.HasNull()) {
+          null_keys.push_back(&it->first);
+        }
       }
     }
 
     Relation out(l->attrs());
+    Tuple lkey, rkey, joint_t;  // scratch, reused across rows and pairs
     for (const auto& [lt, lc] : l->rows()) {
-      Tuple lkey = lt.Project(lpos);
+      lkey.AssignProject(lt, lpos);
       bool keep;
       if (!correlated) {
         if (mode_ != Mode::kSetSql) {
@@ -771,12 +849,19 @@ class Evaluator {
         } else if (!negated) {
           keep = lkey.AllConst() && keys.count(lkey) > 0;
         } else {
-          // NOT IN: all comparisons must be certainly false.
+          // NOT IN: all comparisons must be certainly false. All-constant
+          // pairs compare t exactly when syntactically equal, so an
+          // all-constant left key needs one hash miss plus a scan of the
+          // (typically few) null-involving right keys; a left key with a
+          // null keeps the pairwise 3VL scan.
           if (keys.empty()) {
             keep = true;
-          } else if (lkey.arity() == 1) {
-            keep = lkey.AllConst() && !right_has_null_key &&
-                   keys.count(lkey) == 0;
+          } else if (lkey.AllConst()) {
+            keep = keys.count(lkey) == 0;
+            for (const Tuple* nk : null_keys) {
+              if (!keep) break;
+              if (SqlTupleEq(lkey, *nk) != TV3::kF) keep = false;
+            }
           } else {
             keep = true;
             for (const auto& [rk, rc] : keys) {
@@ -792,8 +877,9 @@ class Evaluator {
         bool exists_t = false;
         bool all_f = true;
         for (const auto& [rt, rc] : r->rows()) {
-          if ((*pred)(lt.Concat(rt)) != TV3::kT) continue;
-          Tuple rkey = rt.Project(rpos);
+          joint_t.AssignConcat(lt, rt);
+          if ((*pred)(joint_t) != TV3::kT) continue;
+          rkey.AssignProject(rt, rpos);
           if (mode_ == Mode::kSetSql) {
             TV3 tv = SqlTupleEq(lkey, rkey);
             if (tv == TV3::kT) exists_t = true;

@@ -1,6 +1,7 @@
 #include "logic/fo_eval.h"
 
 #include <cassert>
+#include <map>
 
 #include "logic/kleene.h"
 
@@ -65,9 +66,15 @@ class FOEvaluator {
   StatusOr<TV3> Eval(const FormulaPtr& f, Assignment& a) {
     switch (f->kind) {
       case FKind::kAtom: {
-        auto rel = db_.Get(f->rel);
-        if (!rel.ok()) return rel.status();
-        if (rel->arity() != f->terms.size()) {
+        // Atoms re-evaluate inside quantifier loops: cache the
+        // set-collapsed relation per name instead of copying it each time.
+        if (!db_.Has(f->rel)) {
+          return Status::NotFound("no relation named " + f->rel);
+        }
+        auto [cached, inserted] = set_cache_.try_emplace(f->rel);
+        if (inserted) cached->second = db_.at(f->rel).ToSet();
+        const Relation& rel = cached->second;
+        if (rel.arity() != f->terms.size()) {
           return Status::InvalidArgument("atom arity mismatch for " + f->rel);
         }
         Tuple args;
@@ -76,7 +83,7 @@ class FOEvaluator {
           if (!v.ok()) return v.status();
           args.Append(*v);
         }
-        return AtomSemEval(rel->ToSet(), args, sem_.relations);
+        return AtomSemEval(rel, args, sem_.relations);
       }
       case FKind::kEq: {
         auto x = ResolveTerm(f->terms[0], a);
@@ -163,6 +170,7 @@ class FOEvaluator {
   const Database& db_;
   MixedSemantics sem_;
   std::vector<Value> domain_;
+  std::map<std::string, Relation> set_cache_;  // set-collapsed scans
 };
 
 }  // namespace

@@ -65,6 +65,7 @@ Database Generate(const GenOptions& opts) {
                                   "Brand#44", "Brand#55"};
 
   Relation nation(NationAttrs());
+  nation.Reserve(n_nation);
   for (size_t i = 0; i < n_nation; ++i) {
     nation.Add({Value::Int(static_cast<int64_t>(i)),
                 Value::String(kNationNames[i % 25]),
@@ -73,6 +74,7 @@ Database Generate(const GenOptions& opts) {
   db.Put("nation", std::move(nation));
 
   Relation customer(CustomerAttrs());
+  customer.Reserve(n_customer);
   for (size_t i = 0; i < n_customer; ++i) {
     customer.Add(
         {Value::Int(static_cast<int64_t>(i)),
@@ -84,6 +86,7 @@ Database Generate(const GenOptions& opts) {
   db.Put("customer", std::move(customer));
 
   Relation supplier(SupplierAttrs());
+  supplier.Reserve(n_supplier);
   for (size_t i = 0; i < n_supplier; ++i) {
     supplier.Add(
         {Value::Int(static_cast<int64_t>(i)),
@@ -95,6 +98,7 @@ Database Generate(const GenOptions& opts) {
   db.Put("supplier", std::move(supplier));
 
   Relation part(PartAttrs());
+  part.Reserve(n_part);
   for (size_t i = 0; i < n_part; ++i) {
     part.Add({Value::Int(static_cast<int64_t>(i)),
               Value::String("Part#" + std::to_string(i)),
@@ -104,6 +108,7 @@ Database Generate(const GenOptions& opts) {
   db.Put("part", std::move(part));
 
   Relation orders(OrdersAttrs());
+  orders.Reserve(n_orders);
   for (size_t i = 0; i < n_orders; ++i) {
     orders.Add(
         {Value::Int(static_cast<int64_t>(i)),
@@ -115,6 +120,7 @@ Database Generate(const GenOptions& opts) {
   db.Put("orders", std::move(orders));
 
   Relation lineitem(LineitemAttrs());
+  lineitem.Reserve(n_lineitem);
   for (size_t i = 0; i < n_lineitem; ++i) {
     // ~10% of orders have no lineitem at all, making the NOT IN family of
     // queries produce non-trivial answers.

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+#include <utility>
+
 #include "core/database.h"
+#include "core/intern.h"
 #include "core/relation.h"
 #include "core/status.h"
 #include "core/tuple.h"
@@ -66,6 +70,111 @@ TEST(ValueTest, ToStringRendering) {
   EXPECT_EQ(Value::Int(5).ToString(), "5");
   EXPECT_EQ(Value::String("x").ToString(), "'x'");
   EXPECT_EQ(Value::Null(2).ToString(), "⊥2");
+  EXPECT_EQ(Value::Double(3.5).ToString(), "3.5");
+}
+
+// --- Compact layout (interned strings, trivially copyable Value) -----------
+
+TEST(ValueLayoutTest, TriviallyCopyableAndCompact) {
+  static_assert(std::is_trivially_copyable_v<Value>);
+  static_assert(sizeof(Value) <= 16);
+  EXPECT_TRUE(std::is_trivially_copyable_v<Value>);
+  EXPECT_LE(sizeof(Value), 16u);
+}
+
+TEST(ValueLayoutTest, InternIdAgreesWithStringEquality) {
+  Value a = Value::String("intern-me");
+  Value b = Value::String(std::string("intern") + "-me");  // separate buffer
+  Value c = Value::String("intern-you");
+  // Same contents → same pool id → equal; different contents → different id.
+  EXPECT_EQ(a.string_id(), b.string_id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.string_id(), c.string_id());
+  EXPECT_NE(a, c);
+  // The pool hands back the contents by reference, and both values share it.
+  EXPECT_EQ(a.as_string(), "intern-me");
+  EXPECT_EQ(&a.as_string(), &b.as_string());
+  EXPECT_EQ(StringPool::Get(a.string_id()), "intern-me");
+}
+
+TEST(ValueLayoutTest, BehaviourUnchangedAcrossKinds) {
+  // Pairs of equal and unequal values of every kind: hash must agree with
+  // equality, operator< must order by kind then payload (strings by
+  // content, not by intern id), and ToString must render the payload.
+  const Value eq_pairs[][2] = {
+      {Value::Null(9), Value::Null(9)},
+      {Value::Int(-4), Value::Int(-4)},
+      {Value::Double(2.25), Value::Double(2.25)},
+      {Value::String("zz"), Value::String("zz")},
+  };
+  for (const auto& pair : eq_pairs) {
+    EXPECT_EQ(pair[0], pair[1]);
+    EXPECT_EQ(pair[0].Hash(), pair[1].Hash());
+    EXPECT_FALSE(pair[0] < pair[1]);
+    EXPECT_FALSE(pair[1] < pair[0]);
+    EXPECT_EQ(pair[0].ToString(), pair[1].ToString());
+  }
+  // Content order for strings even when intern order differs: interning
+  // "b-late" after "a-late" must not make it sort first.
+  Value late_b = Value::String("layout-b");
+  Value late_a = Value::String("layout-a");
+  EXPECT_LT(late_a, late_b);
+  EXPECT_FALSE(late_b < late_a);
+  // Payload order within the other kinds.
+  EXPECT_LT(Value::Int(-1), Value::Int(3));
+  EXPECT_LT(Value::Double(0.5), Value::Double(1.5));
+  EXPECT_LT(Value::Null(1), Value::Null(2));
+  // Kind order: null < int < double < string.
+  EXPECT_LT(Value::Null(99), Value::Int(-100));
+  EXPECT_LT(Value::Int(100), Value::Double(-5.0));
+  EXPECT_LT(Value::Double(1e9), Value::String("a"));
+}
+
+TEST(TupleLayoutTest, CachedHashSurvivesCopyAndMove) {
+  Tuple t{Value::Int(1), Value::String("h"), Value::Null(2)};
+  size_t h = t.Hash();
+  Tuple copy = t;
+  EXPECT_EQ(copy.Hash(), h);
+  Tuple moved = std::move(copy);
+  EXPECT_EQ(moved.Hash(), h);
+  EXPECT_EQ(moved, t);
+}
+
+TEST(TupleLayoutTest, CachedHashConsistentAfterAppend) {
+  Tuple t{Value::Int(1)};
+  size_t h1 = t.Hash();
+  t.Append(Value::Int(2));
+  // The cache must be invalidated: the hash now matches a fresh tuple with
+  // the same contents, not the stale one-component hash.
+  Tuple fresh{Value::Int(1), Value::Int(2)};
+  EXPECT_EQ(t.Hash(), fresh.Hash());
+  EXPECT_EQ(t, fresh);
+  EXPECT_NE(t.Hash(), h1);
+}
+
+TEST(TupleLayoutTest, CachedHashConsistentAfterMutation) {
+  Tuple t{Value::Int(1), Value::Int(2)};
+  (void)t.Hash();  // populate the cache
+  t[1] = Value::Int(7);  // mutable operator[] must invalidate it
+  EXPECT_EQ(t.Hash(), (Tuple{Value::Int(1), Value::Int(7)}).Hash());
+  t.Set(0, Value::Null(4));  // Set() likewise
+  EXPECT_EQ(t.Hash(), (Tuple{Value::Null(4), Value::Int(7)}).Hash());
+  EXPECT_EQ(t, (Tuple{Value::Null(4), Value::Int(7)}));
+}
+
+TEST(TupleLayoutTest, AssignConcatProjectMatchAllocatingForms) {
+  Tuple a{Value::Int(1), Value::String("s")};
+  Tuple b{Value::Null(3)};
+  Tuple scratch;
+  scratch.AssignConcat(a, b);
+  EXPECT_EQ(scratch, a.Concat(b));
+  EXPECT_EQ(scratch.Hash(), a.Concat(b).Hash());
+  Tuple proj;
+  proj.AssignProject(scratch, {2, 0});
+  EXPECT_EQ(proj, scratch.Project({2, 0}));
+  // Reuse the same scratch tuples with different shapes.
+  scratch.AssignConcat(b, b);
+  EXPECT_EQ(scratch, b.Concat(b));
 }
 
 TEST(TupleTest, ConcatAndProject) {
