@@ -55,6 +55,11 @@ INCDB_BENCH(ablation) {
     o.enable_unify_index = false;
     configs.push_back({"- unify index", o});
   }
+  {
+    EvalOptions o = base;
+    o.enable_selection_pushdown = false;
+    configs.push_back({"- selection pushdown", o});
+  }
 
   // The two queries whose Q+ exercises every fast path.
   auto workload = tpch::Workload();

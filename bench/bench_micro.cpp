@@ -11,6 +11,7 @@
 #include "approx/approx.h"
 #include "bench/bench_util.h"
 #include "eval/eval.h"
+#include "eval/plan.h"
 #include "tpch/tpch.h"
 
 using namespace incdb;  // NOLINT
@@ -134,7 +135,8 @@ INCDB_BENCH(not_in_scaling) {
   }
 }
 
-/// Hash join throughput: customer ⨝ orders.
+/// Hash join throughput: customer ⨝ orders, single-threaded and with the
+/// partitioned parallel build/probe (EvalOptions::num_threads = 4).
 INCDB_BENCH(hash_join) {
   tpch::GenOptions opts;
   opts.scale = 2.0;
@@ -148,4 +150,43 @@ INCDB_BENCH(hash_join) {
   ctx.Report("hash_join", ms)
       .Param("scale", opts.scale)
       .Param("tuples", static_cast<int64_t>(db.TotalSize()));
+
+  EvalOptions par;
+  par.num_threads = 4;
+  double par_ms = ctx.TimeMs([&] { EvalSet(q, db, par).ok(); });
+  std::printf("%-24s %10.2f ms (%llu tuples)\n", "hash_join_parallel", par_ms,
+              static_cast<unsigned long long>(db.TotalSize()));
+  ctx.Report("hash_join_parallel", par_ms)
+      .Param("scale", opts.scale)
+      .Param("threads", static_cast<int64_t>(par.num_threads))
+      .Param("tuples", static_cast<int64_t>(db.TotalSize()));
+}
+
+/// Plan-compilation cost: lowering + rewrite passes for the W1 NOT-IN
+/// query's Q+ rewriting — the price EvalSet pays per call before
+/// execution, and what a Compile-once caller amortises away.
+INCDB_BENCH(plan_compile) {
+  constexpr int kCompiles = 1 << 10;
+  tpch::GenOptions opts;
+  opts.scale = 0.5;
+  opts.null_rate = 0.02;
+  Database db = tpch::Generate(opts);
+  auto plus = TranslatePlus(tpch::Workload()[0].algebra, db);
+  if (!plus.ok()) {
+    ctx.SetFailed();
+    return;
+  }
+  EvalOptions eopts;
+  volatile bool sink = false;
+  double ms = ctx.TimeMs([&] {
+    for (int i = 0; i < kCompiles; ++i) {
+      sink = Compile(*plus, EvalMode::kSetNaive, eopts, db).ok();
+    }
+  });
+  (void)sink;
+  std::printf("%-24s %10.3f ms / %d plans  (%.2f µs/plan)\n", "plan_compile",
+              ms, kCompiles, ms * 1e3 / kCompiles);
+  ctx.Report("plan_compile", ms)
+      .Param("batch", kCompiles)
+      .Param("us_per_plan", ms * 1e3 / kCompiles);
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <set>
 
+#include "core/relation.h"
 #include "logic/kleene.h"
 
 namespace incdb {
@@ -310,10 +311,11 @@ StatusOr<std::unique_ptr<CompiledCond>> Compile(
   out->kind = c->kind;
   out->constant = c->constant;
   auto resolve = [&attrs](const std::string& name) -> StatusOr<size_t> {
-    for (size_t i = 0; i < attrs.size(); ++i) {
-      if (attrs[i] == name) return i;
+    size_t i = IndexOf(attrs, name);
+    if (i == attrs.size()) {
+      return Status::NotFound("condition references unknown attribute " + name);
     }
-    return Status::NotFound("condition references unknown attribute " + name);
+    return i;
   };
   switch (c->kind) {
     case CondKind::kTrue:

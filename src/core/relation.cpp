@@ -71,6 +71,39 @@ Status Relation::Insert(Tuple&& t, uint64_t count) {
   return Status::OK();
 }
 
+Status Relation::InsertUnique(const Tuple& t, uint64_t count) {
+  if (t.arity() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch: tuple " + t.ToString() + " into relation of arity " +
+        std::to_string(attrs_.size()));
+  }
+  if (count == 0) return Status::OK();
+  assert(FindRow(t) == kNoRow);
+  if (rows_.size() >= kNoRow) {
+    return Status::ResourceExhausted("relation exceeds 2^32-1 distinct rows");
+  }
+  rows_.emplace_back(t, count);
+  index_.emplace(t.Hash(), static_cast<uint32_t>(rows_.size() - 1));
+  return Status::OK();
+}
+
+Status Relation::InsertUnique(Tuple&& t, uint64_t count) {
+  if (t.arity() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch: tuple " + t.ToString() + " into relation of arity " +
+        std::to_string(attrs_.size()));
+  }
+  if (count == 0) return Status::OK();
+  const size_t h = t.Hash();  // cached into t, travels with the move below
+  assert(FindRow(t) == kNoRow);
+  if (rows_.size() >= kNoRow) {
+    return Status::ResourceExhausted("relation exceeds 2^32-1 distinct rows");
+  }
+  rows_.emplace_back(std::move(t), count);
+  index_.emplace(h, static_cast<uint32_t>(rows_.size() - 1));
+  return Status::OK();
+}
+
 void Relation::Add(std::initializer_list<Value> values, uint64_t count) {
   Status st = Insert(Tuple(values), count);
   assert(st.ok());
@@ -159,6 +192,33 @@ std::string Relation::ToString() const {
   }
   os << " }";
   return os.str();
+}
+
+size_t IndexOf(const std::vector<std::string>& attrs, const std::string& name) {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == name) return i;
+  }
+  return attrs.size();
+}
+
+Relation RelationView::Materialize() && {
+  if (owned_ && owned_.use_count() == 1) {
+    Relation out = std::move(*owned_);
+    if (renamed_) {
+      Status st = out.RenameAttrs(std::move(*renamed_));
+      assert(st.ok());  // arity was validated when the view was renamed
+      (void)st;
+    }
+    return out;
+  }
+  Relation out(attrs());
+  out.Reserve(rows().size());
+  for (const auto& [t, c] : rows()) {
+    Status st = out.InsertUnique(t, c);  // source rows are already distinct
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
 }
 
 std::vector<std::string> DefaultAttrs(size_t arity, const std::string& prefix) {

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -51,6 +53,13 @@ class Relation {
   /// Adds `count` occurrences of `t`. Arity must match.
   Status Insert(const Tuple& t, uint64_t count = 1);
   Status Insert(Tuple&& t, uint64_t count = 1);
+  /// Insert for tuples the caller *guarantees* are not yet present (e.g.
+  /// join outputs, whose rows are pairs of distinct rows, or merges of
+  /// disjoint hash-join partitions): skips the duplicate probe and appends
+  /// directly. Inserting a duplicate through this corrupts the
+  /// multiplicity accounting; debug builds assert.
+  Status InsertUnique(const Tuple& t, uint64_t count = 1);
+  Status InsertUnique(Tuple&& t, uint64_t count = 1);
   /// Convenience for tests: aborts on arity mismatch.
   void Add(std::initializer_list<Value> values, uint64_t count = 1);
 
@@ -112,6 +121,71 @@ class Relation {
   std::vector<Row> rows_;
   /// Tuple hash → index into rows_ (multimap: hash collisions chain here).
   std::unordered_multimap<size_t, uint32_t> index_;
+};
+
+/// Position of `name` in the schema `attrs`, or `attrs.size()` when absent.
+/// The shared attribute lookup used by the plan compiler, the executors and
+/// condition resolution (schemas are short, so a linear scan beats hashing).
+size_t IndexOf(const std::vector<std::string>& attrs, const std::string& name);
+
+/// \brief A read-only, possibly borrowed view of a Relation.
+///
+/// Physical operators exchange RelationViews: leaf scans *borrow* the
+/// database's relation in place (no row is copied), while operators that
+/// materialise output *own* their result through a shared pointer, which
+/// makes views cheap to pass around and to memoise for plan DAGs. A
+/// borrowed view must not outlive the relation it points into. Renaming
+/// wraps the same rows with replacement attribute names, so renames of
+/// borrowed scans stay copy-free too.
+class RelationView {
+ public:
+  RelationView() = default;
+
+  /// Borrows `rel` in place; the caller guarantees it outlives the view.
+  static RelationView Borrow(const Relation& rel) {
+    RelationView v;
+    v.rel_ = &rel;
+    return v;
+  }
+  /// Takes ownership of a materialised relation.
+  static RelationView Own(Relation&& rel) {
+    RelationView v;
+    v.owned_ = std::make_shared<Relation>(std::move(rel));
+    v.rel_ = v.owned_.get();
+    return v;
+  }
+
+  bool valid() const { return rel_ != nullptr; }
+  bool borrowed() const { return rel_ != nullptr && owned_ == nullptr; }
+
+  const std::vector<std::string>& attrs() const {
+    return renamed_ ? *renamed_ : rel_->attrs();
+  }
+  size_t arity() const { return rel_->arity(); }
+  const std::vector<Relation::Row>& rows() const { return rel_->rows(); }
+  bool Empty() const { return rel_->Empty(); }
+  uint64_t TotalSize() const { return rel_->TotalSize(); }
+  bool Contains(const Tuple& t) const { return rel_->Contains(t); }
+  uint64_t Count(const Tuple& t) const { return rel_->Count(t); }
+  /// The viewed relation. Its attrs() are the *original* names; a renamed
+  /// view reports the replacement names via RelationView::attrs().
+  const Relation& rel() const { return *rel_; }
+
+  /// The same rows under replacement attribute names (arity must match).
+  RelationView Renamed(std::vector<std::string> attrs) const {
+    RelationView v = *this;
+    v.renamed_ = std::move(attrs);
+    return v;
+  }
+
+  /// Converts the view into a standalone Relation carrying attrs(): moves
+  /// when this view is the sole owner, copies rows when borrowed/shared.
+  Relation Materialize() &&;
+
+ private:
+  std::shared_ptr<Relation> owned_;   ///< null when borrowed
+  const Relation* rel_ = nullptr;     ///< always the row provider
+  std::optional<std::vector<std::string>> renamed_;
 };
 
 /// Builds default attribute names a0..a{k-1}.

@@ -1,8 +1,10 @@
 #include "ctables/ceval.h"
 
 #include <cassert>
+#include <memory>
 
 #include "algebra/builder.h"
+#include "eval/plan.h"
 
 namespace incdb {
 
@@ -31,80 +33,136 @@ CCondPtr TupleEqCond(const Tuple& a, const Tuple& b) {
   return out;
 }
 
-/// Translates a selection condition θ on a concrete (possibly
-/// null-carrying) tuple into a condition on the nulls, under the
-/// possible-world reading: in every world all cells hold constants, so
-/// const(A) ↦ true and null(A) ↦ false.
-StatusOr<CCondPtr> SelCond(const CondPtr& theta,
-                           const std::vector<std::string>& attrs,
-                           const Tuple& t) {
-  auto resolve = [&attrs](const std::string& name) -> StatusOr<size_t> {
-    for (size_t i = 0; i < attrs.size(); ++i) {
-      if (attrs[i] == name) return i;
-    }
-    return Status::NotFound("condition references unknown attribute " + name);
-  };
-  switch (theta->kind) {
-    case CondKind::kTrue:
-      return CcTrue();
-    case CondKind::kFalse:
-      return CcFalse();
-    case CondKind::kAnd: {
-      auto l = SelCond(theta->left, attrs, t);
-      if (!l.ok()) return l;
-      auto r = SelCond(theta->right, attrs, t);
-      if (!r.ok()) return r;
-      return CcAnd(*l, *r);
-    }
-    case CondKind::kOr: {
-      auto l = SelCond(theta->left, attrs, t);
-      if (!l.ok()) return l;
-      auto r = SelCond(theta->right, attrs, t);
-      if (!r.ok()) return r;
-      return CcOr(*l, *r);
-    }
-    case CondKind::kEqAttrAttr: {
-      auto i = resolve(theta->lhs);
-      if (!i.ok()) return i.status();
-      auto j = resolve(theta->rhs);
-      if (!j.ok()) return j.status();
-      return CcEq(t[*i], t[*j]);
-    }
-    case CondKind::kNeqAttrAttr: {
-      auto i = resolve(theta->lhs);
-      if (!i.ok()) return i.status();
-      auto j = resolve(theta->rhs);
-      if (!j.ok()) return j.status();
-      return CcNeq(t[*i], t[*j]);
-    }
-    case CondKind::kEqAttrConst: {
-      auto i = resolve(theta->lhs);
-      if (!i.ok()) return i.status();
-      return CcEq(t[*i], theta->constant);
-    }
-    case CondKind::kNeqAttrConst: {
-      auto i = resolve(theta->lhs);
-      if (!i.ok()) return i.status();
-      return CcNeq(t[*i], theta->constant);
-    }
-    case CondKind::kIsConst:
-      return CcTrue();  // every world instantiates nulls by constants
-    case CondKind::kIsNull:
-      return CcFalse();
-    default:
-      return Status::Unsupported(
-          "the [36] strategies are defined over (in)equality conditions; "
-          "c-table conditions have no order atoms");
+/// A selection condition θ with attribute positions resolved *once*
+/// against the input schema (the compiled plan's FilterSel nodes are
+/// visited once per evaluation, their tuples many times — the old
+/// per-tuple name resolution was pure overhead). Instantiate() translates
+/// θ on a concrete (possibly null-carrying) tuple into a condition on the
+/// nulls, under the possible-world reading: in every world all cells hold
+/// constants, so const(A) ↦ true and null(A) ↦ false.
+class CompiledSelCond {
+ public:
+  static StatusOr<CompiledSelCond> Make(const CondPtr& theta,
+                                        const std::vector<std::string>& attrs) {
+    CompiledSelCond out;
+    auto root = Build(theta, attrs);
+    if (!root.ok()) return root.status();
+    out.root_ = std::move(*root);
+    return out;
   }
-  return Status::Internal("unknown condition kind");
-}
 
+  CCondPtr Instantiate(const Tuple& t) const { return Inst(*root_, t); }
+
+ private:
+  struct Node {
+    CondKind kind;
+    size_t i = 0, j = 0;
+    Value constant;
+    std::unique_ptr<Node> left, right;
+  };
+
+  static StatusOr<std::unique_ptr<Node>> Build(
+      const CondPtr& theta, const std::vector<std::string>& attrs) {
+    auto resolve = [&attrs](const std::string& name) -> StatusOr<size_t> {
+      size_t i = IndexOf(attrs, name);
+      if (i == attrs.size()) {
+        return Status::NotFound("condition references unknown attribute " +
+                                name);
+      }
+      return i;
+    };
+    auto node = std::make_unique<Node>();
+    node->kind = theta->kind;
+    switch (theta->kind) {
+      case CondKind::kTrue:
+      case CondKind::kFalse:
+      case CondKind::kIsConst:
+      case CondKind::kIsNull:
+        if (theta->kind == CondKind::kIsConst ||
+            theta->kind == CondKind::kIsNull) {
+          auto i = resolve(theta->lhs);
+          if (!i.ok()) return i.status();
+          node->i = *i;
+        }
+        break;
+      case CondKind::kAnd:
+      case CondKind::kOr: {
+        auto l = Build(theta->left, attrs);
+        if (!l.ok()) return l.status();
+        auto r = Build(theta->right, attrs);
+        if (!r.ok()) return r.status();
+        node->left = std::move(*l);
+        node->right = std::move(*r);
+        break;
+      }
+      case CondKind::kEqAttrAttr:
+      case CondKind::kNeqAttrAttr: {
+        auto i = resolve(theta->lhs);
+        if (!i.ok()) return i.status();
+        auto j = resolve(theta->rhs);
+        if (!j.ok()) return j.status();
+        node->i = *i;
+        node->j = *j;
+        break;
+      }
+      case CondKind::kEqAttrConst:
+      case CondKind::kNeqAttrConst: {
+        auto i = resolve(theta->lhs);
+        if (!i.ok()) return i.status();
+        node->i = *i;
+        node->constant = theta->constant;
+        break;
+      }
+      default:
+        return Status::Unsupported(
+            "the [36] strategies are defined over (in)equality conditions; "
+            "c-table conditions have no order atoms");
+    }
+    return node;
+  }
+
+  static CCondPtr Inst(const Node& n, const Tuple& t) {
+    switch (n.kind) {
+      case CondKind::kTrue:
+        return CcTrue();
+      case CondKind::kFalse:
+        return CcFalse();
+      case CondKind::kAnd:
+        return CcAnd(Inst(*n.left, t), Inst(*n.right, t));
+      case CondKind::kOr:
+        return CcOr(Inst(*n.left, t), Inst(*n.right, t));
+      case CondKind::kEqAttrAttr:
+        return CcEq(t[n.i], t[n.j]);
+      case CondKind::kNeqAttrAttr:
+        return CcNeq(t[n.i], t[n.j]);
+      case CondKind::kEqAttrConst:
+        return CcEq(t[n.i], n.constant);
+      case CondKind::kNeqAttrConst:
+        return CcNeq(t[n.i], n.constant);
+      case CondKind::kIsConst:
+        return CcTrue();  // every world instantiates nulls by constants
+      case CondKind::kIsNull:
+        return CcFalse();
+      default:
+        break;
+    }
+    assert(false && "unreachable: Build rejected this kind");
+    return CcFalse();
+  }
+
+  std::unique_ptr<Node> root_;
+};
+
+/// Walks the 1:1-lowered physical plan (CompileForCTables): the plan layer
+/// contributes schema validation and resolved projection positions; the
+/// c-table semantics of each operator live here. Hash fast paths stay off:
+/// over c-tables a null join key is a *condition*, not a mismatch.
 class CEvaluator {
  public:
   CEvaluator(const Database& db, CStrategy strategy)
-      : db_(db), cdb_(CDatabase::FromDatabase(db)), strategy_(strategy) {}
+      : cdb_(CDatabase::FromDatabase(db)), strategy_(strategy) {}
 
-  StatusOr<CTable> Eval(const AlgPtr& q) {
+  StatusOr<CTable> Eval(const PhysPtr& q) {
     auto out = EvalInner(q);
     if (!out.ok()) return out;
     switch (strategy_) {
@@ -118,7 +176,7 @@ class CEvaluator {
   }
 
   /// Top-level entry: applies the aware strategy's final pass.
-  StatusOr<CTable> EvalTop(const AlgPtr& q) {
+  StatusOr<CTable> EvalTop(const PhysPtr& q) {
     auto out = Eval(q);
     if (!out.ok()) return out;
     if (strategy_ == CStrategy::kAware || strategy_ == CStrategy::kLazy) {
@@ -177,73 +235,51 @@ class CEvaluator {
     return out;
   }
 
-  StatusOr<CTable> EvalInner(const AlgPtr& q) {
-    switch (q->kind) {
-      case OpKind::kScan: {
+  StatusOr<CTable> EvalInner(const PhysPtr& q) {
+    switch (q->op) {
+      case PhysOp::kScanView: {
         auto it = cdb_.tables.find(q->rel_name);
         if (it == cdb_.tables.end()) {
           return Status::NotFound("no relation named " + q->rel_name);
         }
         return it->second;
       }
-      case OpKind::kSelect: {
+      case PhysOp::kFilterSel: {
         auto in = Eval(q->left);
         if (!in.ok()) return in;
+        auto sel = CompiledSelCond::Make(q->cond, q->left->attrs);
+        if (!sel.ok()) return sel.status();
         CTable out(in->attrs());
         for (const CTuple& ct : in->tuples()) {
-          auto c = SelCond(q->cond, in->attrs(), ct.data);
-          if (!c.ok()) return c.status();
-          out.Add(ct.data, CcAnd(ct.cond, *c));
+          out.Add(ct.data, CcAnd(ct.cond, sel->Instantiate(ct.data)));
         }
         return out;
       }
-      case OpKind::kProject: {
+      case PhysOp::kProject: {
         auto in = Eval(q->left);
         if (!in.ok()) return in;
-        std::vector<size_t> pos;
-        for (const std::string& a : q->attrs) {
-          bool found = false;
-          for (size_t i = 0; i < in->attrs().size(); ++i) {
-            if (in->attrs()[i] == a) {
-              pos.push_back(i);
-              found = true;
-              break;
-            }
-          }
-          if (!found) return Status::NotFound("projection attribute " + a);
-        }
         CTable out(q->attrs);
         for (const CTuple& ct : in->tuples()) {
-          out.Add(ct.data.Project(pos), ct.cond);
+          out.Add(ct.data.Project(q->proj_pos), ct.cond);
         }
         return out;
       }
-      case OpKind::kRename: {
+      case PhysOp::kRename: {
         auto in = Eval(q->left);
         if (!in.ok()) return in;
-        if (q->attrs.size() != in->arity()) {
-          return Status::InvalidArgument("rename: arity mismatch");
-        }
         CTable out(q->attrs);
         for (const CTuple& ct : in->tuples()) out.Add(ct.data, ct.cond);
         return out;
       }
-      case OpKind::kProduct: {
+      case PhysOp::kNLJoin: {
+        // Lowered products only: CompileForCTables never forms a join
+        // with a condition or a fused projection.
+        assert(q->cond->kind == CondKind::kTrue && !q->fused_proj);
         auto l = Eval(q->left);
         if (!l.ok()) return l;
         auto r = Eval(q->right);
         if (!r.ok()) return r;
-        std::vector<std::string> attrs = l->attrs();
-        for (const std::string& a : r->attrs()) {
-          for (const std::string& b : l->attrs()) {
-            if (a == b) {
-              return Status::InvalidArgument("product: attribute " + a +
-                                             " appears on both sides");
-            }
-          }
-          attrs.push_back(a);
-        }
-        CTable out(attrs);
+        CTable out(q->attrs);
         for (const CTuple& lt : l->tuples()) {
           for (const CTuple& rt : r->tuples()) {
             out.Add(lt.data.Concat(rt.data), CcAnd(lt.cond, rt.cond));
@@ -251,27 +287,21 @@ class CEvaluator {
         }
         return out;
       }
-      case OpKind::kUnion: {
+      case PhysOp::kUnion: {
         auto l = Eval(q->left);
         if (!l.ok()) return l;
         auto r = Eval(q->right);
         if (!r.ok()) return r;
-        if (l->arity() != r->arity()) {
-          return Status::InvalidArgument("union: arity mismatch");
-        }
         CTable out(l->attrs());
         for (const CTuple& ct : l->tuples()) out.Add(ct.data, ct.cond);
         for (const CTuple& ct : r->tuples()) out.Add(ct.data, ct.cond);
         return out;
       }
-      case OpKind::kDifference: {
+      case PhysOp::kHashDiff: {
         auto l = Eval(q->left);
         if (!l.ok()) return l;
         auto r = Eval(q->right);
         if (!r.ok()) return r;
-        if (l->arity() != r->arity()) {
-          return Status::InvalidArgument("difference: arity mismatch");
-        }
         CTable out(l->attrs());
         for (const CTuple& lt : l->tuples()) {
           CCondPtr cond = lt.cond;
@@ -287,14 +317,11 @@ class CEvaluator {
         }
         return out;
       }
-      case OpKind::kIntersect: {
+      case PhysOp::kHashIntersect: {
         auto l = Eval(q->left);
         if (!l.ok()) return l;
         auto r = Eval(q->right);
         if (!r.ok()) return r;
-        if (l->arity() != r->arity()) {
-          return Status::InvalidArgument("intersection: arity mismatch");
-        }
         CTable out(l->attrs());
         for (const CTuple& lt : l->tuples()) {
           CCondPtr any = CcFalse();
@@ -312,7 +339,6 @@ class CEvaluator {
     }
   }
 
-  const Database& db_;
   CDatabase cdb_;
   CStrategy strategy_;
 };
@@ -322,8 +348,13 @@ class CEvaluator {
 StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s) {
   auto desugared = Desugar(q, db);
   if (!desugared.ok()) return desugared.status();
+  // Lowering through the shared plan layer performs schema validation and
+  // resolves projection positions once; the c-table semantics are applied
+  // by the walker above.
+  auto plan = CompileForCTables(*desugared, db);
+  if (!plan.ok()) return plan.status();
   CEvaluator ev(db, s);
-  return ev.EvalTop(*desugared);
+  return ev.EvalTop((*plan)->root);
 }
 
 StatusOr<Relation> CEvalCertain(const AlgPtr& q, const Database& db,

@@ -19,9 +19,16 @@
 ///    operator ↑); difference behaves like NOT IN and intersection like IN.
 ///    This evaluator reproduces SQL's false positives and false negatives.
 ///
-/// All evaluators execute the sugar operators (join/semijoin/antijoon)
+/// All evaluators execute the sugar operators (join/semijoin/antijoin)
 /// natively with EXISTS-style semantics and use hash-join fast paths for
 /// top-level equality conjuncts.
+///
+/// Since the physical-plan layer (eval/plan.h) these entry points are thin
+/// wrappers: the algebra tree is first *compiled* into a physical plan
+/// (join strategy, conjunct splitting, projection fusion and the other
+/// rewrites below are decided once), then the plan is *executed* against
+/// the database. Callers that evaluate one query repeatedly can Compile()
+/// once and Execute() many times.
 
 #include "algebra/algebra.h"
 #include "core/database.h"
@@ -31,8 +38,10 @@
 namespace incdb {
 
 /// Resource limits and optimizer toggles for an evaluation.
-/// The toggles exist for the ablation study (bench_ablation): disabling
-/// them never changes results, only cost.
+/// Each enable_* toggle switches one rewrite pass of the plan compiler
+/// (eval/plan.h) on or off; they exist for the ablation study
+/// (bench_ablation) and disabling them never changes results, only cost
+/// (and the compiled plan's shape).
 struct EvalOptions {
   /// Abort with ResourceExhausted once a single operator has produced this
   /// many tuple occurrences. Dom^k products (Fig. 2a) hit this quickly,
@@ -47,6 +56,15 @@ struct EvalOptions {
   bool enable_projection_fusion = true;
   /// Null-mask index for ⋉⇑ probes (vs quadratic unifiability scans).
   bool enable_unify_index = true;
+  /// One-sided filter conjuncts of a join condition move below the join
+  /// (through products and renames) at plan-compile time.
+  bool enable_selection_pushdown = true;
+  /// Worker threads for the partitioned hash-join build/probe. 1 keeps the
+  /// exact single-threaded insertion order; >1 partitions both sides by
+  /// key-hash prefix, joins partitions on a small thread pool and merges
+  /// the outputs in partition order (deterministic for a fixed thread
+  /// count, and always the same *relation*).
+  size_t num_threads = 1;
 };
 
 /// Naive evaluation under set semantics (treat nulls as fresh constants).

@@ -1,10 +1,12 @@
-#include <algorithm>
+// The three public evaluators (eval/eval.h) as thin wrappers over the
+// physical-plan layer: compile the algebra tree once (eval/plan.cpp), run
+// it (eval/exec.cpp). Callers that re-evaluate one query can call
+// Compile() + Execute() themselves and skip the per-call compilation.
+
 #include <cassert>
-#include <set>
-#include <unordered_map>
-#include <vector>
 
 #include "eval/eval.h"
+#include "eval/plan.h"
 
 namespace incdb {
 
@@ -23,902 +25,28 @@ TV3 SqlTupleEq(const Tuple& a, const Tuple& b) {
 
 namespace {
 
-enum class Mode { kSetNaive, kBagNaive, kSetSql };
-
-CondMode ToCondMode(Mode m) {
-  return m == Mode::kSetSql ? CondMode::kSql : CondMode::kNaive;
+StatusOr<Relation> CompileAndRun(const AlgPtr& q, EvalMode mode,
+                                 const EvalOptions& opts, const Database& db) {
+  auto plan = Compile(q, mode, opts, db);
+  if (!plan.ok()) return plan.status();
+  return Execute(*plan, db);
 }
-
-/// Extracts top-level conjuncts of a condition, dropping trivial `true`s
-/// (which would otherwise hide single-disjunction shapes from the
-/// OR-expansion fast path).
-void Conjuncts(const CondPtr& c, std::vector<CondPtr>* out) {
-  if (c->kind == CondKind::kAnd) {
-    Conjuncts(c->left, out);
-    Conjuncts(c->right, out);
-  } else if (c->kind != CondKind::kTrue) {
-    out->push_back(c);
-  }
-}
-
-size_t IndexOf(const std::vector<std::string>& attrs, const std::string& a) {
-  for (size_t i = 0; i < attrs.size(); ++i) {
-    if (attrs[i] == a) return i;
-  }
-  return attrs.size();
-}
-
-/// Index over the right side of a ⋉⇑ for fast unifiability probes.
-/// Tuples are grouped by their null-position mask; within a group they are
-/// hashed on the projection onto the constant positions. An all-constant
-/// probe tuple then touches only one bucket per mask; probes containing
-/// nulls fall back to a scan. Candidates are always re-verified with
-/// Unifiable() (repeated marked nulls add constraints the index ignores).
-/// The index references the indexed relation's rows in place — it copies
-/// no tuples and must not outlive the relation.
-class UnifyIndex {
- public:
-  UnifyIndex(const Relation& rel, bool use_index)
-      : arity_(rel.arity()), use_index_(use_index && arity_ < 64) {
-    all_.reserve(rel.rows().size());
-    for (const auto& [t, c] : rel.rows()) {
-      all_.push_back(&t);
-      if (!use_index_) continue;
-      uint64_t mask = 0;
-      for (size_t i = 0; i < t.arity(); ++i) {
-        if (t[i].is_null()) mask |= (1ULL << i);
-      }
-      Tuple key;
-      ConstProjectionInto(t, mask, &key);
-      groups_[mask][std::move(key)].push_back(&t);
-    }
-  }
-
-  bool AnyUnifiable(const Tuple& probe) {
-    if (!use_index_ || probe.HasNull()) {
-      for (const Tuple* t : all_) {
-        if (Unifiable(probe, *t)) return true;
-      }
-      return false;
-    }
-    for (const auto& [mask, buckets] : groups_) {
-      ConstProjectionInto(probe, mask, &key_scratch_);
-      auto it = buckets.find(key_scratch_);
-      if (it == buckets.end()) continue;
-      for (const Tuple* t : it->second) {
-        if (Unifiable(probe, *t)) return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  static void ConstProjectionInto(const Tuple& t, uint64_t null_mask,
-                                  Tuple* out) {
-    out->Clear();
-    out->Reserve(t.arity());
-    for (size_t i = 0; i < t.arity(); ++i) {
-      if (!(null_mask & (1ULL << i))) out->Append(t[i]);
-    }
-  }
-
-  size_t arity_;
-  bool use_index_ = true;
-  std::vector<const Tuple*> all_;
-  std::unordered_map<uint64_t,
-                     std::unordered_map<Tuple, std::vector<const Tuple*>>>
-      groups_;
-  Tuple key_scratch_;
-};
-
-class Evaluator {
- public:
-  Evaluator(const Database& db, Mode mode, const EvalOptions& opts)
-      : db_(db), mode_(mode), opts_(opts) {}
-
-  StatusOr<Relation> Eval(const AlgPtr& q) {
-    switch (q->kind) {
-      case OpKind::kScan:
-        return EvalScan(q);
-      case OpKind::kSelect:
-        return EvalSelect(q);
-      case OpKind::kProject:
-        return EvalProject(q);
-      case OpKind::kRename:
-        return EvalRename(q);
-      case OpKind::kProduct:
-        return EvalJoinLike(q->left, q->right, CTrue(), nullptr);
-      case OpKind::kJoin:
-        return EvalJoinLike(q->left, q->right, q->cond, nullptr);
-      case OpKind::kUnion:
-        return EvalUnion(q);
-      case OpKind::kDifference:
-        return EvalDifference(q);
-      case OpKind::kIntersect:
-        return EvalIntersect(q);
-      case OpKind::kDivision:
-        return EvalDivision(q);
-      case OpKind::kAntijoinUnify:
-        return EvalAntijoinUnify(q);
-      case OpKind::kDom:
-        return EvalDom(q);
-      case OpKind::kSemijoin:
-        return EvalSemiAnti(q, /*anti=*/false);
-      case OpKind::kAntijoin:
-        return EvalSemiAnti(q, /*anti=*/true);
-      case OpKind::kIn:
-        return EvalInPredicate(q, /*negated=*/false);
-      case OpKind::kNotIn:
-        return EvalInPredicate(q, /*negated=*/true);
-      case OpKind::kDistinct: {
-        auto in = Eval(q->left);
-        if (!in.ok()) return in;
-        Relation out = std::move(*in);
-        out.CollapseCounts();
-        return out;
-      }
-    }
-    return Status::Internal("unknown operator");
-  }
-
- private:
-  bool set_semantics() const { return mode_ != Mode::kBagNaive; }
-
-  Status Budget(uint64_t produced) {
-    produced_ += produced;
-    if (produced_ > opts_.max_tuples) {
-      return Status::ResourceExhausted(
-          "evaluation exceeded max_tuples=" + std::to_string(opts_.max_tuples));
-    }
-    return Status::OK();
-  }
-
-  StatusOr<Relation> EvalScan(const AlgPtr& q) {
-    if (!db_.Has(q->rel_name)) {
-      return Status::NotFound("no relation named " + q->rel_name);
-    }
-    // Single copy out of the database; base relations are usually sets
-    // already, in which case ToSet's count collapse is skipped too.
-    const Relation& rel = db_.at(q->rel_name);
-    if (set_semantics() && !rel.IsSet()) return rel.ToSet();
-    return rel;
-  }
-
-  StatusOr<Relation> EvalSelect(const AlgPtr& q) {
-    // Fast path: selection directly over a product is a join.
-    if (q->left->kind == OpKind::kProduct) {
-      return EvalJoinLike(q->left->left, q->left->right, q->cond, nullptr);
-    }
-    auto in = Eval(q->left);
-    if (!in.ok()) return in;
-    auto pred = CompileCond(q->cond, in->attrs(), ToCondMode(mode_));
-    if (!pred.ok()) return pred.status();
-    Relation out(in->attrs());
-    out.Reserve(in->rows().size());
-    for (const auto& [t, c] : in->rows()) {
-      if ((*pred)(t) == TV3::kT) {
-        INCDB_RETURN_IF_ERROR(out.Insert(t, c));
-      }
-    }
-    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
-    return out;
-  }
-
-  StatusOr<Relation> EvalProject(const AlgPtr& q) {
-    // Fusion: π over a join-shaped child projects at emit time instead of
-    // materialising the full-width pairs (π(σ(l × r)) is the shape the
-    // desugared [NOT] IN / EXISTS and the Fig. 2 σ?-rules produce).
-    const Algebra* child = q->left.get();
-    if (opts_.enable_projection_fusion &&
-        (child->kind == OpKind::kJoin ||
-         (child->kind == OpKind::kSelect &&
-          child->left->kind == OpKind::kProduct) ||
-         child->kind == OpKind::kProduct)) {
-      AlgPtr lq, rq;
-      CondPtr cond;
-      if (child->kind == OpKind::kJoin) {
-        lq = child->left;
-        rq = child->right;
-        cond = child->cond;
-      } else if (child->kind == OpKind::kProduct) {
-        lq = child->left;
-        rq = child->right;
-        cond = CTrue();
-      } else {
-        lq = child->left->left;
-        rq = child->left->right;
-        cond = child->cond;
-      }
-      return EvalJoinLike(lq, rq, cond, &q->attrs);
-    }
-    auto in = Eval(q->left);
-    if (!in.ok()) return in;
-    std::vector<size_t> pos;
-    for (const std::string& a : q->attrs) {
-      size_t i = IndexOf(in->attrs(), a);
-      if (i == in->attrs().size()) {
-        return Status::NotFound("projection attribute " + a + " not in input");
-      }
-      pos.push_back(i);
-    }
-    Relation out(q->attrs);
-    out.Reserve(in->rows().size());
-    Tuple scratch;
-    for (const auto& [t, c] : in->rows()) {
-      scratch.AssignProject(t, pos);
-      INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
-    }
-    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
-    if (set_semantics()) out.CollapseCounts();
-    return out;
-  }
-
-  StatusOr<Relation> EvalRename(const AlgPtr& q) {
-    auto in = Eval(q->left);
-    if (!in.ok()) return in;
-    Relation out = std::move(*in);
-    INCDB_RETURN_IF_ERROR(out.RenameAttrs(q->attrs));
-    return out;
-  }
-
-  /// σ_cond(l × r), with a hash join on top-level left=right equality
-  /// conjuncts whenever possible. When `proj` is non-null the output is
-  /// π_proj of the pairs, applied at emit time (projection pushdown).
-  StatusOr<Relation> EvalJoinLike(const AlgPtr& lq, const AlgPtr& rq,
-                                  const CondPtr& cond,
-                                  const std::vector<std::string>* proj) {
-    auto l = Eval(lq);
-    if (!l.ok()) return l;
-    auto r = Eval(rq);
-    if (!r.ok()) return r;
-    return JoinRelations(*l, *r, cond, proj);
-  }
-
-  StatusOr<Relation> JoinRelations(const Relation& l, const Relation& r,
-                                   const CondPtr& cond,
-                                   const std::vector<std::string>* proj =
-                                       nullptr) {
-    std::vector<std::string> attrs = l.attrs();
-    for (const std::string& a : r.attrs()) {
-      if (IndexOf(l.attrs(), a) != l.attrs().size()) {
-        return Status::InvalidArgument("product: attribute " + a +
-                                       " appears on both sides (rename)");
-      }
-      attrs.push_back(a);
-    }
-    // Resolve projection positions against the joint schema.
-    std::vector<size_t> proj_pos;
-    bool proj_left_only = true, proj_right_only = true;
-    if (proj != nullptr) {
-      for (const std::string& a : *proj) {
-        size_t i = IndexOf(attrs, a);
-        if (i == attrs.size()) {
-          return Status::NotFound("projection attribute " + a +
-                                  " not in join output");
-        }
-        proj_pos.push_back(i);
-        if (i < l.arity()) {
-          proj_right_only = false;
-        } else {
-          proj_left_only = false;
-        }
-      }
-    }
-    // Split cond into hashable equi-conjuncts and a residual.
-    std::vector<CondPtr> conj;
-    Conjuncts(cond, &conj);
-    std::vector<std::pair<size_t, size_t>> equi;  // (left pos, right pos)
-    std::vector<CondPtr> residual;
-    for (const CondPtr& c : conj) {
-      if (c->kind == CondKind::kEqAttrAttr) {
-        size_t li = IndexOf(l.attrs(), c->lhs);
-        size_t ri = IndexOf(r.attrs(), c->rhs);
-        if (li == l.attrs().size() || ri == r.attrs().size()) {
-          // Maybe the attributes are swapped.
-          li = IndexOf(l.attrs(), c->rhs);
-          ri = IndexOf(r.attrs(), c->lhs);
-        }
-        if (opts_.enable_hash_join && li != l.attrs().size() &&
-            ri != r.attrs().size()) {
-          equi.emplace_back(li, ri);
-          continue;
-        }
-      }
-      residual.push_back(c);
-    }
-    // OR-expansion: a disjunctive join condition with no hashable
-    // top-level equality (the shape the Fig. 2(b) σ?-rule produces:
-    // a = b ∨ null(a) ∨ null(b)) would force a full nested loop. Under
-    // set semantics σ_{θ1∨θ2}(l × r) = σ_{θ1}(l × r) ∪ σ_{θ2}(l × r), and
-    // each disjunct can use its own fast path. (Not valid under bags —
-    // rows satisfying both disjuncts would double-count.)
-    if (opts_.enable_or_expansion && equi.empty() && residual.size() == 1 &&
-        residual[0]->kind == CondKind::kOr && set_semantics()) {
-      auto a = JoinRelations(l, r, residual[0]->left, proj);
-      if (!a.ok()) return a;
-      auto b = JoinRelations(l, r, residual[0]->right, proj);
-      if (!b.ok()) return b;
-      Relation merged = std::move(*a);
-      for (const auto& [t, c] : b->rows()) {
-        INCDB_RETURN_IF_ERROR(merged.Insert(t, 1));
-      }
-      merged.CollapseCounts();
-      return merged;
-    }
-
-    CondPtr res_cond = CAndAll(residual);
-
-    // Push-down: a residual touching only one side filters that side
-    // before the product instead of each pair. (Only in the no-equi case:
-    // with a hash join the per-pair residual check is already cheap, and
-    // recursing here would drop the extracted equalities.)
-    if (equi.empty() && res_cond->kind != CondKind::kTrue) {
-      auto one_sided = [&](const Relation& side) -> bool {
-        for (const std::string& a : CondAttrs(res_cond)) {
-          if (IndexOf(side.attrs(), a) == side.attrs().size()) return false;
-        }
-        return true;
-      };
-      auto filter = [&](const Relation& side) -> StatusOr<Relation> {
-        auto p = CompileCond(res_cond, side.attrs(), ToCondMode(mode_));
-        if (!p.ok()) return p.status();
-        Relation out(side.attrs());
-        for (const auto& [t, c] : side.rows()) {
-          if ((*p)(t) == TV3::kT) INCDB_RETURN_IF_ERROR(out.Insert(t, c));
-        }
-        return out;
-      };
-      if (one_sided(l)) {
-        auto fl = filter(l);
-        if (!fl.ok()) return fl;
-        return JoinRelations(*fl, r, CTrue(), proj);
-      }
-      if (one_sided(r)) {
-        auto fr = filter(r);
-        if (!fr.ok()) return fr;
-        return JoinRelations(l, *fr, CTrue(), proj);
-      }
-    }
-
-    // Projection shortcut: a condition-free product projected onto
-    // columns of a single side is just that side's projection (times the
-    // other side's non-emptiness) under set semantics.
-    if (proj != nullptr && set_semantics() &&
-        res_cond->kind == CondKind::kTrue && equi.empty()) {
-      if (proj_left_only && !r.rows().empty()) {
-        const std::vector<size_t>& pos = proj_pos;  // already left positions
-        Relation out(*proj);
-        Tuple scratch;
-        for (const auto& [lt, lc] : l.rows()) {
-          scratch.AssignProject(lt, pos);
-          INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
-        }
-        out.CollapseCounts();
-        return out;
-      }
-      if (proj_right_only && !l.rows().empty()) {
-        std::vector<size_t> pos;
-        for (size_t i : proj_pos) pos.push_back(i - l.arity());
-        Relation out(*proj);
-        Tuple scratch;
-        for (const auto& [rt, rc] : r.rows()) {
-          scratch.AssignProject(rt, pos);
-          INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
-        }
-        out.CollapseCounts();
-        return out;
-      }
-      if (l.rows().empty() || r.rows().empty()) return Relation(*proj);
-    }
-
-    auto pred = CompileCond(res_cond, attrs, ToCondMode(mode_));
-    if (!pred.ok()) return pred.status();
-
-    Relation out(proj != nullptr ? *proj : attrs);
-    // Scratch tuples reused across every pair: the hot loop below performs
-    // no allocations except inserting kept tuples into `out`.
-    Tuple joint, projected;
-    auto emit = [&](const Tuple& lt, uint64_t lc, const Tuple& rt,
-                    uint64_t rc) -> Status {
-      // With SQL-mode equality, a null join key never compares t; with
-      // naive equality the hash join already used syntactic equality. The
-      // residual condition is checked in the active mode.
-      joint.AssignConcat(lt, rt);
-      if ((*pred)(joint) == TV3::kT) {
-        uint64_t c = set_semantics() ? 1 : lc * rc;
-        if (proj != nullptr) {
-          projected.AssignProject(joint, proj_pos);
-          INCDB_RETURN_IF_ERROR(out.Insert(projected, c));
-        } else {
-          INCDB_RETURN_IF_ERROR(out.Insert(joint, c));
-        }
-        INCDB_RETURN_IF_ERROR(Budget(c));
-      }
-      return Status::OK();
-    };
-
-    // With a projection under set semantics, distinct pairs may collapse;
-    // normalise multiplicities at the end.
-    auto finish = [&]() -> Relation {
-      if (proj != nullptr && set_semantics()) out.CollapseCounts();
-      return std::move(out);
-    };
-
-    if (equi.empty()) {
-      for (const auto& [lt, lc] : l.rows()) {
-        for (const auto& [rt, rc] : r.rows()) {
-          INCDB_RETURN_IF_ERROR(emit(lt, lc, rt, rc));
-        }
-      }
-      return finish();
-    }
-
-    // Hash join. Under SQL mode, rows with a null key cannot satisfy the
-    // equality with truth value t, so skipping them is sound. The index is
-    // built over the smaller side and stores row indices into that side's
-    // flat storage — no tuples are copied.
-    std::vector<size_t> lkeys, rkeys;
-    for (const auto& [li, ri] : equi) {
-      lkeys.push_back(li);
-      rkeys.push_back(ri);
-    }
-    const bool build_left = l.rows().size() <= r.rows().size();
-    const Relation& build = build_left ? l : r;
-    const Relation& probe = build_left ? r : l;
-    const std::vector<size_t>& build_keys = build_left ? lkeys : rkeys;
-    const std::vector<size_t>& probe_keys = build_left ? rkeys : lkeys;
-
-    std::unordered_map<Tuple, std::vector<uint32_t>> index;
-    index.reserve(build.rows().size());
-    const std::vector<Relation::Row>& build_rows = build.rows();
-    Tuple key;  // scratch for both build and probe keys
-    for (uint32_t i = 0; i < build_rows.size(); ++i) {
-      key.AssignProject(build_rows[i].first, build_keys);
-      if (mode_ == Mode::kSetSql && key.HasNull()) continue;
-      index[key].push_back(i);
-    }
-    for (const auto& [pt, pc] : probe.rows()) {
-      key.AssignProject(pt, probe_keys);
-      if (mode_ == Mode::kSetSql && key.HasNull()) continue;
-      auto it = index.find(key);
-      if (it == index.end()) continue;
-      for (uint32_t bi : it->second) {
-        const auto& [bt, bc] = build_rows[bi];
-        if (build_left) {
-          INCDB_RETURN_IF_ERROR(emit(bt, bc, pt, pc));
-        } else {
-          INCDB_RETURN_IF_ERROR(emit(pt, pc, bt, bc));
-        }
-      }
-    }
-    return finish();
-  }
-
-  StatusOr<Relation> EvalUnion(const AlgPtr& q) {
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    if (l->arity() != r->arity()) {
-      return Status::InvalidArgument("union: arity mismatch");
-    }
-    Relation out = std::move(*l);  // the left input is ours: no deep copy
-    out.Reserve(out.rows().size() + r->rows().size());
-    for (const auto& [t, c] : r->rows()) {
-      INCDB_RETURN_IF_ERROR(out.Insert(t, c));
-    }
-    INCDB_RETURN_IF_ERROR(Budget(r->TotalSize()));
-    if (set_semantics()) out.CollapseCounts();
-    return out;
-  }
-
-  StatusOr<Relation> EvalDifference(const AlgPtr& q) {
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    if (l->arity() != r->arity()) {
-      return Status::InvalidArgument("difference: arity mismatch");
-    }
-    Relation out(l->attrs());
-    if (mode_ == Mode::kSetSql) {
-      // NOT IN semantics: keep r̄ only if the comparison with *every* tuple
-      // of the right side is certainly false (never t or u). All-constant
-      // pairs compare t exactly when syntactically equal, so against the
-      // all-constant part of the right side an all-constant left tuple
-      // needs one hash lookup; only right tuples involving nulls keep the
-      // pairwise 3VL scan, and left tuples involving nulls scan everything.
-      std::vector<const Tuple*> null_rows;
-      for (const auto& [s, sc] : r->rows()) {
-        if (s.HasNull()) null_rows.push_back(&s);
-      }
-      for (const auto& [t, c] : l->rows()) {
-        bool keep;
-        if (t.AllConst()) {
-          keep = !r->Contains(t);
-          for (const Tuple* s : null_rows) {
-            if (!keep) break;
-            if (SqlTupleEq(t, *s) != TV3::kF) keep = false;
-          }
-        } else {
-          keep = true;
-          for (const auto& [s, sc] : r->rows()) {
-            if (SqlTupleEq(t, s) != TV3::kF) {
-              keep = false;
-              break;
-            }
-          }
-        }
-        if (keep) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
-      }
-      return out;
-    }
-    for (const auto& [t, c] : l->rows()) {
-      uint64_t rc = r->Count(t);
-      if (set_semantics()) {
-        if (rc == 0) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
-      } else if (c > rc) {
-        INCDB_RETURN_IF_ERROR(out.Insert(t, c - rc));  // bag monus
-      }
-    }
-    return out;
-  }
-
-  StatusOr<Relation> EvalIntersect(const AlgPtr& q) {
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    if (l->arity() != r->arity()) {
-      return Status::InvalidArgument("intersection: arity mismatch");
-    }
-    Relation out(l->attrs());
-    if (mode_ == Mode::kSetSql) {
-      // IN semantics: keep r̄ iff some right tuple compares t. Under 3VL a
-      // comparison is t only when both tuples are all-constant and equal,
-      // so membership reduces to one hash lookup per left tuple.
-      for (const auto& [t, c] : l->rows()) {
-        if (t.AllConst() && r->Contains(t)) {
-          INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
-        }
-      }
-      return out;
-    }
-    for (const auto& [t, c] : l->rows()) {
-      uint64_t rc = r->Count(t);
-      if (rc == 0) continue;
-      INCDB_RETURN_IF_ERROR(out.Insert(t, set_semantics() ? 1 : std::min(c, rc)));
-    }
-    return out;
-  }
-
-  StatusOr<Relation> EvalDivision(const AlgPtr& q) {
-    if (mode_ == Mode::kSetSql) {
-      return Status::Unsupported("division is not part of the SQL evaluator");
-    }
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    // Align divisor attributes by name.
-    std::vector<size_t> keep_pos, div_pos_l, div_pos_r;
-    std::vector<std::string> out_attrs;
-    for (size_t i = 0; i < l->attrs().size(); ++i) {
-      size_t j = IndexOf(r->attrs(), l->attrs()[i]);
-      if (j == r->attrs().size()) {
-        keep_pos.push_back(i);
-        out_attrs.push_back(l->attrs()[i]);
-      } else {
-        div_pos_l.push_back(i);
-        div_pos_r.push_back(j);
-      }
-    }
-    if (div_pos_l.size() != r->arity()) {
-      return Status::InvalidArgument(
-          "division: divisor attributes must occur in the dividend");
-    }
-    if (out_attrs.empty()) {
-      return Status::InvalidArgument(
-          "division: dividend must have attributes beyond the divisor");
-    }
-    // Group the dividend by the kept attributes; collect divisor parts.
-    std::unordered_map<Tuple, std::set<Tuple>> groups;
-    for (const auto& [t, c] : l->rows()) {
-      groups[t.Project(keep_pos)].insert(t.Project(div_pos_l));
-    }
-    std::set<Tuple> divisor;
-    for (const auto& [t, c] : r->rows()) divisor.insert(t.Project(div_pos_r));
-    Relation out(out_attrs);
-    for (const auto& [key, parts] : groups) {
-      bool all = std::includes(parts.begin(), parts.end(), divisor.begin(),
-                               divisor.end());
-      if (all) INCDB_RETURN_IF_ERROR(out.Insert(key, 1));
-    }
-    return out;
-  }
-
-  StatusOr<Relation> EvalAntijoinUnify(const AlgPtr& q) {
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    if (l->arity() != r->arity()) {
-      return Status::InvalidArgument("⋉⇑: arity mismatch");
-    }
-    UnifyIndex index(*r, opts_.enable_unify_index);
-    Relation out(l->attrs());
-    for (const auto& [t, c] : l->rows()) {
-      if (!index.AnyUnifiable(t)) {
-        INCDB_RETURN_IF_ERROR(out.Insert(t, set_semantics() ? 1 : c));
-      }
-    }
-    return out;
-  }
-
-  StatusOr<Relation> EvalDom(const AlgPtr& q) {
-    std::set<Value> dom = db_.ActiveDomain();
-    for (const Value& v : q->dom_extra) dom.insert(v);
-    std::vector<Value> values(dom.begin(), dom.end());
-    uint64_t expected = 1;
-    for (size_t i = 0; i < q->dom_arity; ++i) {
-      if (values.empty()) break;
-      expected *= values.size();
-      if (expected > opts_.max_tuples) {
-        return Status::ResourceExhausted(
-            "Dom^" + std::to_string(q->dom_arity) + " over " +
-            std::to_string(values.size()) + " values exceeds max_tuples");
-      }
-    }
-    Relation out(q->attrs);
-    std::vector<size_t> idx(q->dom_arity, 0);
-    if (q->dom_arity == 0) {
-      INCDB_RETURN_IF_ERROR(out.Insert(Tuple{}, 1));
-      return out;
-    }
-    if (values.empty()) return out;
-    while (true) {
-      std::vector<Value> vals;
-      vals.reserve(q->dom_arity);
-      for (size_t i : idx) vals.push_back(values[i]);
-      INCDB_RETURN_IF_ERROR(out.Insert(Tuple(std::move(vals)), 1));
-      size_t pos = q->dom_arity;
-      while (pos > 0) {
-        --pos;
-        if (++idx[pos] < values.size()) break;
-        idx[pos] = 0;
-        if (pos == 0) {
-          INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
-          return out;
-        }
-      }
-    }
-  }
-
-  StatusOr<Relation> EvalSemiAnti(const AlgPtr& q, bool anti) {
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    std::vector<std::string> joint = l->attrs();
-    for (const std::string& a : r->attrs()) {
-      if (IndexOf(l->attrs(), a) != l->attrs().size()) {
-        return Status::InvalidArgument("semijoin: attribute " + a +
-                                       " appears on both sides (rename)");
-      }
-      joint.push_back(a);
-    }
-    // Split into equi-conjuncts usable for hashing and a residual predicate.
-    std::vector<CondPtr> conj;
-    Conjuncts(q->cond, &conj);
-    std::vector<size_t> lkeys, rkeys;
-    std::vector<CondPtr> residual;
-    for (const CondPtr& c : conj) {
-      if (c->kind == CondKind::kEqAttrAttr) {
-        size_t li = IndexOf(l->attrs(), c->lhs);
-        size_t ri = IndexOf(r->attrs(), c->rhs);
-        if (li == l->attrs().size() || ri == r->attrs().size()) {
-          li = IndexOf(l->attrs(), c->rhs);
-          ri = IndexOf(r->attrs(), c->lhs);
-        }
-        if (li != l->attrs().size() && ri != r->attrs().size()) {
-          lkeys.push_back(li);
-          rkeys.push_back(ri);
-          continue;
-        }
-      }
-      residual.push_back(c);
-    }
-    auto pred = CompileCond(CAndAll(residual), joint, ToCondMode(mode_));
-    if (!pred.ok()) return pred.status();
-
-    // Equality with a null key never evaluates to t in either mode unless
-    // syntactically equal (naive) — the hash covers both, as naive equality
-    // is exactly key identity and SQL-mode null keys are skipped. The index
-    // references right rows in place instead of copying them.
-    std::unordered_map<Tuple, std::vector<const Tuple*>> index;
-    const bool hashed = !lkeys.empty();
-    const bool trivial_pred = residual.empty();
-    Tuple key, joint_t;  // scratch, reused across probes
-    if (hashed) {
-      index.reserve(r->rows().size());
-      for (const auto& [rt, rc] : r->rows()) {
-        key.AssignProject(rt, rkeys);
-        if (mode_ == Mode::kSetSql && key.HasNull()) continue;
-        index[key].push_back(&rt);
-      }
-    }
-    auto exists_match = [&](const Tuple& lt) -> bool {
-      if (!hashed) {
-        for (const auto& [rt, rc] : r->rows()) {
-          joint_t.AssignConcat(lt, rt);
-          if ((*pred)(joint_t) == TV3::kT) return true;
-        }
-        return false;
-      }
-      key.AssignProject(lt, lkeys);
-      if (mode_ == Mode::kSetSql && key.HasNull()) return false;
-      auto it = index.find(key);
-      if (it == index.end()) return false;
-      if (trivial_pred) return true;  // any key match suffices
-      for (const Tuple* rt : it->second) {
-        joint_t.AssignConcat(lt, *rt);
-        if ((*pred)(joint_t) == TV3::kT) return true;
-      }
-      return false;
-    };
-
-    Relation out(l->attrs());
-    for (const auto& [lt, lc] : l->rows()) {
-      if (exists_match(lt) != anti) {
-        INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
-      }
-    }
-    return out;
-  }
-
-  /// SQL's x̄ [NOT] IN subquery predicate (OpKind::kIn / kNotIn). The
-  /// right side is first filtered per left row by the (possibly
-  /// correlated) condition θ with 3VL keep-t discipline; membership of the
-  /// left compare columns then follows the active mode:
-  ///  * naive: syntactic equality;
-  ///  * SQL:   IN keeps a row iff some right row compares t; NOT IN keeps
-  ///           a row iff *every* right row compares f — one null partner
-  ///           (or a null on the left with a non-empty right side) blocks
-  ///           the row, reproducing SQL's notorious NOT IN behaviour.
-  StatusOr<Relation> EvalInPredicate(const AlgPtr& q, bool negated) {
-    auto l = Eval(q->left);
-    if (!l.ok()) return l;
-    auto r = Eval(q->right);
-    if (!r.ok()) return r;
-    std::vector<size_t> lpos, rpos;
-    for (const std::string& a : q->attrs) {
-      size_t i = IndexOf(l->attrs(), a);
-      if (i == l->attrs().size()) {
-        return Status::NotFound("IN: left column " + a + " not in input");
-      }
-      lpos.push_back(i);
-    }
-    for (const std::string& a : q->attrs2) {
-      size_t i = IndexOf(r->attrs(), a);
-      if (i == r->attrs().size()) {
-        return Status::NotFound("IN: right column " + a + " not in input");
-      }
-      rpos.push_back(i);
-    }
-    std::vector<std::string> joint = l->attrs();
-    for (const std::string& a : r->attrs()) {
-      if (IndexOf(l->attrs(), a) != l->attrs().size()) {
-        return Status::InvalidArgument("IN: attribute " + a +
-                                       " appears on both sides (rename)");
-      }
-      joint.push_back(a);
-    }
-    auto pred = CompileCond(q->cond, joint, ToCondMode(mode_));
-    if (!pred.ok()) return pred.status();
-    const bool correlated = q->cond->kind != CondKind::kTrue;
-
-    // Uncorrelated fast path: precompute the key multiset once. Keys
-    // involving nulls are listed separately: under SQL 3VL they are the
-    // only right keys an all-constant left key cannot dismiss with one
-    // hash lookup.
-    std::unordered_map<Tuple, uint64_t> keys;
-    std::vector<const Tuple*> null_keys;
-    Tuple key_scratch;
-    if (!correlated) {
-      keys.reserve(r->rows().size());
-      for (const auto& [rt, rc] : r->rows()) {
-        key_scratch.AssignProject(rt, rpos);
-        auto [it, inserted] = keys.try_emplace(key_scratch, rc);
-        if (!inserted) {
-          it->second += rc;
-        } else if (it->first.HasNull()) {
-          null_keys.push_back(&it->first);
-        }
-      }
-    }
-
-    Relation out(l->attrs());
-    Tuple lkey, rkey, joint_t;  // scratch, reused across rows and pairs
-    for (const auto& [lt, lc] : l->rows()) {
-      lkey.AssignProject(lt, lpos);
-      bool keep;
-      if (!correlated) {
-        if (mode_ != Mode::kSetSql) {
-          bool found = keys.count(lkey) > 0;
-          keep = negated ? !found : found;
-        } else if (!negated) {
-          keep = lkey.AllConst() && keys.count(lkey) > 0;
-        } else {
-          // NOT IN: all comparisons must be certainly false. All-constant
-          // pairs compare t exactly when syntactically equal, so an
-          // all-constant left key needs one hash miss plus a scan of the
-          // (typically few) null-involving right keys; a left key with a
-          // null keeps the pairwise 3VL scan.
-          if (keys.empty()) {
-            keep = true;
-          } else if (lkey.AllConst()) {
-            keep = keys.count(lkey) == 0;
-            for (const Tuple* nk : null_keys) {
-              if (!keep) break;
-              if (SqlTupleEq(lkey, *nk) != TV3::kF) keep = false;
-            }
-          } else {
-            keep = true;
-            for (const auto& [rk, rc] : keys) {
-              if (SqlTupleEq(lkey, rk) != TV3::kF) {
-                keep = false;
-                break;
-              }
-            }
-          }
-        }
-      } else {
-        // Correlated: filter right rows by θ(l·r) = t, then test.
-        bool exists_t = false;
-        bool all_f = true;
-        for (const auto& [rt, rc] : r->rows()) {
-          joint_t.AssignConcat(lt, rt);
-          if ((*pred)(joint_t) != TV3::kT) continue;
-          rkey.AssignProject(rt, rpos);
-          if (mode_ == Mode::kSetSql) {
-            TV3 tv = SqlTupleEq(lkey, rkey);
-            if (tv == TV3::kT) exists_t = true;
-            if (tv != TV3::kF) all_f = false;
-          } else {
-            if (lkey == rkey) exists_t = true;
-            if (lkey == rkey) all_f = false;
-          }
-        }
-        keep = negated ? all_f : exists_t;
-      }
-      if (keep) {
-        INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
-      }
-    }
-    return out;
-  }
-
-  const Database& db_;
-  Mode mode_;
-  EvalOptions opts_;
-  uint64_t produced_ = 0;
-};
 
 }  // namespace
 
 StatusOr<Relation> EvalSet(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts) {
-  return Evaluator(db, Mode::kSetNaive, opts).Eval(q);
+  return CompileAndRun(q, EvalMode::kSetNaive, opts, db);
 }
 
 StatusOr<Relation> EvalBag(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts) {
-  return Evaluator(db, Mode::kBagNaive, opts).Eval(q);
+  return CompileAndRun(q, EvalMode::kBagNaive, opts, db);
 }
 
 StatusOr<Relation> EvalSql(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts) {
-  return Evaluator(db, Mode::kSetSql, opts).Eval(q);
+  return CompileAndRun(q, EvalMode::kSetSql, opts, db);
 }
 
 }  // namespace incdb

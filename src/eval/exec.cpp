@@ -1,0 +1,903 @@
+// Physical-plan executor (see eval/plan.h for the layer contract).
+//
+// Operators exchange RelationViews: leaf scans borrow the database rows in
+// place, everything that materialises owns its output. The hash join can
+// partition build and probe by key-hash prefix across a process-wide
+// worker pool (EvalOptions::num_threads); partition outputs are merged in
+// partition-index order, so a run is deterministic for a fixed thread
+// count and always yields the same *relation* as the sequential path.
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/eval.h"
+#include "eval/plan.h"
+
+namespace incdb {
+
+StatusOr<RelationView> ScanResolver::Resolve(const std::string& name,
+                                             bool collapse_to_set) {
+  if (!db_->Has(name)) {
+    return Status::NotFound("no relation named " + name);
+  }
+  const Relation& rel = db_->at(name);
+  if (!collapse_to_set) return RelationView::Borrow(rel);
+  // The IsSet() scan and any collapse run once per relation; repeated
+  // resolutions (the FO evaluator re-resolves inside quantifier loops)
+  // hit the cached decision.
+  auto it = collapsed_.find(name);
+  if (it == collapsed_.end()) {
+    // Base relations are usually sets already, in which case the scan is
+    // a pure borrow (cached as null); otherwise the collapsed copy is
+    // materialised once.
+    std::unique_ptr<Relation> copy;
+    if (!rel.IsSet()) copy = std::make_unique<Relation>(rel.ToSet());
+    it = collapsed_.emplace(name, std::move(copy)).first;
+  }
+  return RelationView::Borrow(it->second ? *it->second : rel);
+}
+
+namespace {
+
+/// \brief Process-wide worker pool for partitioned hash joins.
+///
+/// Workers are spawned lazily up to the largest num_threads ever requested
+/// (capped) and persist for the process lifetime, so repeated evaluations
+/// pay no thread-spawn cost. The calling thread participates in every
+/// batch; tasks never enqueue tasks, so the pool cannot deadlock.
+class JoinPool {
+ public:
+  static JoinPool& Get() {
+    static JoinPool* pool = new JoinPool();  // leaked: workers never join
+    return *pool;
+  }
+
+  /// Runs fn(0) .. fn(n_tasks-1) using up to n_threads threads (including
+  /// the caller). Returns after every task body has completed.
+  void Run(size_t n_tasks, size_t n_threads, const std::function<void(size_t)>& fn) {
+    if (n_tasks == 0) return;
+    size_t helpers = std::min(n_threads > 0 ? n_threads - 1 : 0, n_tasks - 1);
+    helpers = std::min(helpers, kMaxWorkers);
+    if (helpers == 0) {
+      for (size_t i = 0; i < n_tasks; ++i) fn(i);
+      return;
+    }
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->total = n_tasks;
+    batch->remaining.store(n_tasks, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      while (n_workers_ < helpers) {
+        std::thread(&JoinPool::WorkerLoop, this).detach();
+        ++n_workers_;
+      }
+      current_ = batch;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    Work(*batch);
+    std::unique_lock<std::mutex> lk(batch->done_mu);
+    batch->done_cv.wait(lk, [&] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  static constexpr size_t kMaxWorkers = 15;
+
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t total = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> remaining{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  static void Work(Batch& batch) {
+    size_t i;
+    while ((i = batch.next.fetch_add(1, std::memory_order_relaxed)) <
+           batch.total) {
+      (*batch.fn)(i);
+      if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(batch.done_mu);
+        batch.done_cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    while (true) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return generation_ != seen; });
+        seen = generation_;
+        batch = current_;
+      }
+      if (batch) Work(*batch);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Batch> current_;
+  uint64_t generation_ = 0;
+  size_t n_workers_ = 0;
+};
+
+/// Index over the right side of a ⋉⇑ for fast unifiability probes.
+/// Tuples are grouped by their null-position mask; within a group they are
+/// hashed on the projection onto the constant positions. An all-constant
+/// probe tuple then touches only one bucket per mask; probes containing
+/// nulls fall back to a scan. Candidates are always re-verified with
+/// Unifiable() (repeated marked nulls add constraints the index ignores).
+/// The index references the indexed rows in place — it copies no tuples
+/// and must not outlive the viewed relation.
+class UnifyIndex {
+ public:
+  UnifyIndex(const std::vector<Relation::Row>& rows, size_t arity,
+             bool use_index)
+      : use_index_(use_index && arity < 64) {
+    all_.reserve(rows.size());
+    for (const auto& [t, c] : rows) {
+      all_.push_back(&t);
+      if (!use_index_) continue;
+      uint64_t mask = 0;
+      for (size_t i = 0; i < t.arity(); ++i) {
+        if (t[i].is_null()) mask |= (1ULL << i);
+      }
+      Tuple key;
+      ConstProjectionInto(t, mask, &key);
+      groups_[mask][std::move(key)].push_back(&t);
+    }
+  }
+
+  bool AnyUnifiable(const Tuple& probe) {
+    if (!use_index_ || probe.HasNull()) {
+      for (const Tuple* t : all_) {
+        if (Unifiable(probe, *t)) return true;
+      }
+      return false;
+    }
+    for (const auto& [mask, buckets] : groups_) {
+      ConstProjectionInto(probe, mask, &key_scratch_);
+      auto it = buckets.find(key_scratch_);
+      if (it == buckets.end()) continue;
+      for (const Tuple* t : it->second) {
+        if (Unifiable(probe, *t)) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static void ConstProjectionInto(const Tuple& t, uint64_t null_mask,
+                                  Tuple* out) {
+    out->Clear();
+    out->Reserve(t.arity());
+    for (size_t i = 0; i < t.arity(); ++i) {
+      if (!(null_mask & (1ULL << i))) out->Append(t[i]);
+    }
+  }
+
+  bool use_index_ = true;
+  std::vector<const Tuple*> all_;
+  std::unordered_map<uint64_t,
+                     std::unordered_map<Tuple, std::vector<const Tuple*>>>
+      groups_;
+  Tuple key_scratch_;
+};
+
+class Executor {
+ public:
+  Executor(const Plan& plan, const Database& db)
+      : plan_(plan), db_(db), scans_(db) {}
+
+  StatusOr<Relation> Run() {
+    auto out = Eval(plan_.root);
+    if (!out.ok()) return out.status();
+    return std::move(*out).Materialize();
+  }
+
+ private:
+  bool set_semantics() const { return plan_.mode != EvalMode::kBagNaive; }
+  bool sql_mode() const { return plan_.mode == EvalMode::kSetSql; }
+
+  Status Budget(uint64_t produced) {
+    produced_ += produced;
+    if (produced_ > plan_.opts.max_tuples) {
+      return Status::ResourceExhausted(
+          "evaluation exceeded max_tuples=" +
+          std::to_string(plan_.opts.max_tuples));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<RelationView> Eval(const PhysPtr& n) {
+    // OR-expansion branches share their inputs; evaluate those once.
+    auto rc = plan_.refcount.find(n.get());
+    const bool shared = rc != plan_.refcount.end() && rc->second > 1;
+    if (shared) {
+      auto it = memo_.find(n.get());
+      if (it != memo_.end()) return it->second;
+    }
+    auto out = EvalNode(*n);
+    if (out.ok() && shared) memo_.emplace(n.get(), *out);
+    return out;
+  }
+
+  StatusOr<RelationView> EvalNode(const PhysNode& n) {
+    switch (n.op) {
+      case PhysOp::kScanView:
+        return scans_.Resolve(n.rel_name, set_semantics());
+      case PhysOp::kFilterSel:
+        return EvalFilter(n);
+      case PhysOp::kFusedProjectFilter:
+        return EvalFusedProjectFilter(n);
+      case PhysOp::kProject:
+        return EvalProject(n);
+      case PhysOp::kRename: {
+        auto in = Eval(n.left);
+        if (!in.ok()) return in;
+        return in->Renamed(n.attrs);
+      }
+      case PhysOp::kHashJoin:
+      case PhysOp::kNLJoin:
+        return EvalJoin(n);
+      case PhysOp::kUnion:
+        return EvalUnion(n);
+      case PhysOp::kHashDiff:
+        return EvalDifference(n);
+      case PhysOp::kHashIntersect:
+        return EvalIntersect(n);
+      case PhysOp::kDivision:
+        return EvalDivision(n);
+      case PhysOp::kUnifySemiJoin:
+        return EvalAntijoinUnify(n);
+      case PhysOp::kHashSemi:
+        return EvalSemiAnti(n);
+      case PhysOp::kInPred:
+        return EvalInPredicate(n);
+      case PhysOp::kDom:
+        return EvalDom(n);
+      case PhysOp::kDistinct: {
+        auto in = Eval(n.left);
+        if (!in.ok()) return in;
+        if (in->borrowed() && in->rel().IsSet()) return in;  // already a set
+        Relation out = std::move(*in).Materialize();
+        out.CollapseCounts();
+        return RelationView::Own(std::move(out));
+      }
+    }
+    return Status::Internal("unknown physical operator");
+  }
+
+  StatusOr<RelationView> EvalFilter(const PhysNode& n) {
+    auto in = Eval(n.left);
+    if (!in.ok()) return in;
+    Relation out(n.attrs);
+    out.Reserve(in->rows().size());
+    for (const auto& [t, c] : in->rows()) {
+      if (n.pred(t) == TV3::kT) {
+        INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+      }
+    }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalFusedProjectFilter(const PhysNode& n) {
+    auto in = Eval(n.left);
+    if (!in.ok()) return in;
+    Relation out(n.attrs);
+    out.Reserve(in->rows().size());
+    Tuple scratch;
+    for (const auto& [t, c] : in->rows()) {
+      if (n.pred(t) == TV3::kT) {
+        scratch.AssignProject(t, n.proj_pos);
+        INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
+      }
+    }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+    if (set_semantics()) out.CollapseCounts();
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalProject(const PhysNode& n) {
+    auto in = Eval(n.left);
+    if (!in.ok()) return in;
+    Relation out(n.attrs);
+    out.Reserve(in->rows().size());
+    Tuple scratch;
+    for (const auto& [t, c] : in->rows()) {
+      scratch.AssignProject(t, n.proj_pos);
+      INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
+    }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+    if (set_semantics()) out.CollapseCounts();
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalUnion(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    uint64_t r_total = r->TotalSize();
+    const std::vector<Relation::Row>& r_rows = r->rows();
+    Relation out = std::move(*l).Materialize();
+    out.Reserve(out.rows().size() + r_rows.size());
+    for (const auto& [t, c] : r_rows) {
+      INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+    }
+    INCDB_RETURN_IF_ERROR(Budget(r_total));
+    if (set_semantics()) out.CollapseCounts();
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalDifference(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    Relation out(n.attrs);
+    if (sql_mode()) {
+      // NOT IN semantics: keep r̄ only if the comparison with *every* tuple
+      // of the right side is certainly false (never t or u). All-constant
+      // pairs compare t exactly when syntactically equal, so against the
+      // all-constant part of the right side an all-constant left tuple
+      // needs one hash lookup; only right tuples involving nulls keep the
+      // pairwise 3VL scan, and left tuples involving nulls scan everything.
+      std::vector<const Tuple*> null_rows;
+      for (const auto& [s, sc] : r->rows()) {
+        if (s.HasNull()) null_rows.push_back(&s);
+      }
+      for (const auto& [t, c] : l->rows()) {
+        bool keep;
+        if (t.AllConst()) {
+          keep = !r->Contains(t);
+          for (const Tuple* s : null_rows) {
+            if (!keep) break;
+            if (SqlTupleEq(t, *s) != TV3::kF) keep = false;
+          }
+        } else {
+          keep = true;
+          for (const auto& [s, sc] : r->rows()) {
+            if (SqlTupleEq(t, s) != TV3::kF) {
+              keep = false;
+              break;
+            }
+          }
+        }
+        if (keep) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+      }
+      return RelationView::Own(std::move(out));
+    }
+    for (const auto& [t, c] : l->rows()) {
+      uint64_t rc = r->Count(t);
+      if (set_semantics()) {
+        if (rc == 0) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+      } else if (c > rc) {
+        INCDB_RETURN_IF_ERROR(out.Insert(t, c - rc));  // bag monus
+      }
+    }
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalIntersect(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    Relation out(n.attrs);
+    if (sql_mode()) {
+      // IN semantics: keep r̄ iff some right tuple compares t. Under 3VL a
+      // comparison is t only when both tuples are all-constant and equal,
+      // so membership reduces to one hash lookup per left tuple.
+      for (const auto& [t, c] : l->rows()) {
+        if (t.AllConst() && r->Contains(t)) {
+          INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+        }
+      }
+      return RelationView::Own(std::move(out));
+    }
+    for (const auto& [t, c] : l->rows()) {
+      uint64_t rc = r->Count(t);
+      if (rc == 0) continue;
+      INCDB_RETURN_IF_ERROR(
+          out.Insert(t, set_semantics() ? 1 : std::min(c, rc)));
+    }
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalDivision(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    // Group the dividend by the kept attributes; collect divisor parts.
+    std::unordered_map<Tuple, std::set<Tuple>> groups;
+    for (const auto& [t, c] : l->rows()) {
+      groups[t.Project(n.keep_pos)].insert(t.Project(n.div_l));
+    }
+    std::set<Tuple> divisor;
+    for (const auto& [t, c] : r->rows()) divisor.insert(t.Project(n.div_r));
+    Relation out(n.attrs);
+    for (const auto& [key, parts] : groups) {
+      bool all = std::includes(parts.begin(), parts.end(), divisor.begin(),
+                               divisor.end());
+      if (all) INCDB_RETURN_IF_ERROR(out.Insert(key, 1));
+    }
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalAntijoinUnify(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    UnifyIndex index(r->rows(), r->arity(), plan_.opts.enable_unify_index);
+    Relation out(n.attrs);
+    for (const auto& [t, c] : l->rows()) {
+      if (!index.AnyUnifiable(t)) {
+        INCDB_RETURN_IF_ERROR(out.Insert(t, set_semantics() ? 1 : c));
+      }
+    }
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalDom(const PhysNode& n) {
+    std::set<Value> dom = db_.ActiveDomain();
+    for (const Value& v : n.dom_extra) dom.insert(v);
+    std::vector<Value> values(dom.begin(), dom.end());
+    uint64_t expected = 1;
+    for (size_t i = 0; i < n.dom_arity; ++i) {
+      if (values.empty()) break;
+      expected *= values.size();
+      if (expected > plan_.opts.max_tuples) {
+        return Status::ResourceExhausted(
+            "Dom^" + std::to_string(n.dom_arity) + " over " +
+            std::to_string(values.size()) + " values exceeds max_tuples");
+      }
+    }
+    Relation out(n.attrs);
+    std::vector<size_t> idx(n.dom_arity, 0);
+    if (n.dom_arity == 0) {
+      INCDB_RETURN_IF_ERROR(out.Insert(Tuple{}, 1));
+      return RelationView::Own(std::move(out));
+    }
+    if (values.empty()) return RelationView::Own(std::move(out));
+    while (true) {
+      std::vector<Value> vals;
+      vals.reserve(n.dom_arity);
+      for (size_t i : idx) vals.push_back(values[i]);
+      INCDB_RETURN_IF_ERROR(out.Insert(Tuple(std::move(vals)), 1));
+      size_t pos = n.dom_arity;
+      while (pos > 0) {
+        --pos;
+        if (++idx[pos] < values.size()) break;
+        idx[pos] = 0;
+        if (pos == 0) {
+          INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+          return RelationView::Own(std::move(out));
+        }
+      }
+    }
+  }
+
+  StatusOr<RelationView> EvalSemiAnti(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    // Equality with a null key never evaluates to t in either mode unless
+    // syntactically equal (naive) — the hash covers both, as naive equality
+    // is exactly key identity and SQL-mode null keys are skipped. The index
+    // references right rows in place instead of copying them.
+    std::unordered_map<Tuple, std::vector<const Tuple*>> index;
+    const bool hashed = !n.lkeys.empty();
+    Tuple key, joint_t;  // scratch, reused across probes
+    if (hashed) {
+      index.reserve(r->rows().size());
+      for (const auto& [rt, rc] : r->rows()) {
+        key.AssignProject(rt, n.rkeys);
+        if (sql_mode() && key.HasNull()) continue;
+        index[key].push_back(&rt);
+      }
+    }
+    auto exists_match = [&](const Tuple& lt) -> bool {
+      if (!hashed) {
+        for (const auto& [rt, rc] : r->rows()) {
+          joint_t.AssignConcat(lt, rt);
+          if (n.pred(joint_t) == TV3::kT) return true;
+        }
+        return false;
+      }
+      key.AssignProject(lt, n.lkeys);
+      if (sql_mode() && key.HasNull()) return false;
+      auto it = index.find(key);
+      if (it == index.end()) return false;
+      if (n.trivial_residual) return true;  // any key match suffices
+      for (const Tuple* rt : it->second) {
+        joint_t.AssignConcat(lt, *rt);
+        if (n.pred(joint_t) == TV3::kT) return true;
+      }
+      return false;
+    };
+
+    Relation out(n.attrs);
+    for (const auto& [lt, lc] : l->rows()) {
+      if (exists_match(lt) != n.anti) {
+        INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
+      }
+    }
+    return RelationView::Own(std::move(out));
+  }
+
+  /// SQL's x̄ [NOT] IN subquery predicate. The right side is first filtered
+  /// per left row by the (possibly correlated) condition θ with 3VL keep-t
+  /// discipline; membership of the left compare columns then follows the
+  /// active mode:
+  ///  * naive: syntactic equality;
+  ///  * SQL:   IN keeps a row iff some right row compares t; NOT IN keeps
+  ///           a row iff *every* right row compares f — one null partner
+  ///           (or a null on the left with a non-empty right side) blocks
+  ///           the row, reproducing SQL's notorious NOT IN behaviour.
+  StatusOr<RelationView> EvalInPredicate(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    const bool negated = n.anti;
+
+    // Uncorrelated fast path: precompute the key multiset once. Keys
+    // involving nulls are listed separately: under SQL 3VL they are the
+    // only right keys an all-constant left key cannot dismiss with one
+    // hash lookup.
+    std::unordered_map<Tuple, uint64_t> keys;
+    std::vector<const Tuple*> null_keys;
+    Tuple key_scratch;
+    if (!n.correlated) {
+      keys.reserve(r->rows().size());
+      for (const auto& [rt, rc] : r->rows()) {
+        key_scratch.AssignProject(rt, n.rpos);
+        auto [it, inserted] = keys.try_emplace(key_scratch, rc);
+        if (!inserted) {
+          it->second += rc;
+        } else if (it->first.HasNull()) {
+          null_keys.push_back(&it->first);
+        }
+      }
+    }
+
+    Relation out(n.attrs);
+    Tuple lkey, rkey, joint_t;  // scratch, reused across rows and pairs
+    for (const auto& [lt, lc] : l->rows()) {
+      lkey.AssignProject(lt, n.lpos);
+      bool keep;
+      if (!n.correlated) {
+        if (!sql_mode()) {
+          bool found = keys.count(lkey) > 0;
+          keep = negated ? !found : found;
+        } else if (!negated) {
+          keep = lkey.AllConst() && keys.count(lkey) > 0;
+        } else {
+          // NOT IN: all comparisons must be certainly false. All-constant
+          // pairs compare t exactly when syntactically equal, so an
+          // all-constant left key needs one hash miss plus a scan of the
+          // (typically few) null-involving right keys; a left key with a
+          // null keeps the pairwise 3VL scan.
+          if (keys.empty()) {
+            keep = true;
+          } else if (lkey.AllConst()) {
+            keep = keys.count(lkey) == 0;
+            for (const Tuple* nk : null_keys) {
+              if (!keep) break;
+              if (SqlTupleEq(lkey, *nk) != TV3::kF) keep = false;
+            }
+          } else {
+            keep = true;
+            for (const auto& [rk, rc] : keys) {
+              if (SqlTupleEq(lkey, rk) != TV3::kF) {
+                keep = false;
+                break;
+              }
+            }
+          }
+        }
+      } else {
+        // Correlated: filter right rows by θ(l·r) = t, then test.
+        bool exists_t = false;
+        bool all_f = true;
+        for (const auto& [rt, rc] : r->rows()) {
+          joint_t.AssignConcat(lt, rt);
+          if (n.pred(joint_t) != TV3::kT) continue;
+          rkey.AssignProject(rt, n.rpos);
+          if (sql_mode()) {
+            TV3 tv = SqlTupleEq(lkey, rkey);
+            if (tv == TV3::kT) exists_t = true;
+            if (tv != TV3::kF) all_f = false;
+          } else {
+            if (lkey == rkey) exists_t = true;
+            if (lkey == rkey) all_f = false;
+          }
+        }
+        keep = negated ? all_f : exists_t;
+      }
+      if (keep) {
+        INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
+      }
+    }
+    return RelationView::Own(std::move(out));
+  }
+
+  StatusOr<RelationView> EvalJoin(const PhysNode& n) {
+    auto l = Eval(n.left);
+    if (!l.ok()) return l;
+    auto r = Eval(n.right);
+    if (!r.ok()) return r;
+    const bool set = set_semantics();
+    const bool has_proj = n.fused_proj;
+
+    // Projection shortcut: a condition-free product projected onto
+    // columns of a single side is just that side's projection (times the
+    // other side's non-emptiness) under set semantics.
+    if (n.op == PhysOp::kNLJoin && has_proj && set &&
+        n.cond->kind == CondKind::kTrue) {
+      if (n.proj_left_only && !r->rows().empty()) {
+        Relation out(n.attrs);
+        Tuple scratch;
+        for (const auto& [lt, lc] : l->rows()) {
+          scratch.AssignProject(lt, n.proj_pos);  // positions are left-local
+          INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
+        }
+        out.CollapseCounts();
+        return RelationView::Own(std::move(out));
+      }
+      if (n.proj_right_only && !l->rows().empty()) {
+        std::vector<size_t> pos;
+        for (size_t i : n.proj_pos) pos.push_back(i - n.left_arity);
+        Relation out(n.attrs);
+        Tuple scratch;
+        for (const auto& [rt, rc] : r->rows()) {
+          scratch.AssignProject(rt, pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
+        }
+        out.CollapseCounts();
+        return RelationView::Own(std::move(out));
+      }
+      if (l->rows().empty() || r->rows().empty()) {
+        return RelationView::Own(Relation(n.attrs));
+      }
+    }
+
+    Relation out(n.attrs);
+    // Scratch tuples reused across every pair: the hot loop below performs
+    // no allocations except inserting kept tuples into `out`.
+    Tuple joint, projected;
+    auto emit = [&](const Tuple& lt, uint64_t lc, const Tuple& rt,
+                    uint64_t rc) -> Status {
+      // With SQL-mode equality, a null join key never compares t; with
+      // naive equality the hash join already used syntactic equality. The
+      // residual condition is checked in the active mode.
+      joint.AssignConcat(lt, rt);
+      if (n.pred(joint) == TV3::kT) {
+        uint64_t c = set ? 1 : lc * rc;
+        if (has_proj) {
+          projected.AssignProject(joint, n.proj_pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(projected, c));
+        } else {
+          // Pairs of distinct rows are distinct: no duplicate probe.
+          INCDB_RETURN_IF_ERROR(out.InsertUnique(joint, c));
+        }
+        INCDB_RETURN_IF_ERROR(Budget(c));
+      }
+      return Status::OK();
+    };
+
+    // With a projection under set semantics, distinct pairs may collapse;
+    // normalise multiplicities at the end.
+    auto finish = [&]() -> RelationView {
+      if (has_proj && set) out.CollapseCounts();
+      return RelationView::Own(std::move(out));
+    };
+
+    if (n.op == PhysOp::kNLJoin) {
+      for (const auto& [lt, lc] : l->rows()) {
+        for (const auto& [rt, rc] : r->rows()) {
+          INCDB_RETURN_IF_ERROR(emit(lt, lc, rt, rc));
+        }
+      }
+      return finish();
+    }
+
+    // Hash join. Under SQL mode, rows with a null key cannot satisfy the
+    // equality with truth value t, so skipping them is sound. The index is
+    // built over the smaller side and stores row indices into that side's
+    // flat storage — no tuples are copied.
+    const bool build_left = l->rows().size() <= r->rows().size();
+    const std::vector<Relation::Row>& build_rows =
+        build_left ? l->rows() : r->rows();
+    const std::vector<Relation::Row>& probe_rows =
+        build_left ? r->rows() : l->rows();
+    const std::vector<size_t>& build_keys = build_left ? n.lkeys : n.rkeys;
+    const std::vector<size_t>& probe_keys = build_left ? n.rkeys : n.lkeys;
+
+    const size_t threads = plan_.opts.num_threads;
+    if (threads > 1 && build_rows.size() + probe_rows.size() >= 1024) {
+      return ParallelHashJoin(n, build_left, build_rows, probe_rows,
+                              build_keys, probe_keys);
+    }
+
+    std::unordered_map<Tuple, std::vector<uint32_t>> index;
+    index.reserve(build_rows.size());
+    Tuple key;  // scratch for both build and probe keys
+    for (uint32_t i = 0; i < build_rows.size(); ++i) {
+      key.AssignProject(build_rows[i].first, build_keys);
+      if (sql_mode() && key.HasNull()) continue;
+      index[key].push_back(i);
+    }
+    for (const auto& [pt, pc] : probe_rows) {
+      key.AssignProject(pt, probe_keys);
+      if (sql_mode() && key.HasNull()) continue;
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (uint32_t bi : it->second) {
+        const auto& [bt, bc] = build_rows[bi];
+        if (build_left) {
+          INCDB_RETURN_IF_ERROR(emit(bt, bc, pt, pc));
+        } else {
+          INCDB_RETURN_IF_ERROR(emit(pt, pc, bt, bc));
+        }
+      }
+    }
+    return finish();
+  }
+
+  /// Partitioned hash join: both sides are split by key-hash prefix into
+  /// num_threads partitions; matching keys land in the same partition, so
+  /// partitions join independently on the pool. Outputs merge in
+  /// partition-index order — a fixed thread count yields a deterministic
+  /// row order, and any thread count yields the same relation.
+  StatusOr<RelationView> ParallelHashJoin(
+      const PhysNode& n, bool build_left,
+      const std::vector<Relation::Row>& build_rows,
+      const std::vector<Relation::Row>& probe_rows,
+      const std::vector<size_t>& build_keys,
+      const std::vector<size_t>& probe_keys) {
+    const bool set = set_semantics();
+    const bool sql = sql_mode();
+    const bool has_proj = n.fused_proj;
+    const size_t P = plan_.opts.num_threads;
+
+    std::vector<std::vector<uint32_t>> build_parts(P), probe_parts(P);
+    Tuple key;
+    for (uint32_t i = 0; i < build_rows.size(); ++i) {
+      key.AssignProject(build_rows[i].first, build_keys);
+      if (sql && key.HasNull()) continue;
+      build_parts[key.Hash() % P].push_back(i);
+    }
+    for (uint32_t i = 0; i < probe_rows.size(); ++i) {
+      key.AssignProject(probe_rows[i].first, probe_keys);
+      if (sql && key.HasNull()) continue;
+      probe_parts[key.Hash() % P].push_back(i);
+    }
+
+    // Partitions emit raw (tuple, count) rows — the hash-indexed insert
+    // happens exactly once, at the canonical merge below.
+    std::vector<std::vector<Relation::Row>> outs(P);
+    std::vector<Status> stats(P, Status::OK());
+    // The budget is enforced cooperatively: partitions add their emissions
+    // to a shared counter in chunks and abort once the ceiling is crossed
+    // (overshoot is bounded by P chunks).
+    std::atomic<uint64_t> emitted{0};
+    const uint64_t budget_left =
+        plan_.opts.max_tuples > produced_ ? plan_.opts.max_tuples - produced_
+                                          : 0;
+
+    // The partition count is the determinism contract; the worker count is
+    // an execution resource, capped at the hardware parallelism (waking
+    // helpers a single-core box cannot run only adds context switches —
+    // the merge order is partition-indexed either way).
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = P;
+    JoinPool::Get().Run(P, std::min(P, hw), [&](size_t p) {
+      std::vector<Relation::Row>& part_out = outs[p];
+      Tuple pkey, joint;
+      uint64_t unreported = 0;
+      auto over_budget = [&]() {
+        emitted.fetch_add(unreported, std::memory_order_relaxed);
+        unreported = 0;
+        return emitted.load(std::memory_order_relaxed) > budget_left;
+      };
+      std::unordered_map<Tuple, std::vector<uint32_t>> index;
+      index.reserve(build_parts[p].size());
+      for (uint32_t i : build_parts[p]) {
+        pkey.AssignProject(build_rows[i].first, build_keys);
+        index[pkey].push_back(i);
+      }
+      for (uint32_t pi : probe_parts[p]) {
+        const auto& [pt, pc] = probe_rows[pi];
+        pkey.AssignProject(pt, probe_keys);
+        auto it = index.find(pkey);
+        if (it == index.end()) continue;
+        for (uint32_t bi : it->second) {
+          const auto& [bt, bc] = build_rows[bi];
+          const Tuple& lt = build_left ? bt : pt;
+          const Tuple& rt = build_left ? pt : bt;
+          joint.AssignConcat(lt, rt);
+          if (n.pred(joint) != TV3::kT) continue;
+          uint64_t c = set ? 1 : bc * pc;
+          if (has_proj) {
+            part_out.emplace_back(joint.Project(n.proj_pos), c);
+          } else {
+            part_out.emplace_back(joint, c);
+          }
+          if (++unreported >= 4096 && over_budget()) {
+            stats[p] = Status::ResourceExhausted(
+                "evaluation exceeded max_tuples=" +
+                std::to_string(plan_.opts.max_tuples));
+            return;
+          }
+        }
+      }
+      emitted.fetch_add(unreported, std::memory_order_relaxed);
+    });
+
+    for (const Status& st : stats) {
+      INCDB_RETURN_IF_ERROR(st);
+    }
+
+    // Canonical merge in partition order. Without a fused projection the
+    // emitted pairs are globally distinct (each pair joins in exactly one
+    // partition), so the duplicate probe is skipped.
+    Relation out(n.attrs);
+    size_t emitted_rows = 0;
+    uint64_t total = 0;
+    for (const std::vector<Relation::Row>& part : outs) {
+      emitted_rows += part.size();
+      for (const auto& [t, c] : part) total += c;
+    }
+    out.Reserve(emitted_rows);
+    for (std::vector<Relation::Row>& part : outs) {
+      for (auto& [t, c] : part) {
+        if (has_proj) {
+          INCDB_RETURN_IF_ERROR(out.Insert(std::move(t), c));
+        } else {
+          INCDB_RETURN_IF_ERROR(out.InsertUnique(std::move(t), c));
+        }
+      }
+    }
+    INCDB_RETURN_IF_ERROR(Budget(total));
+    if (has_proj && set) out.CollapseCounts();
+    return RelationView::Own(std::move(out));
+  }
+
+  const Plan& plan_;
+  const Database& db_;
+  ScanResolver scans_;
+  std::unordered_map<const PhysNode*, RelationView> memo_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db) {
+  if (!plan || !plan->root) {
+    return Status::InvalidArgument("Execute: empty plan");
+  }
+  Executor ex(*plan, db);
+  return ex.Run();
+}
+
+}  // namespace incdb

@@ -1,0 +1,679 @@
+#include "eval/plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace incdb {
+
+const char* ToString(PhysOp op) {
+  switch (op) {
+    case PhysOp::kScanView:
+      return "ScanView";
+    case PhysOp::kFilterSel:
+      return "FilterSel";
+    case PhysOp::kFusedProjectFilter:
+      return "FusedProjectFilter";
+    case PhysOp::kProject:
+      return "Project";
+    case PhysOp::kRename:
+      return "Rename";
+    case PhysOp::kHashJoin:
+      return "HashJoin";
+    case PhysOp::kNLJoin:
+      return "NLJoin";
+    case PhysOp::kUnion:
+      return "Union";
+    case PhysOp::kHashDiff:
+      return "HashDiff";
+    case PhysOp::kHashIntersect:
+      return "HashIntersect";
+    case PhysOp::kDivision:
+      return "Division";
+    case PhysOp::kUnifySemiJoin:
+      return "UnifySemiJoin";
+    case PhysOp::kHashSemi:
+      return "HashSemi";
+    case PhysOp::kInPred:
+      return "InPred";
+    case PhysOp::kDom:
+      return "Dom";
+    case PhysOp::kDistinct:
+      return "Distinct";
+  }
+  return "?";
+}
+
+namespace {
+
+CondMode ToCondMode(EvalMode m) {
+  return m == EvalMode::kSetSql ? CondMode::kSql : CondMode::kNaive;
+}
+
+/// Extracts top-level conjuncts of a condition, dropping trivial `true`s
+/// (which would otherwise hide single-disjunction shapes from the
+/// OR-expansion pass).
+void Conjuncts(const CondPtr& c, std::vector<CondPtr>* out) {
+  if (c->kind == CondKind::kAnd) {
+    Conjuncts(c->left, out);
+    Conjuncts(c->right, out);
+  } else if (c->kind != CondKind::kTrue) {
+    out->push_back(c);
+  }
+}
+
+/// Rewrites the attribute names of a condition through a rename mapping
+/// (new name → old name), for pushing selections below ρ.
+CondPtr RenameCondAttrs(const CondPtr& c,
+                        const std::map<std::string, std::string>& to_old) {
+  auto out = std::make_shared<Condition>(*c);
+  if (c->left) out->left = RenameCondAttrs(c->left, to_old);
+  if (c->right) out->right = RenameCondAttrs(c->right, to_old);
+  auto translate = [&to_old](std::string* name) {
+    auto it = to_old.find(*name);
+    if (it != to_old.end()) *name = it->second;
+  };
+  switch (c->kind) {
+    case CondKind::kEqAttrAttr:
+    case CondKind::kNeqAttrAttr:
+    case CondKind::kLtAttrAttr:
+    case CondKind::kLeAttrAttr:
+      translate(&out->lhs);
+      translate(&out->rhs);
+      break;
+    case CondKind::kEqAttrConst:
+    case CondKind::kNeqAttrConst:
+    case CondKind::kIsConst:
+    case CondKind::kIsNull:
+    case CondKind::kLtAttrConst:
+    case CondKind::kLeAttrConst:
+    case CondKind::kGtAttrConst:
+    case CondKind::kGeAttrConst:
+      translate(&out->lhs);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+/// True iff every attribute the condition mentions belongs to `attrs`.
+bool CondWithin(const CondPtr& c, const std::vector<std::string>& attrs) {
+  for (const std::string& a : CondAttrs(c)) {
+    if (IndexOf(attrs, a) == attrs.size()) return false;
+  }
+  return true;
+}
+
+class Compiler {
+ public:
+  Compiler(EvalMode mode, const EvalOptions& opts, const Database& db,
+           bool for_ctables)
+      : mode_(mode), opts_(opts), db_(db), for_ctables_(for_ctables) {}
+
+  StatusOr<PhysPtr> CompileNode(const AlgPtr& q) {
+    switch (q->kind) {
+      case OpKind::kScan:
+        return CompileScan(q);
+      case OpKind::kSelect:
+        return CompileSelect(q);
+      case OpKind::kProject:
+        return CompileProject(q);
+      case OpKind::kRename:
+        return CompileRename(q);
+      case OpKind::kProduct:
+        return CompileJoinLike(q->left, q->right, CTrue(), nullptr);
+      case OpKind::kJoin:
+        if (for_ctables_) return CTableUnsupported();
+        return CompileJoinLike(q->left, q->right, q->cond, nullptr);
+      case OpKind::kUnion:
+        return CompileSetOp(q, PhysOp::kUnion, "union");
+      case OpKind::kDifference:
+        return CompileSetOp(q, PhysOp::kHashDiff, "difference");
+      case OpKind::kIntersect:
+        return CompileSetOp(q, PhysOp::kHashIntersect, "intersection");
+      case OpKind::kDivision:
+        return CompileDivision(q);
+      case OpKind::kAntijoinUnify:
+        return CompileSetOp(q, PhysOp::kUnifySemiJoin, "⋉⇑");
+      case OpKind::kDom:
+        return CompileDom(q);
+      case OpKind::kSemijoin:
+        return CompileSemiAnti(q, /*anti=*/false);
+      case OpKind::kAntijoin:
+        return CompileSemiAnti(q, /*anti=*/true);
+      case OpKind::kIn:
+        return CompileInPredicate(q, /*negated=*/false);
+      case OpKind::kNotIn:
+        return CompileInPredicate(q, /*negated=*/true);
+      case OpKind::kDistinct: {
+        if (for_ctables_) return CTableUnsupported();
+        auto in = CompileNode(q->left);
+        if (!in.ok()) return in;
+        auto node = std::make_shared<PhysNode>();
+        node->op = PhysOp::kDistinct;
+        node->attrs = (*in)->attrs;
+        node->left = *in;
+        return PhysPtr(node);
+      }
+    }
+    return Status::Internal("unknown operator");
+  }
+
+ private:
+  bool set_semantics() const { return mode_ != EvalMode::kBagNaive; }
+
+  static Status CTableUnsupported() {
+    return Status::Unsupported(
+        "conditional evaluation covers the core grammar + ∩; desugar "
+        "the query first");
+  }
+
+  /// Compiles `cond` against `attrs` into the node's predicate (validating
+  /// attribute references on the way).
+  Status AttachCond(PhysNode* node, const CondPtr& cond,
+                    const std::vector<std::string>& attrs) {
+    auto pred = CompileCond(cond, attrs, ToCondMode(mode_));
+    if (!pred.ok()) return pred.status();
+    node->cond = cond;
+    node->pred = std::move(*pred);
+    return Status::OK();
+  }
+
+  StatusOr<PhysPtr> CompileScan(const AlgPtr& q) {
+    if (!db_.Has(q->rel_name)) {
+      return Status::NotFound("no relation named " + q->rel_name);
+    }
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kScanView;
+    node->rel_name = q->rel_name;
+    node->attrs = db_.at(q->rel_name).attrs();
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileSelect(const AlgPtr& q) {
+    // A selection directly over a product is a join (the predicate decides
+    // which pairs survive) — fold it into the join machinery so the
+    // conjunct-split / pushdown / OR-expansion passes see the condition.
+    if (!for_ctables_ && q->left->kind == OpKind::kProduct) {
+      return CompileJoinLike(q->left->left, q->left->right, q->cond, nullptr);
+    }
+    auto in = CompileNode(q->left);
+    if (!in.ok()) return in;
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kFilterSel;
+    node->attrs = (*in)->attrs;
+    node->left = *in;
+    INCDB_RETURN_IF_ERROR(AttachCond(node.get(), q->cond, node->attrs));
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileProject(const AlgPtr& q) {
+    // Projection fusion: π over a join-shaped child projects at emit time
+    // instead of materialising the full-width pairs (π(σ(l × r)) is the
+    // shape the desugared [NOT] IN / EXISTS and the Fig. 2 σ?-rules
+    // produce).
+    const Algebra* child = q->left.get();
+    if (!for_ctables_ && opts_.enable_projection_fusion &&
+        (child->kind == OpKind::kJoin ||
+         (child->kind == OpKind::kSelect &&
+          child->left->kind == OpKind::kProduct) ||
+         child->kind == OpKind::kProduct)) {
+      AlgPtr lq, rq;
+      CondPtr cond;
+      if (child->kind == OpKind::kJoin) {
+        lq = child->left;
+        rq = child->right;
+        cond = child->cond;
+      } else if (child->kind == OpKind::kProduct) {
+        lq = child->left;
+        rq = child->right;
+        cond = CTrue();
+      } else {
+        lq = child->left->left;
+        rq = child->left->right;
+        cond = child->cond;
+      }
+      return CompileJoinLike(lq, rq, cond, &q->attrs);
+    }
+    // π(σ(x)) over a non-join child: one fused pass filters and projects
+    // at emit time.
+    if (!for_ctables_ && opts_.enable_projection_fusion &&
+        child->kind == OpKind::kSelect) {
+      auto in = CompileNode(child->left);
+      if (!in.ok()) return in;
+      auto node = std::make_shared<PhysNode>();
+      node->op = PhysOp::kFusedProjectFilter;
+      node->left = *in;
+      INCDB_RETURN_IF_ERROR(AttachCond(node.get(), child->cond, (*in)->attrs));
+      INCDB_RETURN_IF_ERROR(
+          ResolveProjection(q->attrs, (*in)->attrs, &node->proj_pos));
+      node->attrs = q->attrs;
+      return PhysPtr(node);
+    }
+    auto in = CompileNode(q->left);
+    if (!in.ok()) return in;
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kProject;
+    node->left = *in;
+    INCDB_RETURN_IF_ERROR(
+        ResolveProjection(q->attrs, (*in)->attrs, &node->proj_pos));
+    node->attrs = q->attrs;
+    return PhysPtr(node);
+  }
+
+  static Status ResolveProjection(const std::vector<std::string>& proj,
+                                  const std::vector<std::string>& attrs,
+                                  std::vector<size_t>* pos) {
+    for (const std::string& a : proj) {
+      size_t i = IndexOf(attrs, a);
+      if (i == attrs.size()) {
+        return Status::NotFound("projection attribute " + a + " not in input");
+      }
+      pos->push_back(i);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<PhysPtr> CompileRename(const AlgPtr& q) {
+    auto in = CompileNode(q->left);
+    if (!in.ok()) return in;
+    if (q->attrs.size() != (*in)->attrs.size()) {
+      return Status::InvalidArgument("rename: arity mismatch");
+    }
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kRename;
+    node->attrs = q->attrs;
+    node->left = *in;
+    return PhysPtr(node);
+  }
+
+  /// Binary operators whose inputs must agree on arity.
+  StatusOr<PhysPtr> CompileSetOp(const AlgPtr& q, PhysOp op, const char* name) {
+    if (for_ctables_ &&
+        (op == PhysOp::kUnifySemiJoin)) {
+      return CTableUnsupported();
+    }
+    auto l = CompileNode(q->left);
+    if (!l.ok()) return l;
+    auto r = CompileNode(q->right);
+    if (!r.ok()) return r;
+    if ((*l)->attrs.size() != (*r)->attrs.size()) {
+      return Status::InvalidArgument(std::string(name) + ": arity mismatch");
+    }
+    auto node = std::make_shared<PhysNode>();
+    node->op = op;
+    node->attrs = (*l)->attrs;
+    node->left = *l;
+    node->right = *r;
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileDivision(const AlgPtr& q) {
+    if (for_ctables_) return CTableUnsupported();
+    if (mode_ == EvalMode::kSetSql) {
+      return Status::Unsupported("division is not part of the SQL evaluator");
+    }
+    auto l = CompileNode(q->left);
+    if (!l.ok()) return l;
+    auto r = CompileNode(q->right);
+    if (!r.ok()) return r;
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kDivision;
+    node->left = *l;
+    node->right = *r;
+    // Align divisor attributes by name.
+    const std::vector<std::string>& la = (*l)->attrs;
+    const std::vector<std::string>& ra = (*r)->attrs;
+    for (size_t i = 0; i < la.size(); ++i) {
+      size_t j = IndexOf(ra, la[i]);
+      if (j == ra.size()) {
+        node->keep_pos.push_back(i);
+        node->attrs.push_back(la[i]);
+      } else {
+        node->div_l.push_back(i);
+        node->div_r.push_back(j);
+      }
+    }
+    if (node->div_l.size() != ra.size()) {
+      return Status::InvalidArgument(
+          "division: divisor attributes must occur in the dividend");
+    }
+    if (node->attrs.empty()) {
+      return Status::InvalidArgument(
+          "division: dividend must have attributes beyond the divisor");
+    }
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileDom(const AlgPtr& q) {
+    if (for_ctables_) return CTableUnsupported();
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kDom;
+    node->attrs = q->attrs;
+    node->dom_arity = q->dom_arity;
+    node->dom_extra = q->dom_extra;
+    return PhysPtr(node);
+  }
+
+  /// Joint schema of a join-like operator; errors on shared names.
+  static StatusOr<std::vector<std::string>> JointAttrs(
+      const PhysPtr& l, const PhysPtr& r, const char* op_name) {
+    std::vector<std::string> attrs = l->attrs;
+    for (const std::string& a : r->attrs) {
+      if (IndexOf(l->attrs, a) != l->attrs.size()) {
+        return Status::InvalidArgument(std::string(op_name) + ": attribute " +
+                                       a + " appears on both sides (rename)");
+      }
+      attrs.push_back(a);
+    }
+    return attrs;
+  }
+
+  /// Splits `conj` into hash keys (top-level left=right equality conjuncts,
+  /// honouring enable_hash_join) and a residual list.
+  void SplitEquiConjuncts(const std::vector<CondPtr>& conj,
+                          const std::vector<std::string>& lattrs,
+                          const std::vector<std::string>& rattrs,
+                          bool extract,
+                          std::vector<size_t>* lkeys,
+                          std::vector<size_t>* rkeys,
+                          std::vector<CondPtr>* residual) {
+    for (const CondPtr& c : conj) {
+      if (c->kind == CondKind::kEqAttrAttr) {
+        size_t li = IndexOf(lattrs, c->lhs);
+        size_t ri = IndexOf(rattrs, c->rhs);
+        if (li == lattrs.size() || ri == rattrs.size()) {
+          // Maybe the attributes are swapped.
+          li = IndexOf(lattrs, c->rhs);
+          ri = IndexOf(rattrs, c->lhs);
+        }
+        if (extract && li != lattrs.size() && ri != rattrs.size()) {
+          lkeys->push_back(li);
+          rkeys->push_back(ri);
+          continue;
+        }
+      }
+      residual->push_back(c);
+    }
+  }
+
+  /// Wraps `in` with a selection, pushing it below renames (σ(ρ(x)) =
+  /// ρ(σ'(x)) with the condition's attribute names translated).
+  StatusOr<PhysPtr> MakeFilter(const PhysPtr& in, const CondPtr& cond) {
+    if (in->op == PhysOp::kRename) {
+      std::map<std::string, std::string> to_old;
+      for (size_t i = 0; i < in->attrs.size(); ++i) {
+        to_old[in->attrs[i]] = in->left->attrs[i];
+      }
+      auto filtered = MakeFilter(in->left, RenameCondAttrs(cond, to_old));
+      if (!filtered.ok()) return filtered;
+      auto rename = std::make_shared<PhysNode>();
+      rename->op = PhysOp::kRename;
+      rename->attrs = in->attrs;
+      rename->left = *filtered;
+      return PhysPtr(rename);
+    }
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kFilterSel;
+    node->attrs = in->attrs;
+    node->left = in;
+    INCDB_RETURN_IF_ERROR(AttachCond(node.get(), cond, in->attrs));
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileJoinLike(const AlgPtr& lq, const AlgPtr& rq,
+                                    const CondPtr& cond,
+                                    const std::vector<std::string>* proj) {
+    auto l = CompileNode(lq);
+    if (!l.ok()) return l;
+    auto r = CompileNode(rq);
+    if (!r.ok()) return r;
+    return BuildJoin(*l, *r, cond, proj);
+  }
+
+  /// σ_cond(l × r), optionally projected at emit time — the join rewrite
+  /// pipeline: selection pushdown, conjunct split into hash keys,
+  /// OR-expansion. Also the re-entry point for OR-expansion branches,
+  /// which share the already-compiled inputs (the plan becomes a DAG).
+  StatusOr<PhysPtr> BuildJoin(PhysPtr l, PhysPtr r, const CondPtr& cond,
+                              const std::vector<std::string>* proj) {
+    auto joint = JointAttrs(l, r, "product");
+    if (!joint.ok()) return joint.status();
+
+    std::vector<CondPtr> conj;
+    Conjuncts(cond, &conj);
+
+    // Selection pushdown: conjuncts touching only one side filter that
+    // side below the join instead of every pair.
+    if (!for_ctables_ && opts_.enable_selection_pushdown) {
+      std::vector<CondPtr> lpush, rpush, keep;
+      for (const CondPtr& c : conj) {
+        if (CondWithin(c, l->attrs)) {
+          lpush.push_back(c);
+        } else if (CondWithin(c, r->attrs)) {
+          rpush.push_back(c);
+        } else {
+          keep.push_back(c);
+        }
+      }
+      if (!lpush.empty()) {
+        auto fl = MakeFilter(l, CAndAll(lpush));
+        if (!fl.ok()) return fl;
+        l = *fl;
+      }
+      if (!rpush.empty()) {
+        auto fr = MakeFilter(r, CAndAll(rpush));
+        if (!fr.ok()) return fr;
+        r = *fr;
+      }
+      if (!lpush.empty() || !rpush.empty()) conj = std::move(keep);
+    }
+
+    // Conjunct split: hashable equi-conjuncts vs residual.
+    std::vector<size_t> lkeys, rkeys;
+    std::vector<CondPtr> residual;
+    SplitEquiConjuncts(conj, l->attrs, r->attrs,
+                       !for_ctables_ && opts_.enable_hash_join, &lkeys, &rkeys,
+                       &residual);
+
+    // OR-expansion: a disjunctive join condition with no hashable
+    // top-level equality (the shape the Fig. 2(b) σ?-rule produces:
+    // a = b ∨ null(a) ∨ null(b)) would force a full nested loop. Under
+    // set semantics σ_{θ1∨θ2}(l×r) = σ_{θ1}(l×r) ∪ σ_{θ2}(l×r), and each
+    // disjunct is re-optimised with its own fast path. (Not valid under
+    // bags — rows satisfying both disjuncts would double-count.)
+    if (!for_ctables_ && opts_.enable_or_expansion && lkeys.empty() &&
+        residual.size() == 1 && residual[0]->kind == CondKind::kOr &&
+        set_semantics()) {
+      auto a = BuildJoin(l, r, residual[0]->left, proj);
+      if (!a.ok()) return a;
+      auto b = BuildJoin(l, r, residual[0]->right, proj);
+      if (!b.ok()) return b;
+      auto node = std::make_shared<PhysNode>();
+      node->op = PhysOp::kUnion;
+      node->attrs = (*a)->attrs;
+      node->left = *a;
+      node->right = *b;
+      return PhysPtr(node);
+    }
+
+    auto node = std::make_shared<PhysNode>();
+    node->op = lkeys.empty() ? PhysOp::kNLJoin : PhysOp::kHashJoin;
+    node->left = l;
+    node->right = r;
+    node->left_arity = l->attrs.size();
+    node->lkeys = std::move(lkeys);
+    node->rkeys = std::move(rkeys);
+    INCDB_RETURN_IF_ERROR(AttachCond(node.get(), CAndAll(residual), *joint));
+    if (proj != nullptr) {
+      node->fused_proj = true;
+      node->proj_left_only = true;
+      node->proj_right_only = true;
+      for (const std::string& a : *proj) {
+        size_t i = IndexOf(*joint, a);
+        if (i == joint->size()) {
+          return Status::NotFound("projection attribute " + a +
+                                  " not in join output");
+        }
+        node->proj_pos.push_back(i);
+        if (i < node->left_arity) {
+          node->proj_right_only = false;
+        } else {
+          node->proj_left_only = false;
+        }
+      }
+      node->attrs = *proj;
+    } else {
+      node->attrs = std::move(*joint);
+    }
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileSemiAnti(const AlgPtr& q, bool anti) {
+    if (for_ctables_) return CTableUnsupported();
+    auto l = CompileNode(q->left);
+    if (!l.ok()) return l;
+    auto r = CompileNode(q->right);
+    if (!r.ok()) return r;
+    auto joint = JointAttrs(*l, *r, "semijoin");
+    if (!joint.ok()) return joint.status();
+    // Split into equi-conjuncts usable for hashing and a residual
+    // predicate (always extracted: the EXISTS probe needs only *any*
+    // match, so hashing never loses multiplicities).
+    std::vector<CondPtr> conj;
+    Conjuncts(q->cond, &conj);
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kHashSemi;
+    node->anti = anti;
+    node->attrs = (*l)->attrs;
+    node->left = *l;
+    node->right = *r;
+    node->left_arity = (*l)->attrs.size();
+    std::vector<CondPtr> residual;
+    SplitEquiConjuncts(conj, (*l)->attrs, (*r)->attrs, /*extract=*/true,
+                       &node->lkeys, &node->rkeys, &residual);
+    node->trivial_residual = residual.empty();
+    INCDB_RETURN_IF_ERROR(AttachCond(node.get(), CAndAll(residual), *joint));
+    return PhysPtr(node);
+  }
+
+  StatusOr<PhysPtr> CompileInPredicate(const AlgPtr& q, bool negated) {
+    if (for_ctables_) return CTableUnsupported();
+    auto l = CompileNode(q->left);
+    if (!l.ok()) return l;
+    auto r = CompileNode(q->right);
+    if (!r.ok()) return r;
+    auto node = std::make_shared<PhysNode>();
+    node->op = PhysOp::kInPred;
+    node->anti = negated;
+    node->attrs = (*l)->attrs;
+    node->left = *l;
+    node->right = *r;
+    node->left_arity = (*l)->attrs.size();
+    for (const std::string& a : q->attrs) {
+      size_t i = IndexOf((*l)->attrs, a);
+      if (i == (*l)->attrs.size()) {
+        return Status::NotFound("IN: left column " + a + " not in input");
+      }
+      node->lpos.push_back(i);
+    }
+    for (const std::string& a : q->attrs2) {
+      size_t i = IndexOf((*r)->attrs, a);
+      if (i == (*r)->attrs.size()) {
+        return Status::NotFound("IN: right column " + a + " not in input");
+      }
+      node->rpos.push_back(i);
+    }
+    auto joint = JointAttrs(*l, *r, "IN");
+    if (!joint.ok()) return joint.status();
+    INCDB_RETURN_IF_ERROR(AttachCond(node.get(), q->cond, *joint));
+    node->correlated = q->cond->kind != CondKind::kTrue;
+    return PhysPtr(node);
+  }
+
+  EvalMode mode_;
+  EvalOptions opts_;
+  const Database& db_;
+  bool for_ctables_;
+};
+
+void CountEdges(const PhysPtr& n,
+                std::unordered_map<const PhysNode*, uint32_t>* refcount) {
+  uint32_t& c = (*refcount)[n.get()];
+  if (++c > 1) return;  // children already counted on the first visit
+  if (n->left) CountEdges(n->left, refcount);
+  if (n->right) CountEdges(n->right, refcount);
+}
+
+StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
+                              const EvalOptions& opts, const Database& db,
+                              bool for_ctables) {
+  Compiler compiler(mode, opts, db, for_ctables);
+  auto root = compiler.CompileNode(q);
+  if (!root.ok()) return root.status();
+  auto plan = std::make_shared<Plan>();
+  plan->root = *root;
+  plan->mode = mode;
+  plan->opts = opts;
+  CountEdges(plan->root, &plan->refcount);
+  return PlanPtr(plan);
+}
+
+void RenderNode(const PhysPtr& n, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  out->append(ToString(n->op));
+  if (n->op == PhysOp::kScanView) {
+    *out += "(" + n->rel_name + ")";
+  }
+  if (n->cond && n->cond->kind != CondKind::kTrue) {
+    *out += "[" + n->cond->ToString() + "]";
+  }
+  if (n->fused_proj || n->op == PhysOp::kProject ||
+      n->op == PhysOp::kFusedProjectFilter) {
+    *out += " π{";
+    for (size_t i = 0; i < n->attrs.size(); ++i) {
+      if (i) *out += ",";
+      *out += n->attrs[i];
+    }
+    *out += "}";
+  }
+  *out += "\n";
+  if (n->left) RenderNode(n->left, depth + 1, out);
+  if (n->right) RenderNode(n->right, depth + 1, out);
+}
+
+}  // namespace
+
+StatusOr<PlanPtr> Compile(const AlgPtr& q, EvalMode mode,
+                          const EvalOptions& opts, const Database& db) {
+  return CompileImpl(q, mode, opts, db, /*for_ctables=*/false);
+}
+
+StatusOr<PlanPtr> CompileForCTables(const AlgPtr& q, const Database& db) {
+  return CompileImpl(q, EvalMode::kSetNaive, EvalOptions{}, db,
+                     /*for_ctables=*/true);
+}
+
+size_t CountOps(const Plan& plan, PhysOp op) {
+  size_t count = 0;
+  std::unordered_set<const PhysNode*> seen;
+  std::vector<const PhysNode*> stack = {plan.root.get()};
+  while (!stack.empty()) {
+    const PhysNode* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (n->op == op) ++count;
+    if (n->left) stack.push_back(n->left.get());
+    if (n->right) stack.push_back(n->right.get());
+  }
+  return count;
+}
+
+std::string PlanToString(const Plan& plan) {
+  std::string out;
+  RenderNode(plan.root, 0, &out);
+  return out;
+}
+
+}  // namespace incdb

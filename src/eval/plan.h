@@ -1,0 +1,174 @@
+#ifndef INCDB_EVAL_PLAN_H_
+#define INCDB_EVAL_PLAN_H_
+
+/// \file plan.h
+/// \brief The physical-plan layer: compile once, execute many times.
+///
+/// Evaluation is split into two phases:
+///
+///  1. Compile(query, mode, options, db) lowers the relational-algebra tree
+///     into a DAG of *typed physical operators* and runs the rewrite
+///     passes that the tree-walking evaluator used to re-derive on every
+///     call:
+///       * conjunct split — top-level equality conjuncts of a join
+///         condition become hash-join keys (enable_hash_join);
+///       * selection pushdown — one-sided conjuncts move below the join,
+///         through products and renames (enable_selection_pushdown);
+///       * projection fusion — π over a join-shaped child projects at emit
+///         time; π over a plain σ becomes a FusedProjectFilter
+///         (enable_projection_fusion);
+///       * OR-expansion — a disjunctive join condition with no hashable
+///         equality becomes a union of per-disjunct joins under set
+///         semantics, each branch re-optimised (enable_or_expansion).
+///     The database is consulted for *schemas only*: a compiled plan can be
+///     executed against any database with the same relation schemas.
+///
+///  2. Execute(plan, db) runs the operators. Leaf scans return a borrowed
+///     RelationView over the database's flat rows (no copy); the hash join
+///     optionally partitions build and probe by key-hash prefix across a
+///     small thread pool (EvalOptions::num_threads).
+///
+/// EvalSet / EvalBag / EvalSql (eval/eval.h) are thin compile+execute
+/// wrappers over this layer; the c-table evaluator (ctables/ceval.cpp)
+/// walks plans produced by CompileForCTables, and the FO evaluator
+/// (logic/fo_eval.cpp) shares ScanResolver for copy-free scans.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+#include "eval/eval.h"
+
+namespace incdb {
+
+/// The three evaluation disciplines of the paper (see eval/eval.h).
+enum class EvalMode : uint8_t { kSetNaive, kBagNaive, kSetSql };
+
+/// Typed physical operators.
+enum class PhysOp : uint8_t {
+  kScanView,           ///< Borrowed view of a base relation.
+  kFilterSel,          ///< σ with a compiled predicate.
+  kFusedProjectFilter, ///< π(σ(child)) in one pass, projecting at emit time.
+  kProject,            ///< Materialising projection.
+  kRename,             ///< Attribute replacement (copy-free on views).
+  kHashJoin,           ///< Equi hash join + residual predicate.
+  kNLJoin,             ///< Nested-loop join / product with predicate.
+  kUnion,              ///< Bag union; collapsed under set semantics.
+  kHashDiff,           ///< Difference (hash under naive/bag, NOT-IN 3VL under SQL).
+  kHashIntersect,      ///< Intersection (hash; IN 3VL under SQL).
+  kDivision,           ///< Q1 ÷ Q2.
+  kUnifySemiJoin,      ///< ⋉⇑ with the null-mask unifiability index.
+  kHashSemi,           ///< Semijoin / antijoin (EXISTS-style, hashed keys).
+  kInPred,             ///< SQL [NOT] IN predicate.
+  kDom,                ///< Dom^k over the active domain.
+  kDistinct,           ///< Multiplicity collapse.
+};
+
+const char* ToString(PhysOp op);
+
+struct PhysNode;
+using PhysPtr = std::shared_ptr<const PhysNode>;
+
+/// \brief One physical operator with statically resolved schema, attribute
+/// positions and compiled predicates. Nodes are immutable and may be shared
+/// (OR-expansion branches share their compiled inputs, forming a DAG).
+struct PhysNode {
+  PhysOp op;
+  std::vector<std::string> attrs;  ///< Output schema.
+
+  std::string rel_name;            ///< kScanView.
+  CondPtr cond;                    ///< Filter / join residual / kInPred θ.
+  /// `cond` compiled against the operator's input schema (the joint schema
+  /// for join-like operators). Pure and re-entrant: safe to call from the
+  /// join pool's worker threads.
+  std::function<TV3(const Tuple&)> pred;
+
+  std::vector<size_t> proj_pos;    ///< kProject / kFusedProjectFilter / fused join projection.
+  bool fused_proj = false;         ///< Join nodes: proj_pos is active.
+  bool proj_left_only = false;     ///< Fused projection touches only left columns.
+  bool proj_right_only = false;    ///< Fused projection touches only right columns.
+  size_t left_arity = 0;           ///< Join-like nodes: arity of the left input.
+
+  std::vector<size_t> lkeys, rkeys;  ///< kHashJoin / kHashSemi key positions.
+  bool anti = false;               ///< kHashSemi: antijoin; kInPred: NOT IN.
+  bool trivial_residual = false;   ///< kHashSemi: no residual predicate.
+  bool correlated = false;         ///< kInPred: θ references both sides.
+  std::vector<size_t> lpos, rpos;  ///< kInPred compare columns.
+  std::vector<size_t> keep_pos, div_l, div_r;  ///< kDivision alignment.
+
+  size_t dom_arity = 0;            ///< kDom.
+  std::vector<Value> dom_extra;    ///< kDom.
+
+  PhysPtr left, right;
+};
+
+/// \brief A compiled plan: the operator DAG plus everything Execute needs.
+struct Plan {
+  PhysPtr root;
+  EvalMode mode;
+  EvalOptions opts;
+  /// Parent-edge counts; nodes referenced more than once (OR-expansion
+  /// sharing) are memoised during execution.
+  std::unordered_map<const PhysNode*, uint32_t> refcount;
+};
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Lowers `q` into a physical plan for the given mode, running the rewrite
+/// passes enabled in `opts`. The database provides relation schemas only;
+/// no data is read. Compilation performs all schema validation (unknown
+/// relations/attributes, arity mismatches, product disjointness), so
+/// Execute only surfaces data-dependent errors (resource budgets).
+StatusOr<PlanPtr> Compile(const AlgPtr& q, EvalMode mode,
+                          const EvalOptions& opts, const Database& db);
+
+/// Pure 1:1 lowering with every rewrite pass off and σ/π kept as separate
+/// operators — the plan shape the c-table evaluator interprets (hash joins
+/// are unsound over c-tables: a null join key is a *condition*, not a
+/// mismatch).
+StatusOr<PlanPtr> CompileForCTables(const AlgPtr& q, const Database& db);
+
+/// Runs a compiled plan against `db` (which must match the schemas the
+/// plan was compiled against).
+StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db);
+
+/// Number of operators of the given kind in the plan DAG (shared nodes
+/// counted once) — used by plan-shape tests and the compile benchmarks.
+size_t CountOps(const Plan& plan, PhysOp op);
+
+/// Multi-line indented rendering of the operator DAG for debugging and
+/// plan-shape assertions.
+std::string PlanToString(const Plan& plan);
+
+/// \brief Shared scan resolution: borrowed views of base relations.
+///
+/// Under set semantics a scan of a non-set base relation needs a one-off
+/// multiplicity collapse; ScanResolver materialises that copy at most once
+/// per relation and otherwise borrows the database's rows in place. Used
+/// by the plan executor and the FO evaluator (logic/fo_eval.cpp), whose
+/// atom scans re-resolve inside quantifier loops.
+class ScanResolver {
+ public:
+  explicit ScanResolver(const Database& db) : db_(&db) {}
+
+  /// A view of relation `name`; with `collapse_to_set`, every multiplicity
+  /// is 1 (borrowed whenever the stored relation is already a set).
+  StatusOr<RelationView> Resolve(const std::string& name, bool collapse_to_set);
+
+ private:
+  const Database* db_;
+  /// Per-relation resolution cache: null ⇒ borrow the stored relation
+  /// (already a set), else the lazily materialised collapsed copy. The
+  /// IsSet() row scan runs once per name, not once per resolution.
+  std::map<std::string, std::unique_ptr<Relation>> collapsed_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_EVAL_PLAN_H_

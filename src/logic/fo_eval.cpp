@@ -3,6 +3,7 @@
 #include <cassert>
 #include <map>
 
+#include "eval/plan.h"
 #include "logic/kleene.h"
 
 namespace incdb {
@@ -59,21 +60,20 @@ TV3 AtomSemEval(const Relation& rel, const Tuple& args, AtomSem sem) {
 class FOEvaluator {
  public:
   FOEvaluator(const Database& db, const MixedSemantics& sem)
-      : db_(db), sem_(sem) {
+      : sem_(sem), scans_(db) {
     for (const Value& v : db.ActiveDomain()) domain_.push_back(v);
   }
 
   StatusOr<TV3> Eval(const FormulaPtr& f, Assignment& a) {
     switch (f->kind) {
       case FKind::kAtom: {
-        // Atoms re-evaluate inside quantifier loops: cache the
-        // set-collapsed relation per name instead of copying it each time.
-        if (!db_.Has(f->rel)) {
-          return Status::NotFound("no relation named " + f->rel);
-        }
-        auto [cached, inserted] = set_cache_.try_emplace(f->rel);
-        if (inserted) cached->second = db_.at(f->rel).ToSet();
-        const Relation& rel = cached->second;
+        // Atoms re-evaluate inside quantifier loops: resolve the scan via
+        // the executor's shared ScanResolver, which borrows set base
+        // relations in place and materialises a collapsed copy at most
+        // once otherwise.
+        auto view = scans_.Resolve(f->rel, /*collapse_to_set=*/true);
+        if (!view.ok()) return view.status();
+        const Relation& rel = view->rel();
         if (rel.arity() != f->terms.size()) {
           return Status::InvalidArgument("atom arity mismatch for " + f->rel);
         }
@@ -167,10 +167,9 @@ class FOEvaluator {
     }
   }
 
-  const Database& db_;
   MixedSemantics sem_;
+  ScanResolver scans_;  // shared with the plan executor: copy-free scans
   std::vector<Value> domain_;
-  std::map<std::string, Relation> set_cache_;  // set-collapsed scans
 };
 
 }  // namespace
@@ -198,8 +197,10 @@ StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
                                          const MixedSemantics& sem,
                                          TV3 tau) {
   std::vector<std::string> vars = FreeVariables(f);
-  std::vector<Value> domain;
-  for (const Value& v : db.ActiveDomain()) domain.push_back(v);
+  // One evaluator for the whole assignment sweep: the scan views and the
+  // domain are resolved once, not once per assignment.
+  FOEvaluator ev(db, sem);
+  const std::vector<Value>& domain = ev.domain();
 
   Relation out(vars.empty() ? std::vector<std::string>{}
                             : std::vector<std::string>(vars.begin(),
@@ -207,7 +208,7 @@ StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
   Assignment a;
   // Iterate over all |domain|^|vars| assignments.
   if (vars.empty()) {
-    auto tv = EvalFO(f, db, a, sem);
+    auto tv = ev.Eval(f, a);
     if (!tv.ok()) return tv.status();
     if (*tv == tau) INCDB_RETURN_IF_ERROR(out.Insert(Tuple{}, 1));
     return out;
@@ -220,7 +221,7 @@ StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
       a[vars[i]] = domain[idx[i]];
       t.Append(domain[idx[i]]);
     }
-    auto tv = EvalFO(f, db, a, sem);
+    auto tv = ev.Eval(f, a);
     if (!tv.ok()) return tv.status();
     if (*tv == tau) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
     size_t pos = vars.size();

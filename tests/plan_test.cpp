@@ -1,0 +1,319 @@
+// Tests for the physical-plan layer (src/eval/plan.h): every rewrite pass
+// on/off must produce identical relations across all three evaluation
+// modes on the desugar/chase corpus; compiled plans have the expected
+// shape (a conjunctive query joins with exactly one HashJoin and no
+// NLJoin); leaf scans borrow the database rows instead of copying; and the
+// parallel partitioned hash join agrees with the sequential one.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algebra/builder.h"
+#include "eval/eval.h"
+#include "eval/plan.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+using testing_util::FigureOne;
+using testing_util::QueryZoo;
+using testing_util::RandomDatabase;
+
+/// The corpus the optimizer must be invisible on: the sugar-free QueryZoo,
+/// the sugared desugar-corpus shapes, and ⋉⇑ (the unify-index pass's only
+/// consumer), all over the RandomDatabase schema.
+std::vector<AlgPtr> OptimizerCorpus() {
+  std::vector<AlgPtr> corpus = QueryZoo();
+  AlgPtr r = Scan("R");
+  AlgPtr s = Scan("S");
+  AlgPtr t = Scan("T");
+  corpus.push_back(Join(r, s, CEq("R_b", "S_a")));
+  corpus.push_back(Semijoin(r, s, CEq("R_a", "S_a")));
+  corpus.push_back(Antijoin(r, s, CEq("R_a", "S_a")));
+  corpus.push_back(InPredicate(Project(r, {"R_a"}), t, {"R_a"}, {"T_a"},
+                               CTrue()));
+  corpus.push_back(NotInPredicate(Project(r, {"R_a"}), t, {"R_a"}, {"T_a"},
+                                  CTrue()));
+  corpus.push_back(AntijoinUnify(r, s));
+  corpus.push_back(Distinct(Project(r, {"R_a"})));
+  // Join with a one-sided conjunct (exercises selection pushdown) and a
+  // disjunctive join condition (exercises OR-expansion).
+  corpus.push_back(Select(Product(r, Rename(s, {"S_x", "S_y"})),
+                          CAnd(CEq("R_b", "S_x"),
+                               CNeqc("R_a", Value::Int(1)))));
+  corpus.push_back(Project(
+      Select(Product(r, Rename(s, {"S_x", "S_y"})),
+             COr(CEq("R_b", "S_x"), CIsNull("S_y"))),
+      {"R_a", "S_y"}));
+  return corpus;
+}
+
+std::vector<std::pair<const char*, EvalOptions>> ToggleConfigs() {
+  std::vector<std::pair<const char*, EvalOptions>> configs;
+  EvalOptions base;
+  configs.push_back({"all passes", base});
+  {
+    EvalOptions o = base;
+    o.enable_hash_join = false;
+    configs.push_back({"- hash join", o});
+  }
+  {
+    EvalOptions o = base;
+    o.enable_or_expansion = false;
+    configs.push_back({"- OR-expansion", o});
+  }
+  {
+    EvalOptions o = base;
+    o.enable_projection_fusion = false;
+    configs.push_back({"- projection fusion", o});
+  }
+  {
+    EvalOptions o = base;
+    o.enable_unify_index = false;
+    configs.push_back({"- unify index", o});
+  }
+  {
+    EvalOptions o = base;
+    o.enable_selection_pushdown = false;
+    configs.push_back({"- selection pushdown", o});
+  }
+  {
+    EvalOptions o = base;
+    o.enable_hash_join = false;
+    o.enable_or_expansion = false;
+    o.enable_projection_fusion = false;
+    o.enable_unify_index = false;
+    o.enable_selection_pushdown = false;
+    configs.push_back({"no passes", o});
+  }
+  return configs;
+}
+
+TEST(PlanPassesTest, EveryToggleConfigProducesIdenticalRelations) {
+  using Evaluator =
+      StatusOr<Relation> (*)(const AlgPtr&, const Database&,
+                             const EvalOptions&);
+  std::vector<std::pair<const char*, Evaluator>> modes = {
+      {"set", &EvalSet}, {"bag", &EvalBag}, {"sql", &EvalSql}};
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 5; ++round) {
+    Database db = RandomDatabase(rng);
+    for (const AlgPtr& q : OptimizerCorpus()) {
+      for (const auto& [mode_name, eval] : modes) {
+        auto reference = eval(q, db, EvalOptions{});
+        ASSERT_TRUE(reference.ok())
+            << mode_name << " " << q->ToString() << ": "
+            << reference.status().ToString();
+        for (const auto& [cfg_name, opts] : ToggleConfigs()) {
+          auto res = eval(q, db, opts);
+          ASSERT_TRUE(res.ok()) << mode_name << "/" << cfg_name << " "
+                                << q->ToString();
+          EXPECT_TRUE(reference->SameRows(*res))
+              << mode_name << "/" << cfg_name << " " << q->ToString() << ": "
+              << reference->ToString() << " vs " << res->ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanPassesTest, FigureOneQueriesStableUnderToggles) {
+  for (bool with_null : {false, true}) {
+    Database db = FigureOne(with_null);
+    AlgPtr unpaid = NotInPredicate(
+        Project(Scan("Orders"), {"oid"}),
+        Rename(Project(Scan("Payments"), {"oid"}), {"poid"}), {"oid"},
+        {"poid"}, CTrue());
+    for (const auto& [cfg_name, opts] : ToggleConfigs()) {
+      auto sql_ref = EvalSql(unpaid, db);
+      auto sql = EvalSql(unpaid, db, opts);
+      ASSERT_TRUE(sql_ref.ok() && sql.ok()) << cfg_name;
+      EXPECT_TRUE(sql_ref->SameRows(*sql)) << cfg_name;
+    }
+  }
+}
+
+TEST(PlanShapeTest, ConjunctiveQueryUsesExactlyOneHashJoin) {
+  std::mt19937_64 rng(3);
+  Database db = RandomDatabase(rng);
+  // π(σ_{R_b = S_a}(R × S)) — the canonical conjunctive join query.
+  AlgPtr q = Project(Select(Product(Scan("R"), Scan("S")), CEq("R_b", "S_a")),
+                     {"R_a", "S_b"});
+  auto plan = Compile(q, EvalMode::kSetNaive, EvalOptions{}, db);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(CountOps(**plan, PhysOp::kHashJoin), 1u)
+      << PlanToString(**plan);
+  EXPECT_EQ(CountOps(**plan, PhysOp::kNLJoin), 0u) << PlanToString(**plan);
+  // The fused projection lives on the join: no separate Project operator.
+  EXPECT_EQ(CountOps(**plan, PhysOp::kProject), 0u) << PlanToString(**plan);
+
+  // With the hash-join pass off, the same query falls back to NLJoin.
+  EvalOptions no_hash;
+  no_hash.enable_hash_join = false;
+  auto nl = Compile(q, EvalMode::kSetNaive, no_hash, db);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(CountOps(**nl, PhysOp::kHashJoin), 0u);
+  EXPECT_EQ(CountOps(**nl, PhysOp::kNLJoin), 1u);
+}
+
+TEST(PlanShapeTest, PushdownMovesOneSidedConjunctBelowJoin) {
+  std::mt19937_64 rng(4);
+  Database db = RandomDatabase(rng);
+  AlgPtr q = Select(Product(Scan("R"), Scan("S")),
+                    CAnd(CEq("R_b", "S_a"), CEqc("R_a", Value::Int(0))));
+  auto plan = Compile(q, EvalMode::kSetNaive, EvalOptions{}, db);
+  ASSERT_TRUE(plan.ok());
+  // R_a = 0 filters the R scan below the hash join.
+  EXPECT_EQ(CountOps(**plan, PhysOp::kFilterSel), 1u) << PlanToString(**plan);
+  EXPECT_EQ(CountOps(**plan, PhysOp::kHashJoin), 1u) << PlanToString(**plan);
+
+  EvalOptions no_push;
+  no_push.enable_selection_pushdown = false;
+  auto kept = Compile(q, EvalMode::kSetNaive, no_push, db);
+  ASSERT_TRUE(kept.ok());
+  // The conjunct stays in the join residual: no filter operator at all.
+  EXPECT_EQ(CountOps(**kept, PhysOp::kFilterSel), 0u) << PlanToString(**kept);
+}
+
+TEST(PlanShapeTest, OrExpansionSharesCompiledInputs) {
+  std::mt19937_64 rng(5);
+  Database db = RandomDatabase(rng);
+  AlgPtr q = Select(Product(Scan("R"), Rename(Scan("S"), {"S_x", "S_y"})),
+                    COr(CEq("R_a", "S_x"), CEq("R_b", "S_y")));
+  auto plan = Compile(q, EvalMode::kSetNaive, EvalOptions{}, db);
+  ASSERT_TRUE(plan.ok());
+  // Each disjunct is an equality: both branches hash-join, merged by one
+  // union, over *shared* scan subtrees (the plan is a DAG).
+  EXPECT_EQ(CountOps(**plan, PhysOp::kUnion), 1u) << PlanToString(**plan);
+  EXPECT_EQ(CountOps(**plan, PhysOp::kHashJoin), 2u) << PlanToString(**plan);
+  EXPECT_EQ(CountOps(**plan, PhysOp::kScanView), 2u) << PlanToString(**plan);
+  bool has_shared = false;
+  for (const auto& [node, count] : (*plan)->refcount) {
+    (void)node;
+    if (count > 1) has_shared = true;
+  }
+  EXPECT_TRUE(has_shared);
+}
+
+TEST(PlanExecTest, CompileOnceExecuteManyAcrossDatabases) {
+  std::mt19937_64 rng(6);
+  Database db1 = RandomDatabase(rng);
+  Database db2 = RandomDatabase(rng);  // same schema, different rows
+  AlgPtr q = Project(Select(Product(Scan("R"), Scan("S")), CEq("R_b", "S_a")),
+                     {"R_a", "S_b"});
+  auto plan = Compile(q, EvalMode::kSetNaive, EvalOptions{}, db1);
+  ASSERT_TRUE(plan.ok());
+  for (const Database* db : {&db1, &db2}) {
+    auto via_plan = Execute(*plan, *db);
+    auto direct = EvalSet(q, *db);
+    ASSERT_TRUE(via_plan.ok() && direct.ok());
+    EXPECT_TRUE(via_plan->SameRows(*direct));
+  }
+}
+
+TEST(PlanExecTest, ScansAreBorrowedViews) {
+  std::mt19937_64 rng(7);
+  Database db = RandomDatabase(rng);  // RandomDatabase stores sets
+  ScanResolver resolver(db);
+  auto view = resolver.Resolve("R", /*collapse_to_set=*/true);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->borrowed());
+  EXPECT_EQ(&view->rel(), &db.at("R"));  // zero-copy: the same object
+
+  // A non-set relation under set collapse materialises once and is then
+  // served from the cache.
+  Relation bag({"x"});
+  bag.Add({Value::Int(1)}, 3);
+  db.Put("B", bag);
+  auto b1 = resolver.Resolve("B", true);
+  auto b2 = resolver.Resolve("B", true);
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  EXPECT_NE(&b1->rel(), &db.at("B"));
+  EXPECT_EQ(&b1->rel(), &b2->rel());  // cached copy is shared
+  EXPECT_TRUE(b1->rel().IsSet());
+  // Under bag semantics the same relation is borrowed untouched.
+  auto braw = resolver.Resolve("B", false);
+  ASSERT_TRUE(braw.ok());
+  EXPECT_EQ(&braw->rel(), &db.at("B"));
+}
+
+TEST(PlanExecTest, RelationViewOwnBorrowRenameMaterialize) {
+  Relation r({"a", "b"});
+  r.Add({Value::Int(1), Value::Int(2)});
+  RelationView borrowed = RelationView::Borrow(r);
+  EXPECT_TRUE(borrowed.borrowed());
+  RelationView renamed = borrowed.Renamed({"x", "y"});
+  EXPECT_EQ(renamed.attrs(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(&renamed.rel(), &r);  // still zero-copy
+  Relation materialized = std::move(renamed).Materialize();
+  EXPECT_EQ(materialized.attrs(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(materialized.SameRows(r));
+
+  RelationView owned = RelationView::Own(std::move(r));
+  EXPECT_FALSE(owned.borrowed());
+  Relation back = std::move(owned).Materialize();
+  EXPECT_EQ(back.Count(Tuple{Value::Int(1), Value::Int(2)}), 1u);
+}
+
+TEST(PlanExecTest, ParallelHashJoinMatchesSequential) {
+  // Big enough to cross the parallel threshold; includes nulls so the
+  // SQL-mode null-key skipping is exercised too.
+  std::mt19937_64 rng(8);
+  Database db;
+  Relation l({"a", "b"}), r({"c", "d"});
+  for (int i = 0; i < 1500; ++i) {
+    l.Add({Value::Int(static_cast<int64_t>(rng() % 200)),
+           Value::Int(static_cast<int64_t>(i))});
+    if (i % 97 == 0) {
+      r.Add({Value::Null(i), Value::Int(static_cast<int64_t>(rng() % 200))});
+    } else {
+      r.Add({Value::Int(static_cast<int64_t>(i)),
+             Value::Int(static_cast<int64_t>(rng() % 200))});
+    }
+  }
+  db.Put("L", l);
+  db.Put("Rr", r);
+  AlgPtr join = Join(Scan("L"), Scan("Rr"), CEq("b", "c"));
+  AlgPtr fused = Project(Select(Product(Scan("L"), Scan("Rr")),
+                                CEq("b", "c")),
+                         {"a", "d"});
+  for (const AlgPtr& q : {join, fused}) {
+    for (auto eval : {&EvalSet, &EvalBag, &EvalSql}) {
+      EvalOptions seq;
+      auto ref = (*eval)(q, db, seq);
+      ASSERT_TRUE(ref.ok());
+      for (size_t threads : {2, 4}) {
+        EvalOptions par;
+        par.num_threads = threads;
+        auto res = (*eval)(q, db, par);
+        ASSERT_TRUE(res.ok());
+        EXPECT_TRUE(ref->SameRows(*res))
+            << q->ToString() << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(PlanExecTest, ParallelJoinHonoursBudget) {
+  Database db;
+  Relation l({"a", "k"}), r({"k2", "b"});
+  for (int i = 0; i < 1200; ++i) {
+    l.Add({Value::Int(i), Value::Int(i % 8)});
+    r.Add({Value::Int(i % 8), Value::Int(i)});
+  }
+  db.Put("L", l);
+  db.Put("Rr", r);
+  // 8 distinct keys with 150 rows per side each: 180000 distinct pairs,
+  // far beyond the budget — every partition must abort promptly.
+  EvalOptions opts;
+  opts.num_threads = 4;
+  opts.max_tuples = 10;
+  auto res = EvalSet(Join(Scan("L"), Scan("Rr"), CEq("k", "k2")), db, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace incdb
