@@ -105,6 +105,14 @@ class Relation {
   /// Set-equality (ignores attribute names, compares tuple bags).
   bool SameRows(const Relation& other) const;
 
+  /// Row-for-row identity: same attribute names and the same rows with the
+  /// same multiplicities in the same insertion order. Stronger than
+  /// SameRows — this is what the chunk-partitioned parallel operators'
+  /// canonical merge promises against the sequential path.
+  bool IdenticalTo(const Relation& other) const {
+    return attrs_ == other.attrs_ && rows_ == other.rows_;
+  }
+
   /// All tuples of `this` form a subset (with multiplicities) of `other`.
   bool SubBagOf(const Relation& other) const;
 

@@ -37,6 +37,12 @@
 
 namespace incdb {
 
+/// Hard ceiling on EvalOptions::num_threads: requests beyond this are
+/// clamped at plan-compile time (the partition count drives per-partition
+/// bookkeeping allocations, so an absurd request must not be taken
+/// literally).
+inline constexpr size_t kMaxEvalThreads = 64;
+
 /// Resource limits and optimizer toggles for an evaluation.
 /// Each enable_* toggle switches one rewrite pass of the plan compiler
 /// (eval/plan.h) on or off; they exist for the ablation study
@@ -59,12 +65,27 @@ struct EvalOptions {
   /// One-sided filter conjuncts of a join condition move below the join
   /// (through products and renames) at plan-compile time.
   bool enable_selection_pushdown = true;
-  /// Worker threads for the partitioned hash-join build/probe. 1 keeps the
-  /// exact single-threaded insertion order; >1 partitions both sides by
-  /// key-hash prefix, joins partitions on a small thread pool and merges
-  /// the outputs in partition order (deterministic for a fixed thread
-  /// count, and always the same *relation*).
+  /// Worker threads for the partitioned physical operators (hash join,
+  /// nested-loop join, difference/NOT-IN, ⋉⇑). 1 keeps the exact
+  /// single-threaded insertion order; >1 splits the work across a small
+  /// thread pool and merges the outputs in partition order — always the
+  /// same *relation* at any thread count, and for the chunk-partitioned
+  /// operators (NL join, difference, ⋉⇑) the exact sequential row order
+  /// too. Validated at plan-compile time: 0 means "use
+  /// hardware_concurrency()", values above kMaxEvalThreads are clamped
+  /// (see ResolveNumThreads in eval/plan.h).
   size_t num_threads = 1;
+  /// Minimum input size (rows, operator-specific: build+probe for the hash
+  /// join, left×right pairs for the NL join, left+right rows for
+  /// difference and ⋉⇑) before a parallel operator actually splits work
+  /// across the pool — below it, threading overhead dominates. Tests set
+  /// this to 0 to force the parallel paths on tiny inputs.
+  size_t parallel_min_rows = 1024;
+  /// Serve EvalSet/EvalBag/EvalSql compilations from the process-wide
+  /// query-identity plan cache (eval/plan_cache.h) instead of recompiling
+  /// per call. Never changes results — the cache key covers the query
+  /// structure, mode, every option above and the scanned schemas.
+  bool use_plan_cache = true;
 };
 
 /// Naive evaluation under set semantics (treat nulls as fresh constants).

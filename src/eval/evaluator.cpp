@@ -1,12 +1,14 @@
 // The three public evaluators (eval/eval.h) as thin wrappers over the
-// physical-plan layer: compile the algebra tree once (eval/plan.cpp), run
-// it (eval/exec.cpp). Callers that re-evaluate one query can call
-// Compile() + Execute() themselves and skip the per-call compilation.
+// physical-plan layer: look the compiled plan up in the process-wide
+// query-identity cache (eval/plan_cache.h) — compiling on the first
+// encounter only — then run it (eval/exec.cpp). Callers that want manual
+// control can call Compile()/CompileCached() + Execute() themselves.
 
 #include <cassert>
 
 #include "eval/eval.h"
 #include "eval/plan.h"
+#include "eval/plan_cache.h"
 
 namespace incdb {
 
@@ -27,7 +29,9 @@ namespace {
 
 StatusOr<Relation> CompileAndRun(const AlgPtr& q, EvalMode mode,
                                  const EvalOptions& opts, const Database& db) {
-  auto plan = Compile(q, mode, opts, db);
+  auto plan = opts.use_plan_cache
+                  ? PlanCache::Global().CompileCached(q, mode, opts, db)
+                  : Compile(q, mode, opts, db);
   if (!plan.ok()) return plan.status();
   return Execute(*plan, db);
 }

@@ -1,11 +1,16 @@
 // Physical-plan executor (see eval/plan.h for the layer contract).
 //
 // Operators exchange RelationViews: leaf scans borrow the database rows in
-// place, everything that materialises owns its output. The hash join can
-// partition build and probe by key-hash prefix across a process-wide
-// worker pool (EvalOptions::num_threads); partition outputs are merged in
-// partition-index order, so a run is deterministic for a fixed thread
-// count and always yields the same *relation* as the sequential path.
+// place, everything that materialises owns its output. The partitioned
+// operators split work across a process-wide worker pool
+// (EvalOptions::num_threads) in two flavours:
+//
+//  * the hash join partitions build and probe by key-hash prefix and
+//    merges partition outputs in partition-index order — deterministic for
+//    a fixed thread count and always the same *relation* as sequential;
+//  * nested-loop join, difference/NOT-IN and ⋉⇑ split the *left* rows into
+//    contiguous chunks and merge chunk outputs in chunk order, which
+//    reproduces the exact sequential insertion order at any thread count.
 
 #include <algorithm>
 #include <atomic>
@@ -19,6 +24,7 @@
 
 #include "eval/eval.h"
 #include "eval/plan.h"
+#include "eval/unify_index.h"
 
 namespace incdb {
 
@@ -46,16 +52,17 @@ StatusOr<RelationView> ScanResolver::Resolve(const std::string& name,
 
 namespace {
 
-/// \brief Process-wide worker pool for partitioned hash joins.
+/// \brief Process-wide worker pool for the partitioned operators (hash
+/// join, nested-loop join, difference/NOT-IN, ⋉⇑).
 ///
 /// Workers are spawned lazily up to the largest num_threads ever requested
 /// (capped) and persist for the process lifetime, so repeated evaluations
 /// pay no thread-spawn cost. The calling thread participates in every
 /// batch; tasks never enqueue tasks, so the pool cannot deadlock.
-class JoinPool {
+class ExecPool {
  public:
-  static JoinPool& Get() {
-    static JoinPool* pool = new JoinPool();  // leaked: workers never join
+  static ExecPool& Get() {
+    static ExecPool* pool = new ExecPool();  // leaked: workers never join
     return *pool;
   }
 
@@ -76,7 +83,7 @@ class JoinPool {
     {
       std::lock_guard<std::mutex> lk(mu_);
       while (n_workers_ < helpers) {
-        std::thread(&JoinPool::WorkerLoop, this).detach();
+        std::thread(&ExecPool::WorkerLoop, this).detach();
         ++n_workers_;
       }
       current_ = batch;
@@ -135,69 +142,6 @@ class JoinPool {
   size_t n_workers_ = 0;
 };
 
-/// Index over the right side of a ⋉⇑ for fast unifiability probes.
-/// Tuples are grouped by their null-position mask; within a group they are
-/// hashed on the projection onto the constant positions. An all-constant
-/// probe tuple then touches only one bucket per mask; probes containing
-/// nulls fall back to a scan. Candidates are always re-verified with
-/// Unifiable() (repeated marked nulls add constraints the index ignores).
-/// The index references the indexed rows in place — it copies no tuples
-/// and must not outlive the viewed relation.
-class UnifyIndex {
- public:
-  UnifyIndex(const std::vector<Relation::Row>& rows, size_t arity,
-             bool use_index)
-      : use_index_(use_index && arity < 64) {
-    all_.reserve(rows.size());
-    for (const auto& [t, c] : rows) {
-      all_.push_back(&t);
-      if (!use_index_) continue;
-      uint64_t mask = 0;
-      for (size_t i = 0; i < t.arity(); ++i) {
-        if (t[i].is_null()) mask |= (1ULL << i);
-      }
-      Tuple key;
-      ConstProjectionInto(t, mask, &key);
-      groups_[mask][std::move(key)].push_back(&t);
-    }
-  }
-
-  bool AnyUnifiable(const Tuple& probe) {
-    if (!use_index_ || probe.HasNull()) {
-      for (const Tuple* t : all_) {
-        if (Unifiable(probe, *t)) return true;
-      }
-      return false;
-    }
-    for (const auto& [mask, buckets] : groups_) {
-      ConstProjectionInto(probe, mask, &key_scratch_);
-      auto it = buckets.find(key_scratch_);
-      if (it == buckets.end()) continue;
-      for (const Tuple* t : it->second) {
-        if (Unifiable(probe, *t)) return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  static void ConstProjectionInto(const Tuple& t, uint64_t null_mask,
-                                  Tuple* out) {
-    out->Clear();
-    out->Reserve(t.arity());
-    for (size_t i = 0; i < t.arity(); ++i) {
-      if (!(null_mask & (1ULL << i))) out->Append(t[i]);
-    }
-  }
-
-  bool use_index_ = true;
-  std::vector<const Tuple*> all_;
-  std::unordered_map<uint64_t,
-                     std::unordered_map<Tuple, std::vector<const Tuple*>>>
-      groups_;
-  Tuple key_scratch_;
-};
-
 class Executor {
  public:
   Executor(const Plan& plan, const Database& db)
@@ -221,6 +165,86 @@ class Executor {
           std::to_string(plan_.opts.max_tuples));
     }
     return Status::OK();
+  }
+
+  /// True when this operator should split `left_rows` input rows across
+  /// the pool (`weight` is the operator's work estimate against
+  /// EvalOptions::parallel_min_rows).
+  bool UseChunkParallelism(size_t left_rows, size_t weight) const {
+    return plan_.opts.num_threads > 1 && left_rows >= 2 &&
+           weight >= plan_.opts.parallel_min_rows;
+  }
+
+  /// Runs fn(0) .. fn(P-1) on the pool. The partition count P is the
+  /// determinism contract; the worker count is an execution resource,
+  /// capped at the hardware parallelism (waking helpers a single-core box
+  /// cannot run only adds context switches — the merge order is
+  /// partition-indexed either way).
+  template <typename Fn>
+  void RunPartitions(size_t P, Fn&& fn) {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = P;
+    ExecPool::Get().Run(P, std::min(P, hw), std::forward<Fn>(fn));
+  }
+
+  /// Runs work(chunk, begin, end) over num_threads contiguous chunks of
+  /// [0, n) on the pool; chunk outputs merged in chunk index order
+  /// reproduce the exact sequential row order. Returns per-chunk statuses.
+  template <typename Fn>
+  std::vector<Status> RunChunks(size_t n, Fn&& work) {
+    const size_t P = plan_.opts.num_threads;
+    std::vector<Status> stats(P, Status::OK());
+    RunPartitions(P, [&](size_t p) {
+      stats[p] = work(p, n * p / P, n * (p + 1) / P);
+    });
+    return stats;
+  }
+
+  /// Merges per-chunk emitted rows in chunk order. The rows must be
+  /// distinct across all chunks (each is derived from a distinct left
+  /// row), so the duplicate probe is skipped.
+  Status MergeChunksUnique(std::vector<std::vector<Relation::Row>>& parts,
+                           Relation* out) {
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out->Reserve(total);
+    for (auto& part : parts) {
+      for (auto& [t, c] : part) {
+        INCDB_RETURN_IF_ERROR(out->InsertUnique(std::move(t), c));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Canonical merge for the parallel joins: partition outputs land in
+  /// partition-index order. With a fused projection distinct pairs may
+  /// collapse, so rows insert with the duplicate probe and multiplicities
+  /// normalise at the end; without one the emitted pairs are globally
+  /// distinct (each pair joins in exactly one partition) and the probe is
+  /// skipped. Emitted multiplicities count against the budget.
+  StatusOr<RelationView> MergeJoinParts(
+      std::vector<std::vector<Relation::Row>>& parts, const PhysNode& n,
+      bool has_proj, bool set) {
+    Relation out(n.attrs);
+    size_t emitted_rows = 0;
+    uint64_t total = 0;
+    for (const auto& part : parts) {
+      emitted_rows += part.size();
+      for (const auto& [t, c] : part) total += c;
+    }
+    out.Reserve(emitted_rows);
+    for (auto& part : parts) {
+      for (auto& [t, c] : part) {
+        if (has_proj) {
+          INCDB_RETURN_IF_ERROR(out.Insert(std::move(t), c));
+        } else {
+          INCDB_RETURN_IF_ERROR(out.InsertUnique(std::move(t), c));
+        }
+      }
+    }
+    INCDB_RETURN_IF_ERROR(Budget(total));
+    if (has_proj && set) out.CollapseCounts();
+    return RelationView::Own(std::move(out));
   }
 
   StatusOr<RelationView> Eval(const PhysPtr& n) {
@@ -350,45 +374,65 @@ class Executor {
     if (!l.ok()) return l;
     auto r = Eval(n.right);
     if (!r.ok()) return r;
-    Relation out(n.attrs);
-    if (sql_mode()) {
-      // NOT IN semantics: keep r̄ only if the comparison with *every* tuple
-      // of the right side is certainly false (never t or u). All-constant
-      // pairs compare t exactly when syntactically equal, so against the
-      // all-constant part of the right side an all-constant left tuple
-      // needs one hash lookup; only right tuples involving nulls keep the
-      // pairwise 3VL scan, and left tuples involving nulls scan everything.
-      std::vector<const Tuple*> null_rows;
+    const bool sql = sql_mode();
+    // Under SQL NOT-IN semantics, right tuples involving nulls are the
+    // only ones an all-constant left tuple cannot dismiss with one hash
+    // lookup; collect them once.
+    std::vector<const Tuple*> null_rows;
+    if (sql) {
       for (const auto& [s, sc] : r->rows()) {
         if (s.HasNull()) null_rows.push_back(&s);
       }
-      for (const auto& [t, c] : l->rows()) {
-        bool keep;
+    }
+    // Multiplicity a left row keeps (0 drops it). Pure reads of the shared
+    // right-side view and null_rows: safe to call from pool workers.
+    auto kept_count = [&](const Tuple& t, uint64_t c) -> uint64_t {
+      if (sql) {
+        // NOT IN semantics: keep r̄ only if the comparison with *every*
+        // tuple of the right side is certainly false (never t or u).
+        // All-constant pairs compare t exactly when syntactically equal,
+        // so an all-constant left tuple needs one hash lookup plus a scan
+        // of the (typically few) null-involving right tuples; left tuples
+        // involving nulls scan everything pairwise.
         if (t.AllConst()) {
-          keep = !r->Contains(t);
+          if (r->Contains(t)) return 0;
           for (const Tuple* s : null_rows) {
-            if (!keep) break;
-            if (SqlTupleEq(t, *s) != TV3::kF) keep = false;
+            if (SqlTupleEq(t, *s) != TV3::kF) return 0;
           }
-        } else {
-          keep = true;
-          for (const auto& [s, sc] : r->rows()) {
-            if (SqlTupleEq(t, s) != TV3::kF) {
-              keep = false;
-              break;
-            }
-          }
+          return 1;
         }
-        if (keep) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+        for (const auto& [s, sc] : r->rows()) {
+          if (SqlTupleEq(t, s) != TV3::kF) return 0;
+        }
+        return 1;
       }
+      uint64_t rc = r->Count(t);
+      if (set_semantics()) return rc == 0 ? 1 : 0;
+      return c > rc ? c - rc : 0;  // bag monus
+    };
+
+    const std::vector<Relation::Row>& lrows = l->rows();
+    Relation out(n.attrs);
+    if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size())) {
+      std::vector<std::vector<Relation::Row>> parts(plan_.opts.num_threads);
+      auto stats = RunChunks(
+          lrows.size(), [&](size_t p, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              const auto& [t, c] = lrows[i];
+              if (uint64_t kc = kept_count(t, c)) parts[p].emplace_back(t, kc);
+            }
+            return Status::OK();
+          });
+      for (const Status& st : stats) {
+        INCDB_RETURN_IF_ERROR(st);
+      }
+      INCDB_RETURN_IF_ERROR(MergeChunksUnique(parts, &out));
       return RelationView::Own(std::move(out));
     }
-    for (const auto& [t, c] : l->rows()) {
-      uint64_t rc = r->Count(t);
-      if (set_semantics()) {
-        if (rc == 0) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
-      } else if (c > rc) {
-        INCDB_RETURN_IF_ERROR(out.Insert(t, c - rc));  // bag monus
+    for (const auto& [t, c] : lrows) {
+      // Left rows are distinct, so each survivor inserts a fresh tuple.
+      if (uint64_t kc = kept_count(t, c)) {
+        INCDB_RETURN_IF_ERROR(out.InsertUnique(t, kc));
       }
     }
     return RelationView::Own(std::move(out));
@@ -446,11 +490,35 @@ class Executor {
     if (!l.ok()) return l;
     auto r = Eval(n.right);
     if (!r.ok()) return r;
+    // The index is built once on the calling thread; probes are const and
+    // re-entrant (each worker owns its scratch tuple).
     UnifyIndex index(r->rows(), r->arity(), plan_.opts.enable_unify_index);
+    const std::vector<Relation::Row>& lrows = l->rows();
+    const bool set = set_semantics();
     Relation out(n.attrs);
-    for (const auto& [t, c] : l->rows()) {
-      if (!index.AnyUnifiable(t)) {
-        INCDB_RETURN_IF_ERROR(out.Insert(t, set_semantics() ? 1 : c));
+    if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size())) {
+      std::vector<std::vector<Relation::Row>> parts(plan_.opts.num_threads);
+      auto stats = RunChunks(
+          lrows.size(), [&](size_t p, size_t begin, size_t end) -> Status {
+            Tuple scratch;
+            for (size_t i = begin; i < end; ++i) {
+              const auto& [t, c] = lrows[i];
+              if (!index.AnyUnifiable(t, &scratch)) {
+                parts[p].emplace_back(t, set ? 1 : c);
+              }
+            }
+            return Status::OK();
+          });
+      for (const Status& st : stats) {
+        INCDB_RETURN_IF_ERROR(st);
+      }
+      INCDB_RETURN_IF_ERROR(MergeChunksUnique(parts, &out));
+      return RelationView::Own(std::move(out));
+    }
+    Tuple scratch;
+    for (const auto& [t, c] : lrows) {
+      if (!index.AnyUnifiable(t, &scratch)) {
+        INCDB_RETURN_IF_ERROR(out.InsertUnique(t, set ? 1 : c));
       }
     }
     return RelationView::Own(std::move(out));
@@ -713,6 +781,11 @@ class Executor {
     };
 
     if (n.op == PhysOp::kNLJoin) {
+      // Work estimate for the parallel threshold: every pair is visited.
+      const size_t pairs = l->rows().size() * r->rows().size();
+      if (UseChunkParallelism(l->rows().size(), pairs)) {
+        return ParallelNLJoin(n, *l, *r);
+      }
       for (const auto& [lt, lc] : l->rows()) {
         for (const auto& [rt, rc] : r->rows()) {
           INCDB_RETURN_IF_ERROR(emit(lt, lc, rt, rc));
@@ -734,7 +807,8 @@ class Executor {
     const std::vector<size_t>& probe_keys = build_left ? n.rkeys : n.lkeys;
 
     const size_t threads = plan_.opts.num_threads;
-    if (threads > 1 && build_rows.size() + probe_rows.size() >= 1024) {
+    if (threads > 1 &&
+        build_rows.size() + probe_rows.size() >= plan_.opts.parallel_min_rows) {
       return ParallelHashJoin(n, build_left, build_rows, probe_rows,
                               build_keys, probe_keys);
     }
@@ -805,13 +879,7 @@ class Executor {
         plan_.opts.max_tuples > produced_ ? plan_.opts.max_tuples - produced_
                                           : 0;
 
-    // The partition count is the determinism contract; the worker count is
-    // an execution resource, capped at the hardware parallelism (waking
-    // helpers a single-core box cannot run only adds context switches —
-    // the merge order is partition-indexed either way).
-    size_t hw = std::thread::hardware_concurrency();
-    if (hw == 0) hw = P;
-    JoinPool::Get().Run(P, std::min(P, hw), [&](size_t p) {
+    RunPartitions(P, [&](size_t p) {
       std::vector<Relation::Row>& part_out = outs[p];
       Tuple pkey, joint;
       uint64_t unreported = 0;
@@ -858,29 +926,64 @@ class Executor {
       INCDB_RETURN_IF_ERROR(st);
     }
 
-    // Canonical merge in partition order. Without a fused projection the
-    // emitted pairs are globally distinct (each pair joins in exactly one
-    // partition), so the duplicate probe is skipped.
-    Relation out(n.attrs);
-    size_t emitted_rows = 0;
-    uint64_t total = 0;
-    for (const std::vector<Relation::Row>& part : outs) {
-      emitted_rows += part.size();
-      for (const auto& [t, c] : part) total += c;
+    return MergeJoinParts(outs, n, has_proj, set);
+  }
+
+  /// Chunk-partitioned nested-loop join: left rows split into contiguous
+  /// chunks, each chunk looping over all right rows. Chunk outputs merged
+  /// in chunk order reproduce the exact left-major sequential pair order,
+  /// so any thread count yields a row-for-row identical relation.
+  StatusOr<RelationView> ParallelNLJoin(const PhysNode& n,
+                                        const RelationView& l,
+                                        const RelationView& r) {
+    const bool set = set_semantics();
+    const bool has_proj = n.fused_proj;
+    const std::vector<Relation::Row>& lrows = l.rows();
+    const std::vector<Relation::Row>& rrows = r.rows();
+    const size_t P = plan_.opts.num_threads;
+
+    std::vector<std::vector<Relation::Row>> parts(P);
+    // Budget enforced cooperatively, exactly like the partitioned hash
+    // join: chunks add their emissions to a shared counter and abort once
+    // the ceiling is crossed (overshoot bounded by P report intervals).
+    std::atomic<uint64_t> emitted{0};
+    const uint64_t budget_left =
+        plan_.opts.max_tuples > produced_ ? plan_.opts.max_tuples - produced_
+                                          : 0;
+    auto stats = RunChunks(
+        lrows.size(), [&](size_t p, size_t begin, size_t end) -> Status {
+          std::vector<Relation::Row>& part_out = parts[p];
+          Tuple joint;
+          uint64_t unreported = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const auto& [lt, lc] = lrows[i];
+            for (const auto& [rt, rc] : rrows) {
+              joint.AssignConcat(lt, rt);
+              if (n.pred(joint) != TV3::kT) continue;
+              uint64_t c = set ? 1 : lc * rc;
+              if (has_proj) {
+                part_out.emplace_back(joint.Project(n.proj_pos), c);
+              } else {
+                part_out.emplace_back(joint, c);
+              }
+              if (++unreported >= 4096) {
+                emitted.fetch_add(unreported, std::memory_order_relaxed);
+                unreported = 0;
+                if (emitted.load(std::memory_order_relaxed) > budget_left) {
+                  return Status::ResourceExhausted(
+                      "evaluation exceeded max_tuples=" +
+                      std::to_string(plan_.opts.max_tuples));
+                }
+              }
+            }
+          }
+          emitted.fetch_add(unreported, std::memory_order_relaxed);
+          return Status::OK();
+        });
+    for (const Status& st : stats) {
+      INCDB_RETURN_IF_ERROR(st);
     }
-    out.Reserve(emitted_rows);
-    for (std::vector<Relation::Row>& part : outs) {
-      for (auto& [t, c] : part) {
-        if (has_proj) {
-          INCDB_RETURN_IF_ERROR(out.Insert(std::move(t), c));
-        } else {
-          INCDB_RETURN_IF_ERROR(out.InsertUnique(std::move(t), c));
-        }
-      }
-    }
-    INCDB_RETURN_IF_ERROR(Budget(total));
-    if (has_proj && set) out.CollapseCounts();
-    return RelationView::Own(std::move(out));
+    return MergeJoinParts(parts, n, has_proj, set);
   }
 
   const Plan& plan_;

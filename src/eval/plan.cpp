@@ -1,6 +1,7 @@
 #include "eval/plan.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -616,6 +617,7 @@ StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
   plan->root = *root;
   plan->mode = mode;
   plan->opts = opts;
+  plan->opts.num_threads = ResolveNumThreads(opts.num_threads);
   CountEdges(plan->root, &plan->refcount);
   return PlanPtr(plan);
 }
@@ -644,6 +646,14 @@ void RenderNode(const PhysPtr& n, size_t depth, std::string* out) {
 }
 
 }  // namespace
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    requested = hw > 0 ? hw : 1;
+  }
+  return std::min(requested, kMaxEvalThreads);
+}
 
 StatusOr<PlanPtr> Compile(const AlgPtr& q, EvalMode mode,
                           const EvalOptions& opts, const Database& db) {

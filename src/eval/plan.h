@@ -120,8 +120,16 @@ struct Plan {
 };
 using PlanPtr = std::shared_ptr<const Plan>;
 
+/// Validates EvalOptions::num_threads: 0 resolves to
+/// std::thread::hardware_concurrency() (1 when the runtime reports 0),
+/// anything above kMaxEvalThreads clamps to kMaxEvalThreads. Compile()
+/// applies this before storing the options in the plan, so the executor
+/// and the plan-cache key always see the resolved value.
+size_t ResolveNumThreads(size_t requested);
+
 /// Lowers `q` into a physical plan for the given mode, running the rewrite
-/// passes enabled in `opts`. The database provides relation schemas only;
+/// passes enabled in `opts` (with num_threads resolved via
+/// ResolveNumThreads). The database provides relation schemas only;
 /// no data is read. Compilation performs all schema validation (unknown
 /// relations/attributes, arity mismatches, product disjointness), so
 /// Execute only surfaces data-dependent errors (resource budgets).

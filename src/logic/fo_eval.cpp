@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <map>
+#include <memory>
 
 #include "eval/plan.h"
+#include "eval/unify_index.h"
 #include "logic/kleene.h"
 
 namespace incdb {
@@ -82,6 +84,20 @@ class FOEvaluator {
           auto v = ResolveTerm(t, a);
           if (!v.ok()) return v.status();
           args.Append(*v);
+        }
+        if (sem_.relations == AtomSem::kUnif) {
+          // (13a): t if ā ∈ R; f if no tuple of R unifies with ā; else u.
+          // Quantifier sweeps probe the same relation once per
+          // assignment, so the "any unifiable" test runs over a lazily
+          // built per-relation null-mask index instead of a linear scan.
+          // The ScanResolver's cached view outlives the index.
+          if (rel.Contains(args)) return TV3::kT;
+          std::unique_ptr<UnifyIndex>& idx = unify_[f->rel];
+          if (!idx) {
+            idx = std::make_unique<UnifyIndex>(rel.rows(), rel.arity(),
+                                               /*use_index=*/true);
+          }
+          return idx->AnyUnifiable(args, &unify_scratch_) ? TV3::kU : TV3::kF;
         }
         return AtomSemEval(rel, args, sem_.relations);
       }
@@ -170,6 +186,10 @@ class FOEvaluator {
   MixedSemantics sem_;
   ScanResolver scans_;  // shared with the plan executor: copy-free scans
   std::vector<Value> domain_;
+  /// Lazily built per-relation unifiability indices for kUnif atoms; they
+  /// reference rows of the ScanResolver-cached views in place.
+  std::map<std::string, std::unique_ptr<UnifyIndex>> unify_;
+  Tuple unify_scratch_;
 };
 
 }  // namespace

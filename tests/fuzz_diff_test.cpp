@@ -1,0 +1,436 @@
+// Differential query fuzzer: seeded random algebra queries
+// (tests/testing_util.h RandomQueryGen) evaluated through the compiled
+// physical-plan pipeline — across all three modes, every rewrite-pass
+// toggle and num_threads ∈ {1, 2, 8} — must agree with a naive reference
+// walk that shares nothing with the plan layer (no lowering, no rewrite
+// passes, no hashing fast paths, no thread pool: just nested loops over
+// the algebra tree).
+//
+// Environment knobs (all optional; see BUILDING.md "Differential fuzzer"):
+//   INCDB_FUZZ_SEED      base RNG seed (default 20260730)
+//   INCDB_FUZZ_CASES     cases per mode (default 500)
+//   INCDB_FUZZ_THREADS   one extra thread count to test (CI uses 4)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/builder.h"
+#include "eval/eval.h"
+#include "eval/plan.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+using testing_util::RandomBagDatabase;
+using testing_util::RandomDatabase;
+using testing_util::RandomQueryGen;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10)
+                                      : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// The reference walk. Deliberately dumb: linear scans instead of hash
+// lookups, materialised products, per-node condition evaluation — obvious
+// enough to trust against the paper's definitions (§4.1 naive set, §4.2
+// bags, §5.2 SQL 3VL).
+
+CondMode RefCondMode(EvalMode mode) {
+  return mode == EvalMode::kSetSql ? CondMode::kSql : CondMode::kNaive;
+}
+
+bool RefSetSemantics(EvalMode mode) { return mode != EvalMode::kBagNaive; }
+
+/// Occurrences of `t` in `rel` by linear scan (syntactic equality).
+uint64_t RefCount(const Relation& rel, const Tuple& t) {
+  uint64_t n = 0;
+  for (const auto& [s, c] : rel.rows()) {
+    if (s == t) n += c;
+  }
+  return n;
+}
+
+StatusOr<Relation> RefEval(const AlgPtr& q, const Database& db,
+                           EvalMode mode);
+
+StatusOr<std::function<TV3(const Tuple&)>> RefPred(
+    const CondPtr& c, const std::vector<std::string>& attrs, EvalMode mode) {
+  return CompileCond(c, attrs, RefCondMode(mode));
+}
+
+/// σ_θ-style EXISTS probe shared by semijoin/antijoin.
+StatusOr<Relation> RefSemiAnti(const AlgPtr& q, const Database& db,
+                               EvalMode mode, bool anti) {
+  auto l = RefEval(q->left, db, mode);
+  if (!l.ok()) return l;
+  auto r = RefEval(q->right, db, mode);
+  if (!r.ok()) return r;
+  std::vector<std::string> joint = l->attrs();
+  joint.insert(joint.end(), r->attrs().begin(), r->attrs().end());
+  auto pred = RefPred(q->cond, joint, mode);
+  if (!pred.ok()) return pred.status();
+  Relation out(l->attrs());
+  for (const auto& [lt, lc] : l->rows()) {
+    bool exists = false;
+    for (const auto& [rt, rc] : r->rows()) {
+      Tuple pair = lt;
+      for (size_t i = 0; i < rt.arity(); ++i) pair.Append(rt[i]);
+      if ((*pred)(pair) == TV3::kT) {
+        exists = true;
+        break;
+      }
+    }
+    if (exists != anti) {
+      INCDB_RETURN_IF_ERROR(
+          out.Insert(lt, RefSetSemantics(mode) ? 1 : lc));
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> RefInPredicate(const AlgPtr& q, const Database& db,
+                                  EvalMode mode, bool negated) {
+  auto l = RefEval(q->left, db, mode);
+  if (!l.ok()) return l;
+  auto r = RefEval(q->right, db, mode);
+  if (!r.ok()) return r;
+  std::vector<std::string> joint = l->attrs();
+  joint.insert(joint.end(), r->attrs().begin(), r->attrs().end());
+  auto pred = RefPred(q->cond, joint, mode);
+  if (!pred.ok()) return pred.status();
+  std::vector<size_t> lpos, rpos;
+  for (const std::string& a : q->attrs) {
+    size_t i = IndexOf(l->attrs(), a);
+    if (i == l->attrs().size()) return Status::NotFound("IN column " + a);
+    lpos.push_back(i);
+  }
+  for (const std::string& a : q->attrs2) {
+    size_t i = IndexOf(r->attrs(), a);
+    if (i == r->attrs().size()) return Status::NotFound("IN column " + a);
+    rpos.push_back(i);
+  }
+  const bool sql = mode == EvalMode::kSetSql;
+  Relation out(l->attrs());
+  for (const auto& [lt, lc] : l->rows()) {
+    Tuple lkey = lt.Project(lpos);
+    bool exists_t = false;
+    bool all_f = true;
+    for (const auto& [rt, rc] : r->rows()) {
+      Tuple pair = lt;
+      for (size_t i = 0; i < rt.arity(); ++i) pair.Append(rt[i]);
+      if ((*pred)(pair) != TV3::kT) continue;
+      Tuple rkey = rt.Project(rpos);
+      if (sql) {
+        TV3 tv = SqlTupleEq(lkey, rkey);
+        if (tv == TV3::kT) exists_t = true;
+        if (tv != TV3::kF) all_f = false;
+      } else if (lkey == rkey) {
+        exists_t = true;
+        all_f = false;
+      }
+    }
+    if (negated ? all_f : exists_t) {
+      INCDB_RETURN_IF_ERROR(
+          out.Insert(lt, RefSetSemantics(mode) ? 1 : lc));
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> RefEval(const AlgPtr& q, const Database& db,
+                           EvalMode mode) {
+  const bool set = RefSetSemantics(mode);
+  const bool sql = mode == EvalMode::kSetSql;
+  switch (q->kind) {
+    case OpKind::kScan: {
+      auto rel = db.Get(q->rel_name);
+      if (!rel.ok()) return rel;
+      return set ? rel->ToSet() : *rel;
+    }
+    case OpKind::kSelect: {
+      auto in = RefEval(q->left, db, mode);
+      if (!in.ok()) return in;
+      auto pred = RefPred(q->cond, in->attrs(), mode);
+      if (!pred.ok()) return pred.status();
+      Relation out(in->attrs());
+      for (const auto& [t, c] : in->rows()) {
+        if ((*pred)(t) == TV3::kT) INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+      }
+      return out;
+    }
+    case OpKind::kProject: {
+      auto in = RefEval(q->left, db, mode);
+      if (!in.ok()) return in;
+      std::vector<size_t> pos;
+      for (const std::string& a : q->attrs) {
+        size_t i = IndexOf(in->attrs(), a);
+        if (i == in->attrs().size()) {
+          return Status::NotFound("projection attribute " + a);
+        }
+        pos.push_back(i);
+      }
+      Relation out(q->attrs);
+      for (const auto& [t, c] : in->rows()) {
+        INCDB_RETURN_IF_ERROR(out.Insert(t.Project(pos), c));
+      }
+      if (set) out = out.ToSet();
+      return out;
+    }
+    case OpKind::kRename: {
+      auto in = RefEval(q->left, db, mode);
+      if (!in.ok()) return in;
+      Relation out = *in;
+      INCDB_RETURN_IF_ERROR(out.RenameAttrs(q->attrs));
+      return out;
+    }
+    case OpKind::kProduct:
+    case OpKind::kJoin: {
+      auto l = RefEval(q->left, db, mode);
+      if (!l.ok()) return l;
+      auto r = RefEval(q->right, db, mode);
+      if (!r.ok()) return r;
+      std::vector<std::string> joint = l->attrs();
+      joint.insert(joint.end(), r->attrs().begin(), r->attrs().end());
+      CondPtr cond = q->kind == OpKind::kJoin ? q->cond : CTrue();
+      auto pred = RefPred(cond, joint, mode);
+      if (!pred.ok()) return pred.status();
+      Relation out(joint);
+      for (const auto& [lt, lc] : l->rows()) {
+        for (const auto& [rt, rc] : r->rows()) {
+          Tuple pair = lt;
+          for (size_t i = 0; i < rt.arity(); ++i) pair.Append(rt[i]);
+          if ((*pred)(pair) == TV3::kT) {
+            INCDB_RETURN_IF_ERROR(out.Insert(pair, set ? 1 : lc * rc));
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kUnion: {
+      auto l = RefEval(q->left, db, mode);
+      if (!l.ok()) return l;
+      auto r = RefEval(q->right, db, mode);
+      if (!r.ok()) return r;
+      Relation out = *l;
+      for (const auto& [t, c] : r->rows()) {
+        INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+      }
+      if (set) out = out.ToSet();
+      return out;
+    }
+    case OpKind::kDifference: {
+      auto l = RefEval(q->left, db, mode);
+      if (!l.ok()) return l;
+      auto r = RefEval(q->right, db, mode);
+      if (!r.ok()) return r;
+      Relation out(l->attrs());
+      for (const auto& [t, c] : l->rows()) {
+        if (sql) {
+          // NOT IN: keep only when every pairwise comparison is kF.
+          bool keep = true;
+          for (const auto& [s, sc] : r->rows()) {
+            if (SqlTupleEq(t, s) != TV3::kF) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+        } else {
+          uint64_t rc = RefCount(*r, t);
+          if (set) {
+            if (rc == 0) INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+          } else if (c > rc) {
+            INCDB_RETURN_IF_ERROR(out.Insert(t, c - rc));
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kIntersect: {
+      auto l = RefEval(q->left, db, mode);
+      if (!l.ok()) return l;
+      auto r = RefEval(q->right, db, mode);
+      if (!r.ok()) return r;
+      Relation out(l->attrs());
+      for (const auto& [t, c] : l->rows()) {
+        if (sql) {
+          // IN: keep when some pairwise comparison is kT.
+          for (const auto& [s, sc] : r->rows()) {
+            if (SqlTupleEq(t, s) == TV3::kT) {
+              INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
+              break;
+            }
+          }
+        } else {
+          uint64_t rc = RefCount(*r, t);
+          if (rc > 0) {
+            INCDB_RETURN_IF_ERROR(
+                out.Insert(t, set ? 1 : std::min(c, rc)));
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kAntijoinUnify: {
+      auto l = RefEval(q->left, db, mode);
+      if (!l.ok()) return l;
+      auto r = RefEval(q->right, db, mode);
+      if (!r.ok()) return r;
+      Relation out(l->attrs());
+      for (const auto& [t, c] : l->rows()) {
+        bool unifiable = false;
+        for (const auto& [s, sc] : r->rows()) {
+          if (Unifiable(t, s)) {
+            unifiable = true;
+            break;
+          }
+        }
+        if (!unifiable) {
+          INCDB_RETURN_IF_ERROR(out.Insert(t, set ? 1 : c));
+        }
+      }
+      return out;
+    }
+    case OpKind::kSemijoin:
+      return RefSemiAnti(q, db, mode, /*anti=*/false);
+    case OpKind::kAntijoin:
+      return RefSemiAnti(q, db, mode, /*anti=*/true);
+    case OpKind::kIn:
+      return RefInPredicate(q, db, mode, /*negated=*/false);
+    case OpKind::kNotIn:
+      return RefInPredicate(q, db, mode, /*negated=*/true);
+    case OpKind::kDistinct: {
+      auto in = RefEval(q->left, db, mode);
+      if (!in.ok()) return in;
+      return in->ToSet();
+    }
+    default:
+      return Status::Unsupported("reference walk: operator not generated");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The differential loop.
+
+struct FuzzConfig {
+  std::string label;
+  EvalOptions opts;
+};
+
+/// Every rewrite pass individually off, everything on, everything off —
+/// the matrix the plan layer must be invisible on — crossed with the
+/// tested thread counts (parallel_min_rows = 0 forces the parallel
+/// operators even on fuzz-sized inputs).
+std::vector<FuzzConfig> FuzzConfigs() {
+  std::vector<size_t> thread_counts = {1, 2, 8};
+  if (uint64_t extra = EnvOr("INCDB_FUZZ_THREADS", 0)) {
+    thread_counts.push_back(extra);
+  }
+  std::vector<std::pair<std::string, EvalOptions>> bases;
+  bases.push_back({"all", EvalOptions{}});
+  {
+    EvalOptions o;
+    o.enable_hash_join = false;
+    bases.push_back({"-hash", o});
+  }
+  {
+    EvalOptions o;
+    o.enable_or_expansion = false;
+    bases.push_back({"-or", o});
+  }
+  {
+    EvalOptions o;
+    o.enable_projection_fusion = false;
+    bases.push_back({"-fusion", o});
+  }
+  {
+    EvalOptions o;
+    o.enable_unify_index = false;
+    bases.push_back({"-unify", o});
+  }
+  {
+    EvalOptions o;
+    o.enable_selection_pushdown = false;
+    bases.push_back({"-pushdown", o});
+  }
+  {
+    EvalOptions o;
+    o.enable_hash_join = false;
+    o.enable_or_expansion = false;
+    o.enable_projection_fusion = false;
+    o.enable_unify_index = false;
+    o.enable_selection_pushdown = false;
+    bases.push_back({"none", o});
+  }
+  std::vector<FuzzConfig> configs;
+  for (const auto& [name, base] : bases) {
+    for (size_t threads : thread_counts) {
+      EvalOptions o = base;
+      o.num_threads = threads;
+      o.parallel_min_rows = 0;
+      configs.push_back(
+          {name + "/t" + std::to_string(threads), o});
+    }
+  }
+  return configs;
+}
+
+void RunDifferential(EvalMode mode,
+                     StatusOr<Relation> (*eval)(const AlgPtr&,
+                                                const Database&,
+                                                const EvalOptions&)) {
+  const uint64_t seed = EnvOr("INCDB_FUZZ_SEED", 20260730);
+  const uint64_t cases = EnvOr("INCDB_FUZZ_CASES", 500);
+  std::mt19937_64 rng(seed ^ (static_cast<uint64_t>(mode) << 32));
+  RandomQueryGen gen(rng);
+  const std::vector<FuzzConfig> configs = FuzzConfigs();
+  for (uint64_t i = 0; i < cases; ++i) {
+    const size_t tuples = 3 + i % 4;
+    Database db = (i % 2 == 0) ? RandomDatabase(rng, tuples)
+                               : RandomBagDatabase(rng, tuples);
+    AlgPtr q = gen.Gen(2 + static_cast<int>(i % 3));
+    auto ref = RefEval(q, db, mode);
+    ASSERT_TRUE(ref.ok()) << "case " << i << " reference failed for "
+                          << q->ToString() << ": "
+                          << ref.status().ToString();
+    for (const FuzzConfig& cfg : configs) {
+      auto res = eval(q, db, cfg.opts);
+      ASSERT_TRUE(res.ok())
+          << "case " << i << " [" << cfg.label << "] failed for "
+          << q->ToString() << ": " << res.status().ToString();
+      ASSERT_TRUE(ref->SameRows(*res))
+          << "case " << i << " [" << cfg.label << "] diverges for "
+          << q->ToString() << "\nreference:\n"
+          << ref->ToString() << "\nplan:\n"
+          << res->ToString();
+      ASSERT_EQ(ref->attrs(), res->attrs())
+          << "case " << i << " [" << cfg.label << "] schema diverges for "
+          << q->ToString();
+    }
+  }
+}
+
+TEST(FuzzDiffTest, SetModeAgreesWithReferenceWalk) {
+  RunDifferential(EvalMode::kSetNaive, &EvalSet);
+}
+
+TEST(FuzzDiffTest, BagModeAgreesWithReferenceWalk) {
+  RunDifferential(EvalMode::kBagNaive, &EvalBag);
+}
+
+TEST(FuzzDiffTest, SqlModeAgreesWithReferenceWalk) {
+  RunDifferential(EvalMode::kSetSql, &EvalSql);
+}
+
+}  // namespace
+}  // namespace incdb

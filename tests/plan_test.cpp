@@ -2,16 +2,25 @@
 // on/off must produce identical relations across all three evaluation
 // modes on the desugar/chase corpus; compiled plans have the expected
 // shape (a conjunctive query joins with exactly one HashJoin and no
-// NLJoin); leaf scans borrow the database rows instead of copying; and the
-// parallel partitioned hash join agrees with the sequential one.
+// NLJoin); leaf scans borrow the database rows instead of copying; the
+// parallel partitioned hash join agrees with the sequential one; the
+// chunk-partitioned operators (NL join, difference, ⋉⇑) are row-for-row
+// identical to sequential at every thread count; and the query-identity
+// plan cache (src/eval/plan_cache.h) accounts hits/misses, distinguishes
+// α-renamed from structurally identical queries, invalidates on schema
+// change and survives concurrent lookups.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
+#include <vector>
 
 #include "algebra/builder.h"
 #include "eval/eval.h"
 #include "eval/plan.h"
+#include "eval/plan_cache.h"
 #include "tests/testing_util.h"
 
 namespace incdb {
@@ -294,6 +303,340 @@ TEST(PlanExecTest, ParallelHashJoinMatchesSequential) {
       }
     }
   }
+}
+
+// A medium database for the chunk-partitioned operators: two overlapping
+// 3000-row relations with sprinkled nulls and bag multiplicities.
+Database ChunkOpDatabase() {
+  std::mt19937_64 rng(9);
+  Database db;
+  Relation p1({"a", "b"}), p2({"a", "b"});
+  for (int i = 0; i < 3000; ++i) {
+    Value a = (i % 61 == 0) ? Value::Null(i % 7)
+                            : Value::Int(static_cast<int64_t>(rng() % 2000));
+    p1.Add({a, Value::Int(static_cast<int64_t>(rng() % 50))}, 1 + i % 3);
+    Value a2 = (i % 83 == 0) ? Value::Null(i % 5)
+                             : Value::Int(static_cast<int64_t>(rng() % 2000));
+    p2.Add({a2, Value::Int(static_cast<int64_t>(rng() % 50))}, 1 + i % 2);
+  }
+  db.Put("P1", std::move(p1));
+  db.Put("P2", std::move(p2));
+  // Smaller pair for the quadratic NL join (400×400 pairs per eval).
+  Relation n1({"a", "b"}), n2({"c", "d"});
+  for (int i = 0; i < 400; ++i) {
+    n1.Add({Value::Int(static_cast<int64_t>(rng() % 300)),
+            Value::Int(static_cast<int64_t>(rng() % 50))});
+    n2.Add({(i % 37 == 0) ? Value::Null(i % 3)
+                          : Value::Int(static_cast<int64_t>(rng() % 300)),
+            Value::Int(static_cast<int64_t>(rng() % 50))});
+  }
+  db.Put("N1", std::move(n1));
+  db.Put("N2", std::move(n2));
+  return db;
+}
+
+/// The chunk-partitioned operators promise more than SameRows: chunk
+/// outputs merged in chunk order reproduce the exact sequential insertion
+/// order, so the materialised relation is row-for-row identical at every
+/// thread count.
+TEST(PlanExecTest, ChunkParallelOperatorsAreBitIdenticalToSequential) {
+  Database db = ChunkOpDatabase();
+  // Difference (HashDiff in all three modes, incl. SQL NOT-IN), ⋉⇑, and a
+  // non-equality join condition that compiles to an NLJoin.
+  std::vector<AlgPtr> queries = {
+      Diff(Scan("P1"), Scan("P2")),
+      AntijoinUnify(Scan("P1"), Scan("P2")),
+      Join(Scan("N1"), Scan("N2"), CLt("b", "d")),
+  };
+  for (const AlgPtr& q : queries) {
+    for (auto eval : {&EvalSet, &EvalBag, &EvalSql}) {
+      EvalOptions seq;
+      seq.use_plan_cache = false;
+      auto ref = (*eval)(q, db, seq);
+      ASSERT_TRUE(ref.ok()) << q->ToString() << ": "
+                            << ref.status().ToString();
+      for (size_t threads : {2, 3, 8}) {
+        EvalOptions par = seq;
+        par.num_threads = threads;
+        auto res = (*eval)(q, db, par);
+        ASSERT_TRUE(res.ok()) << q->ToString() << " with " << threads
+                              << " threads: " << res.status().ToString();
+        EXPECT_TRUE(ref->IdenticalTo(*res))
+            << q->ToString() << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
+// parallel_min_rows = 0 forces the chunked paths on tiny inputs — the
+// boundary cases (empty sides, single rows, more chunks than rows).
+TEST(PlanExecTest, ChunkParallelOperatorsHandleTinyInputs) {
+  std::mt19937_64 rng(10);
+  Database db = RandomDatabase(rng, /*tuples_per_rel=*/2);
+  std::vector<AlgPtr> queries = {
+      Diff(Scan("R"), Scan("S")),
+      AntijoinUnify(Scan("R"), Scan("S")),
+      Join(Scan("R"), Rename(Scan("S"), {"c", "d"}), CNeq("R_a", "c")),
+      Diff(Select(Scan("R"), CFalse()), Scan("S")),  // empty left side
+  };
+  for (const AlgPtr& q : queries) {
+    for (auto eval : {&EvalSet, &EvalBag, &EvalSql}) {
+      EvalOptions seq;
+      seq.use_plan_cache = false;
+      auto ref = (*eval)(q, db, seq);
+      ASSERT_TRUE(ref.ok());
+      for (size_t threads : {2, 8}) {
+        EvalOptions par = seq;
+        par.num_threads = threads;
+        par.parallel_min_rows = 0;
+        auto res = (*eval)(q, db, par);
+        ASSERT_TRUE(res.ok());
+        EXPECT_TRUE(ref->IdenticalTo(*res))
+            << q->ToString() << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(PlanExecTest, ParallelNLJoinHonoursBudget) {
+  Database db;
+  Relation l({"a", "b"}), r({"c", "d"});
+  for (int i = 0; i < 600; ++i) {
+    l.Add({Value::Int(i), Value::Int(i % 7)});
+    r.Add({Value::Int(i), Value::Int((i + 1) % 7)});
+  }
+  db.Put("L", l);
+  db.Put("Rr", r);
+  // b ≠ d holds for most of the 360000 pairs — far beyond the budget.
+  EvalOptions opts;
+  opts.num_threads = 4;
+  opts.max_tuples = 10;
+  opts.use_plan_cache = false;
+  auto res = EvalSet(Join(Scan("L"), Scan("Rr"), CNeq("b", "d")), db, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PlanOptionsTest, NumThreadsZeroAndAbsurdValuesAreValidated) {
+  std::mt19937_64 rng(11);
+  Database db = RandomDatabase(rng);
+  AlgPtr q = Diff(Scan("R"), Scan("S"));
+  // 0 resolves to hardware_concurrency (at least 1).
+  EvalOptions zero;
+  zero.num_threads = 0;
+  auto plan = Compile(q, EvalMode::kSetNaive, zero, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE((*plan)->opts.num_threads, 1u);
+  EXPECT_LE((*plan)->opts.num_threads, kMaxEvalThreads);
+  // An absurd request clamps instead of allocating a million partitions.
+  EvalOptions absurd;
+  absurd.num_threads = 1 << 20;
+  auto clamped = Compile(q, EvalMode::kSetNaive, absurd, db);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ((*clamped)->opts.num_threads, kMaxEvalThreads);
+  // Regression: both evaluate and agree with the sequential result.
+  EvalOptions seq;
+  seq.use_plan_cache = false;
+  auto ref = EvalSet(q, db, seq);
+  ASSERT_TRUE(ref.ok());
+  for (EvalOptions o : {zero, absurd}) {
+    o.parallel_min_rows = 0;
+    o.use_plan_cache = false;
+    auto res = EvalSet(q, db, o);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(ref->IdenticalTo(*res));
+  }
+}
+
+TEST(PlanCacheTest, HitMissAccountingAndLookupIdentity) {
+  std::mt19937_64 rng(12);
+  Database db = RandomDatabase(rng);
+  PlanCache cache;
+  EvalOptions opts;
+  auto build = [] {
+    return Project(Select(Product(Scan("R"), Scan("S")), CEq("R_b", "S_a")),
+                   {"R_a", "S_b"});
+  };
+  auto p1 = cache.CompileCached(build(), EvalMode::kSetNaive, opts, db);
+  ASSERT_TRUE(p1.ok());
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.size, 1u);
+  // A structurally identical but independently built tree hits: identity
+  // is structural, not pointer-based.
+  auto p2 = cache.CompileCached(build(), EvalMode::kSetNaive, opts, db);
+  ASSERT_TRUE(p2.ok());
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(p1->get(), p2->get());  // the same compiled plan object
+  // The cached plan executes correctly.
+  auto via_cache = Execute(*p2, db);
+  auto direct = EvalSet(build(), db, opts);
+  ASSERT_TRUE(via_cache.ok() && direct.ok());
+  EXPECT_TRUE(via_cache->SameRows(*direct));
+}
+
+TEST(PlanCacheTest, AlphaRenamedAndDistinctQueriesKeySeparately) {
+  std::mt19937_64 rng(13);
+  Database db = RandomDatabase(rng);
+  PlanCache cache;
+  EvalOptions opts;
+  // What participates in query identity, asserted on the key bytes
+  // directly: structural equality of independently built trees, attribute
+  // names, mode, toggles and the scanned schemas all do.
+  EXPECT_EQ(PlanCacheKey(Rename(Scan("R"), {"x", "y"}), EvalMode::kSetNaive,
+                         opts, db),
+            PlanCacheKey(Rename(Scan("R"), {"x", "y"}), EvalMode::kSetNaive,
+                         opts, db));
+  EXPECT_NE(PlanCacheKey(Rename(Scan("R"), {"x", "y"}), EvalMode::kSetNaive,
+                         opts, db),
+            PlanCacheKey(Rename(Scan("R"), {"u", "v"}), EvalMode::kSetNaive,
+                         opts, db));
+  EXPECT_NE(PlanCacheKey(Scan("R"), EvalMode::kSetNaive, opts, db),
+            PlanCacheKey(Scan("R"), EvalMode::kSetSql, opts, db));
+  // α-renamed: same shape, different attribute names — attribute names
+  // are semantic (they define the output schema), so these must not
+  // collide on one entry.
+  auto a = cache.CompileCached(Rename(Scan("R"), {"x", "y"}),
+                               EvalMode::kSetNaive, opts, db);
+  auto b = cache.CompileCached(Rename(Scan("R"), {"u", "v"}),
+                               EvalMode::kSetNaive, opts, db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ((*a)->root->attrs, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ((*b)->root->attrs, (std::vector<std::string>{"u", "v"}));
+  // Mode and option changes key separately too (the options are baked
+  // into the compiled plan).
+  AlgPtr q = Select(Scan("R"), CEq("R_a", "R_b"));
+  (void)cache.CompileCached(q, EvalMode::kSetNaive, opts, db);
+  (void)cache.CompileCached(q, EvalMode::kSetSql, opts, db);
+  EvalOptions other = opts;
+  other.enable_selection_pushdown = false;
+  (void)cache.CompileCached(q, EvalMode::kSetNaive, other, db);
+  EXPECT_EQ(cache.stats().misses, 5u);
+  // num_threads participates via its *resolved* value: 0 and
+  // hardware_concurrency() share one entry.
+  EvalOptions zero = opts;
+  zero.num_threads = 0;
+  EvalOptions hw = opts;
+  hw.num_threads = ResolveNumThreads(0);
+  EXPECT_EQ(PlanCacheKey(q, EvalMode::kSetNaive, zero, db),
+            PlanCacheKey(q, EvalMode::kSetNaive, hw, db));
+  (void)cache.CompileCached(q, EvalMode::kSetNaive, zero, db);
+  uint64_t misses = cache.stats().misses;
+  (void)cache.CompileCached(q, EvalMode::kSetNaive, hw, db);
+  EXPECT_EQ(cache.stats().misses, misses);
+}
+
+TEST(PlanCacheTest, SchemaChangeInvalidatesAndClearDropsEntries) {
+  std::mt19937_64 rng(14);
+  Database db = RandomDatabase(rng);
+  PlanCache cache;
+  EvalOptions opts;
+  AlgPtr q = Project(Scan("R"), {"R_a"});
+  (void)cache.CompileCached(q, EvalMode::kSetNaive, opts, db);
+  (void)cache.CompileCached(q, EvalMode::kSetNaive, opts, db);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Same rows, different schema: the scanned-schema bytes in the key
+  // change, so the next lookup recompiles against the new schema.
+  Relation renamed = db.at("R");
+  ASSERT_TRUE(renamed.RenameAttrs({"R_a", "R_z"}).ok());
+  db.Put("R", std::move(renamed));
+  auto recompiled = cache.CompileCached(q, EvalMode::kSetNaive, opts, db);
+  ASSERT_TRUE(recompiled.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  auto res = Execute(*recompiled, db);
+  ASSERT_TRUE(res.ok());
+  // A schema change that breaks the query surfaces the compile error
+  // instead of serving the stale plan.
+  Relation narrow({"R_z"});
+  db.Put("R", std::move(narrow));
+  auto broken = cache.CompileCached(q, EvalMode::kSetNaive, opts, db);
+  EXPECT_FALSE(broken.ok());
+  // Clear() drops entries; the next lookup misses again.
+  cache.Clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  std::mt19937_64 rng(15);
+  Database db = RandomDatabase(rng);
+  PlanCache cache(/*capacity=*/2);
+  EvalOptions opts;
+  AlgPtr q1 = Project(Scan("R"), {"R_a"});
+  AlgPtr q2 = Project(Scan("R"), {"R_b"});
+  AlgPtr q3 = Project(Scan("S"), {"S_a"});
+  (void)cache.CompileCached(q1, EvalMode::kSetNaive, opts, db);
+  (void)cache.CompileCached(q2, EvalMode::kSetNaive, opts, db);
+  (void)cache.CompileCached(q1, EvalMode::kSetNaive, opts, db);  // refresh q1
+  (void)cache.CompileCached(q3, EvalMode::kSetNaive, opts, db);  // evicts q2
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  (void)cache.CompileCached(q1, EvalMode::kSetNaive, opts, db);
+  EXPECT_EQ(cache.stats().hits, 2u);  // q1 survived the eviction
+  (void)cache.CompileCached(q2, EvalMode::kSetNaive, opts, db);
+  EXPECT_EQ(cache.stats().misses, 4u);  // q2 did not
+}
+
+TEST(PlanCacheTest, ConcurrentLookupsFromManyThreads) {
+  std::mt19937_64 rng(16);
+  Database db = RandomDatabase(rng);
+  PlanCache cache;
+  const std::vector<AlgPtr> queries = testing_util::QueryZoo();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      EvalOptions opts;
+      for (int i = 0; i < kIters; ++i) {
+        const AlgPtr& q = queries[(w + i) % queries.size()];
+        auto plan = cache.CompileCached(q, EvalMode::kSetNaive, opts, db);
+        if (!plan.ok() || !(*plan)->root) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto res = Execute(*plan, db);
+        if (!res.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats s = cache.stats();
+  // Every lookup is accounted exactly once (racing cold-key compiles may
+  // add extra misses but never lose a count).
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_LE(s.size, s.capacity);
+}
+
+TEST(PlanCacheTest, GlobalCacheServesTheEvalWrappers) {
+  std::mt19937_64 rng(17);
+  Database db = RandomDatabase(rng);
+  AlgPtr q = Select(Product(Scan("R"), Rename(Scan("S"), {"S_x", "S_y"})),
+                    CEq("R_b", "S_x"));
+  PlanCacheStats before = PlanCache::Global().stats();
+  EvalOptions opts;  // use_plan_cache defaults to true
+  auto r1 = EvalSet(q, db, opts);
+  auto r2 = EvalSet(q, db, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->IdenticalTo(*r2));
+  PlanCacheStats after = PlanCache::Global().stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+  // Opting out recompiles per call and never touches the counters.
+  EvalOptions uncached;
+  uncached.use_plan_cache = false;
+  PlanCacheStats mid = PlanCache::Global().stats();
+  auto r3 = EvalSet(q, db, uncached);
+  ASSERT_TRUE(r3.ok());
+  PlanCacheStats end = PlanCache::Global().stats();
+  EXPECT_EQ(mid.hits + mid.misses, end.hits + end.misses);
 }
 
 TEST(PlanExecTest, ParallelJoinHonoursBudget) {

@@ -2,9 +2,14 @@
 #define INCDB_TESTS_TESTING_UTIL_H_
 
 /// Shared helpers for property-style tests: the paper-running example
-/// (Figure 1), seeded random databases and random core-grammar queries.
+/// (Figure 1), seeded random databases, the enumerated query zoo, and the
+/// seeded structurally-random query generator behind the differential
+/// fuzzer (tests/fuzz_diff_test.cpp).
 
+#include <algorithm>
 #include <random>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "algebra/builder.h"
@@ -105,6 +110,219 @@ inline std::vector<AlgPtr> QueryZoo(bool include_negative = true) {
                                        CNeqc("R_b", Value::Int(2)))));
   return zoo;
 }
+
+/// Like RandomDatabase but with bag multiplicities (1..3 occurrences per
+/// generated tuple): the differential fuzzer needs non-set base relations
+/// to exercise the set-collapsing scans and bag arithmetic.
+inline Database RandomBagDatabase(std::mt19937_64& rng,
+                                  size_t tuples_per_rel = 4,
+                                  int n_constants = 3, int n_nulls = 2) {
+  auto value = [&]() -> Value {
+    std::uniform_int_distribution<int> pick(0, n_constants + n_nulls - 1);
+    int v = pick(rng);
+    if (v < n_constants) return Value::Int(v);
+    return Value::Null(static_cast<uint64_t>(v - n_constants));
+  };
+  auto count = [&]() -> uint64_t { return 1 + rng() % 3; };
+  Database db;
+  for (const char* name : {"R", "S"}) {
+    Relation rel({std::string(name) + "_a", std::string(name) + "_b"});
+    for (size_t i = 0; i < tuples_per_rel; ++i) {
+      rel.Add({value(), value()}, count());
+    }
+    db.Put(name, std::move(rel));
+  }
+  Relation t({"T_a"});
+  for (size_t i = 0; i < tuples_per_rel; ++i) t.Add({value()}, count());
+  db.Put("T", std::move(t));
+  return db;
+}
+
+/// \brief Seeded random algebra queries over the RandomDatabase schema
+/// (R(R_a,R_b), S(S_a,S_b), T(T_a)), schema-correct by construction.
+///
+/// Generated queries cover the core grammar plus every sugar operator the
+/// three evaluators execute natively (join, semijoin/antijoin, [NOT] IN,
+/// DISTINCT, ⋉⇑); ÷ and Dom are excluded (÷ is unsupported under EvalSql,
+/// Dom blows up the reference walk). Arity agreement and ×-disjointness
+/// are maintained structurally: same-arity operators narrow the wider side
+/// with a projection, product-like operators rename their right input to
+/// fresh attribute names. An estimated-output-size ledger steers the
+/// generator away from product towers, keeping the quadratic reference
+/// evaluation of every generated query cheap.
+class RandomQueryGen {
+ public:
+  explicit RandomQueryGen(std::mt19937_64& rng, size_t leaf_rows = 4,
+                          size_t max_est_rows = 800)
+      : rng_(&rng), leaf_rows_(leaf_rows), cap_(max_est_rows) {}
+
+  AlgPtr Gen(int depth) { return GenNode(depth).q; }
+
+ private:
+  struct Sub {
+    AlgPtr q;
+    std::vector<std::string> attrs;
+    size_t est;  ///< Upper estimate of the output row count.
+  };
+
+  size_t Pick(size_t n) { return static_cast<size_t>((*rng_)() % n); }
+
+  Value RandConst() { return Value::Int(static_cast<int64_t>(Pick(3))); }
+
+  std::string FreshAttr() { return "f" + std::to_string(fresh_++); }
+
+  CondPtr RandAtom(const std::vector<std::string>& attrs) {
+    const std::string& a = attrs[Pick(attrs.size())];
+    const std::string& b = attrs[Pick(attrs.size())];
+    switch (Pick(8)) {
+      case 0:
+        return CEq(a, b);
+      case 1:
+        return CNeq(a, b);
+      case 2:
+        return CEqc(a, RandConst());
+      case 3:
+        return CNeqc(a, RandConst());
+      case 4:
+        return CIsConst(a);
+      case 5:
+        return CIsNull(a);
+      case 6:
+        return CLtc(a, RandConst());
+      default:
+        return CGec(a, RandConst());
+    }
+  }
+
+  CondPtr RandCond(const std::vector<std::string>& attrs, int depth) {
+    if (depth <= 0 || Pick(2) == 0) return RandAtom(attrs);
+    CondPtr l = RandCond(attrs, depth - 1);
+    CondPtr r = RandCond(attrs, depth - 1);
+    return Pick(2) != 0 ? CAnd(std::move(l), std::move(r))
+                        : COr(std::move(l), std::move(r));
+  }
+
+  Sub Leaf() {
+    switch (Pick(3)) {
+      case 0:
+        return {Scan("R"), {"R_a", "R_b"}, leaf_rows_};
+      case 1:
+        return {Scan("S"), {"S_a", "S_b"}, leaf_rows_};
+      default:
+        return {Scan("T"), {"T_a"}, leaf_rows_};
+    }
+  }
+
+  /// Renames every attribute to fresh names (×-disjointness).
+  Sub Freshen(Sub s) {
+    std::vector<std::string> names;
+    names.reserve(s.attrs.size());
+    for (size_t i = 0; i < s.attrs.size(); ++i) names.push_back(FreshAttr());
+    return {Rename(std::move(s.q), names), names, s.est};
+  }
+
+  /// Projects down to the first `k` attributes (arity agreement).
+  Sub Narrow(Sub s, size_t k) {
+    if (s.attrs.size() <= k) return s;
+    std::vector<std::string> keep(s.attrs.begin(),
+                                  s.attrs.begin() + static_cast<long>(k));
+    return {Project(std::move(s.q), keep), keep, s.est};
+  }
+
+  Sub GenNode(int depth) {
+    if (depth <= 0) return Leaf();
+    switch (Pick(12)) {
+      case 0: {  // σ
+        Sub in = GenNode(depth - 1);
+        CondPtr c = RandCond(in.attrs, 1);
+        return {Select(in.q, std::move(c)), in.attrs, in.est};
+      }
+      case 1: {  // π over a kept-order subset
+        Sub in = GenNode(depth - 1);
+        std::vector<std::string> keep;
+        for (const std::string& a : in.attrs) {
+          if (Pick(2) != 0) keep.push_back(a);
+        }
+        if (keep.empty()) keep.push_back(in.attrs[Pick(in.attrs.size())]);
+        return {Project(in.q, keep), keep, in.est};
+      }
+      case 2:  // ρ
+        return Freshen(GenNode(depth - 1));
+      case 3: {  // DISTINCT
+        Sub in = GenNode(depth - 1);
+        return {Distinct(in.q), in.attrs, in.est};
+      }
+      case 4:
+      case 5: {  // same-arity binaries: ∪ − ∩ ⋉⇑
+        Sub l = GenNode(depth - 1);
+        Sub r = GenNode(depth - 1);
+        size_t k = std::min(l.attrs.size(), r.attrs.size());
+        l = Narrow(std::move(l), k);
+        r = Narrow(std::move(r), k);
+        switch (Pick(4)) {
+          case 0:
+            return {Union(l.q, r.q), l.attrs, l.est + r.est};
+          case 1:
+            return {Diff(l.q, r.q), l.attrs, l.est};
+          case 2:
+            return {Intersect(l.q, r.q), l.attrs, l.est};
+          default:
+            return {AntijoinUnify(l.q, r.q), l.attrs, l.est};
+        }
+      }
+      case 6:
+      case 7: {  // × / ⋈θ
+        Sub l = GenNode(depth - 1);
+        Sub r = Freshen(GenNode(depth - 1));
+        if (l.est * r.est > cap_) {  // keep the reference walk bounded
+          return {Select(l.q, RandCond(l.attrs, 0)), l.attrs, l.est};
+        }
+        std::vector<std::string> joint = l.attrs;
+        joint.insert(joint.end(), r.attrs.begin(), r.attrs.end());
+        size_t est = l.est * r.est;
+        if (Pick(2) != 0) return {Product(l.q, r.q), joint, est};
+        return {Join(l.q, r.q, RandCond(joint, 1)), joint, est};
+      }
+      case 8: {  // ⋉θ / ⊳θ
+        Sub l = GenNode(depth - 1);
+        Sub r = Freshen(GenNode(depth - 1));
+        std::vector<std::string> joint = l.attrs;
+        joint.insert(joint.end(), r.attrs.begin(), r.attrs.end());
+        CondPtr c = RandCond(joint, 1);
+        return {Pick(2) != 0 ? Semijoin(l.q, r.q, std::move(c))
+                             : Antijoin(l.q, r.q, std::move(c)),
+                l.attrs, l.est};
+      }
+      case 9:
+      case 10: {  // x̄ [NOT] IN (r WHERE θ), sometimes correlated
+        Sub l = GenNode(depth - 1);
+        Sub r = Freshen(GenNode(depth - 1));
+        size_t k = 1 + Pick(std::min(l.attrs.size(), r.attrs.size()));
+        std::vector<std::string> lcols(l.attrs.begin(),
+                                       l.attrs.begin() + static_cast<long>(k));
+        std::vector<std::string> rcols(r.attrs.begin(),
+                                       r.attrs.begin() + static_cast<long>(k));
+        CondPtr c = CTrue();
+        if (Pick(2) != 0) {
+          std::vector<std::string> joint = l.attrs;
+          joint.insert(joint.end(), r.attrs.begin(), r.attrs.end());
+          c = RandCond(joint, 0);
+        }
+        return {Pick(2) != 0
+                    ? InPredicate(l.q, r.q, lcols, rcols, std::move(c))
+                    : NotInPredicate(l.q, r.q, lcols, rcols, std::move(c)),
+                l.attrs, l.est};
+      }
+      default:  // spend the depth without a new operator
+        return GenNode(depth - 1);
+    }
+  }
+
+  std::mt19937_64* rng_;
+  size_t leaf_rows_;
+  size_t cap_;
+  int fresh_ = 0;
+};
 
 }  // namespace testing_util
 }  // namespace incdb
