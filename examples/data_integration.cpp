@@ -2,16 +2,15 @@
 // two sources disagree on a person's department; the shared unknown is
 // one marked null, which is strictly more informative than SQL's NULL.
 // Functional dependencies then pin the null down via the chase, and the
-// possible-world structure is inspected through homomorphisms.
+// possible-world structure is inspected through homomorphisms. Queries
+// and certain answers go through the Session facade.
 //
 //   $ ./build/examples/data_integration
 
 #include <cstdio>
 
-#include "algebra/builder.h"
-#include "certain/certain.h"
+#include "api/session.h"
 #include "constraints/chase.h"
-#include "eval/eval.h"
 #include "hom/homomorphism.h"
 #include "prob/prob.h"
 
@@ -31,16 +30,19 @@ int main() {
   seminar.Add({Value::String("cs"), Value::String("cs-lab")});
   db.Put("WorksIn", std::move(works));
   db.Put("Seminar", std::move(seminar));
-  std::printf("Integrated database:\n%s\n", db.ToString().c_str());
+
+  Session sess(std::move(db));
+  std::printf("Integrated database:\n%s\n", sess.db().ToString().c_str());
 
   // Query: rooms carol can host a seminar in — joins through the *same*
   // null, so the answer is certain even though the department is unknown.
+  // The person is a parameter: the same prepared template serves every
+  // employee with one compile.
   AlgPtr q = Project(
-      Join(Select(Scan("WorksIn"), CEqc("person", Value::String("carol"))),
-           Rename(Scan("Seminar"), {"sdept", "room"}),
-           CEq("dept", "sdept")),
+      Join(Select(Scan("WorksIn"), CEqc("person", Value::Param(0))),
+           Rename(Scan("Seminar"), {"sdept", "room"}), CEq("dept", "sdept")),
       {"room"});
-  auto cert = CertWithNulls(q, db);
+  auto cert = sess.CertainWithNulls(q, {Value::String("carol")});
   std::printf("Certain rooms for carol: %s\n",
               cert.ok() ? cert->ToString().c_str()
                         : cert.status().ToString().c_str());
@@ -48,11 +50,11 @@ int main() {
 
   // A key constraint resolves the null: each room determines its dept,
   // and a third source asserts Seminar(math, db-lab).
-  Relation* sem = db.mutable_at("Seminar");
+  Relation* sem = sess.mutable_db().mutable_at("Seminar");
   sem->Add({Value::String("math"), Value::String("db-lab")});
   std::printf("After adding Seminar('math', 'db-lab'):\n%s\n",
-              db.ToString().c_str());
-  auto chased = ChaseFDs(db, {FD{"Seminar", {"room"}, {"dept"}}});
+              sess.db().ToString().c_str());
+  auto chased = ChaseFDs(sess.db(), {FD{"Seminar", {"room"}, {"dept"}}});
   if (chased.ok() && chased->success) {
     std::printf("Chase with FD room → dept resolves ⊥1:\n%s\n",
                 chased->db.ToString().c_str());
@@ -62,15 +64,17 @@ int main() {
   // adding unrelated facts gives an OWA world only.
   Valuation v;
   v.Set(1, Value::String("math"));
-  Database world = v.ApplySet(db);
+  Database world = v.ApplySet(sess.db());
   std::printf("CWA world under ⊥1 ↦ 'math'? %s\n",
-              IsPossibleWorld(db, world, HomClass::kStrongOnto) ? "yes"
-                                                                : "no");
+              IsPossibleWorld(sess.db(), world, HomClass::kStrongOnto)
+                  ? "yes"
+                  : "no");
   Relation extra = world.at("WorksIn");
   extra.Add({Value::String("zoe"), Value::String("bio")});
   world.Put("WorksIn", extra);
-  std::printf("...with an extra fact: CWA? %s, OWA? %s\n",
-              IsPossibleWorld(db, world, HomClass::kStrongOnto) ? "yes" : "no",
-              IsPossibleWorld(db, world, HomClass::kAny) ? "yes" : "no");
+  std::printf(
+      "...with an extra fact: CWA? %s, OWA? %s\n",
+      IsPossibleWorld(sess.db(), world, HomClass::kStrongOnto) ? "yes" : "no",
+      IsPossibleWorld(sess.db(), world, HomClass::kAny) ? "yes" : "no");
   return 0;
 }

@@ -1,5 +1,5 @@
-// The paper's §1 scenario end to end, through the SQL frontend: a single
-// NULL makes SQL miss answers and invent answers, and the Fig. 2(b)
+// The paper's §1 scenario end to end, through the Session facade: a
+// single NULL makes SQL miss answers and invent answers, and the Fig. 2(b)
 // rewriting repairs correctness for the *same SQL text*.
 //
 //   $ ./build/examples/orders_audit
@@ -7,10 +7,8 @@
 #include <cstdio>
 #include <string>
 
-#include "approx/approx.h"
+#include "api/session.h"
 #include "certain/certain.h"
-#include "eval/eval.h"
-#include "sql/translate.h"
 
 using namespace incdb;  // NOLINT — example brevity
 
@@ -35,17 +33,19 @@ Database MakeDb(bool with_null) {
   return db;
 }
 
-void RunQuery(const char* label, const std::string& sql, const Database& db) {
-  auto alg = ParseSqlToAlgebra(sql, db);
-  if (!alg.ok()) {
+void RunQuery(const char* label, const std::string& sql, Session& sess) {
+  // One Prepare serves the SQL answer *and* the certain-answer views: the
+  // translated algebra feeds the Session's Certain* wrappers directly.
+  auto pq = sess.Prepare(sql);
+  if (!pq.ok()) {
     std::printf("%s: translation failed: %s\n", label,
-                alg.status().ToString().c_str());
+                pq.status().ToString().c_str());
     return;
   }
-  auto sql_ans = EvalSql(*alg, db);
-  auto plus = EvalPlus(*alg, db);
-  auto maybe = EvalMaybe(*alg, db);
-  auto cert = CertWithNulls(*alg, db);
+  auto sql_ans = pq->Execute();
+  auto plus = sess.CertainPlus(pq->algebra());
+  auto maybe = sess.CertainMaybe(pq->algebra());
+  auto cert = sess.CertainWithNulls(pq->algebra());
   std::printf("%s\n  SQL says      : %s\n", label,
               sql_ans.ok() ? sql_ans->ToString().c_str()
                            : sql_ans.status().ToString().c_str());
@@ -74,20 +74,20 @@ int main() {
       "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'";
 
   std::printf("=== Complete database (paper Figure 1) ===\n\n");
-  Database complete = MakeDb(false);
+  Session complete(MakeDb(false));
   RunQuery("[unpaid orders]", unpaid, complete);
   RunQuery("[customers with no paid order]", no_paid_order, complete);
 
   std::printf("=== One payment's oid replaced by NULL ===\n\n");
-  Database with_null = MakeDb(true);
+  Session with_null(MakeDb(true));
   RunQuery("[unpaid orders]", unpaid, with_null);
   RunQuery("[customers with no paid order]", no_paid_order, with_null);
   RunQuery("[tautology: oid = 'o2' OR oid <> 'o2']", tautology, with_null);
 
   // Explainability: why is c2 not certain? Ask for a counterexample world.
-  auto alg = ParseSqlToAlgebra(no_paid_order, with_null);
+  auto alg = with_null.Prepare(no_paid_order);
   if (alg.ok()) {
-    auto why = WhyNotCertain(*alg, with_null,
+    auto why = WhyNotCertain(alg->algebra(), with_null.db(),
                              Tuple{Value::String("c2")});
     if (why.ok() && why->has_value()) {
       std::printf("Why is c2 not certain? Counterexample valuation %s\n",

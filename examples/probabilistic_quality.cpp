@@ -7,8 +7,7 @@
 
 #include <cstdio>
 
-#include "algebra/builder.h"
-#include "eval/eval.h"
+#include "api/session.h"
 #include "prob/prob.h"
 
 using namespace incdb;  // NOLINT — example brevity
@@ -71,15 +70,16 @@ int main() {
   db3.Put("S", s3);
   db3.Put("T", t3);
   AlgPtr q3 = Diff(Scan("R"), Diff(Scan("S"), Scan("T")));
-  auto sql = EvalSql(
-      NotInPredicate(
-          Scan("R"),
-          Rename(NotInPredicate(Scan("S"), Rename(Scan("T"), {"z"}), {"x"},
-                                {"z"}, CTrue()),
-                 {"y"}),
-          {"x"}, {"y"}, CTrue()),
-      db3);
-  auto mu3 = MuK(q3, db3, one, 10);
+  // SQL's reading of the same double negation, through the facade.
+  Session sess3(std::move(db3));
+  auto pq3 = sess3.Prepare(NotInPredicate(
+      Scan("R"),
+      Rename(NotInPredicate(Scan("S"), Rename(Scan("T"), {"z"}), {"x"}, {"z"},
+                            CTrue()),
+             {"y"}),
+      {"x"}, {"y"}, CTrue()));
+  auto sql = pq3.ok() ? pq3->Execute() : StatusOr<Relation>(pq3.status());
+  auto mu3 = MuK(q3, sess3.db(), one, 10);
   std::printf("SQL on R−(S−T), R=S={1}, T={⊥}: %s\n",
               sql.ok() ? sql->ToString().c_str() : "error");
   std::printf("but µ_10(Q, D, (1)) = %.4f — an almost-certainly-false "

@@ -2,43 +2,47 @@
 // strategies of [36] (paper §4.2, Theorem 4.9): eager grounding is the
 // cheapest and equals the (Q+, Q?) rewriting; postponing grounding keeps
 // symbolic conditions longer and can certify strictly more answers.
+// The comparison baselines (Q+, exact cert⊥) ride the Session facade; the
+// query constant is a parameter resolved inside the c-table evaluator.
 //
 //   $ ./build/examples/strategy_tradeoffs
 
 #include <cstdio>
 
-#include "algebra/builder.h"
-#include "approx/approx.h"
-#include "certain/certain.h"
+#include "api/session.h"
 #include "ctables/ceval.h"
 
 using namespace incdb;  // NOLINT — example brevity
 
 int main() {
-  // R = {⊥1}; Q = σ_{x=1}(R) ∪ σ_{x≠1}(R). In every possible world the
-  // tuple satisfies one of the two branches, so ⊥1 is a certain answer —
-  // but each branch alone is only "unknown".
+  // R = {⊥1}; Q = σ_{x=?} (R) ∪ σ_{x≠?}(R) bound at ? = 1. In every
+  // possible world the tuple satisfies one of the two branches, so ⊥1 is
+  // a certain answer — but each branch alone is only "unknown".
   Database db;
   Relation r({"x"});
   r.Add({Value::Null(1)});
   db.Put("R", r);
-  AlgPtr q = Union(Select(Scan("R"), CEqc("x", Value::Int(1))),
-                   Select(Scan("R"), CNeqc("x", Value::Int(1))));
-  std::printf("D: R = { ⊥1 }\nQ = %s\n\n", q->ToString().c_str());
+  AlgPtr q = Union(Select(Scan("R"), CEqc("x", Value::Param(0))),
+                   Select(Scan("R"), CNeqc("x", Value::Param(0))));
+  const std::vector<Value> binding = {Value::Int(1)};
+  Session sess(std::move(db));
+  std::printf("D: R = { ⊥1 }\nQ = %s bound at ?0 = 1\n\n",
+              q->ToString().c_str());
 
-  // Show the conditional table each strategy ends with.
+  // Show the conditional table each strategy ends with; the placeholder
+  // resolves when each selection condition is instantiated (ceval).
   for (CStrategy s : {CStrategy::kEager, CStrategy::kSemiEager,
                       CStrategy::kLazy, CStrategy::kAware}) {
-    auto table = CEval(q, db, s);
-    auto certain = CEvalCertain(q, db, s);
+    auto table = CEval(q, sess.db(), s, binding);
+    auto certain = CEvalCertain(q, sess.db(), s, binding);
     if (!table.ok() || !certain.ok()) continue;
     std::printf("%-10s c-table: %s\n", ToString(s),
                 table->ToString().c_str());
     std::printf("%-10s certain: %s\n\n", "", certain->ToString().c_str());
   }
 
-  auto plus = EvalPlus(q, db);
-  auto cert = CertWithNulls(q, db);
+  auto plus = sess.CertainPlus(q, binding);
+  auto cert = sess.CertainWithNulls(q, binding);
   std::printf("Fig. 2(b) Q+ (= eager, Theorem 4.9): %s\n",
               plus.ok() ? plus->ToString().c_str() : "error");
   std::printf("exact cert⊥ (ground truth):          %s\n\n",

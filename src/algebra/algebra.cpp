@@ -43,7 +43,9 @@ void CollectConstants(const CondPtr& c, std::vector<Value>* out) {
       return;
     case CondKind::kEqAttrConst:
     case CondKind::kNeqAttrConst:
-      out->push_back(c->constant);
+      // Parameter placeholders are not constants (and must not leak into
+      // Dom extras of the approximation translations).
+      if (c->constant.is_const()) out->push_back(c->constant);
       return;
     default:
       return;
@@ -56,8 +58,10 @@ StatusOr<std::vector<std::string>> OutputAttrs(const AlgPtr& q,
                                                const Database& db) {
   switch (q->kind) {
     case OpKind::kScan: {
-      auto rel = db.Get(q->rel_name);
-      if (!rel.ok()) return rel.status();
+      const Relation* rel = db.Find(q->rel_name);
+      if (rel == nullptr) {
+        return Status::NotFound("no relation named " + q->rel_name);
+      }
       return rel->attrs();
     }
     case OpKind::kSelect: {
@@ -330,6 +334,61 @@ std::vector<Value> QueryConstants(const AlgPtr& q) {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+size_t ParamCount(const AlgPtr& q) {
+  size_t count = 0;
+  std::vector<const Algebra*> stack = {q.get()};
+  while (!stack.empty()) {
+    const Algebra* node = stack.back();
+    stack.pop_back();
+    if (node->cond) count = std::max(count, CondParamCount(node->cond));
+    for (const Value& v : node->dom_extra) {
+      if (v.is_param()) {
+        count = std::max(count, static_cast<size_t>(v.param_index()) + 1);
+      }
+    }
+    if (node->left) stack.push_back(node->left.get());
+    if (node->right) stack.push_back(node->right.get());
+  }
+  return count;
+}
+
+StatusOr<AlgPtr> BindParams(const AlgPtr& q, const std::vector<Value>& params) {
+  bool dom_param = false;
+  for (const Value& v : q->dom_extra) dom_param |= v.is_param();
+  const bool cond_param = q->cond && CondHasParam(q->cond);
+
+  AlgPtr left = q->left, right = q->right;
+  if (q->left) {
+    auto l = BindParams(q->left, params);
+    if (!l.ok()) return l;
+    left = *l;
+  }
+  if (q->right) {
+    auto r = BindParams(q->right, params);
+    if (!r.ok()) return r;
+    right = *r;
+  }
+  if (!cond_param && !dom_param && left == q->left && right == q->right) {
+    return q;  // parameter-free subtree: share
+  }
+  auto out = std::make_shared<Algebra>(*q);
+  out->left = std::move(left);
+  out->right = std::move(right);
+  if (cond_param) {
+    auto bound = BindCondParams(q->cond, params);
+    if (!bound.ok()) return bound.status();
+    out->cond = *bound;
+  }
+  if (dom_param) {
+    for (Value& v : out->dom_extra) {
+      auto bound = ResolveParamBinding(v, params);
+      if (!bound.ok()) return bound.status();
+      v = *bound;
+    }
+  }
+  return AlgPtr(out);
 }
 
 bool QueryHasOrderComparison(const AlgPtr& q) {

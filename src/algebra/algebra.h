@@ -95,7 +95,21 @@ bool IsPosForallG(const AlgPtr& q);
 bool IsPositive(const AlgPtr& q);
 
 /// All constants mentioned in selection conditions of the subtree.
+/// Parameter placeholders (Value::Param) are *not* constants and are
+/// skipped — queries must be bound (see BindParams) before feeding the
+/// Fig. 2 translations, which embed these constants into Dom extras.
 std::vector<Value> QueryConstants(const AlgPtr& q);
+
+/// Number of parameter slots the query needs: 1 + the largest placeholder
+/// index mentioned in any selection condition or Dom extra of the subtree;
+/// 0 for a parameter-free query.
+size_t ParamCount(const AlgPtr& q);
+
+/// Substitutes every parameter placeholder ?i by `params[i]` throughout
+/// the subtree (conditions and Dom extras). Parameter-free subtrees are
+/// shared, not copied. Errors when an index is out of range or a binding
+/// is not a constant.
+StatusOr<AlgPtr> BindParams(const AlgPtr& q, const std::vector<Value>& params);
 
 /// All base relations scanned by the subtree.
 std::vector<std::string> ScannedRelations(const AlgPtr& q);

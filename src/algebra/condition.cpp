@@ -1,5 +1,6 @@
 #include "algebra/condition.h"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 
@@ -184,6 +185,75 @@ std::vector<std::string> CondAttrs(const CondPtr& c) {
   std::set<std::string> s;
   CollectAttrs(c, &s);
   return std::vector<std::string>(s.begin(), s.end());
+}
+
+namespace {
+/// True for condition kinds whose `constant` field is live.
+bool KindHasConstant(CondKind k) {
+  switch (k) {
+    case CondKind::kEqAttrConst:
+    case CondKind::kNeqAttrConst:
+    case CondKind::kLtAttrConst:
+    case CondKind::kLeAttrConst:
+    case CondKind::kGtAttrConst:
+    case CondKind::kGeAttrConst:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+bool CondHasParam(const CondPtr& c) {
+  if (c->kind == CondKind::kAnd || c->kind == CondKind::kOr) {
+    return CondHasParam(c->left) || CondHasParam(c->right);
+  }
+  return KindHasConstant(c->kind) && c->constant.is_param();
+}
+
+size_t CondParamCount(const CondPtr& c) {
+  if (c->kind == CondKind::kAnd || c->kind == CondKind::kOr) {
+    return std::max(CondParamCount(c->left), CondParamCount(c->right));
+  }
+  if (KindHasConstant(c->kind) && c->constant.is_param()) {
+    return static_cast<size_t>(c->constant.param_index()) + 1;
+  }
+  return 0;
+}
+
+StatusOr<Value> ResolveParamBinding(const Value& v,
+                                    const std::vector<Value>& params) {
+  if (!v.is_param()) return v;
+  const uint32_t idx = v.param_index();
+  if (idx >= params.size()) {
+    return Status::InvalidArgument(
+        "unbound parameter ?" + std::to_string(idx) + " (got " +
+        std::to_string(params.size()) + " binding(s))");
+  }
+  if (!params[idx].is_const()) {
+    return Status::InvalidArgument(
+        "parameter ?" + std::to_string(idx) +
+        " must be bound to a constant, got " + params[idx].ToString());
+  }
+  return params[idx];
+}
+
+StatusOr<CondPtr> BindCondParams(const CondPtr& c,
+                                 const std::vector<Value>& params) {
+  if (c->kind == CondKind::kAnd || c->kind == CondKind::kOr) {
+    if (!CondHasParam(c)) return c;
+    auto l = BindCondParams(c->left, params);
+    if (!l.ok()) return l;
+    auto r = BindCondParams(c->right, params);
+    if (!r.ok()) return r;
+    return c->kind == CondKind::kAnd ? CAnd(*l, *r) : COr(*l, *r);
+  }
+  if (!KindHasConstant(c->kind) || !c->constant.is_param()) return c;
+  auto bound = ResolveParamBinding(c->constant, params);
+  if (!bound.ok()) return bound.status();
+  auto out = std::make_shared<Condition>(*c);
+  out->constant = *bound;
+  return CondPtr(out);
 }
 
 bool HasNullConstTest(const CondPtr& c) {

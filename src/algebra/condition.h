@@ -96,6 +96,27 @@ CondPtr StarTranslate(const CondPtr& c);
 /// All attribute names mentioned by the condition.
 std::vector<std::string> CondAttrs(const CondPtr& c);
 
+/// True iff any attr-const comparison of the condition carries a parameter
+/// placeholder (Value::Param) instead of a constant.
+bool CondHasParam(const CondPtr& c);
+
+/// Number of parameter slots the condition needs: 1 + the largest
+/// placeholder index mentioned, 0 when the condition is parameter-free.
+size_t CondParamCount(const CondPtr& c);
+
+/// Resolves one value against parameter bindings: constants pass through,
+/// a placeholder ?i yields `params[i]`. The single authority for binding
+/// errors (index out of range, binding not a constant — nulls and nested
+/// parameters cannot be bound), shared by every substitution site
+/// (condition/algebra/plan binding, the c-table evaluator).
+StatusOr<Value> ResolveParamBinding(const Value& v,
+                                    const std::vector<Value>& params);
+
+/// Substitutes every parameter placeholder ?i by `params[i]` (via
+/// ResolveParamBinding). Parameter-free subtrees are shared, not copied.
+StatusOr<CondPtr> BindCondParams(const CondPtr& c,
+                                 const std::vector<Value>& params);
+
 /// True iff the condition contains a const(·) or null(·) test. Source
 /// queries fed to the Fig. 2 approximation translations must not use
 /// these: over the complete possible worlds that define cert⊥ they are

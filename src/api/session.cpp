@@ -1,0 +1,414 @@
+// Session facade implementation (see api/session.h for the contract).
+//
+// Prepare = parse → translate → CompileCached on the *parameterized*
+// algebra (the session's private PlanCache keys placeholders by index, so
+// one query template is one entry). Execute = BindPlanParams (clone-
+// substitute over the affected nodes, no rewrite pass re-runs) → Execute.
+// The cursor streams the maximal unary operator chain at the plan root;
+// everything below it is materialised once through ExecuteNode.
+
+#include "api/session.h"
+
+#include <atomic>
+#include <cctype>
+
+#include "approx/approx.h"
+#include "sql/translate.h"
+
+namespace incdb {
+
+namespace internal {
+
+struct SessionState {
+  Database db;
+  EvalOptions opts;
+  uint64_t max_valuations;
+  PlanCache cache;
+  std::atomic<uint64_t> prepares{0};
+  std::atomic<uint64_t> executes{0};
+  std::atomic<uint64_t> cursors{0};
+
+  SessionState(Database d, EvalOptions o)
+      : db(std::move(d)),
+        opts(o),
+        max_valuations(CertainOptions{}.max_valuations) {}
+};
+
+}  // namespace internal
+
+using internal::SessionState;
+
+// --- SQL error annotation ----------------------------------------------------
+
+Status AnnotateSqlError(const Status& st, const std::string& sql) {
+  if (st.ok()) return st;
+  const std::string& msg = st.message();
+  const std::string marker = " at offset ";
+  size_t p = msg.rfind(marker);
+  if (p == std::string::npos) return st;
+  size_t digits = p + marker.size();
+  size_t end = digits;
+  while (end < msg.size() &&
+         std::isdigit(static_cast<unsigned char>(msg[end]))) {
+    ++end;
+  }
+  if (end == digits) return st;
+  size_t off = 0;
+  for (size_t i = digits; i < end; ++i) {
+    off = off * 10 + static_cast<size_t>(msg[i] - '0');
+  }
+  if (off > sql.size()) off = sql.size();
+  // Quote the line containing the offset with a caret under the byte.
+  size_t line_start =
+      off == 0 ? std::string::npos : sql.rfind('\n', off - 1);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  size_t line_end = sql.find('\n', off);
+  if (line_end == std::string::npos) line_end = sql.size();
+  std::string annotated = msg;
+  annotated += "\n  ";
+  annotated.append(sql, line_start, line_end - line_start);
+  annotated += "\n  ";
+  annotated.append(off - line_start, ' ');
+  annotated += "^";
+  return Status(st.code(), std::move(annotated));
+}
+
+namespace {
+
+const char* ModeName(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kSetNaive:
+      return "set";
+    case EvalMode::kBagNaive:
+      return "bag";
+    case EvalMode::kSetSql:
+      return "sql";
+  }
+  return "?";
+}
+
+/// Exactly param_count constants, with actionable messages for arity and
+/// type mismatches.
+Status ValidateBindings(const std::vector<Value>& params, size_t need) {
+  if (params.size() != need) {
+    return Status::InvalidArgument(
+        "query expects " + std::to_string(need) + " parameter binding(s), " +
+        "got " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!params[i].is_const()) {
+      return Status::InvalidArgument(
+          "parameter ?" + std::to_string(i) +
+          " must be bound to a constant, got " + params[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- Cursor ------------------------------------------------------------------
+
+struct Cursor::Impl {
+  std::shared_ptr<SessionState> state;
+  PlanPtr plan;  ///< Fully bound (param_count == 0); owns the stage nodes.
+  ScanResolver scans;
+  RelationView base;
+  /// Root operator chain, root first; applied bottom-up per pulled row.
+  std::vector<const PhysNode*> stages;
+  /// Per-stage dedup state for kDistinct stages (indexed like `stages`).
+  std::vector<std::unordered_set<Tuple>> distinct_seen;
+  /// Top-level multiplicity collapse: set-semantics modes with a
+  /// projection in the chain may fold distinct input rows together.
+  bool dedup = false;
+  std::unordered_set<Tuple> seen;
+  bool streaming = false;
+  size_t next_row = 0;
+  Tuple current;
+  uint64_t current_count = 0;
+
+  Impl(std::shared_ptr<SessionState> s, PlanPtr p)
+      : state(std::move(s)), plan(std::move(p)), scans(state->db) {}
+};
+
+bool Cursor::Next() {
+  if (!impl_) return false;
+  Impl& I = *impl_;
+  const std::vector<Relation::Row>& rows = I.base.rows();
+  while (I.next_row < rows.size()) {
+    Tuple t = rows[I.next_row].first;
+    uint64_t c = rows[I.next_row].second;
+    ++I.next_row;
+    bool keep = true;
+    for (size_t si = I.stages.size(); keep && si-- > 0;) {
+      const PhysNode* n = I.stages[si];
+      switch (n->op) {
+        case PhysOp::kFilterSel:
+          keep = n->pred(t) == TV3::kT;
+          break;
+        case PhysOp::kFusedProjectFilter:
+          keep = n->pred(t) == TV3::kT;
+          if (keep) t = t.Project(n->proj_pos);
+          break;
+        case PhysOp::kProject:
+          t = t.Project(n->proj_pos);
+          break;
+        case PhysOp::kRename:
+          break;  // positional: nothing to do per row
+        case PhysOp::kDistinct:
+          keep = I.distinct_seen[si].insert(t).second;
+          c = 1;
+          break;
+        default:
+          keep = false;  // unreachable: OpenCursor only chains the above
+          break;
+      }
+    }
+    if (!keep) continue;
+    if (I.dedup) {
+      if (!I.seen.insert(t).second) continue;
+      c = 1;
+    }
+    I.current = std::move(t);
+    I.current_count = c;
+    return true;
+  }
+  return false;
+}
+
+const Tuple& Cursor::row() const {
+  static const Tuple kEmpty;
+  return impl_ ? impl_->current : kEmpty;
+}
+uint64_t Cursor::count() const { return impl_ ? impl_->current_count : 0; }
+const std::vector<std::string>& Cursor::attrs() const {
+  static const std::vector<std::string> kNone;
+  return impl_ ? impl_->plan->root->attrs : kNone;
+}
+bool Cursor::streaming() const { return impl_ && impl_->streaming; }
+
+// --- PreparedQuery -----------------------------------------------------------
+
+StatusOr<Relation> PreparedQuery::Execute(
+    const std::vector<Value>& params) const {
+  if (!valid()) return Status::InvalidArgument("PreparedQuery is empty");
+  INCDB_RETURN_IF_ERROR(ValidateBindings(params, param_count_));
+  PlanPtr plan = plan_;
+  if (param_count_ > 0) {
+    auto bound = BindPlanParams(plan_, params);
+    if (!bound.ok()) return bound.status();
+    plan = *bound;
+  }
+  state_->executes.fetch_add(1, std::memory_order_relaxed);
+  return incdb::Execute(plan, state_->db);
+}
+
+StatusOr<Cursor> PreparedQuery::OpenCursor(
+    const std::vector<Value>& params) const {
+  if (!valid()) return Status::InvalidArgument("PreparedQuery is empty");
+  INCDB_RETURN_IF_ERROR(ValidateBindings(params, param_count_));
+  PlanPtr plan = plan_;
+  if (param_count_ > 0) {
+    auto bound = BindPlanParams(plan_, params);
+    if (!bound.ok()) return bound.status();
+    plan = *bound;
+  }
+  state_->cursors.fetch_add(1, std::memory_order_relaxed);
+
+  auto impl = std::make_shared<Cursor::Impl>(state_, plan);
+  const bool set_semantics = plan->mode != EvalMode::kBagNaive;
+
+  // The maximal chain of row-at-a-time operators hanging off the root.
+  auto streamable = [](PhysOp op) {
+    switch (op) {
+      case PhysOp::kFilterSel:
+      case PhysOp::kFusedProjectFilter:
+      case PhysOp::kProject:
+      case PhysOp::kRename:
+      case PhysOp::kDistinct:
+        return true;
+      default:
+        return false;
+    }
+  };
+  PhysPtr cur = plan->root;
+  while (streamable(cur->op)) {
+    impl->stages.push_back(cur.get());
+    if (set_semantics && (cur->op == PhysOp::kProject ||
+                          cur->op == PhysOp::kFusedProjectFilter)) {
+      impl->dedup = true;  // distinct inputs may collapse: dedup at the top
+    }
+    cur = cur->left;
+  }
+  impl->distinct_seen.resize(impl->stages.size());
+
+  if (cur->op == PhysOp::kScanView) {
+    // The whole chain bottoms out at a base relation: borrow it in place
+    // and stream everything.
+    auto view = impl->scans.Resolve(cur->rel_name, set_semantics);
+    if (!view.ok()) return view.status();
+    impl->base = *view;
+    impl->streaming = true;
+  } else {
+    // Materialise the non-streamable remainder once; the chain above it
+    // (if any) still streams per pull.
+    auto rel = ExecuteNode(plan, cur, state_->db);
+    if (!rel.ok()) return rel.status();
+    impl->base = RelationView::Own(std::move(*rel));
+    impl->streaming = !impl->stages.empty();
+  }
+
+  Cursor out;
+  out.impl_ = std::move(impl);
+  return out;
+}
+
+size_t PreparedQuery::CountPlanOps(PhysOp op) const {
+  return valid() ? CountOps(*plan_, op) : 0;
+}
+
+std::string PreparedQuery::Explain() const {
+  if (!valid()) return "PreparedQuery(invalid)\n";
+  std::string out = "PreparedQuery[mode=";
+  out += ModeName(mode_);
+  out += ", params=" + std::to_string(param_count_) + "]\n";
+  if (!sql_.empty()) out += "sql     : " + sql_ + "\n";
+  out += "algebra : " + alg_->ToString() + "\n";
+  out += "plan    :\n" + PlanToString(*plan_);
+  static constexpr PhysOp kAllOps[] = {
+      PhysOp::kScanView,      PhysOp::kFilterSel, PhysOp::kFusedProjectFilter,
+      PhysOp::kProject,       PhysOp::kRename,    PhysOp::kHashJoin,
+      PhysOp::kNLJoin,        PhysOp::kUnion,     PhysOp::kHashDiff,
+      PhysOp::kHashIntersect, PhysOp::kDivision,  PhysOp::kUnifySemiJoin,
+      PhysOp::kHashSemi,      PhysOp::kInPred,    PhysOp::kDom,
+      PhysOp::kDistinct};
+  out += "ops     :";
+  for (PhysOp op : kAllOps) {
+    size_t n = CountOps(*plan_, op);
+    if (n > 0) {
+      out += " ";
+      out += ToString(op);
+      out += "=" + std::to_string(n);
+    }
+  }
+  PlanCacheStats cs = state_->cache.stats();
+  out += "\ncache   : hits=" + std::to_string(cs.hits) +
+         " misses=" + std::to_string(cs.misses) +
+         " evictions=" + std::to_string(cs.evictions) +
+         " size=" + std::to_string(cs.size) + "/" +
+         std::to_string(cs.capacity) + "\n";
+  return out;
+}
+
+// --- Session -----------------------------------------------------------------
+
+Session::Session(Database db, EvalOptions opts)
+    : state_(std::make_shared<SessionState>(std::move(db), opts)) {}
+
+const Database& Session::db() const { return state_->db; }
+Database& Session::mutable_db() { return state_->db; }
+void Session::Put(const std::string& name, Relation rel) {
+  state_->db.Put(name, std::move(rel));
+}
+
+const EvalOptions& Session::options() const { return state_->opts; }
+void Session::set_options(const EvalOptions& opts) { state_->opts = opts; }
+void Session::set_max_valuations(uint64_t budget) {
+  state_->max_valuations = budget;
+}
+
+StatusOr<PreparedQuery> Session::Prepare(const std::string& sql,
+                                         EvalMode mode) {
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return AnnotateSqlError(parsed.status(), sql);
+  auto alg = SqlToAlgebra(*parsed, state_->db);
+  if (!alg.ok()) return AnnotateSqlError(alg.status(), sql);
+  return PrepareAlgebra(*alg, mode, sql);
+}
+
+StatusOr<PreparedQuery> Session::Prepare(const AlgPtr& q, EvalMode mode) {
+  return PrepareAlgebra(q, mode, /*sql=*/"");
+}
+
+StatusOr<PreparedQuery> Session::PrepareAlgebra(AlgPtr q, EvalMode mode,
+                                                std::string sql) {
+  auto plan = state_->cache.CompileCached(q, mode, state_->opts, state_->db);
+  if (!plan.ok()) return plan.status();
+  state_->prepares.fetch_add(1, std::memory_order_relaxed);
+  PreparedQuery pq;
+  pq.state_ = state_;
+  pq.alg_ = std::move(q);
+  pq.plan_ = *plan;
+  pq.out_attrs_ = (*plan)->root->attrs;
+  pq.sql_ = std::move(sql);
+  pq.mode_ = mode;
+  pq.param_count_ = (*plan)->param_count;
+  return pq;
+}
+
+StatusOr<Relation> Session::Execute(const std::string& sql,
+                                    const std::vector<Value>& params,
+                                    EvalMode mode) {
+  auto pq = Prepare(sql, mode);
+  if (!pq.ok()) return pq.status();
+  return pq->Execute(params);
+}
+
+namespace {
+/// Shared prologue of the Certain* wrappers: strict binding validation,
+/// then algebra-level substitution (the exact sweeps and the Fig. 2
+/// translations must never see a placeholder — QueryConstants feeds Dom
+/// extras).
+StatusOr<AlgPtr> BindForCertain(const AlgPtr& q,
+                                const std::vector<Value>& params) {
+  INCDB_RETURN_IF_ERROR(ValidateBindings(params, ParamCount(q)));
+  return BindParams(q, params);
+}
+}  // namespace
+
+StatusOr<Relation> Session::CertainIntersection(
+    const AlgPtr& q, const std::vector<Value>& params) {
+  auto bound = BindForCertain(q, params);
+  if (!bound.ok()) return bound.status();
+  CertainOptions copts;
+  copts.eval = state_->opts;
+  copts.max_valuations = state_->max_valuations;
+  return CertIntersection(*bound, state_->db, copts);
+}
+
+StatusOr<Relation> Session::CertainWithNulls(const AlgPtr& q,
+                                             const std::vector<Value>& params) {
+  auto bound = BindForCertain(q, params);
+  if (!bound.ok()) return bound.status();
+  CertainOptions copts;
+  copts.eval = state_->opts;
+  copts.max_valuations = state_->max_valuations;
+  return CertWithNulls(*bound, state_->db, copts);
+}
+
+StatusOr<Relation> Session::CertainPlus(const AlgPtr& q,
+                                        const std::vector<Value>& params) {
+  auto bound = BindForCertain(q, params);
+  if (!bound.ok()) return bound.status();
+  return EvalPlus(*bound, state_->db, state_->opts);
+}
+
+StatusOr<Relation> Session::CertainMaybe(const AlgPtr& q,
+                                         const std::vector<Value>& params) {
+  auto bound = BindForCertain(q, params);
+  if (!bound.ok()) return bound.status();
+  return EvalMaybe(*bound, state_->db, state_->opts);
+}
+
+SessionStats Session::stats() const {
+  SessionStats s;
+  s.prepares = state_->prepares.load(std::memory_order_relaxed);
+  s.executes = state_->executes.load(std::memory_order_relaxed);
+  s.cursors_opened = state_->cursors.load(std::memory_order_relaxed);
+  s.plan_cache = state_->cache.stats();
+  return s;
+}
+
+void Session::ClearPlanCache() { state_->cache.Clear(); }
+
+}  // namespace incdb

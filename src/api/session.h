@@ -1,0 +1,233 @@
+#ifndef INCDB_API_SESSION_H_
+#define INCDB_API_SESSION_H_
+
+/// \file session.h
+/// \brief The embedded-engine facade: Session + PreparedQuery + Cursor.
+///
+/// Everything the library exposes as loose free functions — the SQL
+/// frontend (sql/translate.h), the three evaluation disciplines
+/// (eval/eval.h), the physical-plan layer with its query-identity cache
+/// (eval/plan.h, eval/plan_cache.h) and the certain-answer machinery
+/// (certain/certain.h, approx/approx.h) — lives behind one session object
+/// here:
+///
+///   Session sess(std::move(db));
+///   auto pq = sess.Prepare(
+///       "SELECT oid FROM Orders WHERE price > ? AND oid NOT IN "
+///       "( SELECT oid FROM Payments )");
+///   auto r1 = pq->Execute({Value::Int(30)});   // one compile ...
+///   auto r2 = pq->Execute({Value::Int(40)});   // ... shared by N bindings
+///   std::puts(pq->Explain().c_str());          // plan + cache stats
+///
+/// **Prepared, parameterized queries.** `?` placeholders in the SQL text
+/// (or Value::Param leaves in a hand-built algebra tree) compile into a
+/// plan *template* cached by the parameterized query shape, so N distinct
+/// bindings of one template cost one Compile total — binding is a
+/// clone-substitute pass over the affected plan nodes (BindPlanParams),
+/// two orders of magnitude cheaper than parse + translate + compile.
+///
+/// **Streaming cursors.** OpenCursor() pulls rows one at a time. The
+/// maximal chain of row-at-a-time operators at the plan root (filters,
+/// projections, renames, DISTINCT) is evaluated lazily per pull over a
+/// borrowed scan or the materialised remainder, so exists/top-k style
+/// consumers of filter-shaped queries stop without paying for the full
+/// result. Accumulating every (row, count) a cursor delivers yields
+/// exactly Execute()'s relation.
+///
+/// **Threading.** One PreparedQuery may Execute()/OpenCursor() from many
+/// threads concurrently: the template plan is immutable, bindings make
+/// private copies, and the session plan cache is internally locked.
+/// Mutating the session database (Put) concurrently with queries is not
+/// synchronised — sequence schema changes externally.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/builder.h"
+#include "certain/certain.h"
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/status.h"
+#include "eval/eval.h"
+#include "eval/plan.h"
+#include "eval/plan_cache.h"
+
+namespace incdb {
+
+namespace internal {
+struct SessionState;
+}  // namespace internal
+
+/// Counters of one session's activity; plan_cache covers the session's
+/// private compiled-plan cache (prepares miss once per query shape).
+struct SessionStats {
+  uint64_t prepares = 0;
+  uint64_t executes = 0;
+  uint64_t cursors_opened = 0;
+  PlanCacheStats plan_cache;
+};
+
+/// \brief Streaming row-at-a-time view of one prepared-query execution.
+///
+/// Obtained from PreparedQuery::OpenCursor. Next() advances to the next
+/// (tuple, multiplicity) delivery; row() is valid until the next Next().
+/// The cursor keeps its session alive; it must not outlive a database
+/// mutation that changes the scanned relations.
+class Cursor {
+ public:
+  Cursor() = default;
+
+  /// Advances to the next row; false once the stream is exhausted.
+  bool Next();
+  /// The current tuple (after a successful Next()).
+  const Tuple& row() const;
+  /// Multiplicity of the current delivery. Under set-semantics modes this
+  /// is always 1; under bags one tuple may arrive in several deliveries
+  /// whose counts sum to its multiplicity.
+  uint64_t count() const;
+  /// Output attribute names.
+  const std::vector<std::string>& attrs() const;
+  /// True when the root operator chain is evaluated lazily per pull
+  /// (false: the query shape forced full materialisation up front).
+  bool streaming() const;
+
+ private:
+  friend class PreparedQuery;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// \brief A compiled, possibly parameterized query bound to its session.
+///
+/// Cheap to copy (shared immutable state). Obtained from
+/// Session::Prepare; executable many times with different bindings.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  bool valid() const { return plan_ != nullptr; }
+  /// Number of parameter bindings Execute/OpenCursor expect.
+  size_t param_count() const { return param_count_; }
+  EvalMode mode() const { return mode_; }
+  /// The translated (still parameterized) algebra tree.
+  const AlgPtr& algebra() const { return alg_; }
+  /// Output attribute names of the result relation.
+  const std::vector<std::string>& output_attrs() const { return out_attrs_; }
+  /// The SQL text this query was prepared from (empty for algebra input).
+  const std::string& sql() const { return sql_; }
+
+  /// Materialised execution under the given bindings. Bindings must be
+  /// exactly param_count() constants (nulls/params are type errors).
+  StatusOr<Relation> Execute(const std::vector<Value>& params = {}) const;
+
+  /// Streaming execution: rows are pulled through the root operator chain
+  /// on demand (see Cursor).
+  StatusOr<Cursor> OpenCursor(const std::vector<Value>& params = {}) const;
+
+  /// Human-readable plan report: the algebra, the physical operator DAG
+  /// (PlanToString), per-operator counts (CountOps) and the session's
+  /// plan-cache statistics.
+  std::string Explain() const;
+
+  /// Number of physical operators of one kind in the compiled template
+  /// (plan-shape assertions; see CountOps in eval/plan.h).
+  size_t CountPlanOps(PhysOp op) const;
+
+ private:
+  friend class Session;
+
+  std::shared_ptr<internal::SessionState> state_;
+  AlgPtr alg_;
+  PlanPtr plan_;  ///< Parameterized template; bound per Execute.
+  std::vector<std::string> out_attrs_;
+  std::string sql_;
+  EvalMode mode_ = EvalMode::kSetSql;
+  size_t param_count_ = 0;
+};
+
+/// \brief An embedded-engine session owning a database, per-session
+/// evaluation options and a private compiled-plan cache.
+class Session {
+ public:
+  /// Takes ownership of `db`; `opts` are the session-wide evaluation
+  /// defaults (threads, rewrite toggles, budgets) applied to every
+  /// Prepare.
+  explicit Session(Database db = {}, EvalOptions opts = {});
+
+  /// Copying a Session would alias mutable state ambiguously; pass
+  /// Session& (PreparedQuery/Cursor hold the shared state safely).
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  const Database& db() const;
+  /// Adds or replaces a relation. A schema change naturally invalidates
+  /// affected cache entries (scanned schemas are part of the plan key);
+  /// do not interleave with concurrent queries on other threads.
+  void Put(const std::string& name, Relation rel);
+  Database& mutable_db();
+
+  const EvalOptions& options() const;
+  /// Replaces the session defaults; affects subsequent Prepare calls
+  /// (already-prepared queries keep the options they compiled with).
+  void set_options(const EvalOptions& opts);
+
+  /// Parse + translate + compile SQL into a prepared query. `?`
+  /// placeholders become parameters bound at execute time. Errors carry
+  /// byte offsets and a caret-annotated snippet of the offending token.
+  StatusOr<PreparedQuery> Prepare(const std::string& sql,
+                                  EvalMode mode = EvalMode::kSetSql);
+  /// Prepare a hand-built algebra tree (Value::Param leaves supported).
+  StatusOr<PreparedQuery> Prepare(const AlgPtr& q,
+                                  EvalMode mode = EvalMode::kSetSql);
+
+  /// One-shot convenience: Prepare + Execute.
+  StatusOr<Relation> Execute(const std::string& sql,
+                             const std::vector<Value>& params = {},
+                             EvalMode mode = EvalMode::kSetSql);
+
+  // --- Certain answers, behind the same facade ---------------------------
+  //
+  // The exact (brute-force) notions and the Fig. 2(b) Desugar-based
+  // approximations, with parameter bindings substituted into the algebra
+  // before translation. All respect the session EvalOptions.
+
+  /// cert∩(Q, D) — exact intersection-based certain answers.
+  StatusOr<Relation> CertainIntersection(const AlgPtr& q,
+                                         const std::vector<Value>& params = {});
+  /// cert⊥(Q, D) — exact certain answers with nulls.
+  StatusOr<Relation> CertainWithNulls(const AlgPtr& q,
+                                      const std::vector<Value>& params = {});
+  /// Q+ — the certain-answer under-approximation (sound, PTIME).
+  StatusOr<Relation> CertainPlus(const AlgPtr& q,
+                                 const std::vector<Value>& params = {});
+  /// Q? — the possible-answer over-approximation (complete, PTIME).
+  StatusOr<Relation> CertainMaybe(const AlgPtr& q,
+                                  const std::vector<Value>& params = {});
+
+  /// Budget for the exact Certain* sweeps (default CertainOptions).
+  void set_max_valuations(uint64_t budget);
+
+  SessionStats stats() const;
+  void ClearPlanCache();
+
+ private:
+  StatusOr<PreparedQuery> PrepareAlgebra(AlgPtr q, EvalMode mode,
+                                         std::string sql);
+
+  std::shared_ptr<internal::SessionState> state_;
+};
+
+/// Rewrites an "... at offset N" error into a multi-line message quoting
+/// `sql` with a caret under the offending byte. Statuses without an offset
+/// pass through unchanged. Exposed for tests; Session::Prepare applies it
+/// to every parse/translate error.
+Status AnnotateSqlError(const Status& st, const std::string& sql);
+
+}  // namespace incdb
+
+#endif  // INCDB_API_SESSION_H_

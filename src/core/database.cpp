@@ -20,6 +20,11 @@ StatusOr<Relation> Database::Get(const std::string& name) const {
   return it->second;
 }
 
+const Relation* Database::Find(const std::string& name) const {
+  auto it = rels_.find(name);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
 const Relation& Database::at(const std::string& name) const {
   auto it = rels_.find(name);
   assert(it != rels_.end());

@@ -27,7 +27,13 @@ class Database {
   void Put(const std::string& name, Relation rel);
 
   bool Has(const std::string& name) const;
+  /// Copying lookup; prefer Find() for read-only access (Get copies the
+  /// whole relation, which schema checks and scans must not pay for).
   StatusOr<Relation> Get(const std::string& name) const;
+  /// Borrowed lookup: a pointer into this database's storage, or nullptr
+  /// when absent. Invalidated by Put() of the same name; never by Put() of
+  /// other relations (std::map nodes are stable).
+  const Relation* Find(const std::string& name) const;
   /// Unchecked access; aborts if absent (for internal use after validation).
   const Relation& at(const std::string& name) const;
   Relation* mutable_at(const std::string& name);

@@ -141,6 +141,10 @@ std::string DumpRelationCsv(const Relation& rel) {
           case ValueKind::kString:
             out << "'" << v.as_string() << "'";
             break;
+          case ValueKind::kParam:
+            // Parameters never occur in relation data; render defensively.
+            out << "?" << v.param_index();
+            break;
         }
       }
       out << "\n";

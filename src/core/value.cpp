@@ -30,6 +30,11 @@ uint64_t Value::null_id() const {
   return bits_;
 }
 
+uint32_t Value::param_index() const {
+  assert(is_param());
+  return static_cast<uint32_t>(bits_);
+}
+
 int64_t Value::as_int() const {
   assert(kind_ == ValueKind::kInt);
   return static_cast<int64_t>(bits_);
@@ -62,6 +67,8 @@ bool Value::operator<(const Value& other) const {
     case ValueKind::kString:
       // Identical ids are identical contents; otherwise order by content.
       return bits_ != other.bits_ && as_string() < other.as_string();
+    case ValueKind::kParam:
+      return bits_ < other.bits_;
   }
   return false;
 }
@@ -79,6 +86,8 @@ std::string Value::ToString() const {
     }
     case ValueKind::kString:
       return "'" + as_string() + "'";
+    case ValueKind::kParam:
+      return "?" + std::to_string(bits_);
   }
   return "?";
 }

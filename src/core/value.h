@@ -29,6 +29,11 @@ enum class ValueKind : uint8_t {
   kInt = 1,
   kDouble = 2,
   kString = 3,
+  /// A query parameter placeholder ?i (prepared queries, api/session.h).
+  /// Parameters only ever appear inside query trees — selection-condition
+  /// constants and Dom extras — never in relation data; they are
+  /// substituted by a bound constant before any evaluation runs.
+  kParam = 4,
 };
 
 /// \brief One element of Const ∪ Null.
@@ -60,12 +65,22 @@ class Value {
   }
   /// The marked null ⊥_id.
   static Value Null(uint64_t id) { return Value(ValueKind::kNull, id); }
+  /// The parameter placeholder ?index (0-based, assigned in query order).
+  static Value Param(uint32_t index) {
+    return Value(ValueKind::kParam, index);
+  }
 
   constexpr Value() : kind_(ValueKind::kInt), bits_(0) {}
 
   ValueKind kind() const { return kind_; }
   bool is_null() const { return kind_ == ValueKind::kNull; }
-  bool is_const() const { return !is_null(); }
+  bool is_param() const { return kind_ == ValueKind::kParam; }
+  /// True for genuine constants: neither a null nor a parameter
+  /// placeholder.
+  bool is_const() const { return !is_null() && !is_param(); }
+
+  /// The 0-based index of a parameter placeholder.
+  uint32_t param_index() const;
 
   uint64_t null_id() const;
   int64_t as_int() const;

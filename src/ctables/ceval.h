@@ -34,14 +34,23 @@ const char* ToString(CStrategy s);
 /// Evaluates `q` (core grammar + ∩; sugar is desugared internally) over the
 /// conditional database obtained from `db` with all-true conditions,
 /// applying the given strategy's grounding discipline.
-StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s);
+///
+/// `params` binds `?i` parameter placeholders in selection conditions:
+/// the lowered plan is compiled (and cached) on the *parameterised* shape,
+/// and placeholders resolve against the bindings when each condition is
+/// instantiated per evaluation — so N bindings of one query template share
+/// one lowering. An unbound placeholder is an InvalidArgument error.
+StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s,
+                       const std::vector<Value>& params = {});
 
 /// Eval⋆t(Q, D): tuples reported certainly true (eq. 9a).
 StatusOr<Relation> CEvalCertain(const AlgPtr& q, const Database& db,
-                                CStrategy s);
+                                CStrategy s,
+                                const std::vector<Value>& params = {});
 /// Eval⋆p(Q, D): tuples reported possible, i.e. t or u (eq. 9b).
 StatusOr<Relation> CEvalPossible(const AlgPtr& q, const Database& db,
-                                 CStrategy s);
+                                 CStrategy s,
+                                 const std::vector<Value>& params = {});
 
 }  // namespace incdb
 

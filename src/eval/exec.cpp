@@ -30,10 +30,11 @@ namespace incdb {
 
 StatusOr<RelationView> ScanResolver::Resolve(const std::string& name,
                                              bool collapse_to_set) {
-  if (!db_->Has(name)) {
+  const Relation* found = db_->Find(name);
+  if (found == nullptr) {
     return Status::NotFound("no relation named " + name);
   }
-  const Relation& rel = db_->at(name);
+  const Relation& rel = *found;
   if (!collapse_to_set) return RelationView::Borrow(rel);
   // The IsSet() scan and any collapse run once per relation; repeated
   // resolutions (the FO evaluator re-resolves inside quantifier loops)
@@ -147,8 +148,11 @@ class Executor {
   Executor(const Plan& plan, const Database& db)
       : plan_(plan), db_(db), scans_(db) {}
 
-  StatusOr<Relation> Run() {
-    auto out = Eval(plan_.root);
+  StatusOr<Relation> Run() { return RunNode(plan_.root); }
+
+  /// Evaluates an arbitrary node of the plan's DAG and materialises it.
+  StatusOr<Relation> RunNode(const PhysPtr& node) {
+    auto out = Eval(node);
     if (!out.ok()) return out.status();
     return std::move(*out).Materialize();
   }
@@ -995,12 +999,33 @@ class Executor {
 
 }  // namespace
 
-StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db) {
+namespace {
+Status CheckExecutable(const PlanPtr& plan) {
   if (!plan || !plan->root) {
     return Status::InvalidArgument("Execute: empty plan");
   }
+  if (plan->param_count > 0) {
+    return Status::InvalidArgument(
+        "Execute: plan has " + std::to_string(plan->param_count) +
+        " unbound parameter(s); bind them first (BindPlanParams or "
+        "PreparedQuery::Execute)");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db) {
+  INCDB_RETURN_IF_ERROR(CheckExecutable(plan));
   Executor ex(*plan, db);
   return ex.Run();
+}
+
+StatusOr<Relation> ExecuteNode(const PlanPtr& plan, const PhysPtr& node,
+                               const Database& db) {
+  INCDB_RETURN_IF_ERROR(CheckExecutable(plan));
+  if (!node) return Status::InvalidArgument("ExecuteNode: empty node");
+  Executor ex(*plan, db);
+  return ex.RunNode(node);
 }
 
 }  // namespace incdb

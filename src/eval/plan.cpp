@@ -171,13 +171,16 @@ class Compiler {
   }
 
   /// Compiles `cond` against `attrs` into the node's predicate (validating
-  /// attribute references on the way).
+  /// attribute references on the way). Parameterised conditions also
+  /// record the input schema so BindPlanParams can recompile the predicate
+  /// once the placeholders are substituted.
   Status AttachCond(PhysNode* node, const CondPtr& cond,
                     const std::vector<std::string>& attrs) {
     auto pred = CompileCond(cond, attrs, ToCondMode(mode_));
     if (!pred.ok()) return pred.status();
     node->cond = cond;
     node->pred = std::move(*pred);
+    if (CondHasParam(cond)) node->pred_attrs = attrs;
     return Status::OK();
   }
 
@@ -618,6 +621,7 @@ StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
   plan->mode = mode;
   plan->opts = opts;
   plan->opts.num_threads = ResolveNumThreads(opts.num_threads);
+  plan->param_count = ParamCount(q);
   CountEdges(plan->root, &plan->refcount);
   return PlanPtr(plan);
 }
@@ -658,6 +662,101 @@ size_t ResolveNumThreads(size_t requested) {
 StatusOr<PlanPtr> Compile(const AlgPtr& q, EvalMode mode,
                           const EvalOptions& opts, const Database& db) {
   return CompileImpl(q, mode, opts, db, /*for_ctables=*/false);
+}
+
+namespace {
+
+/// Clone-on-write parameter substitution over the operator DAG. Shared
+/// nodes (OR-expansion branches) are bound once and reused, preserving the
+/// DAG shape so the executor's memoisation keeps working.
+class PlanBinder {
+ public:
+  PlanBinder(const std::vector<Value>& params, CondMode mode)
+      : params_(params), mode_(mode) {}
+
+  StatusOr<PhysPtr> Bind(const PhysPtr& n) {
+    auto it = done_.find(n.get());
+    if (it != done_.end()) return it->second;
+
+    PhysPtr left = n->left, right = n->right;
+    if (n->left) {
+      auto l = Bind(n->left);
+      if (!l.ok()) return l;
+      left = *l;
+    }
+    if (n->right) {
+      auto r = Bind(n->right);
+      if (!r.ok()) return r;
+      right = *r;
+    }
+    const bool cond_param = n->cond && CondHasParam(n->cond);
+    bool dom_param = false;
+    for (const Value& v : n->dom_extra) dom_param |= v.is_param();
+
+    if (!cond_param && !dom_param && left == n->left && right == n->right) {
+      done_.emplace(n.get(), n);  // parameter-free subtree: share
+      return n;
+    }
+    auto copy = std::make_shared<PhysNode>(*n);
+    copy->left = std::move(left);
+    copy->right = std::move(right);
+    if (cond_param) {
+      auto cond = BindCondParams(n->cond, params_);
+      if (!cond.ok()) return cond.status();
+      copy->cond = *cond;
+      auto pred = CompileCond(copy->cond, n->pred_attrs, mode_);
+      if (!pred.ok()) return pred.status();
+      copy->pred = std::move(*pred);
+      copy->pred_attrs.clear();
+    }
+    if (dom_param) {
+      for (Value& v : copy->dom_extra) {
+        auto bound = ResolveParamBinding(v, params_);
+        if (!bound.ok()) return bound.status();
+        v = *bound;
+      }
+    }
+    PhysPtr out = copy;
+    done_.emplace(n.get(), out);
+    return out;
+  }
+
+ private:
+  const std::vector<Value>& params_;
+  CondMode mode_;
+  std::unordered_map<const PhysNode*, PhysPtr> done_;
+};
+
+}  // namespace
+
+StatusOr<PlanPtr> BindPlanParams(const PlanPtr& plan,
+                                 const std::vector<Value>& params) {
+  if (!plan || !plan->root) {
+    return Status::InvalidArgument("BindPlanParams: empty plan");
+  }
+  if (plan->param_count == 0) return plan;
+  if (params.size() < plan->param_count) {
+    return Status::InvalidArgument(
+        "plan expects " + std::to_string(plan->param_count) +
+        " parameter binding(s), got " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!params[i].is_const()) {
+      return Status::InvalidArgument(
+          "parameter ?" + std::to_string(i) +
+          " must be bound to a constant, got " + params[i].ToString());
+    }
+  }
+  PlanBinder binder(params, ToCondMode(plan->mode));
+  auto root = binder.Bind(plan->root);
+  if (!root.ok()) return root.status();
+  auto bound = std::make_shared<Plan>();
+  bound->root = *root;
+  bound->mode = plan->mode;
+  bound->opts = plan->opts;
+  bound->param_count = 0;
+  CountEdges(bound->root, &bound->refcount);
+  return PlanPtr(bound);
 }
 
 StatusOr<PlanPtr> CompileForCTables(const AlgPtr& q, const Database& db) {

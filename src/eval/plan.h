@@ -87,8 +87,15 @@ struct PhysNode {
   CondPtr cond;                    ///< Filter / join residual / kInPred θ.
   /// `cond` compiled against the operator's input schema (the joint schema
   /// for join-like operators). Pure and re-entrant: safe to call from the
-  /// join pool's worker threads.
+  /// join pool's worker threads. When `cond` still carries parameter
+  /// placeholders the compiled predicate is a validation artifact only —
+  /// Execute refuses plans with unbound parameters; BindPlanParams
+  /// recompiles it from the bound condition.
   std::function<TV3(const Tuple&)> pred;
+  /// Input schema `pred` was compiled against — recorded only when `cond`
+  /// carries parameters, so BindPlanParams can recompile the predicate
+  /// after substitution.
+  std::vector<std::string> pred_attrs;
 
   std::vector<size_t> proj_pos;    ///< kProject / kFusedProjectFilter / fused join projection.
   bool fused_proj = false;         ///< Join nodes: proj_pos is active.
@@ -114,6 +121,10 @@ struct Plan {
   PhysPtr root;
   EvalMode mode;
   EvalOptions opts;
+  /// Parameter slots the plan still needs (1 + largest ?i mentioned).
+  /// A plan with param_count > 0 is a *template*: Execute rejects it until
+  /// BindPlanParams substitutes constants (producing a plan with 0).
+  size_t param_count = 0;
   /// Parent-edge counts; nodes referenced more than once (OR-expansion
   /// sharing) are memoised during execution.
   std::unordered_map<const PhysNode*, uint32_t> refcount;
@@ -142,9 +153,28 @@ StatusOr<PlanPtr> Compile(const AlgPtr& q, EvalMode mode,
 /// mismatch).
 StatusOr<PlanPtr> CompileForCTables(const AlgPtr& q, const Database& db);
 
+/// Substitutes parameter bindings into a compiled plan template: nodes on
+/// a path to a parameterised condition (or Dom extra) are copied with the
+/// condition bound and its predicate recompiled; every parameter-free
+/// subtree is shared with the original plan. The result has
+/// param_count == 0 and is independently executable — binding the same
+/// template concurrently from many threads is safe (the template is never
+/// mutated). Requires params.size() >= plan->param_count and every binding
+/// to be a constant. This is deliberately *not* a compile: no rewrite pass
+/// re-runs, so N bindings of one prepared query pay one Compile total.
+StatusOr<PlanPtr> BindPlanParams(const PlanPtr& plan,
+                                 const std::vector<Value>& params);
+
 /// Runs a compiled plan against `db` (which must match the schemas the
-/// plan was compiled against).
+/// plan was compiled against). Plans with unbound parameters are rejected
+/// (bind them first via BindPlanParams).
 StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db);
+
+/// Executes one node of `plan`'s DAG and materialises its output — the
+/// streaming cursor (api/session.h) uses this for the non-streamable
+/// prefix below the root operator chain.
+StatusOr<Relation> ExecuteNode(const PlanPtr& plan, const PhysPtr& node,
+                               const Database& db);
 
 /// Number of operators of the given kind in the plan DAG (shared nodes
 /// counted once) — used by plan-shape tests and the compile benchmarks.

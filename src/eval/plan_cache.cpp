@@ -66,6 +66,12 @@ void AppendValue(std::string* k, const Value& v) {
     case ValueKind::kString:
       AppendStr(k, v.as_string());
       break;
+    case ValueKind::kParam:
+      // Placeholders key by index, so one prepared-query *shape* shares a
+      // single entry across every binding (the kind byte separates ?0 from
+      // the integer constant 0).
+      AppendU64(k, v.param_index());
+      break;
   }
 }
 

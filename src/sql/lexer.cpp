@@ -89,7 +89,8 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
       ++i;
       continue;
     }
-    if (c == '(' || c == ')' || c == ',' || c == '.' || c == '=' || c == '*') {
+    if (c == '(' || c == ')' || c == ',' || c == '.' || c == '=' ||
+        c == '*' || c == '?') {
       out.push_back(Token{TokKind::kSymbol, std::string(1, c), start});
       ++i;
       continue;

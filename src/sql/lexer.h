@@ -18,7 +18,8 @@ enum class TokKind : uint8_t {
   kIdent,    ///< identifiers (case preserved)
   kNumber,   ///< integer or decimal literal
   kString,   ///< 'single quoted'
-  kSymbol,   ///< ( ) , . = * and <>
+  kSymbol,   ///< ( ) , . = * ? and <> — ? is the positional parameter
+             ///< placeholder of prepared queries (api/session.h)
   kEof,
 };
 

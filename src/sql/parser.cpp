@@ -12,12 +12,13 @@ class Parser {
 
   StatusOr<SqlQueryPtr> ParseQuery() {
     auto q = ParseSelect();
-    if (!q.ok()) return q;
+    if (!q.ok()) return q.status();
     if (!AtEof()) {
       return Status::InvalidArgument("trailing input after query at offset " +
                                      std::to_string(Peek().pos));
     }
-    return q;
+    (*q)->param_count = next_param_;
+    return SqlQueryPtr(*q);
   }
 
  private:
@@ -57,7 +58,7 @@ class Parser {
     return Status::OK();
   }
 
-  StatusOr<SqlQueryPtr> ParseSelect() {
+  StatusOr<std::shared_ptr<SqlQuery>> ParseSelect() {
     INCDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     auto q = std::make_shared<SqlQuery>();
     q->distinct = AcceptKeyword("DISTINCT");
@@ -78,6 +79,7 @@ class Parser {
                                        std::to_string(Peek().pos));
       }
       SqlTableRef ref;
+      ref.pos = Peek().pos;
       ref.table = Next().text;
       AcceptKeyword("AS");
       if (Peek().kind == TokKind::kIdent) {
@@ -98,7 +100,7 @@ class Parser {
       if (!next.ok()) return next;
       q->union_next = *next;
     }
-    return SqlQueryPtr(q);
+    return q;
   }
 
   StatusOr<SqlColumn> ParseColumn() {
@@ -107,6 +109,7 @@ class Parser {
                                      std::to_string(Peek().pos));
     }
     SqlColumn col;
+    col.pos = Peek().pos;
     col.name = Next().text;
     if (AcceptSymbol(".")) {
       if (Peek().kind != TokKind::kIdent) {
@@ -236,6 +239,10 @@ class Parser {
       } else if (Peek().kind == TokKind::kString) {
         node->kind = SqlExprKind::kCmpColLit;
         node->literal = Value::String(Next().text);
+      } else if (AcceptSymbol("?")) {
+        // Positional parameter placeholder, numbered in textual order.
+        node->kind = SqlExprKind::kCmpColLit;
+        node->literal = Value::Param(static_cast<uint32_t>(next_param_++));
       } else {
         auto rhs = ParseColumn();
         if (!rhs.ok()) return rhs.status();
@@ -258,6 +265,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  size_t next_param_ = 0;  ///< `?` placeholders seen so far, in text order.
 };
 
 }  // namespace

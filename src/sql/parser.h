@@ -32,6 +32,7 @@ namespace incdb {
 struct SqlColumn {
   std::string qualifier;  ///< empty when unqualified
   std::string name;
+  size_t pos = 0;         ///< byte offset of the reference, for errors
 
   std::string ToString() const {
     return qualifier.empty() ? name : qualifier + "." + name;
@@ -71,6 +72,7 @@ struct SqlExpr {
 struct SqlTableRef {
   std::string table;
   std::string alias;  ///< defaults to the table name
+  size_t pos = 0;     ///< byte offset of the table name, for errors
 };
 
 struct SqlQuery {
@@ -80,9 +82,16 @@ struct SqlQuery {
   std::vector<SqlTableRef> from;
   SqlExprPtr where;        ///< null when absent
   SqlQueryPtr union_next;  ///< SELECT ... UNION SELECT ... chaining
+  /// Number of `?` parameter placeholders in this statement including all
+  /// subqueries and UNION branches (placeholders are numbered 0..n-1 in
+  /// textual order). Only meaningful on the top-level query.
+  size_t param_count = 0;
 };
 
 /// Parses one SELECT statement (the entire input must be consumed).
+/// Comparison literals may be `?` parameter placeholders
+/// (`price > ?`, `cid = ?`), numbered left to right; they are bound to
+/// constants at execute time (api/session.h).
 StatusOr<SqlQueryPtr> ParseSql(const std::string& sql);
 
 }  // namespace incdb

@@ -22,6 +22,12 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// "at offset N" suffix for error messages; the Session facade expands it
+/// into a caret-annotated snippet of the SQL text.
+std::string AtOffset(size_t pos) {
+  return " at offset " + std::to_string(pos);
+}
+
 /// Resolves a column within one scope. Qualified: exact ".alias.col"
 /// suffix; unqualified: unique ".col" suffix.
 StatusOr<std::string> ResolveInScope(const SqlColumn& col,
@@ -33,12 +39,15 @@ StatusOr<std::string> ResolveInScope(const SqlColumn& col,
   for (const std::string& a : attrs) {
     if (HasSuffix(a, suffix)) {
       if (!found.empty()) {
-        return Status::InvalidArgument("ambiguous column " + col.ToString());
+        return Status::InvalidArgument("ambiguous column " + col.ToString() +
+                                       AtOffset(col.pos));
       }
       found = a;
     }
   }
-  if (found.empty()) return Status::NotFound("no column " + col.ToString());
+  if (found.empty()) {
+    return Status::NotFound("no column " + col.ToString() + AtOffset(col.pos));
+  }
   return found;
 }
 
@@ -49,7 +58,8 @@ StatusOr<std::string> Resolve(const SqlColumn& col, const Scope& scope) {
     if (r.ok()) return r;
     if (r.status().code() == StatusCode::kInvalidArgument) return r;
   }
-  return Status::NotFound("unknown column " + col.ToString());
+  return Status::NotFound("unknown column " + col.ToString() +
+                          AtOffset(col.pos));
 }
 
 bool IsPlainExpr(const SqlExprPtr& e) {
@@ -197,10 +207,14 @@ class Translator {
     std::set<std::string> aliases;
     for (const SqlTableRef& ref : q->from) {
       if (!aliases.insert(ref.alias).second) {
-        return Status::InvalidArgument("duplicate alias " + ref.alias);
+        return Status::InvalidArgument("duplicate alias " + ref.alias +
+                                       AtOffset(ref.pos));
       }
-      auto rel = db_.Get(ref.table);
-      if (!rel.ok()) return rel.status();
+      const Relation* rel = db_.Find(ref.table);
+      if (rel == nullptr) {
+        return Status::NotFound("no relation named " + ref.table +
+                                AtOffset(ref.pos));
+      }
       std::vector<std::string> qualified;
       for (const std::string& a : rel->attrs()) {
         qualified.push_back(prefix + "." + ref.alias + "." + a);

@@ -1,9 +1,11 @@
 // Tests for src/eval: naive set evaluation, bag evaluation and the SQL 3VL
 // evaluator, including the paper's §1 motivating examples (Figure 1).
+// The Figure-1 fixture runs through the Session facade (algebra-prepare
+// path); the remaining tests cover the EvalSet/EvalBag/EvalSql shims.
 
 #include <gtest/gtest.h>
 
-#include "algebra/builder.h"
+#include "api/session.h"
 #include "eval/eval.h"
 #include "tests/testing_util.h"
 
@@ -36,14 +38,18 @@ class FigureOneTest : public ::testing::Test {
 };
 
 TEST_F(FigureOneTest, CompleteDatabaseBehavesClassically) {
-  Database db = FigureOne(false);
-  auto unpaid = EvalSql(UnpaidOrders(), db);
+  Session sess(FigureOne(false));
+  auto unpaid = sess.Prepare(UnpaidOrders());
   ASSERT_TRUE(unpaid.ok()) << unpaid.status().ToString();
-  EXPECT_EQ(unpaid->SortedTuples(), std::vector<Tuple>{Str("o3")});
+  auto r1 = unpaid->Execute();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->SortedTuples(), std::vector<Tuple>{Str("o3")});
 
-  auto nopaid = EvalSql(CustomersNoPaidOrder(), db);
+  auto nopaid = sess.Prepare(CustomersNoPaidOrder());
   ASSERT_TRUE(nopaid.ok());
-  EXPECT_TRUE(nopaid->Empty());
+  auto r2 = nopaid->Execute();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->Empty());
 }
 
 TEST_F(FigureOneTest, OneNullFlipsBothAnswers) {
@@ -51,31 +57,39 @@ TEST_F(FigureOneTest, OneNullFlipsBothAnswers) {
   // an answer (unpaid orders loses o3 — a false negative w.r.t. SQL's own
   // complete-data behaviour) and *invents* one (c2 — a false positive
   // w.r.t. certain answers).
-  Database db = FigureOne(true);
-  auto unpaid = EvalSql(UnpaidOrders(), db);
+  Session sess(FigureOne(true));
+  auto unpaid = sess.Prepare(UnpaidOrders());
   ASSERT_TRUE(unpaid.ok());
-  EXPECT_TRUE(unpaid->Empty());  // NOT IN against a NULL wipes everything
+  auto r1 = unpaid->Execute();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->Empty());  // NOT IN against a NULL wipes everything
 
-  auto nopaid = EvalSql(CustomersNoPaidOrder(), db);
+  auto nopaid = sess.Prepare(CustomersNoPaidOrder());
   ASSERT_TRUE(nopaid.ok());
-  EXPECT_EQ(nopaid->SortedTuples(), std::vector<Tuple>{Str("c2")});
+  auto r2 = nopaid->Execute();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->SortedTuples(), std::vector<Tuple>{Str("c2")});
 }
 
 TEST_F(FigureOneTest, TautologySelectionLosesC2) {
-  // SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'
+  // SELECT cid FROM Payments WHERE oid = ? OR oid <> ?  bound at 'o2'
   // returns only c1 on the NULL database; certain answer is {c1, c2}.
-  Database db = FigureOne(true);
+  Session sess(FigureOne(true));
   AlgPtr q = Project(Select(Scan("Payments"),
-                            COr(CEqc("oid", Value::String("o2")),
-                                CNeqc("oid", Value::String("o2")))),
+                            COr(CEqc("oid", Value::Param(0)),
+                                CNeqc("oid", Value::Param(0)))),
                      {"cid"});
-  auto res = EvalSql(q, db);
+  auto pq = sess.Prepare(q);  // SQL 3VL discipline
+  ASSERT_TRUE(pq.ok());
+  auto res = pq->Execute({Value::String("o2")});
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->SortedTuples(), std::vector<Tuple>{Str("c1")});
   // Naive evaluation (two-valued) keeps both.
-  auto naive = EvalSet(q, db);
+  auto naive = sess.Prepare(q, EvalMode::kSetNaive);
   ASSERT_TRUE(naive.ok());
-  EXPECT_EQ(naive->SortedTuples().size(), 2u);
+  auto r2 = naive->Execute({Value::String("o2")});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->SortedTuples().size(), 2u);
 }
 
 // --- Naive set evaluation ----------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "approx/approx.h"
 #include "certain/certain.h"
 #include "ctables/ceval.h"
@@ -20,21 +21,23 @@ using testing_util::FigureOne;
 using testing_util::QueryZoo;
 using testing_util::RandomDatabase;
 
-// One fact per pipeline stage, on the paper's Figure-1 database.
+// One fact per pipeline stage, on the paper's Figure-1 database — driven
+// through the Session facade: one Prepare feeds SQL evaluation, both
+// approximation schemes, the exact sweep and the c-table strategies.
 TEST(PipelineTest, FigureOneFullStack) {
-  Database db = FigureOne(true);
-  auto alg = ParseSqlToAlgebra(
+  Session sess(FigureOne(true));
+  auto pq = sess.Prepare(
       "SELECT C.cid FROM Customers C WHERE NOT EXISTS "
       "( SELECT * FROM Orders O, Payments P "
-      "  WHERE C.cid = P.cid AND P.oid = O.oid )",
-      db);
-  ASSERT_TRUE(alg.ok());
+      "  WHERE C.cid = P.cid AND P.oid = O.oid )");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  const AlgPtr& alg = pq->algebra();
 
-  auto sql = EvalSql(*alg, db);          // SQL invents c2
-  auto plus = EvalPlus(*alg, db);        // Q+ sound: empty
-  auto maybe = EvalMaybe(*alg, db);      // Q? complete: contains c2
-  auto cert = CertWithNulls(*alg, db);   // ground truth: empty
-  auto eager = CEvalCertain(*alg, db, CStrategy::kEager);
+  auto sql = pq->Execute();                 // SQL invents c2
+  auto plus = sess.CertainPlus(alg);        // Q+ sound: empty
+  auto maybe = sess.CertainMaybe(alg);      // Q? complete: contains c2
+  auto cert = sess.CertainWithNulls(alg);   // ground truth: empty
+  auto eager = CEvalCertain(alg, sess.db(), CStrategy::kEager);
   ASSERT_TRUE(sql.ok() && plus.ok() && maybe.ok() && cert.ok() && eager.ok());
 
   Tuple c2{Value::String("c2")};
@@ -48,7 +51,7 @@ TEST(PipelineTest, FigureOneFullStack) {
   // naive answer: naive evaluation of the antijoin keeps c2? With ⊥1
   // treated as a fresh constant, no payment links c2 to an order → c2 IS
   // a naive answer and in fact almost certainly true).
-  auto act = AlmostCertainlyTrue(*alg, db, c2);
+  auto act = AlmostCertainlyTrue(alg, sess.db(), c2);
   ASSERT_TRUE(act.ok());
   EXPECT_TRUE(*act);
   // ...which shows the three notions are genuinely different: c2 is

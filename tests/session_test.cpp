@@ -1,0 +1,361 @@
+// Tests for the api/session.h facade: prepared parameterized queries
+// amortising one compile over N bindings (asserted via the session plan
+// cache stats), streaming cursors agreeing with materialised execution on
+// the fuzzer corpus, concurrent Execute on one PreparedQuery, binding
+// arity/type errors, EXPLAIN output and the caret-annotated SQL errors.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "api/session.h"
+#include "approx/approx.h"
+#include "ctables/ceval.h"
+#include "sql/translate.h"
+#include "tests/testing_util.h"
+
+namespace incdb {
+namespace {
+
+using testing_util::FigureOne;
+using testing_util::RandomBagDatabase;
+using testing_util::RandomQueryGen;
+
+Tuple Str(const std::string& s) { return Tuple{Value::String(s)}; }
+
+// --- Prepared queries: one compile for N bindings ----------------------------
+
+TEST(SessionTest, PrepareOnceExecuteManyCompilesOnce) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_EQ(pq->param_count(), 1u);
+
+  // N distinct bindings share the single compiled template.
+  const int kBindings = 25;
+  for (int i = 0; i < kBindings; ++i) {
+    auto r = pq->Execute({Value::Int(i * 5)});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  SessionStats stats = sess.stats();
+  EXPECT_EQ(stats.plan_cache.misses, 1u) << "N bindings must cost 1 compile";
+  EXPECT_EQ(stats.executes, static_cast<uint64_t>(kBindings));
+
+  // Results are the binding's, not the template's.
+  auto r30 = pq->Execute({Value::Int(30)});
+  auto r40 = pq->Execute({Value::Int(40)});
+  auto r99 = pq->Execute({Value::Int(99)});
+  ASSERT_TRUE(r30.ok() && r40.ok() && r99.ok());
+  EXPECT_EQ(r30->SortedTuples(), (std::vector<Tuple>{Str("o2"), Str("o3")}));
+  EXPECT_EQ(r40->SortedTuples(), std::vector<Tuple>{Str("o3")});
+  EXPECT_TRUE(r99->Empty());
+
+  // Re-preparing the same text hits the same entry.
+  for (int i = 0; i < 4; ++i) {
+    auto again = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+    ASSERT_TRUE(again.ok());
+  }
+  stats = sess.stats();
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.hits, 4u);
+}
+
+TEST(SessionTest, LiteralQueriesKeySeparatelyButParamsShare) {
+  // The contrast the facade exists for: distinct literal constants compile
+  // per constant; the parameterized shape compiles once.
+  Session sess(FigureOne(false));
+  ASSERT_TRUE(sess.Execute("SELECT oid FROM Orders WHERE price > 30").ok());
+  ASSERT_TRUE(sess.Execute("SELECT oid FROM Orders WHERE price > 40").ok());
+  EXPECT_EQ(sess.stats().plan_cache.misses, 2u);
+
+  sess.ClearPlanCache();
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+  ASSERT_TRUE(pq.ok());
+  ASSERT_TRUE(pq->Execute({Value::Int(30)}).ok());
+  ASSERT_TRUE(pq->Execute({Value::Int(40)}).ok());
+  EXPECT_EQ(sess.stats().plan_cache.misses, 3u);  // one more, total
+}
+
+TEST(SessionTest, ParameterInSubqueryBindsThroughTranslation) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare(
+      "SELECT oid FROM Orders WHERE oid NOT IN "
+      "( SELECT oid FROM Payments WHERE cid = ? )");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  ASSERT_EQ(pq->param_count(), 1u);
+  auto r1 = pq->Execute({Value::String("c1")});  // c1 paid o1
+  auto r2 = pq->Execute({Value::String("c2")});  // c2 paid o2
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->SortedTuples(), (std::vector<Tuple>{Str("o2"), Str("o3")}));
+  EXPECT_EQ(r2->SortedTuples(), (std::vector<Tuple>{Str("o1"), Str("o3")}));
+  EXPECT_EQ(sess.stats().plan_cache.misses, 1u);
+}
+
+TEST(SessionTest, AlgebraPreparedParamsMatchLiteralQuery) {
+  Session sess(FigureOne(true));
+  AlgPtr tmpl = Project(
+      Select(Scan("Orders"), CGtc("price", Value::Param(0))), {"oid"});
+  AlgPtr lit =
+      Project(Select(Scan("Orders"), CGtc("price", Value::Int(35))), {"oid"});
+  for (EvalMode mode :
+       {EvalMode::kSetNaive, EvalMode::kBagNaive, EvalMode::kSetSql}) {
+    auto pq = sess.Prepare(tmpl, mode);
+    ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+    auto bound = pq->Execute({Value::Int(35)});
+    auto direct = sess.Prepare(lit, mode);
+    ASSERT_TRUE(bound.ok() && direct.ok());
+    auto expect = direct->Execute();
+    ASSERT_TRUE(expect.ok());
+    EXPECT_TRUE(bound->SameRows(*expect));
+  }
+}
+
+// --- Binding validation ------------------------------------------------------
+
+TEST(SessionTest, BindingArityAndTypeMismatchErrors) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+  ASSERT_TRUE(pq.ok());
+
+  auto none = pq->Execute({});
+  EXPECT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(none.status().message().find("1 parameter"), std::string::npos);
+
+  auto extra = pq->Execute({Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(extra.ok());
+  EXPECT_EQ(extra.status().code(), StatusCode::kInvalidArgument);
+
+  // Type mismatches: nulls and parameters are not constants.
+  auto null_bind = pq->Execute({Value::Null(7)});
+  EXPECT_FALSE(null_bind.ok());
+  EXPECT_NE(null_bind.status().message().find("constant"), std::string::npos);
+  auto param_bind = pq->Execute({Value::Param(0)});
+  EXPECT_FALSE(param_bind.ok());
+
+  // A parameter-free query rejects spurious bindings.
+  auto plain = sess.Prepare("SELECT oid FROM Orders");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->param_count(), 0u);
+  EXPECT_FALSE(plain->Execute({Value::Int(1)}).ok());
+}
+
+TEST(SessionTest, RawExecuteRejectsUnboundTemplates) {
+  // The low-level plan API refuses to run a template: parameters must be
+  // bound (the predicate closures would silently compare placeholders).
+  Database db = FigureOne(false);
+  AlgPtr tmpl = Select(Scan("Orders"), CEqc("price", Value::Param(0)));
+  auto plan = Compile(tmpl, EvalMode::kSetNaive, EvalOptions{}, db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->param_count, 1u);
+  auto run = Execute(*plan, db);
+  EXPECT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("unbound parameter"),
+            std::string::npos);
+
+  auto bound = BindPlanParams(*plan, {Value::Int(35)});
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ((*bound)->param_count, 0u);
+  auto ok = Execute(*bound, db);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->DistinctSize(), 1u);
+}
+
+// --- Concurrency -------------------------------------------------------------
+
+TEST(SessionTest, ConcurrentExecuteOnOnePreparedQuery) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+  ASSERT_TRUE(pq.ok());
+
+  // Expected distinct-result sizes per threshold (prices: 30, 35, 50).
+  const std::vector<std::pair<int64_t, size_t>> cases = {
+      {0, 3}, {30, 2}, {35, 1}, {40, 1}, {50, 0}, {100, 0}};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const auto& [threshold, expected] = cases[(t + i) % cases.size()];
+        auto r = pq->Execute({Value::Int(threshold)});
+        if (!r.ok() || r->DistinctSize() != expected) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(sess.stats().plan_cache.misses, 1u);
+  EXPECT_EQ(sess.stats().executes, 400u);
+}
+
+// --- Cursors -----------------------------------------------------------------
+
+/// Accumulates every delivery of `cur` into a relation (the cursor
+/// contract: this must equal the materialised execution as a bag).
+Relation Drain(Cursor& cur) {
+  Relation acc(cur.attrs());
+  while (cur.Next()) {
+    Status st = acc.Insert(cur.row(), cur.count());
+    EXPECT_TRUE(st.ok());
+  }
+  return acc;
+}
+
+TEST(SessionTest, CursorStreamsFilterChainsWithoutMaterialising) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+  ASSERT_TRUE(pq.ok());
+  auto cur = pq->OpenCursor({Value::Int(30)});
+  ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+  EXPECT_TRUE(cur->streaming());
+  EXPECT_EQ(cur->attrs(), std::vector<std::string>{"oid"});
+
+  // Exists-style consumption: the first pull suffices.
+  ASSERT_TRUE(cur->Next());
+  EXPECT_EQ(cur->count(), 1u);
+
+  auto cur2 = pq->OpenCursor({Value::Int(30)});
+  ASSERT_TRUE(cur2.ok());
+  Relation acc = Drain(*cur2);
+  auto full = pq->Execute({Value::Int(30)});
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(acc.SameRows(*full));
+}
+
+TEST(SessionTest, CursorMatchesExecuteOnFuzzerCorpus) {
+  std::mt19937_64 rng(20260730);
+  int compared = 0;
+  for (int round = 0; round < 12; ++round) {
+    Database db = RandomBagDatabase(rng, 4, 3, 2);
+    Session sess(std::move(db));
+    RandomQueryGen gen(rng);
+    for (int i = 0; i < 6; ++i) {
+      AlgPtr q = gen.Gen(3);
+      for (EvalMode mode :
+           {EvalMode::kSetNaive, EvalMode::kBagNaive, EvalMode::kSetSql}) {
+        auto pq = sess.Prepare(q, mode);
+        ASSERT_TRUE(pq.ok()) << pq.status().ToString() << "\n"
+                             << q->ToString();
+        auto rel = pq->Execute();
+        ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+        auto cur = pq->OpenCursor();
+        ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+        Relation acc = Drain(*cur);
+        EXPECT_TRUE(acc.SameRows(*rel))
+            << "cursor/materialised divergence on " << q->ToString()
+            << "\ncursor:\n"
+            << acc.ToString() << "\nmaterialised:\n"
+            << rel->ToString();
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GE(compared, 200);
+}
+
+// --- EXPLAIN -----------------------------------------------------------------
+
+TEST(SessionTest, ExplainExposesPlanOpsAndCacheStats) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare(
+      "SELECT C.name FROM Payments P, Customers C WHERE P.cid = C.cid "
+      "AND C.name = ?");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_GE(pq->CountPlanOps(PhysOp::kScanView), 2u);
+  EXPECT_EQ(pq->CountPlanOps(PhysOp::kHashJoin), 1u);
+  std::string text = pq->Explain();
+  EXPECT_NE(text.find("params=1"), std::string::npos);
+  EXPECT_NE(text.find("ScanView"), std::string::npos);
+  EXPECT_NE(text.find("HashJoin=1"), std::string::npos);
+  EXPECT_NE(text.find("misses=1"), std::string::npos) << text;
+}
+
+// --- SQL errors with positions ----------------------------------------------
+
+TEST(SessionTest, PrepareErrorsCarryOffsetsAndSnippets) {
+  Session sess(FigureOne(false));
+
+  auto bad_col = sess.Prepare("SELECT nope FROM Orders");
+  ASSERT_FALSE(bad_col.ok());
+  EXPECT_NE(bad_col.status().message().find("at offset 7"), std::string::npos)
+      << bad_col.status().ToString();
+  EXPECT_NE(bad_col.status().message().find('^'), std::string::npos);
+
+  auto bad_table = sess.Prepare("SELECT oid FROM Nope");
+  ASSERT_FALSE(bad_table.ok());
+  EXPECT_NE(bad_table.status().message().find("at offset 16"),
+            std::string::npos)
+      << bad_table.status().ToString();
+
+  auto bad_where = sess.Prepare("SELECT oid FROM Orders WHERE nope = 1");
+  ASSERT_FALSE(bad_where.ok());
+  EXPECT_NE(bad_where.status().message().find("at offset 29"),
+            std::string::npos)
+      << bad_where.status().ToString();
+
+  // Statuses without an offset pass through unchanged.
+  Status plain = Status::InvalidArgument("no position here");
+  EXPECT_EQ(AnnotateSqlError(plain, "SELECT 1").message(), "no position here");
+}
+
+// --- Certain-answer wrappers -------------------------------------------------
+
+TEST(SessionTest, CertainWrappersBindParamsBeforeTranslation) {
+  Session sess(FigureOne(true));
+  // Unpaid orders with price ≠ ? (disequality keeps the query generic, so
+  // the exact machinery accepts it): Q+ must stay sound under bindings.
+  AlgPtr tmpl = NotInPredicate(
+      Project(Select(Scan("Orders"), CNeqc("price", Value::Param(0))), {"oid"}),
+      Rename(Project(Scan("Payments"), {"oid"}), {"poid"}), {"oid"}, {"poid"},
+      CTrue());
+  auto bound_lit = BindParams(tmpl, {Value::Int(40)});
+  ASSERT_TRUE(bound_lit.ok());
+
+  auto plus = sess.CertainPlus(tmpl, {Value::Int(40)});
+  auto maybe = sess.CertainMaybe(tmpl, {Value::Int(40)});
+  auto cert = sess.CertainWithNulls(tmpl, {Value::Int(40)});
+  ASSERT_TRUE(plus.ok()) << plus.status().ToString();
+  ASSERT_TRUE(maybe.ok() && cert.ok());
+
+  auto plus_direct = EvalPlus(*bound_lit, sess.db());
+  auto cert_direct = CertWithNulls(*bound_lit, sess.db());
+  ASSERT_TRUE(plus_direct.ok() && cert_direct.ok());
+  EXPECT_TRUE(plus->SameRows(*plus_direct));
+  EXPECT_TRUE(cert->SameRows(*cert_direct));
+  // Soundness/completeness sandwich on the bound query.
+  for (const Tuple& t : plus->SortedTuples()) {
+    EXPECT_TRUE(cert->Contains(t));
+  }
+  for (const Tuple& t : cert->SortedTuples()) {
+    EXPECT_TRUE(maybe->Contains(t));
+  }
+
+  // Unbound or mistyped Certain* calls fail fast.
+  EXPECT_FALSE(sess.CertainPlus(tmpl, {}).ok());
+  EXPECT_FALSE(sess.CertainPlus(tmpl, {Value::Null(1)}).ok());
+}
+
+TEST(SessionTest, CEvalResolvesParamsAtInstantiation) {
+  Database db = FigureOne(true);
+  // (In)equality only: the [36] strategies have no order atoms.
+  AlgPtr tmpl = Project(
+      Select(Scan("Orders"), CEqc("price", Value::Param(0))), {"oid"});
+  auto bound = BindParams(tmpl, {Value::Int(35)});
+  ASSERT_TRUE(bound.ok());
+  for (CStrategy s : {CStrategy::kEager, CStrategy::kSemiEager,
+                      CStrategy::kLazy, CStrategy::kAware}) {
+    auto with_params = CEvalCertain(tmpl, db, s, {Value::Int(35)});
+    auto literal = CEvalCertain(*bound, db, s);
+    ASSERT_TRUE(with_params.ok()) << with_params.status().ToString();
+    ASSERT_TRUE(literal.ok());
+    EXPECT_TRUE(with_params->SameRows(*literal)) << ToString(s);
+  }
+  // Unbound placeholders are an error, not a silent mis-evaluation.
+  EXPECT_FALSE(CEvalCertain(tmpl, db, CStrategy::kEager).ok());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,11 +1,11 @@
 // Tests for src/sql: lexer, parser, algebra translation, and the
-// end-to-end reproduction of the paper's §1 SQL queries.
+// end-to-end reproduction of the paper's §1 SQL queries (driven through
+// the api/session.h facade; the free-function entry points stay covered
+// by the translation tests).
 
 #include <gtest/gtest.h>
 
-#include "approx/approx.h"
-#include "certain/certain.h"
-#include "eval/eval.h"
+#include "api/session.h"
 #include "sql/translate.h"
 #include "tests/testing_util.h"
 
@@ -38,6 +38,14 @@ TEST(LexerTest, QualifiedNumbersVsDots) {
   EXPECT_EQ((*toks)[1].text, ".");
   EXPECT_EQ((*toks)[2].text, "a");
   EXPECT_EQ((*toks)[4].text, "1.5");
+}
+
+TEST(LexerTest, ParameterPlaceholderSymbol) {
+  auto toks = Tokenize("price > ? AND cid = ?");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[2].kind, TokKind::kSymbol);
+  EXPECT_EQ((*toks)[2].text, "?");
+  EXPECT_EQ((*toks)[6].text, "?");
 }
 
 TEST(LexerTest, UnterminatedString) {
@@ -99,6 +107,32 @@ TEST(ParserTest, IsNullAndBooleans) {
   EXPECT_EQ((*q)->where->kind, SqlExprKind::kAnd);
 }
 
+TEST(ParserTest, ParametersNumberedInTextOrder) {
+  auto q = ParseSql(
+      "SELECT oid FROM Orders WHERE price > ? AND oid NOT IN "
+      "( SELECT oid FROM Payments WHERE cid = ? )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->param_count, 2u);
+  // First conjunct: price > ?0.
+  ASSERT_EQ((*q)->where->kind, SqlExprKind::kAnd);
+  const SqlExprPtr& cmp = (*q)->where->l;
+  ASSERT_EQ(cmp->kind, SqlExprKind::kCmpColLit);
+  ASSERT_TRUE(cmp->literal.is_param());
+  EXPECT_EQ(cmp->literal.param_index(), 0u);
+  // Subquery WHERE: cid = ?1.
+  const SqlExprPtr& in = (*q)->where->r;
+  ASSERT_EQ(in->kind, SqlExprKind::kInSubquery);
+  ASSERT_TRUE(in->subquery->where->literal.is_param());
+  EXPECT_EQ(in->subquery->where->literal.param_index(), 1u);
+}
+
+TEST(ParserTest, ColumnsAndTablesCarryOffsets) {
+  auto q = ParseSql("SELECT oid FROM Orders WHERE price = 30");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->select[0].pos, 7u);
+  EXPECT_EQ((*q)->from[0].pos, 16u);
+}
+
 TEST(ParserTest, TrailingInputRejected) {
   EXPECT_FALSE(ParseSql("SELECT a FROM T extra garbage ( ").ok());
   EXPECT_FALSE(ParseSql("SELECT FROM T").ok());
@@ -120,11 +154,21 @@ TEST(TranslateSqlTest, SimpleSelectEvaluates) {
 
 TEST(TranslateSqlTest, UnknownTableOrColumn) {
   Database db = FigureOne(false);
-  EXPECT_FALSE(ParseSqlToAlgebra("SELECT a FROM Nope", db).ok());
-  EXPECT_FALSE(ParseSqlToAlgebra("SELECT nope FROM Orders", db).ok());
-  EXPECT_FALSE(ParseSqlToAlgebra(
-                   "SELECT oid FROM Orders WHERE nope = 1", db)
-                   .ok());
+  auto no_table = ParseSqlToAlgebra("SELECT a FROM Nope", db);
+  ASSERT_FALSE(no_table.ok());
+  EXPECT_NE(no_table.status().message().find("at offset 14"),
+            std::string::npos)
+      << no_table.status().ToString();
+  auto no_col = ParseSqlToAlgebra("SELECT nope FROM Orders", db);
+  ASSERT_FALSE(no_col.ok());
+  EXPECT_NE(no_col.status().message().find("at offset 7"), std::string::npos)
+      << no_col.status().ToString();
+  auto no_where = ParseSqlToAlgebra(
+      "SELECT oid FROM Orders WHERE nope = 1", db);
+  ASSERT_FALSE(no_where.ok());
+  EXPECT_NE(no_where.status().message().find("at offset 29"),
+            std::string::npos)
+      << no_where.status().ToString();
 }
 
 TEST(TranslateSqlTest, AmbiguousColumnRejected) {
@@ -136,13 +180,10 @@ TEST(TranslateSqlTest, AmbiguousColumnRejected) {
 }
 
 TEST(TranslateSqlTest, QualifiedColumnsAndJoin) {
-  Database db = FigureOne(false);
-  auto alg = ParseSqlToAlgebra(
-      "SELECT C.name FROM Payments P, Customers C WHERE P.cid = C.cid",
-      db);
-  ASSERT_TRUE(alg.ok()) << alg.status().ToString();
-  auto res = EvalSql(*alg, db);
-  ASSERT_TRUE(res.ok());
+  Session sess(FigureOne(false));
+  auto res = sess.Execute(
+      "SELECT C.name FROM Payments P, Customers C WHERE P.cid = C.cid");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->SortedTuples().size(), 2u);
 }
 
@@ -161,65 +202,59 @@ const char* kTautologySql =
     "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'";
 
 TEST(PaperSqlTest, CompleteDatabase) {
-  Database db = FigureOne(false);
-  auto unpaid = ParseSqlToAlgebra(kUnpaidOrdersSql, db);
-  ASSERT_TRUE(unpaid.ok()) << unpaid.status().ToString();
-  auto r1 = EvalSql(*unpaid, db);
-  ASSERT_TRUE(r1.ok());
+  Session sess(FigureOne(false));
+  auto r1 = sess.Execute(kUnpaidOrdersSql);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
   EXPECT_EQ(r1->SortedTuples(),
             std::vector<Tuple>{Tuple{Value::String("o3")}});
 
-  auto nopaid = ParseSqlToAlgebra(kCustomersNoPaidSql, db);
-  ASSERT_TRUE(nopaid.ok()) << nopaid.status().ToString();
-  auto r2 = EvalSql(*nopaid, db);
-  ASSERT_TRUE(r2.ok());
+  auto r2 = sess.Execute(kCustomersNoPaidSql);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
   EXPECT_TRUE(r2->Empty());
 }
 
 TEST(PaperSqlTest, NullDatabaseFalseNegativesAndPositives) {
-  Database db = FigureOne(true);
+  Session sess(FigureOne(true));
   // Unpaid orders: empty (false negative — certain answer is also empty,
   // but SQL loses o3 which it itself returned before).
-  auto unpaid = ParseSqlToAlgebra(kUnpaidOrdersSql, db);
-  ASSERT_TRUE(unpaid.ok());
-  auto r1 = EvalSql(*unpaid, db);
+  auto r1 = sess.Execute(kUnpaidOrdersSql);
   ASSERT_TRUE(r1.ok());
   EXPECT_TRUE(r1->Empty());
 
   // Customers with no paid order: SQL invents c2 — a false positive
   // w.r.t. certain answers.
-  auto nopaid = ParseSqlToAlgebra(kCustomersNoPaidSql, db);
+  auto nopaid = sess.Prepare(kCustomersNoPaidSql);
   ASSERT_TRUE(nopaid.ok());
-  auto r2 = EvalSql(*nopaid, db);
+  auto r2 = nopaid->Execute();
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r2->SortedTuples(),
             std::vector<Tuple>{Tuple{Value::String("c2")}});
-  auto cert = CertWithNulls(*nopaid, db);
+  auto cert = sess.CertainWithNulls(nopaid->algebra());
   ASSERT_TRUE(cert.ok());
   EXPECT_TRUE(cert->Empty()) << "c2 must not be certain";
 
   // Tautology: SQL returns only c1; certain answers are {c1, c2}.
-  auto taut = ParseSqlToAlgebra(kTautologySql, db);
+  auto taut = sess.Prepare(kTautologySql);
   ASSERT_TRUE(taut.ok());
-  auto r3 = EvalSql(*taut, db);
+  auto r3 = taut->Execute();
   ASSERT_TRUE(r3.ok());
   EXPECT_EQ(r3->SortedTuples(),
             std::vector<Tuple>{Tuple{Value::String("c1")}});
-  auto cert3 = CertWithNulls(*taut, db);
+  auto cert3 = sess.CertainWithNulls(taut->algebra());
   ASSERT_TRUE(cert3.ok());
   EXPECT_EQ(cert3->SortedTuples().size(), 2u);
 }
 
 TEST(PaperSqlTest, TranslatedQueriesFeedApproximations) {
-  // The same parsed SQL runs through the Fig. 2(b) scheme: Q+ never
+  // The same prepared SQL runs through the Fig. 2(b) scheme: Q+ never
   // returns the false positive.
-  Database db = FigureOne(true);
-  auto nopaid = ParseSqlToAlgebra(kCustomersNoPaidSql, db);
+  Session sess(FigureOne(true));
+  auto nopaid = sess.Prepare(kCustomersNoPaidSql);
   ASSERT_TRUE(nopaid.ok());
-  auto plus = EvalPlus(*nopaid, db);
+  auto plus = sess.CertainPlus(nopaid->algebra());
   ASSERT_TRUE(plus.ok()) << plus.status().ToString();
   EXPECT_TRUE(plus->Empty());
-  auto maybe = EvalMaybe(*nopaid, db);
+  auto maybe = sess.CertainMaybe(nopaid->algebra());
   ASSERT_TRUE(maybe.ok());
   EXPECT_TRUE(maybe->Contains(Tuple{Value::String("c2")}));
 }
@@ -227,21 +262,18 @@ TEST(PaperSqlTest, TranslatedQueriesFeedApproximations) {
 TEST(PaperSqlTest, CorrelationDepthLimit) {
   // Depth-2 correlation (innermost references the outermost alias) is
   // rejected with Unsupported, not silently mistranslated.
-  Database db = FigureOne(false);
-  auto res = ParseSqlToAlgebra(
+  Session sess(FigureOne(false));
+  auto res = sess.Prepare(
       "SELECT C.cid FROM Customers C WHERE NOT EXISTS "
       "( SELECT * FROM Orders O WHERE EXISTS "
-      "  ( SELECT * FROM Payments P WHERE P.cid = C.cid ) )",
-      db);
+      "  ( SELECT * FROM Payments P WHERE P.cid = C.cid ) )");
   EXPECT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kUnsupported);
 }
 
 TEST(PaperSqlTest, DistinctIsAccepted) {
-  Database db = FigureOne(false);
-  auto alg = ParseSqlToAlgebra("SELECT DISTINCT cid FROM Payments", db);
-  ASSERT_TRUE(alg.ok());
-  auto res = EvalSql(*alg, db);
+  Session sess(FigureOne(false));
+  auto res = sess.Execute("SELECT DISTINCT cid FROM Payments");
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->SortedTuples().size(), 2u);
 }
