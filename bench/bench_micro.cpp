@@ -297,6 +297,72 @@ INCDB_BENCH(prepared_exec_hit) {
       .Param("speedup", us_literal / us_prepared);
 }
 
+/// Result-cache win for repeat queries on unchanged data: the same bound
+/// execution (a) with the result cache off — every call scans and filters
+/// kRows rows — vs (b) with it on, where after one priming miss every
+/// call is a version-stamp lookup returning the shared cached relation.
+/// The speedup parameter is (a)/(b) per call.
+INCDB_BENCH(result_cache_hit) {
+  constexpr int kCalls = 1 << 8;
+  constexpr int kRows = 50'000;
+  Database db;
+  Relation r({"a", "b"});
+  r.Reserve(kRows);
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < kRows; ++i) {
+    r.Add({Value::Int(i), Value::Int(static_cast<int64_t>(rng() % 100))});
+  }
+  db.Put("R", std::move(r));
+  // ~1% of rows pass: a hit's cost is the lookup + copying out the small
+  // result, not re-copying half the table.
+  const std::vector<Value> binding = {Value::Int(99)};
+
+  // (a) cache off: every Execute runs the plan.
+  EvalOptions off;
+  off.use_result_cache = false;
+  Session plain(db, off);
+  auto pq_off = plain.Prepare("SELECT a FROM R WHERE b >= ?");
+  if (!pq_off.ok()) {
+    ctx.SetFailed();
+    return;
+  }
+  double miss_ms = ctx.TimeMs([&] {
+    for (int i = 0; i < kCalls; ++i) {
+      pq_off->Execute(binding).ok();
+    }
+  });
+
+  // (b) cache on: one priming miss, then version-stamped hits.
+  Session cached(std::move(db));
+  auto pq_on = cached.Prepare("SELECT a FROM R WHERE b >= ?");
+  if (!pq_on.ok() || !pq_on->Execute(binding).ok()) {
+    ctx.SetFailed();
+    return;
+  }
+  double hit_ms = ctx.TimeMs([&] {
+    for (int i = 0; i < kCalls; ++i) {
+      pq_on->Execute(binding).ok();
+    }
+  });
+  if (cached.stats().result_cache.hits < static_cast<uint64_t>(kCalls)) {
+    ctx.SetFailed();  // the timed loop was not actually hitting
+    return;
+  }
+
+  const double us_hit = hit_ms * 1e3 / kCalls;
+  const double us_miss = miss_ms * 1e3 / kCalls;
+  std::printf(
+      "\n%-24s %10.3f ms / %d execs  (%.2f µs/hit vs %.2f µs uncached, "
+      "%.1fx)\n",
+      "result_cache_hit", hit_ms, kCalls, us_hit, us_miss, us_miss / us_hit);
+  ctx.Report("result_cache_hit", hit_ms)
+      .Param("batch", kCalls)
+      .Param("rows", kRows)
+      .Param("us_per_hit", us_hit)
+      .Param("us_per_uncached_exec", us_miss)
+      .Param("speedup", us_miss / us_hit);
+}
+
 /// Streaming-cursor win for top-k/exists consumers: a filter-shaped query
 /// over a large scan, consuming only the first 10 rows — the cursor pulls
 /// them through the root chain lazily, the materialised Execute pays for

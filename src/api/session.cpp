@@ -2,10 +2,12 @@
 //
 // Prepare = parse → translate → CompileCached on the *parameterized*
 // algebra (the session's private PlanCache keys placeholders by index, so
-// one query template is one entry). Execute = BindPlanParams (clone-
-// substitute over the affected nodes, no rewrite pass re-runs) → Execute.
-// The cursor streams the maximal unary operator chain at the plan root;
-// everything below it is materialised once through ExecuteNode.
+// one query template is one entry). Execute = pin snapshot → stale guard →
+// result-cache probe → BindPlanParams (clone-substitute over the affected
+// nodes, no rewrite pass re-runs) → Execute against the snapshot. The
+// cursor streams the maximal unary operator chain at the plan root over
+// its own pinned snapshot; everything below it is materialised once
+// through ExecuteNode.
 
 #include "api/session.h"
 
@@ -24,6 +26,7 @@ struct SessionState {
   EvalOptions opts;
   uint64_t max_valuations;
   PlanCache cache;
+  ResultCache results;
   std::atomic<uint64_t> prepares{0};
   std::atomic<uint64_t> executes{0};
   std::atomic<uint64_t> cursors{0};
@@ -58,17 +61,28 @@ Status AnnotateSqlError(const Status& st, const std::string& sql) {
     off = off * 10 + static_cast<size_t>(msg[i] - '0');
   }
   if (off > sql.size()) off = sql.size();
-  // Quote the line containing the offset with a caret under the byte.
+  // The offset may point one past the input (parser errors at EOF report
+  // sql.size()) or at trailing whitespace/newlines; rendering those
+  // verbatim puts the caret under an empty line or a blank column. Clamp
+  // to the last non-whitespace byte at or before the offset so the caret
+  // lands under the token the parser actually stopped at.
+  size_t caret = off;
+  if (caret >= sql.size()) caret = sql.empty() ? 0 : sql.size() - 1;
+  while (caret > 0 &&
+         std::isspace(static_cast<unsigned char>(sql[caret]))) {
+    --caret;
+  }
+  // Quote the line containing the caret with the caret under the byte.
   size_t line_start =
-      off == 0 ? std::string::npos : sql.rfind('\n', off - 1);
+      caret == 0 ? std::string::npos : sql.rfind('\n', caret - 1);
   line_start = line_start == std::string::npos ? 0 : line_start + 1;
-  size_t line_end = sql.find('\n', off);
+  size_t line_end = sql.find('\n', caret);
   if (line_end == std::string::npos) line_end = sql.size();
   std::string annotated = msg;
   annotated += "\n  ";
   annotated.append(sql, line_start, line_end - line_start);
   annotated += "\n  ";
-  annotated.append(off - line_start, ' ');
+  annotated.append(caret - line_start, ' ');
   annotated += "^";
   return Status(st.code(), std::move(annotated));
 }
@@ -112,6 +126,10 @@ Status ValidateBindings(const std::vector<Value>& params, size_t need) {
 struct Cursor::Impl {
   std::shared_ptr<SessionState> state;
   PlanPtr plan;  ///< Fully bound (param_count == 0); owns the stage nodes.
+  /// The database version this cursor streams: pinned at OpenCursor, so
+  /// borrowed scan rows stay alive and consistent while writers commit.
+  /// Declared before `scans`, which resolves against it.
+  Database snapshot;
   ScanResolver scans;
   RelationView base;
   /// Root operator chain, root first; applied bottom-up per pulled row.
@@ -127,8 +145,11 @@ struct Cursor::Impl {
   Tuple current;
   uint64_t current_count = 0;
 
-  Impl(std::shared_ptr<SessionState> s, PlanPtr p)
-      : state(std::move(s)), plan(std::move(p)), scans(state->db) {}
+  Impl(std::shared_ptr<SessionState> s, PlanPtr p, Database snap)
+      : state(std::move(s)),
+        plan(std::move(p)),
+        snapshot(std::move(snap)),
+        scans(snapshot) {}
 };
 
 bool Cursor::Next() {
@@ -189,24 +210,83 @@ bool Cursor::streaming() const { return impl_ && impl_->streaming; }
 
 // --- PreparedQuery -----------------------------------------------------------
 
+Status PreparedQuery::CheckFresh(const Database& snap) const {
+  for (const auto& [name, attrs] : scan_schemas_) {
+    const Relation* rel = snap.Find(name);
+    if (rel == nullptr) {
+      return Status::FailedPrecondition(
+          "prepared query is stale: relation '" + name +
+          "' was dropped after Prepare; re-prepare the query");
+    }
+    if (rel->attrs() != attrs) {
+      return Status::FailedPrecondition(
+          "prepared query is stale: relation '" + name +
+          "' changed schema after Prepare; re-prepare the query");
+    }
+  }
+  return Status::OK();
+}
+
+std::string PreparedQuery::ResultKey(const Database& snap,
+                                     const std::vector<Value>& params) const {
+  std::string key = key_prefix_;
+  key += '|';
+  for (const Value& v : params) AppendValueKey(&key, v);
+  for (const std::string& name : plan_->scanned_rels) {
+    uint64_t ver = snap.Version(name);
+    key += '#';
+    key += name;
+    key.append(reinterpret_cast<const char*>(&ver), sizeof(ver));
+  }
+  if (plan_->uses_dom) {
+    // Dom reads the whole active domain: fingerprint the entire database.
+    uint64_t epoch = snap.Epoch();
+    key += "#*";
+    key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  }
+  return key;
+}
+
 StatusOr<Relation> PreparedQuery::Execute(
     const std::vector<Value>& params) const {
   if (!valid()) return Status::InvalidArgument("PreparedQuery is empty");
   INCDB_RETURN_IF_ERROR(ValidateBindings(params, param_count_));
+  Database snap = state_->db.Snapshot();
+  INCDB_RETURN_IF_ERROR(CheckFresh(snap));
+  state_->executes.fetch_add(1, std::memory_order_relaxed);
+
+  const bool use_cache = state_->opts.use_result_cache;
+  std::string rkey;
+  if (use_cache) {
+    rkey = ResultKey(snap, params);
+    if (std::shared_ptr<const Relation> hit = state_->results.Lookup(rkey)) {
+      return *hit;
+    }
+  }
+
   PlanPtr plan = plan_;
   if (param_count_ > 0) {
     auto bound = BindPlanParams(plan_, params);
     if (!bound.ok()) return bound.status();
     plan = *bound;
   }
-  state_->executes.fetch_add(1, std::memory_order_relaxed);
-  return incdb::Execute(plan, state_->db);
+  auto rel = incdb::Execute(plan, snap);
+  if (!rel.ok()) return rel.status();
+  if (use_cache) {
+    std::vector<std::string> deps = plan_->scanned_rels;
+    if (plan_->uses_dom) deps.push_back("*");
+    state_->results.Insert(rkey, std::make_shared<const Relation>(*rel),
+                           std::move(deps));
+  }
+  return rel;
 }
 
 StatusOr<Cursor> PreparedQuery::OpenCursor(
     const std::vector<Value>& params) const {
   if (!valid()) return Status::InvalidArgument("PreparedQuery is empty");
   INCDB_RETURN_IF_ERROR(ValidateBindings(params, param_count_));
+  Database snap = state_->db.Snapshot();
+  INCDB_RETURN_IF_ERROR(CheckFresh(snap));
   PlanPtr plan = plan_;
   if (param_count_ > 0) {
     auto bound = BindPlanParams(plan_, params);
@@ -215,7 +295,7 @@ StatusOr<Cursor> PreparedQuery::OpenCursor(
   }
   state_->cursors.fetch_add(1, std::memory_order_relaxed);
 
-  auto impl = std::make_shared<Cursor::Impl>(state_, plan);
+  auto impl = std::make_shared<Cursor::Impl>(state_, plan, std::move(snap));
   const bool set_semantics = plan->mode != EvalMode::kBagNaive;
 
   // The maximal chain of row-at-a-time operators hanging off the root.
@@ -244,7 +324,7 @@ StatusOr<Cursor> PreparedQuery::OpenCursor(
 
   if (cur->op == PhysOp::kScanView) {
     // The whole chain bottoms out at a base relation: borrow it in place
-    // and stream everything.
+    // (from the pinned snapshot) and stream everything.
     auto view = impl->scans.Resolve(cur->rel_name, set_semantics);
     if (!view.ok()) return view.status();
     impl->base = *view;
@@ -252,7 +332,7 @@ StatusOr<Cursor> PreparedQuery::OpenCursor(
   } else {
     // Materialise the non-streamable remainder once; the chain above it
     // (if any) still streams per pull.
-    auto rel = ExecuteNode(plan, cur, state_->db);
+    auto rel = ExecuteNode(plan, cur, impl->snapshot);
     if (!rel.ok()) return rel.status();
     impl->base = RelationView::Own(std::move(*rel));
     impl->streaming = !impl->stages.empty();
@@ -297,6 +377,13 @@ std::string PreparedQuery::Explain() const {
          " evictions=" + std::to_string(cs.evictions) +
          " size=" + std::to_string(cs.size) + "/" +
          std::to_string(cs.capacity) + "\n";
+  ResultCacheStats rs = state_->results.stats();
+  out += "results : hits=" + std::to_string(rs.hits) +
+         " misses=" + std::to_string(rs.misses) +
+         " evictions=" + std::to_string(rs.evictions) +
+         " invalidations=" + std::to_string(rs.invalidations) +
+         " size=" + std::to_string(rs.size) + "/" +
+         std::to_string(rs.capacity) + "\n";
   return out;
 }
 
@@ -307,8 +394,28 @@ Session::Session(Database db, EvalOptions opts)
 
 const Database& Session::db() const { return state_->db; }
 Database& Session::mutable_db() { return state_->db; }
+
 void Session::Put(const std::string& name, Relation rel) {
   state_->db.Put(name, std::move(rel));
+  state_->results.InvalidateRelation(name);
+}
+
+Status Session::Drop(const std::string& name) {
+  INCDB_RETURN_IF_ERROR(state_->db.Drop(name));
+  state_->results.InvalidateRelation(name);
+  return Status::OK();
+}
+
+Status Session::Mutate(const std::function<Status(Database::Txn&)>& fn) {
+  Database::Txn txn = state_->db.Begin();
+  INCDB_RETURN_IF_ERROR(fn(txn));
+  // Touched() must be read before Commit consumes the transaction.
+  std::vector<std::string> touched = txn.Touched();
+  INCDB_RETURN_IF_ERROR(state_->db.Commit(std::move(txn)));
+  for (const std::string& name : touched) {
+    state_->results.InvalidateRelation(name);
+  }
+  return Status::OK();
 }
 
 const EvalOptions& Session::options() const { return state_->opts; }
@@ -332,17 +439,32 @@ StatusOr<PreparedQuery> Session::Prepare(const AlgPtr& q, EvalMode mode) {
 
 StatusOr<PreparedQuery> Session::PrepareAlgebra(AlgPtr q, EvalMode mode,
                                                 std::string sql) {
-  auto plan = state_->cache.CompileCached(q, mode, state_->opts, state_->db);
+  // Pin one snapshot for the whole prepare: the compiled plan, the
+  // result-cache key prefix and the recorded scan schemas must agree on
+  // what the database looked like.
+  Database snap = state_->db.Snapshot();
+  auto plan = state_->cache.CompileCached(q, mode, state_->opts, snap);
   if (!plan.ok()) return plan.status();
   state_->prepares.fetch_add(1, std::memory_order_relaxed);
   PreparedQuery pq;
   pq.state_ = state_;
-  pq.alg_ = std::move(q);
+  pq.alg_ = q;
   pq.plan_ = *plan;
   pq.out_attrs_ = (*plan)->root->attrs;
   pq.sql_ = std::move(sql);
   pq.mode_ = mode;
   pq.param_count_ = (*plan)->param_count;
+  pq.key_prefix_ = PlanCacheKey(q, mode, state_->opts, snap);
+  for (const std::string& name : (*plan)->scanned_rels) {
+    const Relation* rel = snap.Find(name);
+    // Compilation resolved every scan against this snapshot, so the
+    // relation exists; guard anyway rather than crash on an engine bug.
+    if (rel == nullptr) {
+      return Status::Internal("prepared scan of unknown relation '" + name +
+                              "'");
+    }
+    pq.scan_schemas_.emplace_back(name, rel->attrs());
+  }
   return pq;
 }
 
@@ -373,7 +495,7 @@ StatusOr<Relation> Session::CertainIntersection(
   CertainOptions copts;
   copts.eval = state_->opts;
   copts.max_valuations = state_->max_valuations;
-  return CertIntersection(*bound, state_->db, copts);
+  return CertIntersection(*bound, state_->db.Snapshot(), copts);
 }
 
 StatusOr<Relation> Session::CertainWithNulls(const AlgPtr& q,
@@ -383,21 +505,21 @@ StatusOr<Relation> Session::CertainWithNulls(const AlgPtr& q,
   CertainOptions copts;
   copts.eval = state_->opts;
   copts.max_valuations = state_->max_valuations;
-  return CertWithNulls(*bound, state_->db, copts);
+  return CertWithNulls(*bound, state_->db.Snapshot(), copts);
 }
 
 StatusOr<Relation> Session::CertainPlus(const AlgPtr& q,
                                         const std::vector<Value>& params) {
   auto bound = BindForCertain(q, params);
   if (!bound.ok()) return bound.status();
-  return EvalPlus(*bound, state_->db, state_->opts);
+  return EvalPlus(*bound, state_->db.Snapshot(), state_->opts);
 }
 
 StatusOr<Relation> Session::CertainMaybe(const AlgPtr& q,
                                          const std::vector<Value>& params) {
   auto bound = BindForCertain(q, params);
   if (!bound.ok()) return bound.status();
-  return EvalMaybe(*bound, state_->db, state_->opts);
+  return EvalMaybe(*bound, state_->db.Snapshot(), state_->opts);
 }
 
 SessionStats Session::stats() const {
@@ -406,9 +528,11 @@ SessionStats Session::stats() const {
   s.executes = state_->executes.load(std::memory_order_relaxed);
   s.cursors_opened = state_->cursors.load(std::memory_order_relaxed);
   s.plan_cache = state_->cache.stats();
+  s.result_cache = state_->results.stats();
   return s;
 }
 
 void Session::ClearPlanCache() { state_->cache.Clear(); }
+void Session::ClearResultCache() { state_->results.Clear(); }
 
 }  // namespace incdb

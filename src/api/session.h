@@ -34,11 +34,30 @@
 /// result. Accumulating every (row, count) a cursor delivers yields
 /// exactly Execute()'s relation.
 ///
+/// **Snapshot isolation.** Every Execute()/OpenCursor() pins a snapshot of
+/// the session database (core/database.h) and runs entirely against it:
+/// a writer committing mid-query can neither tear the result nor free the
+/// rows a streaming Cursor is borrowing. Mutations go through Put()/
+/// Drop()/Mutate() (a batched transaction), which publish atomically —
+/// readers observe either the whole batch or none of it. A mutation that
+/// drops or re-schemas a relation a PreparedQuery scans makes that query
+/// *stale*: subsequent Execute/OpenCursor calls return a structured
+/// kFailedPrecondition error instead of reading freed or mis-shaped rows.
+///
+/// **Result cache.** Repeat executions of a prepared query with equal
+/// bindings against unchanged data are served from a data-fingerprint-
+/// aware result cache (eval/result_cache.h): the key combines the plan
+/// identity, the binding digest and the version stamps of every scanned
+/// relation, so a commit to one relation invalidates exactly the entries
+/// that scanned it. Toggle with EvalOptions::use_result_cache; stats are
+/// in SessionStats::result_cache and Explain().
+///
 /// **Threading.** One PreparedQuery may Execute()/OpenCursor() from many
-/// threads concurrently: the template plan is immutable, bindings make
-/// private copies, and the session plan cache is internally locked.
-/// Mutating the session database (Put) concurrently with queries is not
-/// synchronised — sequence schema changes externally.
+/// threads concurrently, and Put/Drop/Mutate may run concurrently with
+/// them: the template plan is immutable, bindings make private copies,
+/// queries run on pinned snapshots, and both session caches are
+/// internally locked. Only set_options/mutable_db are unsynchronised —
+/// sequence those externally.
 
 #include <cstdint>
 #include <memory>
@@ -54,6 +73,7 @@
 #include "eval/eval.h"
 #include "eval/plan.h"
 #include "eval/plan_cache.h"
+#include "eval/result_cache.h"
 
 namespace incdb {
 
@@ -62,20 +82,24 @@ struct SessionState;
 }  // namespace internal
 
 /// Counters of one session's activity; plan_cache covers the session's
-/// private compiled-plan cache (prepares miss once per query shape).
+/// private compiled-plan cache (prepares miss once per query shape),
+/// result_cache the data-fingerprint-aware result cache behind
+/// PreparedQuery::Execute.
 struct SessionStats {
   uint64_t prepares = 0;
   uint64_t executes = 0;
   uint64_t cursors_opened = 0;
   PlanCacheStats plan_cache;
+  ResultCacheStats result_cache;
 };
 
 /// \brief Streaming row-at-a-time view of one prepared-query execution.
 ///
 /// Obtained from PreparedQuery::OpenCursor. Next() advances to the next
 /// (tuple, multiplicity) delivery; row() is valid until the next Next().
-/// The cursor keeps its session alive; it must not outlive a database
-/// mutation that changes the scanned relations.
+/// The cursor keeps its session alive and pins the database snapshot it
+/// opened against, so it streams one consistent version even if writers
+/// commit (or drop the scanned relations) while it is being drained.
 class Cursor {
  public:
   Cursor() = default;
@@ -119,8 +143,12 @@ class PreparedQuery {
   /// The SQL text this query was prepared from (empty for algebra input).
   const std::string& sql() const { return sql_; }
 
-  /// Materialised execution under the given bindings. Bindings must be
+  /// Materialised execution under the given bindings, against a snapshot
+  /// of the session database pinned at call time. Bindings must be
   /// exactly param_count() constants (nulls/params are type errors).
+  /// Repeat calls with equal bindings on unchanged data are result-cache
+  /// hits (EvalOptions::use_result_cache). Returns kFailedPrecondition if
+  /// a scanned relation was dropped or schema-changed since Prepare.
   StatusOr<Relation> Execute(const std::vector<Value>& params = {}) const;
 
   /// Streaming execution: rows are pulled through the root operator chain
@@ -139,6 +167,15 @@ class PreparedQuery {
  private:
   friend class Session;
 
+  /// Stale guard: verifies every relation the plan scans still exists in
+  /// `snap` with the schema it had at Prepare time.
+  Status CheckFresh(const Database& snap) const;
+  /// Result-cache key for this (snapshot, bindings) execution:
+  /// key_prefix_ + binding digest + scanned-relation version stamps
+  /// (+ database epoch for Dom-bearing plans).
+  std::string ResultKey(const Database& snap,
+                        const std::vector<Value>& params) const;
+
   std::shared_ptr<internal::SessionState> state_;
   AlgPtr alg_;
   PlanPtr plan_;  ///< Parameterized template; bound per Execute.
@@ -146,6 +183,12 @@ class PreparedQuery {
   std::string sql_;
   EvalMode mode_ = EvalMode::kSetSql;
   size_t param_count_ = 0;
+  /// Query-identity prefix of result-cache keys (the plan-cache key bytes
+  /// at Prepare time; the stale guard keeps it valid across executions).
+  std::string key_prefix_;
+  /// (relation, schema at Prepare) for every scanned relation — what
+  /// CheckFresh compares against the pinned snapshot.
+  std::vector<std::pair<std::string, std::vector<std::string>>> scan_schemas_;
 };
 
 /// \brief An embedded-engine session owning a database, per-session
@@ -165,10 +208,26 @@ class Session {
   Session& operator=(Session&&) = default;
 
   const Database& db() const;
-  /// Adds or replaces a relation. A schema change naturally invalidates
-  /// affected cache entries (scanned schemas are part of the plan key);
-  /// do not interleave with concurrent queries on other threads.
+  /// Adds or replaces a relation, atomically: safe while other threads
+  /// Execute/OpenCursor (they keep their pinned snapshots). A schema
+  /// change invalidates affected plan-cache entries (scanned schemas are
+  /// part of the plan key) and makes prepared queries that scanned the
+  /// old schema stale; any change eagerly drops the result-cache entries
+  /// that depend on the relation.
   void Put(const std::string& name, Relation rel);
+  /// Removes a relation atomically (NotFound when absent). Prepared
+  /// queries scanning it turn stale; dependent result-cache entries drop.
+  Status Drop(const std::string& name);
+  /// Batched transactional mutation: `fn` stages Put/Drop/Mutable calls
+  /// on a Database::Txn pinned to the current state; on OK the batch
+  /// commits atomically (concurrent readers see all of it or none) and
+  /// dependent result-cache entries are invalidated. A non-OK return
+  /// discards the staged batch and is passed through.
+  Status Mutate(const std::function<Status(Database::Txn&)>& fn);
+  /// Unsynchronised escape hatch: direct mutation must not race with
+  /// concurrent queries (prefer Put/Drop/Mutate) and bypasses the
+  /// result-cache invalidation hook (version stamps still keep cached
+  /// reads correct).
   Database& mutable_db();
 
   const EvalOptions& options() const;
@@ -214,6 +273,7 @@ class Session {
 
   SessionStats stats() const;
   void ClearPlanCache();
+  void ClearResultCache();
 
  private:
   StatusOr<PreparedQuery> PrepareAlgebra(AlgPtr q, EvalMode mode,

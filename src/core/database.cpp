@@ -1,52 +1,214 @@
+// Snapshot-versioned database (see database.h for the contract).
+//
+// Instances are immutable once published: every mutator builds a fresh
+// Instance (sharing untouched relation states by pointer) under the writer
+// mutex and publishes it with an atomic shared_ptr store; Snapshot() pins
+// the latest instance with an atomic load. Version stamps come from one
+// process-wide counter, so any two distinct relation states ever created
+// carry distinct stamps — the invariant the result cache keys on.
+
 #include "core/database.h"
 
+#include <atomic>
 #include <cassert>
 #include <sstream>
 #include <unordered_map>
 
 namespace incdb {
 
+namespace {
+
+/// Process-wide version stamp source. Starts at 1 so 0 can mean "absent"
+/// (Version) and "never mutated" (Epoch).
+std::atomic<uint64_t> g_next_version{1};
+
+uint64_t NextVersion() {
+  return g_next_version.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Database::Database() : inst_(std::make_shared<const Instance>()) {}
+
+Database::Database(const Database& other) : inst_(other.LoadInstance()) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  InstPtr snap = other.LoadInstance();
+  std::lock_guard<std::mutex> lk(write_mu_);
+  std::atomic_store_explicit(&inst_, std::move(snap),
+                             std::memory_order_release);
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept : inst_(std::move(other.inst_)) {
+  // Moved-from databases must stay valid (empty): tests and callers reuse
+  // them after std::move.
+  other.inst_ = std::make_shared<const Instance>();
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  inst_ = std::move(other.inst_);
+  other.inst_ = std::make_shared<const Instance>();
+  return *this;
+}
+
+Database::InstPtr Database::LoadInstance() const {
+  return std::atomic_load_explicit(&inst_, std::memory_order_acquire);
+}
+
+void Database::PublishEdit(const std::function<void(Instance&)>& edit) {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  auto next = std::make_shared<Instance>(*inst_);  // shares relation states
+  edit(*next);
+  std::atomic_store_explicit(&inst_, InstPtr(std::move(next)),
+                             std::memory_order_release);
+}
+
 void Database::Put(const std::string& name, Relation rel) {
-  rels_[name] = std::move(rel);
+  auto shared = std::make_shared<const Relation>(std::move(rel));
+  PublishEdit([&](Instance& next) {
+    uint64_t v = NextVersion();
+    next.rels[name] = Entry{std::move(shared), v};
+    next.epoch = v;
+  });
+}
+
+Status Database::Drop(const std::string& name) {
+  bool found = false;
+  PublishEdit([&](Instance& next) {
+    auto it = next.rels.find(name);
+    if (it == next.rels.end()) return;
+    found = true;
+    next.rels.erase(it);
+    next.epoch = NextVersion();
+  });
+  if (!found) return Status::NotFound("no relation named " + name);
+  return Status::OK();
 }
 
 bool Database::Has(const std::string& name) const {
-  return rels_.count(name) > 0;
+  return inst_->rels.count(name) > 0;
 }
 
 StatusOr<Relation> Database::Get(const std::string& name) const {
-  auto it = rels_.find(name);
-  if (it == rels_.end()) return Status::NotFound("no relation named " + name);
-  return it->second;
+  auto it = inst_->rels.find(name);
+  if (it == inst_->rels.end()) {
+    return Status::NotFound("no relation named " + name);
+  }
+  return *it->second.rel;
 }
 
 const Relation* Database::Find(const std::string& name) const {
-  auto it = rels_.find(name);
-  return it == rels_.end() ? nullptr : &it->second;
+  auto it = inst_->rels.find(name);
+  return it == inst_->rels.end() ? nullptr : it->second.rel.get();
 }
 
 const Relation& Database::at(const std::string& name) const {
-  auto it = rels_.find(name);
-  assert(it != rels_.end());
-  return it->second;
+  auto it = inst_->rels.find(name);
+  assert(it != inst_->rels.end());
+  return *it->second.rel;
 }
 
 Relation* Database::mutable_at(const std::string& name) {
-  auto it = rels_.find(name);
-  assert(it != rels_.end());
-  return &it->second;
+  // Detach a private copy of the relation state so snapshots pinned before
+  // this call keep the old rows, then publish an instance pointing at the
+  // (caller-mutable) copy. Single-threaded by contract: the caller writes
+  // through the returned pointer after publication.
+  auto it = inst_->rels.find(name);
+  assert(it != inst_->rels.end());
+  auto detached = std::make_shared<Relation>(*it->second.rel);
+  Relation* raw = detached.get();
+  PublishEdit([&](Instance& next) {
+    uint64_t v = NextVersion();
+    next.rels[name] = Entry{std::move(detached), v};
+    next.epoch = v;
+  });
+  return raw;
 }
 
 std::vector<std::string> Database::RelationNames() const {
   std::vector<std::string> out;
-  out.reserve(rels_.size());
-  for (const auto& [name, rel] : rels_) out.push_back(name);
+  out.reserve(inst_->rels.size());
+  for (const auto& [name, e] : inst_->rels) out.push_back(name);
   return out;
 }
 
+// --- Snapshots + transactions ------------------------------------------------
+
+Database Database::Snapshot() const { return Database(LoadInstance()); }
+
+uint64_t Database::Version(const std::string& name) const {
+  auto it = inst_->rels.find(name);
+  return it == inst_->rels.end() ? 0 : it->second.version;
+}
+
+uint64_t Database::Epoch() const { return inst_->epoch; }
+
+void Database::Txn::Put(const std::string& name, Relation rel) {
+  staged_[name] = std::move(rel);
+}
+
+Status Database::Txn::Drop(const std::string& name) {
+  if (Find(name) == nullptr) {
+    return Status::NotFound("no relation named " + name);
+  }
+  staged_[name] = std::nullopt;
+  return Status::OK();
+}
+
+Relation* Database::Txn::Mutable(const std::string& name) {
+  auto it = staged_.find(name);
+  if (it != staged_.end()) {
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  const Relation* base = Find(name);
+  if (base == nullptr) return nullptr;
+  auto ins = staged_.emplace(name, *base).first;  // copy-on-first-touch
+  return &*ins->second;
+}
+
+const Relation* Database::Txn::Find(const std::string& name) const {
+  auto it = staged_.find(name);
+  if (it != staged_.end()) {
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  auto bit = base_->rels.find(name);
+  return bit == base_->rels.end() ? nullptr : bit->second.rel.get();
+}
+
+std::vector<std::string> Database::Txn::Touched() const {
+  std::vector<std::string> out;
+  out.reserve(staged_.size());
+  for (const auto& [name, rel] : staged_) out.push_back(name);
+  return out;
+}
+
+Database::Txn Database::Begin() const { return Txn(LoadInstance()); }
+
+Status Database::Commit(Txn&& txn) {
+  if (txn.staged_.empty()) return Status::OK();
+  PublishEdit([&](Instance& next) {
+    for (auto& [name, rel] : txn.staged_) {
+      if (rel.has_value()) {
+        next.rels[name] =
+            Entry{std::make_shared<const Relation>(std::move(*rel)),
+                  NextVersion()};
+      } else {
+        next.rels.erase(name);
+      }
+    }
+    next.epoch = NextVersion();
+  });
+  return Status::OK();
+}
+
+// --- Whole-database notions --------------------------------------------------
+
 std::set<Value> Database::Constants() const {
   std::set<Value> out;
-  for (const auto& [name, rel] : rels_) {
+  for (const auto& [name, rel] : relations()) {
     for (const auto& [t, c] : rel.rows()) {
       for (const Value& v : t.values()) {
         if (v.is_const()) out.insert(v);
@@ -58,7 +220,7 @@ std::set<Value> Database::Constants() const {
 
 std::set<uint64_t> Database::NullIds() const {
   std::set<uint64_t> out;
-  for (const auto& [name, rel] : rels_) {
+  for (const auto& [name, rel] : relations()) {
     for (const auto& [t, c] : rel.rows()) {
       for (const Value& v : t.values()) {
         if (v.is_null()) out.insert(v.null_id());
@@ -76,14 +238,14 @@ std::set<Value> Database::ActiveDomain() const {
 
 uint64_t Database::TotalSize() const {
   uint64_t total = 0;
-  for (const auto& [name, rel] : rels_) total += rel.TotalSize();
+  for (const auto& [name, rel] : relations()) total += rel.TotalSize();
   return total;
 }
 
 Database Database::CoddifyNulls(uint64_t first_fresh_id) const {
   Database out;
   uint64_t next = first_fresh_id;
-  for (const auto& [name, rel] : rels_) {
+  for (const auto& [name, rel] : relations()) {
     Relation fresh(rel.attrs());
     for (const auto& [t, c] : rel.SortedRows()) {
       // Each *occurrence* of a null becomes a distinct null; a tuple with
@@ -105,7 +267,7 @@ Database Database::CoddifyNulls(uint64_t first_fresh_id) const {
 
 std::string Database::ToString() const {
   std::ostringstream os;
-  for (const auto& [name, rel] : rels_) {
+  for (const auto& [name, rel] : relations()) {
     os << name << rel.ToString() << "\n";
   }
   return os.str();

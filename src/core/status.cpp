@@ -15,6 +15,8 @@ const char* CodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
   }

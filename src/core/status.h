@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotFound,          ///< A named relation/attribute does not exist.
   kUnsupported,       ///< Operation not defined for this input class.
   kResourceExhausted, ///< An enumeration exceeded its configured budget.
+  kFailedPrecondition,///< System state moved under the caller (stale handle).
   kInternal,          ///< Invariant violation inside the library.
 };
 
@@ -47,6 +48,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -86,6 +86,12 @@ struct EvalOptions {
   /// per call. Never changes results — the cache key covers the query
   /// structure, mode, every option above and the scanned schemas.
   bool use_plan_cache = true;
+  /// Serve repeated PreparedQuery::Execute calls from the session's
+  /// data-fingerprint-aware result cache (eval/result_cache.h) when the
+  /// scanned relations' version stamps are unchanged. Never changes
+  /// results — keys cover query identity, bindings and data versions.
+  /// Not part of the plan-cache key (it does not affect compilation).
+  bool use_result_cache = true;
 };
 
 /// Naive evaluation under set semantics (treat nulls as fresh constants).

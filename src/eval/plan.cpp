@@ -1,6 +1,7 @@
 #include "eval/plan.h"
 
 #include <algorithm>
+#include <set>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -610,6 +611,16 @@ void CountEdges(const PhysPtr& n,
   if (n->right) CountEdges(n->right, refcount);
 }
 
+/// Fills Plan::scanned_rels (sorted, deduplicated) and Plan::uses_dom —
+/// the data-dependency footprint the result cache keys on.
+void CollectDataDeps(const PhysPtr& n, std::set<std::string>* names,
+                     bool* uses_dom) {
+  if (n->op == PhysOp::kScanView) names->insert(n->rel_name);
+  if (n->op == PhysOp::kDom) *uses_dom = true;
+  if (n->left) CollectDataDeps(n->left, names, uses_dom);
+  if (n->right) CollectDataDeps(n->right, names, uses_dom);
+}
+
 StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
                               const EvalOptions& opts, const Database& db,
                               bool for_ctables) {
@@ -623,6 +634,9 @@ StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
   plan->opts.num_threads = ResolveNumThreads(opts.num_threads);
   plan->param_count = ParamCount(q);
   CountEdges(plan->root, &plan->refcount);
+  std::set<std::string> names;
+  CollectDataDeps(plan->root, &names, &plan->uses_dom);
+  plan->scanned_rels.assign(names.begin(), names.end());
   return PlanPtr(plan);
 }
 
@@ -755,6 +769,8 @@ StatusOr<PlanPtr> BindPlanParams(const PlanPtr& plan,
   bound->mode = plan->mode;
   bound->opts = plan->opts;
   bound->param_count = 0;
+  bound->scanned_rels = plan->scanned_rels;
+  bound->uses_dom = plan->uses_dom;
   CountEdges(bound->root, &bound->refcount);
   return PlanPtr(bound);
 }

@@ -128,6 +128,15 @@ struct Plan {
   /// Parent-edge counts; nodes referenced more than once (OR-expansion
   /// sharing) are memoised during execution.
   std::unordered_map<const PhysNode*, uint32_t> refcount;
+  /// Names of the base relations the plan scans (sorted, deduplicated) —
+  /// together with uses_dom, the plan's *data-dependency footprint*. The
+  /// result cache (eval/result_cache.h) stamps these with the executed
+  /// snapshot's per-relation versions to fingerprint the inputs.
+  std::vector<std::string> scanned_rels;
+  /// True when the plan contains a Dom operator, whose output depends on
+  /// the active domain of the *whole* database (any relation's change can
+  /// change it) — such plans fingerprint on the database epoch instead.
+  bool uses_dom = false;
 };
 using PlanPtr = std::shared_ptr<const Plan>;
 

@@ -292,4 +292,8 @@ std::string PlanCacheKey(const AlgPtr& q, EvalMode mode,
   return key;
 }
 
+void AppendValueKey(std::string* key, const Value& v) {
+  AppendValue(key, v);
+}
+
 }  // namespace incdb

@@ -111,9 +111,16 @@ StatusOr<PlanPtr> CompileCached(const AlgPtr& q, EvalMode mode,
                                 const EvalOptions& opts, const Database& db);
 
 /// The exact key bytes a lookup would use — exposed so tests can assert
-/// what does (and does not) participate in query identity.
+/// what does (and does not) participate in query identity. The result
+/// cache (eval/result_cache.h) uses it as the query-identity prefix of its
+/// own keys.
 std::string PlanCacheKey(const AlgPtr& q, EvalMode mode,
                          const EvalOptions& opts, const Database& db);
+
+/// Appends the unambiguous serialization of `v` (kind byte + payload) that
+/// plan-cache keys use for condition constants — shared with the result
+/// cache's parameter-binding digests.
+void AppendValueKey(std::string* key, const Value& v);
 
 }  // namespace incdb
 

@@ -1,0 +1,81 @@
+// Result cache (see result_cache.h for the contract). Same LRU skeleton
+// as the plan cache; the interesting part — version-stamped keys — is
+// built by the caller (api/session.cpp ResultKey).
+
+#include "eval/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace incdb {
+
+std::shared_ptr<const Relation> ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.result;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const Relation> result,
+                         std::vector<std::string> deps) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Racing executions of the same key insert the same data (keys contain
+    // the version stamps); keep the incumbent, refresh its LRU slot.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(result), std::move(deps), lru_.begin()});
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+size_t ResultCache::InvalidateRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    const std::vector<std::string>& deps = it->second.deps;
+    // "*" marks an entry depending on the whole database (Dom plans).
+    if (std::find(deps.begin(), deps.end(), name) != deps.end() ||
+        std::find(deps.begin(), deps.end(), "*") != deps.end()) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += dropped;
+  return dropped;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ResultCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.size = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace incdb

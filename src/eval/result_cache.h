@@ -1,0 +1,106 @@
+#ifndef INCDB_EVAL_RESULT_CACHE_H_
+#define INCDB_EVAL_RESULT_CACHE_H_
+
+/// \file result_cache.h
+/// \brief Data-fingerprint-aware cache of materialised query results.
+///
+/// The plan cache (eval/plan_cache.h) removes the *compile* from repeated
+/// queries; this cache removes the *execution* when the data has not
+/// changed either. It sits behind PreparedQuery::Execute (api/session.h):
+///
+/// **Keying.** An entry's key is built by the session from
+///  * the plan-cache key of the prepared template (algebra structure +
+///    mode + plan-relevant options + scanned schemas) — query identity;
+///  * the parameter bindings of this execution (kind byte + payload via
+///    AppendValueKey) — binding identity;
+///  * the *version stamps* of every relation the plan scans, read from the
+///    pinned snapshot the execution runs against (plus the database epoch
+///    for Dom-bearing plans, whose output depends on the whole active
+///    domain) — data identity.
+/// Version stamps are process-globally unique per relation state
+/// (core/database.h), so a key can only hit when the query, the bindings
+/// and the scanned data are all unchanged. Correctness therefore never
+/// depends on eager invalidation: a mutation changes the stamps and the
+/// next lookup simply misses.
+///
+/// **Invalidation.** Stale entries (old stamps) can never be hit again, so
+/// they only cost memory until the LRU ages them out. The
+/// InvalidateRelation hook drops every entry *depending on* a mutated
+/// relation eagerly — the session calls it from its mutation surface
+/// (Put/Drop/Mutate), so a delta to one relation evicts exactly the
+/// entries that scanned it and leaves independent queries hot.
+///
+/// **Thread-safety.** All methods are safe to call concurrently; one mutex
+/// guards the map + LRU ring (as in PlanCache, stats() reads the counters
+/// under the same lock, so a stats snapshot is internally consistent).
+/// Results are shared immutable relations: a hit returns a shared_ptr the
+/// caller may read without further locking.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace incdb {
+
+/// Introspection counters for tests, benchmarks and Explain().
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      ///< LRU-capacity evictions.
+  uint64_t invalidations = 0;  ///< Entries dropped by InvalidateRelation.
+  size_t size = 0;             ///< Entries currently cached.
+  size_t capacity = 0;         ///< LRU capacity.
+};
+
+class ResultCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit ResultCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached result for `key`, or nullptr (counted as hit/miss).
+  std::shared_ptr<const Relation> Lookup(const std::string& key);
+
+  /// Caches `result` under `key`; `deps` are the names of the base
+  /// relations the result was computed from (the InvalidateRelation
+  /// handle); the sentinel "*" marks a whole-database dependency (Dom
+  /// plans), matched by every invalidation. Re-inserting an existing key
+  /// refreshes its LRU position.
+  void Insert(const std::string& key, std::shared_ptr<const Relation> result,
+              std::vector<std::string> deps);
+
+  /// Drops every entry that depends on `name`; returns how many. Called by
+  /// the session's mutation surface after a commit touches `name`.
+  size_t InvalidateRelation(const std::string& name);
+
+  /// Drops every entry (explicit invalidation); counters keep running.
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Relation> result;
+    std::vector<std::string> deps;
+    std::list<std::string>::iterator lru_it;  ///< Position in lru_.
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  std::list<std::string> lru_;  ///< Keys, most recently used first.
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_EVAL_RESULT_CACHE_H_

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <type_traits>
 #include <utility>
 
@@ -341,6 +342,123 @@ TEST(DatabaseTest, CoddifyMakesNullsDistinct) {
   // Three null occurrences → three distinct ids.
   EXPECT_EQ(codd.NullIds().size(), 3u);
   EXPECT_EQ(codd.at("R").TotalSize(), 2u);
+}
+
+// --- Snapshot versioning ----------------------------------------------------
+
+Relation OneInt(const std::string& attr, int64_t v) {
+  Relation r({attr});
+  r.Add({Value::Int(v)});
+  return r;
+}
+
+TEST(DatabaseVersionTest, StampsAreFreshPerMutationAndZeroWhenAbsent) {
+  Database db;
+  EXPECT_EQ(db.Version("R"), 0u);
+  EXPECT_EQ(db.Epoch(), 0u);
+
+  db.Put("R", OneInt("x", 1));
+  uint64_t v1 = db.Version("R");
+  EXPECT_NE(v1, 0u);
+  EXPECT_EQ(db.Epoch(), v1);
+
+  // Replacing with *identical* rows still stamps a new state: stamps
+  // fingerprint mutation history, and a fresh stamp can only cause a
+  // cache miss, never a wrong hit.
+  db.Put("R", OneInt("x", 1));
+  uint64_t v2 = db.Version("R");
+  EXPECT_NE(v2, v1);
+  EXPECT_GT(db.Epoch(), v1);
+
+  db.Put("S", OneInt("y", 2));
+  EXPECT_EQ(db.Version("R"), v2) << "mutating S must not restamp R";
+
+  ASSERT_TRUE(db.Drop("R").ok());
+  EXPECT_EQ(db.Version("R"), 0u);
+  EXPECT_EQ(db.Drop("R").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseVersionTest, SnapshotPinsPreMutationState) {
+  Database db;
+  db.Put("R", OneInt("x", 1));
+  Database snap = db.Snapshot();
+  uint64_t pinned = snap.Version("R");
+
+  db.Put("R", OneInt("x", 2));
+  ASSERT_TRUE(db.Drop("S").code() == StatusCode::kNotFound);
+
+  // The snapshot still sees the old rows and the old stamp.
+  EXPECT_TRUE(snap.at("R").Contains(Tuple{Value::Int(1)}));
+  EXPECT_EQ(snap.Version("R"), pinned);
+  EXPECT_TRUE(db.at("R").Contains(Tuple{Value::Int(2)}));
+  EXPECT_NE(db.Version("R"), pinned);
+
+  // Copies behave like snapshots, and mutating the copy never writes back.
+  Database copy = db;
+  copy.Put("R", OneInt("x", 3));
+  EXPECT_TRUE(db.at("R").Contains(Tuple{Value::Int(2)}));
+
+  // mutable_at detaches: a snapshot taken before stays unaffected.
+  Database before = db.Snapshot();
+  uint64_t v_before = db.Version("R");
+  Relation* r = db.mutable_at("R");
+  ASSERT_NE(r, nullptr);
+  r->Add({Value::Int(9)});
+  EXPECT_NE(db.Version("R"), v_before);
+  EXPECT_EQ(before.at("R").TotalSize(), 1u);
+  EXPECT_EQ(db.at("R").TotalSize(), 2u);
+}
+
+TEST(DatabaseVersionTest, RelationsViewSurvivesSourceMutation) {
+  Database db;
+  db.Put("R", OneInt("x", 1));
+  auto view = db.relations();
+  db.Put("R", OneInt("x", 2));
+  ASSERT_TRUE(db.Drop("R").ok());
+  // The view pinned the instance it was created from.
+  ASSERT_EQ(view.size(), 1u);
+  for (const auto& [name, rel] : view) {
+    EXPECT_EQ(name, "R");
+    EXPECT_TRUE(rel.Contains(Tuple{Value::Int(1)}));
+  }
+}
+
+TEST(DatabaseTxnTest, StagedReadsCommitAtomicallyWithTouched) {
+  Database db;
+  db.Put("A", OneInt("x", 1));
+  db.Put("B", OneInt("y", 1));
+  db.Put("C", OneInt("z", 1));
+  uint64_t vc = db.Version("C");
+
+  Database::Txn txn = db.Begin();
+  txn.Put("A", OneInt("x", 2));
+  ASSERT_TRUE(txn.Drop("B").ok());
+  EXPECT_EQ(txn.Drop("B").code(), StatusCode::kNotFound)
+      << "staged drops are visible to staged reads";
+  Relation* a = txn.Mutable("A");
+  ASSERT_NE(a, nullptr);
+  a->Add({Value::Int(3)});
+  EXPECT_EQ(txn.Mutable("B"), nullptr);
+  EXPECT_TRUE(txn.Has("C"));
+
+  // Nothing is visible before Commit.
+  EXPECT_TRUE(db.at("A").Contains(Tuple{Value::Int(1)}));
+  EXPECT_TRUE(db.Has("B"));
+
+  std::vector<std::string> touched = txn.Touched();
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<std::string>{"A", "B"}));
+
+  ASSERT_TRUE(db.Commit(std::move(txn)).ok());
+  EXPECT_TRUE(db.at("A").Contains(Tuple{Value::Int(2)}));
+  EXPECT_TRUE(db.at("A").Contains(Tuple{Value::Int(3)}));
+  EXPECT_FALSE(db.Has("B"));
+  EXPECT_EQ(db.Version("C"), vc) << "untouched relations keep their stamp";
+
+  // An empty transaction is a published no-op.
+  uint64_t epoch = db.Epoch();
+  ASSERT_TRUE(db.Commit(db.Begin()).ok());
+  EXPECT_EQ(db.Epoch(), epoch);
 }
 
 // --- Valuation -------------------------------------------------------------

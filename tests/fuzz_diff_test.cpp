@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "algebra/builder.h"
+#include "api/session.h"
 #include "eval/eval.h"
 #include "eval/plan.h"
 #include "tests/testing_util.h"
@@ -430,6 +431,56 @@ TEST(FuzzDiffTest, BagModeAgreesWithReferenceWalk) {
 
 TEST(FuzzDiffTest, SqlModeAgreesWithReferenceWalk) {
   RunDifferential(EvalMode::kSetSql, &EvalSql);
+}
+
+// The result cache must be invisible: on the same corpus, a session with
+// the cache on — executed twice, so the second run is served from the
+// cache — returns bit-identical relations to a session with the cache
+// off. A divergence means a key is too coarse (two different executions
+// aliased) or a cached relation was corrupted in flight.
+TEST(FuzzDiffTest, ResultCacheToggleIsBitIdentical) {
+  const uint64_t seed = EnvOr("INCDB_FUZZ_SEED", 20260730);
+  const uint64_t cases = EnvOr("INCDB_FUZZ_CASES", 500);
+  for (EvalMode mode :
+       {EvalMode::kSetNaive, EvalMode::kBagNaive, EvalMode::kSetSql}) {
+    std::mt19937_64 rng(seed ^ (static_cast<uint64_t>(mode) << 32));
+    RandomQueryGen gen(rng);
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < cases; ++i) {
+      const size_t tuples = 3 + i % 4;
+      Database db = (i % 2 == 0) ? RandomDatabase(rng, tuples)
+                                 : RandomBagDatabase(rng, tuples);
+      AlgPtr q = gen.Gen(2 + static_cast<int>(i % 3));
+
+      EvalOptions on;
+      on.use_result_cache = true;
+      EvalOptions off;
+      off.use_result_cache = false;
+      Session cached(db, on);
+      Session plain(std::move(db), off);
+
+      auto pq_on = cached.Prepare(q, mode);
+      auto pq_off = plain.Prepare(q, mode);
+      ASSERT_TRUE(pq_on.ok()) << "case " << i << ": "
+                              << pq_on.status().ToString();
+      ASSERT_TRUE(pq_off.ok());
+
+      auto cold = pq_on->Execute();
+      auto warm = pq_on->Execute();  // same data + bindings: cache path
+      auto ref = pq_off->Execute();
+      ASSERT_TRUE(cold.ok() && warm.ok() && ref.ok()) << "case " << i;
+      for (const Relation* r : {&*cold, &*warm}) {
+        ASSERT_TRUE(ref->SameRows(*r))
+            << "case " << i << " (mode " << static_cast<int>(mode)
+            << ") cache-on diverges for " << q->ToString()
+            << "\ncache off:\n" << ref->ToString() << "\ncache on:\n"
+            << r->ToString();
+        ASSERT_EQ(ref->attrs(), r->attrs()) << "case " << i;
+      }
+      hits += cached.stats().result_cache.hits;
+    }
+    EXPECT_GT(hits, 0u) << "the cache-on sessions never actually hit";
+  }
 }
 
 }  // namespace

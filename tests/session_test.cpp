@@ -301,6 +301,178 @@ TEST(SessionTest, PrepareErrorsCarryOffsetsAndSnippets) {
   EXPECT_EQ(AnnotateSqlError(plain, "SELECT 1").message(), "no position here");
 }
 
+TEST(SessionTest, CaretClampsAtEndOfInputAndTrailingWhitespace) {
+  Session sess(FigureOne(false));
+
+  // A parse error at EOF reports offset == sql.size(); with a trailing
+  // newline the old renderer quoted the empty last line with the caret at
+  // column 0. The caret must land under the last real token instead.
+  for (const std::string& sql :
+       {std::string("SELECT oid FROM Orders WHERE price >\n"),
+        std::string("SELECT oid FROM Orders WHERE price >   "),
+        std::string("SELECT oid FROM")}) {
+    auto st = sess.Prepare(sql);
+    ASSERT_FALSE(st.ok()) << sql;
+    const std::string& msg = st.status().message();
+    ASSERT_NE(msg.find('^'), std::string::npos) << msg;
+    // The quoted snippet line is never empty ...
+    EXPECT_EQ(msg.find("\n  \n"), std::string::npos) << msg;
+    // ... and the caret column points inside the snippet, under its last
+    // non-whitespace byte.
+    size_t caret_line = msg.rfind("\n  ");
+    size_t snip_start = msg.rfind("\n  ", caret_line - 1);
+    ASSERT_NE(snip_start, std::string::npos) << msg;
+    std::string snippet =
+        msg.substr(snip_start + 3, caret_line - snip_start - 3);
+    size_t caret_col = msg.size() - (caret_line + 3) - 1;
+    ASSERT_LT(caret_col, snippet.size()) << msg;
+    EXPECT_EQ(caret_col, snippet.find_last_not_of(" \t")) << msg;
+  }
+
+  // Direct unit check: an offset past the end clamps back onto 'B'.
+  Status past = Status::InvalidArgument("boom at offset 9");
+  std::string annotated = AnnotateSqlError(past, "AB\n").message();
+  EXPECT_NE(annotated.find("\n  AB\n   ^"), std::string::npos) << annotated;
+}
+
+// --- Snapshots, staleness and the result cache -------------------------------
+
+TEST(SessionTest, ExecuteAfterDropOrSchemaChangeIsFailedPrecondition) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > 10");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  ASSERT_TRUE(pq->Execute().ok());
+
+  // Dropping a scanned relation turns the prepared query stale.
+  ASSERT_TRUE(sess.Drop("Orders").ok());
+  auto gone = pq->Execute();
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(gone.status().message().find("Orders"), std::string::npos);
+  EXPECT_NE(gone.status().message().find("re-prepare"), std::string::npos);
+  EXPECT_EQ(pq->OpenCursor().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Re-creating it with a different schema is just as stale ...
+  Relation other({"oid", "total"});
+  other.Add({Value::String("o1"), Value::Int(50)});
+  sess.Put("Orders", std::move(other));
+  EXPECT_EQ(pq->Execute().status().code(), StatusCode::kFailedPrecondition);
+
+  // ... but restoring the original schema makes it executable again (new
+  // data, same shape).
+  Relation restored({"oid", "title", "price"});
+  restored.Add({Value::String("o9"), Value::String("New"), Value::Int(99)});
+  sess.Put("Orders", std::move(restored));
+  auto back = pq->Execute();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->Contains(Str("o9")));
+
+  // Unrelated mutations never affect freshness.
+  sess.Put("Unrelated", Relation({"z"}));
+  EXPECT_TRUE(pq->Execute().ok());
+}
+
+TEST(SessionTest, RepeatExecuteHitsResultCacheUntilDataChanges) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders WHERE price > ?");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+
+  auto r1 = pq->Execute({Value::Int(30)});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 0u);
+
+  // Same bindings, unchanged data: a hit with the identical relation.
+  auto r2 = pq->Execute({Value::Int(30)});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 1u);
+  EXPECT_TRUE(r1->SameRows(*r2));
+  EXPECT_EQ(r1->attrs(), r2->attrs());
+
+  // Different bindings key separately.
+  ASSERT_TRUE(pq->Execute({Value::Int(0)}).ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 1u);
+  EXPECT_EQ(sess.stats().result_cache.size, 2u);
+
+  // A mutation of the scanned relation misses (fresh version stamps) and
+  // eagerly dropped the dependent entries.
+  Relation orders({"oid", "title", "price"});
+  orders.Add({Value::String("o1"), Value::String("Big Data"), Value::Int(100)});
+  sess.Put("Orders", std::move(orders));
+  EXPECT_GE(sess.stats().result_cache.invalidations, 2u);
+  auto r3 = pq->Execute({Value::Int(30)});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 1u);
+  EXPECT_TRUE(r3->Contains(Str("o1")));
+  EXPECT_FALSE(r3->SameRows(*r1));
+
+  // Mutating a relation the query does not scan leaves its entries hot.
+  sess.Put("Payments", Relation({"cid", "oid"}));
+  EXPECT_TRUE(pq->Execute({Value::Int(30)}).ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 2u);
+
+  // The toggle bypasses the cache without changing results.
+  EvalOptions off = sess.options();
+  off.use_result_cache = false;
+  sess.set_options(off);
+  auto r4 = pq->Execute({Value::Int(30)});
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(r4->SameRows(*r3));
+  EXPECT_EQ(sess.stats().result_cache.hits, 2u);
+
+  sess.ClearResultCache();
+  EXPECT_EQ(sess.stats().result_cache.size, 0u);
+}
+
+TEST(SessionTest, MutateCommitsAtomicBatchesAndInvalidatesExactly) {
+  Session sess(FigureOne(false));
+  auto orders = sess.Prepare("SELECT oid FROM Orders");
+  auto customers = sess.Prepare("SELECT name FROM Customers");
+  ASSERT_TRUE(orders.ok() && customers.ok());
+  ASSERT_TRUE(orders->Execute().ok());
+  ASSERT_TRUE(customers->Execute().ok());
+  ASSERT_TRUE(orders->Execute().ok());  // both cached now
+  ASSERT_TRUE(customers->Execute().ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 2u);
+
+  // One batch touching Orders only: Customers entries stay hot.
+  Status st = sess.Mutate([](Database::Txn& txn) {
+    Relation r({"oid", "title", "price"});
+    r.Add({Value::String("o7"), Value::String("Graphs"), Value::Int(7)});
+    txn.Put("Orders", std::move(r));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto after = orders->Execute();
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->Contains(Str("o7")));
+  ASSERT_TRUE(customers->Execute().ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 3u) << "Customers stayed cached";
+
+  // A failing mutator discards the whole staged batch.
+  Status fail = sess.Mutate([](Database::Txn& txn) {
+    txn.Put("Orders", Relation({"nope"}));
+    return Status::InvalidArgument("abort");
+  });
+  EXPECT_EQ(fail.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(orders->Execute().ok()) << "aborted batch left schema intact";
+}
+
+TEST(SessionTest, CursorPinsItsSnapshotAcrossCommits) {
+  Session sess(FigureOne(false));
+  auto pq = sess.Prepare("SELECT oid FROM Orders");
+  ASSERT_TRUE(pq.ok());
+  auto cur = pq->OpenCursor();
+  ASSERT_TRUE(cur.ok());
+
+  // Drop the relation under the open cursor; the pinned snapshot keeps
+  // the borrowed rows alive and the drain sees the pre-drop version.
+  ASSERT_TRUE(sess.Drop("Orders").ok());
+  size_t rows = 0;
+  while (cur->Next()) ++rows;
+  EXPECT_EQ(rows, 3u);
+}
+
 // --- Certain-answer wrappers -------------------------------------------------
 
 TEST(SessionTest, CertainWrappersBindParamsBeforeTranslation) {
