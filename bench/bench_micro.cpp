@@ -162,6 +162,32 @@ INCDB_BENCH(hash_join) {
       .Param("tuples", static_cast<int64_t>(db.TotalSize()));
 }
 
+/// Cost of the cooperative cancellation checkpoints: the hash_join
+/// workload with an inert ExecContext (the default every query runs
+/// with) versus one armed with a far-future deadline, which forces the
+/// amortized clock reads on the 4096-row cadence. The reported overhead
+/// percentage is the price of deadline support on a query that never
+/// times out; the PR 7 budget for it is ≤2%.
+INCDB_BENCH(cancel_checkpoint_overhead) {
+  tpch::GenOptions opts;
+  opts.scale = 2.0;
+  opts.null_rate = 0.02;
+  Database db = tpch::Generate(opts);
+  AlgPtr q = Join(Scan("customer"), Scan("orders"),
+                  CEq("c_custkey", "o_custkey"));
+  double base_ms = ctx.TimeMs([&] { EvalSet(q, db).ok(); });
+  ExecContext far = ExecContext::WithDeadlineMs(60 * 60 * 1000);
+  double armed_ms =
+      ctx.TimeMs([&] { EvalSet(q, db, EvalOptions{}, far).ok(); });
+  const double overhead_pct =
+      base_ms > 0 ? (armed_ms - base_ms) / base_ms * 100.0 : 0.0;
+  std::printf("%-24s %10.2f ms inert / %.2f ms armed (%+.1f%%)\n",
+              "cancel_checkpoint", base_ms, armed_ms, overhead_pct);
+  ctx.Report("cancel_checkpoint_overhead", armed_ms)
+      .Param("inert_ms", base_ms)
+      .Param("overhead_pct", overhead_pct);
+}
+
 /// Plan-compilation cost: lowering + rewrite passes for the W1 NOT-IN
 /// query's Q+ rewriting — the price EvalSet pays per call before
 /// execution, and what a Compile-once caller amortises away.

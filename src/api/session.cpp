@@ -15,6 +15,7 @@
 #include <cctype>
 
 #include "approx/approx.h"
+#include "core/fault.h"
 #include "sql/translate.h"
 
 namespace incdb {
@@ -30,6 +31,7 @@ struct SessionState {
   std::atomic<uint64_t> prepares{0};
   std::atomic<uint64_t> executes{0};
   std::atomic<uint64_t> cursors{0};
+  std::atomic<uint64_t> stale_retries{0};
 
   SessionState(Database d, EvalOptions o)
       : db(std::move(d)),
@@ -40,6 +42,19 @@ struct SessionState {
 }  // namespace internal
 
 using internal::SessionState;
+
+// The unit of transparent re-preparation: everything CheckFresh guards
+// and Execute/OpenCursor read must be swapped together, or a retry racing
+// a concurrent execution could pair a new plan with old scan schemas.
+struct PreparedQuery::Compiled {
+  PlanPtr plan;  ///< Parameterized template; bound per Execute.
+  /// Query-identity prefix of result-cache keys (the plan-cache key bytes
+  /// at (re-)Prepare time).
+  std::string key_prefix;
+  /// (relation, schema at (re-)Prepare) for every scanned relation — what
+  /// CheckFresh compares against the pinned snapshot.
+  std::vector<std::pair<std::string, std::vector<std::string>>> scan_schemas;
+};
 
 // --- SQL error annotation ----------------------------------------------------
 
@@ -144,6 +159,20 @@ struct Cursor::Impl {
   size_t next_row = 0;
   Tuple current;
   uint64_t current_count = 0;
+  /// Deadline / cancellation context the cursor was opened with; covers
+  /// the whole drain. `limited` caches ctx.limited() so an inert context
+  /// costs one predictable branch per pulled row.
+  ExecContext ctx;
+  bool limited = false;
+  /// Amortized-check counter: base rows pulled since the last ctx check.
+  uint64_t visited = 0;
+  /// Streaming row budget: deliveries so far vs EvalOptions::max_tuples
+  /// (the materialised remainder below the chain is budgeted separately
+  /// inside ExecuteNode; this bounds what the lazy chain itself emits).
+  uint64_t emitted = 0;
+  uint64_t max_tuples = 0;
+  /// Terminal status (Cursor::status()); non-OK latches Next() to false.
+  Status status = Status::OK();
 
   Impl(std::shared_ptr<SessionState> s, PlanPtr p, Database snap)
       : state(std::move(s)),
@@ -152,11 +181,26 @@ struct Cursor::Impl {
         scans(snapshot) {}
 };
 
+namespace {
+/// Cursor pulls are row-at-a-time with caller code between pulls, so the
+/// check cadence is much tighter than the executor's bulk interval.
+constexpr uint64_t kCursorCheckInterval = 256;
+}  // namespace
+
 bool Cursor::Next() {
   if (!impl_) return false;
   Impl& I = *impl_;
+  if (!I.status.ok()) return false;
   const std::vector<Relation::Row>& rows = I.base.rows();
   while (I.next_row < rows.size()) {
+    if (I.limited && ++I.visited >= kCursorCheckInterval) {
+      I.visited = 0;
+      Status cst = I.ctx.Check();
+      if (!cst.ok()) {
+        I.status = std::move(cst);
+        return false;
+      }
+    }
     Tuple t = rows[I.next_row].first;
     uint64_t c = rows[I.next_row].second;
     ++I.next_row;
@@ -190,11 +234,26 @@ bool Cursor::Next() {
       if (!I.seen.insert(t).second) continue;
       c = 1;
     }
+    if (++I.emitted > I.max_tuples) {
+      StatusDetail d;
+      d.budget_used = I.emitted;
+      d.budget_limit = I.max_tuples;
+      I.status = Status::ResourceExhausted(
+                     "cursor stream exceeded max_tuples=" +
+                     std::to_string(I.max_tuples))
+                     .WithDetail(std::move(d));
+      return false;
+    }
     I.current = std::move(t);
     I.current_count = c;
     return true;
   }
   return false;
+}
+
+const Status& Cursor::status() const {
+  static const Status kOk = Status::OK();
+  return impl_ ? impl_->status : kOk;
 }
 
 const Tuple& Cursor::row() const {
@@ -210,8 +269,8 @@ bool Cursor::streaming() const { return impl_ && impl_->streaming; }
 
 // --- PreparedQuery -----------------------------------------------------------
 
-Status PreparedQuery::CheckFresh(const Database& snap) const {
-  for (const auto& [name, attrs] : scan_schemas_) {
+Status PreparedQuery::CheckFresh(const Database& snap, const Compiled& c) {
+  for (const auto& [name, attrs] : c.scan_schemas) {
     const Relation* rel = snap.Find(name);
     if (rel == nullptr) {
       return Status::FailedPrecondition(
@@ -227,18 +286,64 @@ Status PreparedQuery::CheckFresh(const Database& snap) const {
   return Status::OK();
 }
 
-std::string PreparedQuery::ResultKey(const Database& snap,
-                                     const std::vector<Value>& params) const {
-  std::string key = key_prefix_;
+StatusOr<std::shared_ptr<const PreparedQuery::Compiled>>
+PreparedQuery::Refreshed(const Database& snap) const {
+  // Recompile with the options the template originally compiled with
+  // (prepared queries keep their options even if the session's changed).
+  std::shared_ptr<const Compiled> old = std::atomic_load(&compiled_);
+  auto plan = state_->cache.CompileCached(alg_, mode_, old->plan->opts, snap);
+  if (!plan.ok()) return plan.status();
+  // Drop-in compatibility: the retry must be invisible to the caller, so
+  // the public contract — output attributes and parameter count — must
+  // be unchanged by the recompilation.
+  if ((*plan)->root->attrs != out_attrs_ ||
+      (*plan)->param_count != param_count_) {
+    return Status::FailedPrecondition(
+        "recompiled plan is incompatible with the prepared contract");
+  }
+  auto fresh = std::make_shared<Compiled>();
+  fresh->plan = *plan;
+  fresh->key_prefix = PlanCacheKey(alg_, mode_, old->plan->opts, snap);
+  for (const std::string& name : (*plan)->scanned_rels) {
+    const Relation* rel = snap.Find(name);
+    if (rel == nullptr) {
+      return Status::Internal("re-prepared scan of unknown relation '" + name +
+                              "'");
+    }
+    fresh->scan_schemas.emplace_back(name, rel->attrs());
+  }
+  return std::shared_ptr<const Compiled>(std::move(fresh));
+}
+
+StatusOr<std::shared_ptr<const PreparedQuery::Compiled>>
+PreparedQuery::FreshCompiled(const Database& snap) const {
+  std::shared_ptr<const Compiled> c = std::atomic_load(&compiled_);
+  Status fresh = CheckFresh(snap, *c);
+  if (fresh.ok()) return c;
+  if (fresh.code() != StatusCode::kFailedPrecondition) return fresh;
+  // Stale: the scanned relations changed under us. Re-prepare once
+  // against this very snapshot; if the world healed (relation back with a
+  // compatible schema) the retry is transparent, otherwise surface the
+  // original structured stale error.
+  auto re = Refreshed(snap);
+  if (!re.ok()) return fresh;
+  std::atomic_store(&compiled_, *re);
+  state_->stale_retries.fetch_add(1, std::memory_order_relaxed);
+  return *re;
+}
+
+std::string PreparedQuery::ResultKey(const Compiled& c, const Database& snap,
+                                     const std::vector<Value>& params) {
+  std::string key = c.key_prefix;
   key += '|';
   for (const Value& v : params) AppendValueKey(&key, v);
-  for (const std::string& name : plan_->scanned_rels) {
+  for (const std::string& name : c.plan->scanned_rels) {
     uint64_t ver = snap.Version(name);
     key += '#';
     key += name;
     key.append(reinterpret_cast<const char*>(&ver), sizeof(ver));
   }
-  if (plan_->uses_dom) {
+  if (c.plan->uses_dom) {
     // Dom reads the whole active domain: fingerprint the entire database.
     uint64_t epoch = snap.Epoch();
     key += "#*";
@@ -249,32 +354,43 @@ std::string PreparedQuery::ResultKey(const Database& snap,
 
 StatusOr<Relation> PreparedQuery::Execute(
     const std::vector<Value>& params) const {
+  return Execute(params, ExecContext{});
+}
+
+StatusOr<Relation> PreparedQuery::Execute(const std::vector<Value>& params,
+                                          const ExecContext& ctx) const {
   if (!valid()) return Status::InvalidArgument("PreparedQuery is empty");
   INCDB_RETURN_IF_ERROR(ValidateBindings(params, param_count_));
   Database snap = state_->db.Snapshot();
-  INCDB_RETURN_IF_ERROR(CheckFresh(snap));
+  INCDB_FAULT_POINT("session.snapshot_pin");
+  auto compiled = FreshCompiled(snap);
+  if (!compiled.ok()) return compiled.status();
+  const Compiled& c = **compiled;
   state_->executes.fetch_add(1, std::memory_order_relaxed);
 
   const bool use_cache = state_->opts.use_result_cache;
   std::string rkey;
   if (use_cache) {
-    rkey = ResultKey(snap, params);
+    rkey = ResultKey(c, snap, params);
     if (std::shared_ptr<const Relation> hit = state_->results.Lookup(rkey)) {
       return *hit;
     }
   }
 
-  PlanPtr plan = plan_;
+  PlanPtr plan = c.plan;
   if (param_count_ > 0) {
-    auto bound = BindPlanParams(plan_, params);
+    auto bound = BindPlanParams(c.plan, params);
     if (!bound.ok()) return bound.status();
     plan = *bound;
   }
-  auto rel = incdb::Execute(plan, snap);
+  auto rel = incdb::Execute(plan, snap, ctx);
   if (!rel.ok()) return rel.status();
-  if (use_cache) {
-    std::vector<std::string> deps = plan_->scanned_rels;
-    if (plan_->uses_dom) deps.push_back("*");
+  // An injected drop here models a cache insert failing for lack of
+  // memory: the execution already succeeded, so degrade gracefully by
+  // returning the result uncached.
+  if (use_cache && !INCDB_FAULT_DROPPED("result_cache.insert")) {
+    std::vector<std::string> deps = c.plan->scanned_rels;
+    if (c.plan->uses_dom) deps.push_back("*");
     state_->results.Insert(rkey, std::make_shared<const Relation>(*rel),
                            std::move(deps));
   }
@@ -283,20 +399,32 @@ StatusOr<Relation> PreparedQuery::Execute(
 
 StatusOr<Cursor> PreparedQuery::OpenCursor(
     const std::vector<Value>& params) const {
+  return OpenCursor(params, ExecContext{});
+}
+
+StatusOr<Cursor> PreparedQuery::OpenCursor(const std::vector<Value>& params,
+                                           const ExecContext& ctx) const {
   if (!valid()) return Status::InvalidArgument("PreparedQuery is empty");
   INCDB_RETURN_IF_ERROR(ValidateBindings(params, param_count_));
   Database snap = state_->db.Snapshot();
-  INCDB_RETURN_IF_ERROR(CheckFresh(snap));
-  PlanPtr plan = plan_;
+  INCDB_FAULT_POINT("session.snapshot_pin");
+  auto compiled = FreshCompiled(snap);
+  if (!compiled.ok()) return compiled.status();
+  const Compiled& c = **compiled;
+  if (ctx.limited()) INCDB_RETURN_IF_ERROR(ctx.Check());
+  PlanPtr plan = c.plan;
   if (param_count_ > 0) {
-    auto bound = BindPlanParams(plan_, params);
+    auto bound = BindPlanParams(c.plan, params);
     if (!bound.ok()) return bound.status();
     plan = *bound;
   }
   state_->cursors.fetch_add(1, std::memory_order_relaxed);
 
   auto impl = std::make_shared<Cursor::Impl>(state_, plan, std::move(snap));
-  const bool set_semantics = plan->mode != EvalMode::kBagNaive;
+  impl->ctx = ctx;
+  impl->limited = ctx.limited();
+  impl->max_tuples = impl->plan->opts.max_tuples;
+  const bool set_semantics = impl->plan->mode != EvalMode::kBagNaive;
 
   // The maximal chain of row-at-a-time operators hanging off the root.
   auto streamable = [](PhysOp op) {
@@ -331,8 +459,10 @@ StatusOr<Cursor> PreparedQuery::OpenCursor(
     impl->streaming = true;
   } else {
     // Materialise the non-streamable remainder once; the chain above it
-    // (if any) still streams per pull.
-    auto rel = ExecuteNode(plan, cur, impl->snapshot);
+    // (if any) still streams per pull. The same context governs this
+    // up-front work and the later drain: one deadline for the whole
+    // cursor lifetime.
+    auto rel = ExecuteNode(plan, cur, impl->snapshot, ctx);
     if (!rel.ok()) return rel.status();
     impl->base = RelationView::Own(std::move(*rel));
     impl->streaming = !impl->stages.empty();
@@ -344,17 +474,21 @@ StatusOr<Cursor> PreparedQuery::OpenCursor(
 }
 
 size_t PreparedQuery::CountPlanOps(PhysOp op) const {
-  return valid() ? CountOps(*plan_, op) : 0;
+  if (!valid()) return 0;
+  std::shared_ptr<const Compiled> c = std::atomic_load(&compiled_);
+  return CountOps(*c->plan, op);
 }
 
 std::string PreparedQuery::Explain() const {
   if (!valid()) return "PreparedQuery(invalid)\n";
+  std::shared_ptr<const Compiled> compiled = std::atomic_load(&compiled_);
+  const Plan& plan = *compiled->plan;
   std::string out = "PreparedQuery[mode=";
   out += ModeName(mode_);
   out += ", params=" + std::to_string(param_count_) + "]\n";
   if (!sql_.empty()) out += "sql     : " + sql_ + "\n";
   out += "algebra : " + alg_->ToString() + "\n";
-  out += "plan    :\n" + PlanToString(*plan_);
+  out += "plan    :\n" + PlanToString(plan);
   static constexpr PhysOp kAllOps[] = {
       PhysOp::kScanView,      PhysOp::kFilterSel, PhysOp::kFusedProjectFilter,
       PhysOp::kProject,       PhysOp::kRename,    PhysOp::kHashJoin,
@@ -364,7 +498,7 @@ std::string PreparedQuery::Explain() const {
       PhysOp::kDistinct};
   out += "ops     :";
   for (PhysOp op : kAllOps) {
-    size_t n = CountOps(*plan_, op);
+    size_t n = CountOps(plan, op);
     if (n > 0) {
       out += " ";
       out += ToString(op);
@@ -446,15 +580,9 @@ StatusOr<PreparedQuery> Session::PrepareAlgebra(AlgPtr q, EvalMode mode,
   auto plan = state_->cache.CompileCached(q, mode, state_->opts, snap);
   if (!plan.ok()) return plan.status();
   state_->prepares.fetch_add(1, std::memory_order_relaxed);
-  PreparedQuery pq;
-  pq.state_ = state_;
-  pq.alg_ = q;
-  pq.plan_ = *plan;
-  pq.out_attrs_ = (*plan)->root->attrs;
-  pq.sql_ = std::move(sql);
-  pq.mode_ = mode;
-  pq.param_count_ = (*plan)->param_count;
-  pq.key_prefix_ = PlanCacheKey(q, mode, state_->opts, snap);
+  auto compiled = std::make_shared<PreparedQuery::Compiled>();
+  compiled->plan = *plan;
+  compiled->key_prefix = PlanCacheKey(q, mode, state_->opts, snap);
   for (const std::string& name : (*plan)->scanned_rels) {
     const Relation* rel = snap.Find(name);
     // Compilation resolved every scan against this snapshot, so the
@@ -463,8 +591,16 @@ StatusOr<PreparedQuery> Session::PrepareAlgebra(AlgPtr q, EvalMode mode,
       return Status::Internal("prepared scan of unknown relation '" + name +
                               "'");
     }
-    pq.scan_schemas_.emplace_back(name, rel->attrs());
+    compiled->scan_schemas.emplace_back(name, rel->attrs());
   }
+  PreparedQuery pq;
+  pq.state_ = state_;
+  pq.alg_ = q;
+  pq.compiled_ = std::move(compiled);
+  pq.out_attrs_ = (*plan)->root->attrs;
+  pq.sql_ = std::move(sql);
+  pq.mode_ = mode;
+  pq.param_count_ = (*plan)->param_count;
   return pq;
 }
 
@@ -527,6 +663,7 @@ SessionStats Session::stats() const {
   s.prepares = state_->prepares.load(std::memory_order_relaxed);
   s.executes = state_->executes.load(std::memory_order_relaxed);
   s.cursors_opened = state_->cursors.load(std::memory_order_relaxed);
+  s.stale_retries = state_->stale_retries.load(std::memory_order_relaxed);
   s.plan_cache = state_->cache.stats();
   s.result_cache = state_->results.stats();
   return s;

@@ -68,6 +68,7 @@
 #include "algebra/builder.h"
 #include "certain/certain.h"
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/relation.h"
 #include "core/status.h"
 #include "eval/eval.h"
@@ -89,6 +90,10 @@ struct SessionStats {
   uint64_t prepares = 0;
   uint64_t executes = 0;
   uint64_t cursors_opened = 0;
+  /// Times a stale PreparedQuery transparently re-prepared itself and
+  /// retried after its scanned relations reappeared with compatible
+  /// schemas (see PreparedQuery::Execute).
+  uint64_t stale_retries = 0;
   PlanCacheStats plan_cache;
   ResultCacheStats result_cache;
 };
@@ -104,8 +109,15 @@ class Cursor {
  public:
   Cursor() = default;
 
-  /// Advances to the next row; false once the stream is exhausted.
+  /// Advances to the next row; false once the stream is exhausted *or*
+  /// aborted — check status() to tell the two apart.
   bool Next();
+  /// Terminal stream status: OK while healthy (including normal
+  /// exhaustion); kDeadlineExceeded / kCancelled when the ExecContext the
+  /// cursor was opened with fired mid-drain, kResourceExhausted when the
+  /// streamed deliveries exceeded EvalOptions::max_tuples. Once non-OK,
+  /// Next() keeps returning false.
+  const Status& status() const;
   /// The current tuple (after a successful Next()).
   const Tuple& row() const;
   /// Multiplicity of the current delivery. Under set-semantics modes this
@@ -132,7 +144,7 @@ class PreparedQuery {
  public:
   PreparedQuery() = default;
 
-  bool valid() const { return plan_ != nullptr; }
+  bool valid() const { return compiled_ != nullptr; }
   /// Number of parameter bindings Execute/OpenCursor expect.
   size_t param_count() const { return param_count_; }
   EvalMode mode() const { return mode_; }
@@ -147,13 +159,31 @@ class PreparedQuery {
   /// of the session database pinned at call time. Bindings must be
   /// exactly param_count() constants (nulls/params are type errors).
   /// Repeat calls with equal bindings on unchanged data are result-cache
-  /// hits (EvalOptions::use_result_cache). Returns kFailedPrecondition if
-  /// a scanned relation was dropped or schema-changed since Prepare.
+  /// hits (EvalOptions::use_result_cache).
+  ///
+  /// **Staleness.** If a scanned relation was dropped or schema-changed
+  /// since Prepare, the query transparently re-prepares itself *once*
+  /// against the pinned snapshot and retries, provided the recompiled
+  /// plan is drop-in compatible (same output attributes and parameter
+  /// count); the retry is counted in SessionStats::stale_retries. When
+  /// the relation is still missing or the recompiled shape is
+  /// incompatible, the structured kFailedPrecondition stale error is
+  /// returned as before.
   StatusOr<Relation> Execute(const std::vector<Value>& params = {}) const;
+  /// As above, with a deadline / cancellation / soft-memory context
+  /// observed throughout the execution (core/exec_context.h).
+  StatusOr<Relation> Execute(const std::vector<Value>& params,
+                             const ExecContext& ctx) const;
 
   /// Streaming execution: rows are pulled through the root operator chain
-  /// on demand (see Cursor).
+  /// on demand (see Cursor). Stale handling as in Execute.
   StatusOr<Cursor> OpenCursor(const std::vector<Value>& params = {}) const;
+  /// As above with an ExecContext; the deadline covers the *whole drain*:
+  /// materialisation of the non-streamable remainder at open time plus
+  /// every subsequent Next(), which checks the context on an amortized
+  /// schedule and reports expiry through Cursor::status().
+  StatusOr<Cursor> OpenCursor(const std::vector<Value>& params,
+                              const ExecContext& ctx) const;
 
   /// Human-readable plan report: the algebra, the physical operator DAG
   /// (PlanToString), per-operator counts (CountOps) and the session's
@@ -167,28 +197,41 @@ class PreparedQuery {
  private:
   friend class Session;
 
-  /// Stale guard: verifies every relation the plan scans still exists in
-  /// `snap` with the schema it had at Prepare time.
-  Status CheckFresh(const Database& snap) const;
+  /// The refreshable compilation artefacts, swapped as a unit when a
+  /// stale query re-prepares itself: the plan template, the result-cache
+  /// key prefix and the scan schemas the stale guard compares against.
+  /// Held behind a shared_ptr<const> accessed with std::atomic_load /
+  /// std::atomic_store so concurrent Execute/OpenCursor calls (and their
+  /// retries) never observe a torn mix of old and new artefacts.
+  struct Compiled;
+
+  /// Stale guard: verifies every relation `c` scans still exists in
+  /// `snap` with the schema it had at (re-)Prepare time.
+  static Status CheckFresh(const Database& snap, const Compiled& c);
+  /// Recompiles the template against `snap`; non-OK when compilation
+  /// fails or the new plan is not drop-in compatible with this query's
+  /// public contract (output attrs, parameter count).
+  StatusOr<std::shared_ptr<const Compiled>> Refreshed(
+      const Database& snap) const;
+  /// Loads compiled_, applying the stale guard + retry-once protocol
+  /// against `snap`; on a successful retry bumps stale_retries.
+  StatusOr<std::shared_ptr<const Compiled>> FreshCompiled(
+      const Database& snap) const;
   /// Result-cache key for this (snapshot, bindings) execution:
-  /// key_prefix_ + binding digest + scanned-relation version stamps
+  /// key prefix + binding digest + scanned-relation version stamps
   /// (+ database epoch for Dom-bearing plans).
-  std::string ResultKey(const Database& snap,
-                        const std::vector<Value>& params) const;
+  static std::string ResultKey(const Compiled& c, const Database& snap,
+                               const std::vector<Value>& params);
 
   std::shared_ptr<internal::SessionState> state_;
   AlgPtr alg_;
-  PlanPtr plan_;  ///< Parameterized template; bound per Execute.
+  /// Refreshable artefacts (see Compiled); mutable so the transparent
+  /// stale retry can install the recompiled plan from const entry points.
+  mutable std::shared_ptr<const Compiled> compiled_;
   std::vector<std::string> out_attrs_;
   std::string sql_;
   EvalMode mode_ = EvalMode::kSetSql;
   size_t param_count_ = 0;
-  /// Query-identity prefix of result-cache keys (the plan-cache key bytes
-  /// at Prepare time; the stale guard keeps it valid across executions).
-  std::string key_prefix_;
-  /// (relation, schema at Prepare) for every scanned relation — what
-  /// CheckFresh compares against the pinned snapshot.
-  std::vector<std::pair<std::string, std::vector<std::string>>> scan_schemas_;
 };
 
 /// \brief An embedded-engine session owning a database, per-session

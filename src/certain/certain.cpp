@@ -35,8 +35,9 @@ StatusOr<Relation> CertIntersection(const AlgPtr& q, const Database& db,
   Relation acc;
   Status inner = Status::OK();
   Status st = ForEachValuation(
-      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
-        auto ans = EvalSet(q, v.ApplySet(db), opts.eval);
+      nulls, consts, opts.max_valuations,
+      [&](const Valuation& v) {
+        auto ans = EvalSet(q, v.ApplySet(db), opts.eval, opts.ctx);
         if (!ans.ok()) {
           inner = ans.status();
           return false;
@@ -59,7 +60,8 @@ StatusOr<Relation> CertIntersection(const AlgPtr& q, const Database& db,
           acc = std::move(next);
         }
         return !acc.Empty() || first;  // early exit once empty
-      });
+      },
+      opts.ctx);
   INCDB_RETURN_IF_ERROR(st);
   INCDB_RETURN_IF_ERROR(inner);
   if (first) return Status::Internal("no valuation enumerated");
@@ -70,7 +72,7 @@ StatusOr<Relation> CertWithNulls(const AlgPtr& q, const Database& db,
                                  const CertainOptions& opts) {
   INCDB_RETURN_IF_ERROR(CheckGeneric(q));
   // Candidate tuples: the naive answers (see header).
-  auto naive = EvalSet(q, db, opts.eval);
+  auto naive = EvalSet(q, db, opts.eval, opts.ctx);
   if (!naive.ok()) return naive;
 
   std::vector<uint64_t> nulls = NullIdVector(db);
@@ -82,8 +84,9 @@ StatusOr<Relation> CertWithNulls(const AlgPtr& q, const Database& db,
 
   Status inner = Status::OK();
   Status st = ForEachValuation(
-      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
-        auto ans = EvalSet(q, v.ApplySet(db), opts.eval);
+      nulls, consts, opts.max_valuations,
+      [&](const Valuation& v) {
+        auto ans = EvalSet(q, v.ApplySet(db), opts.eval, opts.ctx);
         if (!ans.ok()) {
           inner = ans.status();
           return false;
@@ -96,7 +99,8 @@ StatusOr<Relation> CertWithNulls(const AlgPtr& q, const Database& db,
           }
         }
         return alive_count > 0;
-      });
+      },
+      opts.ctx);
   INCDB_RETURN_IF_ERROR(st);
   INCDB_RETURN_IF_ERROR(inner);
 
@@ -133,8 +137,9 @@ StatusOr<MultiplicityBounds> BagMultiplicityBounds(const AlgPtr& q,
   bounds.max = 0;
   Status inner = Status::OK();
   Status st = ForEachValuation(
-      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
-        auto ans = EvalBag(q, v.ApplyBag(db), opts.eval);
+      nulls, consts, opts.max_valuations,
+      [&](const Valuation& v) {
+        auto ans = EvalBag(q, v.ApplyBag(db), opts.eval, opts.ctx);
         if (!ans.ok()) {
           inner = ans.status();
           return false;
@@ -143,7 +148,8 @@ StatusOr<MultiplicityBounds> BagMultiplicityBounds(const AlgPtr& q,
         bounds.min = std::min(bounds.min, m);
         bounds.max = std::max(bounds.max, m);
         return true;
-      });
+      },
+      opts.ctx);
   INCDB_RETURN_IF_ERROR(st);
   INCDB_RETURN_IF_ERROR(inner);
   if (bounds.min == UINT64_MAX) bounds.min = 0;
@@ -160,8 +166,9 @@ StatusOr<std::optional<Valuation>> WhyNotCertain(const AlgPtr& q,
   std::optional<Valuation> witness;
   Status inner = Status::OK();
   Status st = ForEachValuation(
-      nulls, consts, opts.max_valuations, [&](const Valuation& v) {
-        auto ans = EvalSet(q, v.ApplySet(db), opts.eval);
+      nulls, consts, opts.max_valuations,
+      [&](const Valuation& v) {
+        auto ans = EvalSet(q, v.ApplySet(db), opts.eval, opts.ctx);
         if (!ans.ok()) {
           inner = ans.status();
           return false;
@@ -171,7 +178,8 @@ StatusOr<std::optional<Valuation>> WhyNotCertain(const AlgPtr& q,
           return false;  // found a world where the answer fails
         }
         return true;
-      });
+      },
+      opts.ctx);
   INCDB_RETURN_IF_ERROR(st);
   INCDB_RETURN_IF_ERROR(inner);
   return witness;

@@ -32,6 +32,10 @@ struct CertainOptions {
   /// Budget on the number of valuations enumerated; exceeded → error.
   uint64_t max_valuations = 4'000'000;
   EvalOptions eval;
+  /// Deadline / cancellation / soft memory budget, observed between
+  /// valuations *and* inside each per-world evaluation. A
+  /// default-constructed context never fires.
+  ExecContext ctx;
 };
 
 /// cert∩(Q, D) under CWA: ∩_v Q(v(D)), computed over the sufficient

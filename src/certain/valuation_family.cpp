@@ -40,7 +40,8 @@ uint64_t FamilySize(size_t n_nulls, size_t n_constants) {
 Status ForEachValuation(const std::vector<uint64_t>& null_ids,
                         const std::vector<Value>& constants,
                         uint64_t max_valuations,
-                        const std::function<bool(const Valuation&)>& fn) {
+                        const std::function<bool(const Valuation&)>& fn,
+                        const ExecContext& ctx) {
   if (null_ids.empty()) {
     fn(Valuation());
     return Status::OK();
@@ -50,14 +51,26 @@ Status ForEachValuation(const std::vector<uint64_t>& null_ids,
   }
   uint64_t total = FamilySize(null_ids.size(), constants.size());
   if (total > max_valuations) {
+    StatusDetail d;
+    d.budget_used = total;
+    d.budget_limit = max_valuations;
     return Status::ResourceExhausted(
-        "valuation family of size " + std::to_string(total) +
-        " exceeds budget " + std::to_string(max_valuations));
+               "valuation family of size " + std::to_string(total) +
+               " exceeds budget " + std::to_string(max_valuations))
+        .WithDetail(std::move(d));
   }
+  const bool limited = ctx.limited();
   std::vector<size_t> idx(null_ids.size(), 0);
   Valuation v;
   for (size_t i = 0; i < null_ids.size(); ++i) v.Set(null_ids[i], constants[0]);
+  uint64_t since_check = 0;
   while (true) {
+    // Each callback typically evaluates a full query on v(D): check on a
+    // much tighter cadence than the executor's per-row interval.
+    if (limited && ++since_check >= 16) {
+      since_check = 0;
+      INCDB_RETURN_IF_ERROR(ctx.Check());
+    }
     if (!fn(v)) return Status::OK();
     size_t pos = null_ids.size();
     while (pos > 0) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/status.h"
 #include "core/valuation.h"
 
@@ -42,10 +43,13 @@ uint64_t FamilySize(size_t n_nulls, size_t n_constants);
 /// Invokes `fn` on every valuation mapping the given nulls into the given
 /// constants (|constants|^|null_ids| calls). `fn` returns false to stop
 /// early. Returns ResourceExhausted if the family exceeds `max_valuations`.
+/// The enumeration observes `ctx` (deadline / cancellation / soft memory
+/// budget) between valuations — a default-constructed context never fires.
 Status ForEachValuation(const std::vector<uint64_t>& null_ids,
                         const std::vector<Value>& constants,
                         uint64_t max_valuations,
-                        const std::function<bool(const Valuation&)>& fn);
+                        const std::function<bool(const Valuation&)>& fn,
+                        const ExecContext& ctx = {});
 
 }  // namespace incdb
 

@@ -1,0 +1,37 @@
+#include "core/exec_context.h"
+
+namespace incdb {
+
+Status ExecContext::Check(uint64_t mem_used_bytes) const {
+  if (cancel.Cancelled()) {
+    StatusDetail d;
+    d.site = "exec_context.cancel";
+    return Status::Cancelled("execution cancelled by caller")
+        .WithDetail(std::move(d));
+  }
+  if (has_deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      StatusDetail d;
+      d.elapsed_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now - start)
+              .count());
+      d.deadline_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                start)
+              .count());
+      return Status::DeadlineExceeded("execution deadline exceeded")
+          .WithDetail(std::move(d));
+    }
+  }
+  if (soft_mem_limit_bytes != 0 && mem_used_bytes > soft_mem_limit_bytes) {
+    StatusDetail d;
+    d.budget_used = mem_used_bytes;
+    d.budget_limit = soft_mem_limit_bytes;
+    return Status::ResourceExhausted("soft memory budget exceeded")
+        .WithDetail(std::move(d));
+  }
+  return Status::OK();
+}
+
+}  // namespace incdb

@@ -1,0 +1,88 @@
+#include "core/fault.h"
+
+#include <cstdlib>
+
+namespace incdb {
+
+namespace {
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+double EnvF64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::strtod(v, nullptr);
+}
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  Configure(EnvU64("INCDB_FAULT_SEED", 0),
+            EnvF64("INCDB_FAULT_RATE", 0.0));
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* g = new FaultInjector();  // leaked: process-lifetime
+  return *g;
+}
+
+bool FaultInjector::CompiledIn() {
+#if defined(INCDB_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void FaultInjector::Configure(uint64_t seed, double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  rate_ = rate;
+  rng_.seed(seed);
+  checks_ = 0;
+  injected_ = 0;
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_ = 0.0;
+}
+
+Status FaultInjector::MaybeFault(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rate_ <= 0.0) return Status::OK();
+  ++checks_;
+  std::uniform_real_distribution<double> roll(0.0, 1.0);
+  if (roll(rng_) >= rate_) return Status::OK();
+  const uint64_t n = injected_++;
+  StatusDetail d;
+  d.site = site;
+  switch (n % 3) {
+    case 0:
+      return Status::Cancelled(std::string("injected cancellation at ") +
+                               site)
+          .WithDetail(std::move(d));
+    case 1:
+      return Status::ResourceExhausted(
+                 std::string("injected resource exhaustion at ") + site)
+          .WithDetail(std::move(d));
+    default:
+      return Status::ResourceExhausted(
+                 std::string("injected allocation failure at ") + site)
+          .WithDetail(std::move(d));
+  }
+}
+
+uint64_t FaultInjector::checks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checks_;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+}  // namespace incdb

@@ -2,7 +2,6 @@
 
 namespace incdb {
 
-namespace {
 const char* CodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -19,10 +18,13 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

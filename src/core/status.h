@@ -9,6 +9,8 @@
 /// value (the RocksDB / Arrow convention).
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -24,12 +26,33 @@ enum class StatusCode {
   kResourceExhausted, ///< An enumeration exceeded its configured budget.
   kFailedPrecondition,///< System state moved under the caller (stale handle).
   kInternal,          ///< Invariant violation inside the library.
+  kDeadlineExceeded,  ///< A wall-clock deadline expired mid-execution.
+  kCancelled,         ///< The caller cancelled the operation cooperatively.
+};
+
+/// Stable symbolic name for a StatusCode ("DeadlineExceeded", ...).
+const char* CodeName(StatusCode code);
+
+/// \brief Optional machine-readable context attached to a Status.
+///
+/// Carries the numbers an error message used to concatenate as text —
+/// elapsed vs. deadline, budget used vs. limit — so callers (and the
+/// fault-injection harness) can inspect *why* a limit tripped without
+/// parsing strings. Fields default to zero / empty; only the ones that
+/// make sense for the producing site are populated.
+struct StatusDetail {
+  uint64_t elapsed_us = 0;     ///< Wall-clock spent when the deadline fired.
+  uint64_t deadline_us = 0;    ///< The configured deadline budget.
+  uint64_t budget_used = 0;    ///< Tuples/bytes consumed when the limit hit.
+  uint64_t budget_limit = 0;   ///< The configured tuple/byte limit.
+  std::string site;            ///< Named producer (fault-injection site etc.).
 };
 
 /// \brief The result of an operation that can fail.
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy and
-/// compare; the message is for humans, the code for programs.
+/// compare; the message is for humans, the code for programs, and the
+/// optional detail() for programs that need the numbers behind the text.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
@@ -55,10 +78,31 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
+
+  /// Attach structured context; returns *this for factory chaining.
+  Status&& WithDetail(StatusDetail d) && {
+    detail_ = std::make_shared<const StatusDetail>(std::move(d));
+    return std::move(*this);
+  }
+  Status& WithDetail(StatusDetail d) & {
+    detail_ = std::make_shared<const StatusDetail>(std::move(d));
+    return *this;
+  }
+
+  /// Structured context, or nullptr when none was attached. The pointer
+  /// is shared with copies of this Status and stays valid as long as any
+  /// of them lives.
+  const StatusDetail* detail() const { return detail_.get(); }
 
   /// Human-readable rendering, e.g. "InvalidArgument: arity mismatch".
   std::string ToString() const;
@@ -66,6 +110,7 @@ class Status {
  private:
   StatusCode code_;
   std::string msg_;
+  std::shared_ptr<const StatusDetail> detail_;  // null for most statuses
 };
 
 /// \brief Either a value of type T or an error Status.

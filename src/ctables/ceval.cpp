@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "core/fault.h"
+
 #include "algebra/builder.h"
 #include "eval/plan.h"
 #include "eval/plan_cache.h"
@@ -168,10 +170,12 @@ class CompiledSelCond {
 class CEvaluator {
  public:
   CEvaluator(const Database& db, CStrategy strategy,
-             const std::vector<Value>& params)
+             const std::vector<Value>& params, const ExecContext& ctx)
       : cdb_(CDatabase::FromDatabase(db)),
         strategy_(strategy),
-        params_(&params) {}
+        params_(&params),
+        ctx_(&ctx),
+        limited_(ctx.limited()) {}
 
   StatusOr<CTable> Eval(const PhysPtr& q) {
     auto out = EvalInner(q);
@@ -247,6 +251,7 @@ class CEvaluator {
   }
 
   StatusOr<CTable> EvalInner(const PhysPtr& q) {
+    INCDB_FAULT_POINT("ceval.node");
     switch (q->op) {
       case PhysOp::kScanView: {
         auto it = cdb_.tables.find(q->rel_name);
@@ -262,6 +267,7 @@ class CEvaluator {
         if (!sel.ok()) return sel.status();
         CTable out(in->attrs());
         for (const CTuple& ct : in->tuples()) {
+          INCDB_RETURN_IF_ERROR(Checkpoint());
           out.Add(ct.data, CcAnd(ct.cond, sel->Instantiate(ct.data)));
         }
         return out;
@@ -293,6 +299,7 @@ class CEvaluator {
         CTable out(q->attrs);
         for (const CTuple& lt : l->tuples()) {
           for (const CTuple& rt : r->tuples()) {
+            INCDB_RETURN_IF_ERROR(Checkpoint());
             out.Add(lt.data.Concat(rt.data), CcAnd(lt.cond, rt.cond));
           }
         }
@@ -315,6 +322,7 @@ class CEvaluator {
         if (!r.ok()) return r;
         CTable out(l->attrs());
         for (const CTuple& lt : l->tuples()) {
+          INCDB_RETURN_IF_ERROR(Checkpoint(1 + r->tuples().size()));
           CCondPtr cond = lt.cond;
           for (const CTuple& rt : r->tuples()) {
             cond = CcAnd(
@@ -335,6 +343,7 @@ class CEvaluator {
         if (!r.ok()) return r;
         CTable out(l->attrs());
         for (const CTuple& lt : l->tuples()) {
+          INCDB_RETURN_IF_ERROR(Checkpoint(1 + r->tuples().size()));
           CCondPtr any = CcFalse();
           for (const CTuple& rt : r->tuples()) {
             any = CcOr(any, CcAnd(rt.cond, TupleEqCond(lt.data, rt.data)));
@@ -350,15 +359,31 @@ class CEvaluator {
     }
   }
 
+  /// Amortized cooperative checkpoint for the quadratic condition-building
+  /// loops (same contract as the executor's: one counter add per unit of
+  /// work, a real Check() per interval).
+  Status Checkpoint(uint64_t work = 1) {
+    if (!limited_) return Status::OK();
+    check_acc_ += work;
+    if (check_acc_ < 4096) return Status::OK();
+    check_acc_ = 0;
+    return ctx_->Check();
+  }
+
   CDatabase cdb_;
   CStrategy strategy_;
   const std::vector<Value>* params_;
+  const ExecContext* ctx_;
+  const bool limited_;
+  uint64_t check_acc_ = 0;
 };
 
 }  // namespace
 
 StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s,
-                       const std::vector<Value>& params) {
+                       const std::vector<Value>& params,
+                       const ExecContext& ctx) {
+  if (ctx.limited()) INCDB_RETURN_IF_ERROR(ctx.Check());
   auto desugared = Desugar(q, db);
   if (!desugared.ok()) return desugared.status();
   // Lowering through the shared plan layer performs schema validation and
@@ -369,21 +394,23 @@ StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s,
   // placeholders stay in the lowered plan, so one template is one entry.
   auto plan = PlanCache::Global().CompileForCTablesCached(*desugared, db);
   if (!plan.ok()) return plan.status();
-  CEvaluator ev(db, s, params);
+  CEvaluator ev(db, s, params, ctx);
   return ev.EvalTop((*plan)->root);
 }
 
 StatusOr<Relation> CEvalCertain(const AlgPtr& q, const Database& db,
-                                CStrategy s, const std::vector<Value>& params) {
-  auto t = CEval(q, db, s, params);
+                                CStrategy s, const std::vector<Value>& params,
+                                const ExecContext& ctx) {
+  auto t = CEval(q, db, s, params, ctx);
   if (!t.ok()) return t.status();
   return t->CertainTuples();
 }
 
 StatusOr<Relation> CEvalPossible(const AlgPtr& q, const Database& db,
                                  CStrategy s,
-                                 const std::vector<Value>& params) {
-  auto t = CEval(q, db, s, params);
+                                 const std::vector<Value>& params,
+                                 const ExecContext& ctx) {
+  auto t = CEval(q, db, s, params, ctx);
   if (!t.ok()) return t.status();
   return t->PossibleTuples();
 }

@@ -22,6 +22,7 @@
 
 #include "algebra/algebra.h"
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/status.h"
 #include "ctables/ctable.h"
 
@@ -40,17 +41,24 @@ const char* ToString(CStrategy s);
 /// and placeholders resolve against the bindings when each condition is
 /// instantiated per evaluation — so N bindings of one query template share
 /// one lowering. An unbound placeholder is an InvalidArgument error.
+///
+/// `ctx` carries a deadline / cancellation token, checked on an amortized
+/// schedule inside the quadratic evaluation loops; a default-constructed
+/// context never fires.
 StatusOr<CTable> CEval(const AlgPtr& q, const Database& db, CStrategy s,
-                       const std::vector<Value>& params = {});
+                       const std::vector<Value>& params = {},
+                       const ExecContext& ctx = {});
 
 /// Eval⋆t(Q, D): tuples reported certainly true (eq. 9a).
 StatusOr<Relation> CEvalCertain(const AlgPtr& q, const Database& db,
                                 CStrategy s,
-                                const std::vector<Value>& params = {});
+                                const std::vector<Value>& params = {},
+                                const ExecContext& ctx = {});
 /// Eval⋆p(Q, D): tuples reported possible, i.e. t or u (eq. 9b).
 StatusOr<Relation> CEvalPossible(const AlgPtr& q, const Database& db,
                                  CStrategy s,
-                                 const std::vector<Value>& params = {});
+                                 const std::vector<Value>& params = {},
+                                 const ExecContext& ctx = {});
 
 }  // namespace incdb
 

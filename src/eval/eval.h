@@ -32,6 +32,7 @@
 
 #include "algebra/algebra.h"
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/relation.h"
 #include "core/status.h"
 
@@ -95,17 +96,28 @@ struct EvalOptions {
 };
 
 /// Naive evaluation under set semantics (treat nulls as fresh constants).
+/// The four-argument overloads carry an ExecContext (deadline /
+/// cancellation token / soft memory budget) observed cooperatively by
+/// every operator; the three-argument forms run unlimited. Separate
+/// overloads — not a defaulted parameter — so `&EvalSet` keeps its
+/// existing function-pointer type.
 StatusOr<Relation> EvalSet(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts = {});
+StatusOr<Relation> EvalSet(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts, const ExecContext& ctx);
 
 /// Naive evaluation under bag semantics.
 StatusOr<Relation> EvalBag(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts = {});
+StatusOr<Relation> EvalBag(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts, const ExecContext& ctx);
 
 /// SQL-style evaluation: 3VL WHERE (keep t), NOT-IN-style difference,
 /// IN-style intersection; set semantics output (DISTINCT).
 StatusOr<Relation> EvalSql(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts = {});
+StatusOr<Relation> EvalSql(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts, const ExecContext& ctx);
 
 /// Kleene truth value of the whole-tuple comparison r̄ = s̄ under SQL 3VL:
 /// f if some position has two distinct constants, else u if any null is

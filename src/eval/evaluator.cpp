@@ -28,29 +28,45 @@ TV3 SqlTupleEq(const Tuple& a, const Tuple& b) {
 namespace {
 
 StatusOr<Relation> CompileAndRun(const AlgPtr& q, EvalMode mode,
-                                 const EvalOptions& opts, const Database& db) {
+                                 const EvalOptions& opts, const Database& db,
+                                 const ExecContext& ctx) {
   auto plan = opts.use_plan_cache
                   ? PlanCache::Global().CompileCached(q, mode, opts, db)
                   : Compile(q, mode, opts, db);
   if (!plan.ok()) return plan.status();
-  return Execute(*plan, db);
+  return Execute(*plan, db, ctx);
 }
 
 }  // namespace
 
 StatusOr<Relation> EvalSet(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts) {
-  return CompileAndRun(q, EvalMode::kSetNaive, opts, db);
+  return CompileAndRun(q, EvalMode::kSetNaive, opts, db, ExecContext{});
+}
+
+StatusOr<Relation> EvalSet(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts, const ExecContext& ctx) {
+  return CompileAndRun(q, EvalMode::kSetNaive, opts, db, ctx);
 }
 
 StatusOr<Relation> EvalBag(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts) {
-  return CompileAndRun(q, EvalMode::kBagNaive, opts, db);
+  return CompileAndRun(q, EvalMode::kBagNaive, opts, db, ExecContext{});
+}
+
+StatusOr<Relation> EvalBag(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts, const ExecContext& ctx) {
+  return CompileAndRun(q, EvalMode::kBagNaive, opts, db, ctx);
 }
 
 StatusOr<Relation> EvalSql(const AlgPtr& q, const Database& db,
                            const EvalOptions& opts) {
-  return CompileAndRun(q, EvalMode::kSetSql, opts, db);
+  return CompileAndRun(q, EvalMode::kSetSql, opts, db, ExecContext{});
+}
+
+StatusOr<Relation> EvalSql(const AlgPtr& q, const Database& db,
+                           const EvalOptions& opts, const ExecContext& ctx) {
+  return CompileAndRun(q, EvalMode::kSetSql, opts, db, ctx);
 }
 
 }  // namespace incdb

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec_context.h"
+#include "core/fault.h"
 #include "eval/eval.h"
 #include "eval/plan.h"
 #include "eval/unify_index.h"
@@ -30,6 +32,7 @@ namespace incdb {
 
 StatusOr<RelationView> ScanResolver::Resolve(const std::string& name,
                                              bool collapse_to_set) {
+  INCDB_FAULT_POINT("scan.resolve");
   const Relation* found = db_->Find(name);
   if (found == nullptr) {
     return Status::NotFound("no relation named " + name);
@@ -145,15 +148,29 @@ class ExecPool {
 
 class Executor {
  public:
-  Executor(const Plan& plan, const Database& db)
-      : plan_(plan), db_(db), scans_(db) {}
+  Executor(const Plan& plan, const Database& db, const ExecContext& ctx)
+      : plan_(plan), db_(db), scans_(db), ctx_(&ctx),
+        limited_(ctx.limited()) {}
 
-  StatusOr<Relation> Run() { return RunNode(plan_.root); }
+  StatusOr<Relation> Run() {
+    // Fast-fail an already-expired deadline or pre-cancelled token before
+    // any work is done.
+    if (limited_) INCDB_RETURN_IF_ERROR(ctx_->Check());
+    return RunNode(plan_.root);
+  }
 
   /// Evaluates an arbitrary node of the plan's DAG and materialises it.
   StatusOr<Relation> RunNode(const PhysPtr& node) {
     auto out = Eval(node);
     if (!out.ok()) return out.status();
+    // A still-borrowed result (bare scan, rename pass-through, distinct
+    // over an already-set scan) was never charged by any materializing
+    // operator — budget it here so max_tuples bounds every relation the
+    // executor hands out, not just the ones it had to build.
+    if (out->borrowed()) {
+      INCDB_RETURN_IF_ERROR(Budget(out->TotalSize(), out->arity()));
+    }
+    INCDB_FAULT_POINT("exec.materialize");
     return std::move(*out).Materialize();
   }
 
@@ -161,12 +178,36 @@ class Executor {
   bool set_semantics() const { return plan_.mode != EvalMode::kBagNaive; }
   bool sql_mode() const { return plan_.mode == EvalMode::kSetSql; }
 
-  Status Budget(uint64_t produced) {
+  /// Cancellation/deadline checkpoints amortize exactly like the 4096-row
+  /// over-budget reports: one counter add per `rows` units of work, one
+  /// real Check() (clock read + atomic load) per interval. An unlimited
+  /// context costs a single predictable branch.
+  static constexpr uint64_t kCheckpointInterval = 4096;
+
+  Status Checkpoint(uint64_t rows = 1) {
+    if (!limited_) return Status::OK();
+    check_acc_ += rows;
+    if (check_acc_ < kCheckpointInterval) return Status::OK();
+    check_acc_ = 0;
+    return ctx_->Check(mem_used_);
+  }
+
+  Status Budget(uint64_t produced, size_t arity) {
     produced_ += produced;
+    mem_used_ += produced * arity * sizeof(Value);
     if (produced_ > plan_.opts.max_tuples) {
+      StatusDetail d;
+      d.budget_used = produced_;
+      d.budget_limit = plan_.opts.max_tuples;
       return Status::ResourceExhausted(
-          "evaluation exceeded max_tuples=" +
-          std::to_string(plan_.opts.max_tuples));
+                 "evaluation exceeded max_tuples=" +
+                 std::to_string(plan_.opts.max_tuples))
+          .WithDetail(std::move(d));
+    }
+    // The soft memory budget is enforced on the same cadence as the tuple
+    // budget: every materializing operator reports here.
+    if (limited_ && ctx_->soft_mem_limit_bytes != 0) {
+      return ctx_->Check(mem_used_);
     }
     return Status::OK();
   }
@@ -246,7 +287,7 @@ class Executor {
         }
       }
     }
-    INCDB_RETURN_IF_ERROR(Budget(total));
+    INCDB_RETURN_IF_ERROR(Budget(total, n.attrs.size()));
     if (has_proj && set) out.CollapseCounts();
     return RelationView::Own(std::move(out));
   }
@@ -265,6 +306,7 @@ class Executor {
   }
 
   StatusOr<RelationView> EvalNode(const PhysNode& n) {
+    INCDB_FAULT_POINT("exec.node");
     switch (n.op) {
       case PhysOp::kScanView:
         return scans_.Resolve(n.rel_name, set_semantics());
@@ -302,8 +344,10 @@ class Executor {
         auto in = Eval(n.left);
         if (!in.ok()) return in;
         if (in->borrowed() && in->rel().IsSet()) return in;  // already a set
+        INCDB_RETURN_IF_ERROR(Checkpoint(in->rows().size()));
         Relation out = std::move(*in).Materialize();
         out.CollapseCounts();
+        INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
         return RelationView::Own(std::move(out));
       }
     }
@@ -316,11 +360,12 @@ class Executor {
     Relation out(n.attrs);
     out.Reserve(in->rows().size());
     for (const auto& [t, c] : in->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       if (n.pred(t) == TV3::kT) {
         INCDB_RETURN_IF_ERROR(out.Insert(t, c));
       }
     }
-    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -331,12 +376,13 @@ class Executor {
     out.Reserve(in->rows().size());
     Tuple scratch;
     for (const auto& [t, c] : in->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       if (n.pred(t) == TV3::kT) {
         scratch.AssignProject(t, n.proj_pos);
         INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
       }
     }
-    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     if (set_semantics()) out.CollapseCounts();
     return RelationView::Own(std::move(out));
   }
@@ -348,10 +394,11 @@ class Executor {
     out.Reserve(in->rows().size());
     Tuple scratch;
     for (const auto& [t, c] : in->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       scratch.AssignProject(t, n.proj_pos);
       INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
     }
-    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     if (set_semantics()) out.CollapseCounts();
     return RelationView::Own(std::move(out));
   }
@@ -366,9 +413,10 @@ class Executor {
     Relation out = std::move(*l).Materialize();
     out.Reserve(out.rows().size() + r_rows.size());
     for (const auto& [t, c] : r_rows) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       INCDB_RETURN_IF_ERROR(out.Insert(t, c));
     }
-    INCDB_RETURN_IF_ERROR(Budget(r_total));
+    INCDB_RETURN_IF_ERROR(Budget(r_total, n.attrs.size()));
     if (set_semantics()) out.CollapseCounts();
     return RelationView::Own(std::move(out));
   }
@@ -418,10 +466,16 @@ class Executor {
     const std::vector<Relation::Row>& lrows = l->rows();
     Relation out(n.attrs);
     if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size())) {
+      INCDB_FAULT_POINT("exec.pool_dispatch");
       std::vector<std::vector<Relation::Row>> parts(plan_.opts.num_threads);
       auto stats = RunChunks(
           lrows.size(), [&](size_t p, size_t begin, size_t end) -> Status {
+            uint64_t visited = 0;
             for (size_t i = begin; i < end; ++i) {
+              if (limited_ && ++visited >= kCheckpointInterval) {
+                visited = 0;
+                INCDB_RETURN_IF_ERROR(ctx_->Check());
+              }
               const auto& [t, c] = lrows[i];
               if (uint64_t kc = kept_count(t, c)) parts[p].emplace_back(t, kc);
             }
@@ -431,14 +485,17 @@ class Executor {
         INCDB_RETURN_IF_ERROR(st);
       }
       INCDB_RETURN_IF_ERROR(MergeChunksUnique(parts, &out));
+      INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
       return RelationView::Own(std::move(out));
     }
     for (const auto& [t, c] : lrows) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       // Left rows are distinct, so each survivor inserts a fresh tuple.
       if (uint64_t kc = kept_count(t, c)) {
         INCDB_RETURN_IF_ERROR(out.InsertUnique(t, kc));
       }
     }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -453,18 +510,22 @@ class Executor {
       // comparison is t only when both tuples are all-constant and equal,
       // so membership reduces to one hash lookup per left tuple.
       for (const auto& [t, c] : l->rows()) {
+        INCDB_RETURN_IF_ERROR(Checkpoint());
         if (t.AllConst() && r->Contains(t)) {
           INCDB_RETURN_IF_ERROR(out.Insert(t, 1));
         }
       }
+      INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
       return RelationView::Own(std::move(out));
     }
     for (const auto& [t, c] : l->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       uint64_t rc = r->Count(t);
       if (rc == 0) continue;
       INCDB_RETURN_IF_ERROR(
           out.Insert(t, set_semantics() ? 1 : std::min(c, rc)));
     }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -476,16 +537,19 @@ class Executor {
     // Group the dividend by the kept attributes; collect divisor parts.
     std::unordered_map<Tuple, std::set<Tuple>> groups;
     for (const auto& [t, c] : l->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       groups[t.Project(n.keep_pos)].insert(t.Project(n.div_l));
     }
     std::set<Tuple> divisor;
     for (const auto& [t, c] : r->rows()) divisor.insert(t.Project(n.div_r));
     Relation out(n.attrs);
     for (const auto& [key, parts] : groups) {
+      INCDB_RETURN_IF_ERROR(Checkpoint(divisor.size() + 1));
       bool all = std::includes(parts.begin(), parts.end(), divisor.begin(),
                                divisor.end());
       if (all) INCDB_RETURN_IF_ERROR(out.Insert(key, 1));
     }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -501,11 +565,17 @@ class Executor {
     const bool set = set_semantics();
     Relation out(n.attrs);
     if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size())) {
+      INCDB_FAULT_POINT("exec.pool_dispatch");
       std::vector<std::vector<Relation::Row>> parts(plan_.opts.num_threads);
       auto stats = RunChunks(
           lrows.size(), [&](size_t p, size_t begin, size_t end) -> Status {
             Tuple scratch;
+            uint64_t visited = 0;
             for (size_t i = begin; i < end; ++i) {
+              if (limited_ && ++visited >= kCheckpointInterval) {
+                visited = 0;
+                INCDB_RETURN_IF_ERROR(ctx_->Check());
+              }
               const auto& [t, c] = lrows[i];
               if (!index.AnyUnifiable(t, &scratch)) {
                 parts[p].emplace_back(t, set ? 1 : c);
@@ -517,14 +587,17 @@ class Executor {
         INCDB_RETURN_IF_ERROR(st);
       }
       INCDB_RETURN_IF_ERROR(MergeChunksUnique(parts, &out));
+      INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
       return RelationView::Own(std::move(out));
     }
     Tuple scratch;
     for (const auto& [t, c] : lrows) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       if (!index.AnyUnifiable(t, &scratch)) {
         INCDB_RETURN_IF_ERROR(out.InsertUnique(t, set ? 1 : c));
       }
     }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -537,9 +610,13 @@ class Executor {
       if (values.empty()) break;
       expected *= values.size();
       if (expected > plan_.opts.max_tuples) {
+        StatusDetail d;
+        d.budget_used = expected;
+        d.budget_limit = plan_.opts.max_tuples;
         return Status::ResourceExhausted(
-            "Dom^" + std::to_string(n.dom_arity) + " over " +
-            std::to_string(values.size()) + " values exceeds max_tuples");
+                   "Dom^" + std::to_string(n.dom_arity) + " over " +
+                   std::to_string(values.size()) + " values exceeds max_tuples")
+            .WithDetail(std::move(d));
       }
     }
     Relation out(n.attrs);
@@ -550,6 +627,7 @@ class Executor {
     }
     if (values.empty()) return RelationView::Own(std::move(out));
     while (true) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       std::vector<Value> vals;
       vals.reserve(n.dom_arity);
       for (size_t i : idx) vals.push_back(values[i]);
@@ -560,7 +638,7 @@ class Executor {
         if (++idx[pos] < values.size()) break;
         idx[pos] = 0;
         if (pos == 0) {
-          INCDB_RETURN_IF_ERROR(Budget(out.TotalSize()));
+          INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
           return RelationView::Own(std::move(out));
         }
       }
@@ -608,11 +686,16 @@ class Executor {
     };
 
     Relation out(n.attrs);
+    // Checkpoint weight follows the work: the un-hashed fallback scans the
+    // whole right side per left row.
+    const uint64_t probe_weight = hashed ? 1 : 1 + r->rows().size();
     for (const auto& [lt, lc] : l->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint(probe_weight));
       if (exists_match(lt) != n.anti) {
         INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
       }
     }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -654,7 +737,10 @@ class Executor {
 
     Relation out(n.attrs);
     Tuple lkey, rkey, joint_t;  // scratch, reused across rows and pairs
+    // The correlated path re-scans the right side per left row.
+    const uint64_t row_weight = n.correlated ? 1 + r->rows().size() : 1;
     for (const auto& [lt, lc] : l->rows()) {
+      INCDB_RETURN_IF_ERROR(Checkpoint(row_weight));
       lkey.AssignProject(lt, n.lpos);
       bool keep;
       if (!n.correlated) {
@@ -710,6 +796,7 @@ class Executor {
         INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
       }
     }
+    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     return RelationView::Own(std::move(out));
   }
 
@@ -730,10 +817,12 @@ class Executor {
         Relation out(n.attrs);
         Tuple scratch;
         for (const auto& [lt, lc] : l->rows()) {
+          INCDB_RETURN_IF_ERROR(Checkpoint());
           scratch.AssignProject(lt, n.proj_pos);  // positions are left-local
           INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
         }
         out.CollapseCounts();
+        INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
         return RelationView::Own(std::move(out));
       }
       if (n.proj_right_only && !l->rows().empty()) {
@@ -742,10 +831,12 @@ class Executor {
         Relation out(n.attrs);
         Tuple scratch;
         for (const auto& [rt, rc] : r->rows()) {
+          INCDB_RETURN_IF_ERROR(Checkpoint());
           scratch.AssignProject(rt, pos);
           INCDB_RETURN_IF_ERROR(out.Insert(scratch, 1));
         }
         out.CollapseCounts();
+        INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
         return RelationView::Own(std::move(out));
       }
       if (l->rows().empty() || r->rows().empty()) {
@@ -759,6 +850,9 @@ class Executor {
     Tuple joint, projected;
     auto emit = [&](const Tuple& lt, uint64_t lc, const Tuple& rt,
                     uint64_t rc) -> Status {
+      // Every visited pair counts one checkpoint unit — the deadline fires
+      // within a few thousand pairs even when nothing matches.
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       // With SQL-mode equality, a null join key never compares t; with
       // naive equality the hash join already used syntactic equality. The
       // residual condition is checked in the active mode.
@@ -772,7 +866,7 @@ class Executor {
           // Pairs of distinct rows are distinct: no duplicate probe.
           INCDB_RETURN_IF_ERROR(out.InsertUnique(joint, c));
         }
-        INCDB_RETURN_IF_ERROR(Budget(c));
+        INCDB_RETURN_IF_ERROR(Budget(c, n.attrs.size()));
       }
       return Status::OK();
     };
@@ -826,6 +920,7 @@ class Executor {
       index[key].push_back(i);
     }
     for (const auto& [pt, pc] : probe_rows) {
+      INCDB_RETURN_IF_ERROR(Checkpoint());
       key.AssignProject(pt, probe_keys);
       if (sql_mode() && key.HasNull()) continue;
       auto it = index.find(key);
@@ -853,6 +948,7 @@ class Executor {
       const std::vector<Relation::Row>& probe_rows,
       const std::vector<size_t>& build_keys,
       const std::vector<size_t>& probe_keys) {
+    INCDB_FAULT_POINT("exec.pool_dispatch");
     const bool set = set_semantics();
     const bool sql = sql_mode();
     const bool has_proj = n.fused_proj;
@@ -887,6 +983,20 @@ class Executor {
       std::vector<Relation::Row>& part_out = outs[p];
       Tuple pkey, joint;
       uint64_t unreported = 0;
+      // Workers observe the ExecContext cooperatively: every worker checks
+      // its own visited-pair counter, so a deadline or a Cancel() from
+      // another thread stops all partitions within one interval. Partial
+      // results are discarded by the merge-on-error below and the pool
+      // stays reusable (ExecPool::Run always drains every task body).
+      uint64_t visited = 0;
+      auto interrupted = [&]() {
+        visited = 0;
+        if (!limited_) return false;
+        Status cst = ctx_->Check();
+        if (cst.ok()) return false;
+        stats[p] = std::move(cst);
+        return true;
+      };
       auto over_budget = [&]() {
         emitted.fetch_add(unreported, std::memory_order_relaxed);
         unreported = 0;
@@ -895,15 +1005,18 @@ class Executor {
       std::unordered_map<Tuple, std::vector<uint32_t>> index;
       index.reserve(build_parts[p].size());
       for (uint32_t i : build_parts[p]) {
+        if (++visited >= kCheckpointInterval && interrupted()) return;
         pkey.AssignProject(build_rows[i].first, build_keys);
         index[pkey].push_back(i);
       }
       for (uint32_t pi : probe_parts[p]) {
+        if (++visited >= kCheckpointInterval && interrupted()) return;
         const auto& [pt, pc] = probe_rows[pi];
         pkey.AssignProject(pt, probe_keys);
         auto it = index.find(pkey);
         if (it == index.end()) continue;
         for (uint32_t bi : it->second) {
+          if (++visited >= kCheckpointInterval && interrupted()) return;
           const auto& [bt, bc] = build_rows[bi];
           const Tuple& lt = build_left ? bt : pt;
           const Tuple& rt = build_left ? pt : bt;
@@ -916,9 +1029,13 @@ class Executor {
             part_out.emplace_back(joint, c);
           }
           if (++unreported >= 4096 && over_budget()) {
+            StatusDetail d;
+            d.budget_used = produced_ + emitted.load(std::memory_order_relaxed);
+            d.budget_limit = plan_.opts.max_tuples;
             stats[p] = Status::ResourceExhausted(
-                "evaluation exceeded max_tuples=" +
-                std::to_string(plan_.opts.max_tuples));
+                           "evaluation exceeded max_tuples=" +
+                           std::to_string(plan_.opts.max_tuples))
+                           .WithDetail(std::move(d));
             return;
           }
         }
@@ -940,6 +1057,7 @@ class Executor {
   StatusOr<RelationView> ParallelNLJoin(const PhysNode& n,
                                         const RelationView& l,
                                         const RelationView& r) {
+    INCDB_FAULT_POINT("exec.pool_dispatch");
     const bool set = set_semantics();
     const bool has_proj = n.fused_proj;
     const std::vector<Relation::Row>& lrows = l.rows();
@@ -959,9 +1077,18 @@ class Executor {
           std::vector<Relation::Row>& part_out = parts[p];
           Tuple joint;
           uint64_t unreported = 0;
+          // Per-worker cooperative checkpoint on *visited* pairs (emitted
+          // pairs alone would never check a selective predicate's chunk):
+          // a deadline or cross-thread Cancel() stops every chunk within
+          // one interval; partial outputs are dropped by the caller.
+          uint64_t visited = 0;
           for (size_t i = begin; i < end; ++i) {
             const auto& [lt, lc] = lrows[i];
             for (const auto& [rt, rc] : rrows) {
+              if (limited_ && ++visited >= kCheckpointInterval) {
+                visited = 0;
+                INCDB_RETURN_IF_ERROR(ctx_->Check());
+              }
               joint.AssignConcat(lt, rt);
               if (n.pred(joint) != TV3::kT) continue;
               uint64_t c = set ? 1 : lc * rc;
@@ -974,9 +1101,14 @@ class Executor {
                 emitted.fetch_add(unreported, std::memory_order_relaxed);
                 unreported = 0;
                 if (emitted.load(std::memory_order_relaxed) > budget_left) {
+                  StatusDetail d;
+                  d.budget_used =
+                      produced_ + emitted.load(std::memory_order_relaxed);
+                  d.budget_limit = plan_.opts.max_tuples;
                   return Status::ResourceExhausted(
-                      "evaluation exceeded max_tuples=" +
-                      std::to_string(plan_.opts.max_tuples));
+                             "evaluation exceeded max_tuples=" +
+                             std::to_string(plan_.opts.max_tuples))
+                      .WithDetail(std::move(d));
                 }
               }
             }
@@ -993,8 +1125,12 @@ class Executor {
   const Plan& plan_;
   const Database& db_;
   ScanResolver scans_;
+  const ExecContext* ctx_;  // outlives the execution (held by the caller)
+  const bool limited_;      // hoisted ctx_->limited(): one branch per checkpoint
   std::unordered_map<const PhysNode*, RelationView> memo_;
   uint64_t produced_ = 0;
+  uint64_t mem_used_ = 0;   // approx bytes of materialized tuples
+  uint64_t check_acc_ = 0;  // rows since the last real ctx check
 };
 
 }  // namespace
@@ -1014,18 +1150,28 @@ Status CheckExecutable(const PlanPtr& plan) {
 }
 }  // namespace
 
-StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db) {
+StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db,
+                           const ExecContext& ctx) {
   INCDB_RETURN_IF_ERROR(CheckExecutable(plan));
-  Executor ex(*plan, db);
+  Executor ex(*plan, db, ctx);
   return ex.Run();
+}
+
+StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db) {
+  return Execute(plan, db, ExecContext{});
+}
+
+StatusOr<Relation> ExecuteNode(const PlanPtr& plan, const PhysPtr& node,
+                               const Database& db, const ExecContext& ctx) {
+  INCDB_RETURN_IF_ERROR(CheckExecutable(plan));
+  if (!node) return Status::InvalidArgument("ExecuteNode: empty node");
+  Executor ex(*plan, db, ctx);
+  return ex.RunNode(node);
 }
 
 StatusOr<Relation> ExecuteNode(const PlanPtr& plan, const PhysPtr& node,
                                const Database& db) {
-  INCDB_RETURN_IF_ERROR(CheckExecutable(plan));
-  if (!node) return Status::InvalidArgument("ExecuteNode: empty node");
-  Executor ex(*plan, db);
-  return ex.RunNode(node);
+  return ExecuteNode(plan, node, db, ExecContext{});
 }
 
 }  // namespace incdb

@@ -42,6 +42,7 @@
 
 #include "algebra/algebra.h"
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/relation.h"
 #include "core/status.h"
 #include "eval/eval.h"
@@ -176,14 +177,21 @@ StatusOr<PlanPtr> BindPlanParams(const PlanPtr& plan,
 
 /// Runs a compiled plan against `db` (which must match the schemas the
 /// plan was compiled against). Plans with unbound parameters are rejected
-/// (bind them first via BindPlanParams).
+/// (bind them first via BindPlanParams). The ExecContext overload carries
+/// a deadline / cancellation token / soft memory budget, observed by every
+/// operator's hot loop on an amortized schedule; the two-argument form
+/// runs unlimited.
 StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db);
+StatusOr<Relation> Execute(const PlanPtr& plan, const Database& db,
+                           const ExecContext& ctx);
 
 /// Executes one node of `plan`'s DAG and materialises its output — the
 /// streaming cursor (api/session.h) uses this for the non-streamable
 /// prefix below the root operator chain.
 StatusOr<Relation> ExecuteNode(const PlanPtr& plan, const PhysPtr& node,
                                const Database& db);
+StatusOr<Relation> ExecuteNode(const PlanPtr& plan, const PhysPtr& node,
+                               const Database& db, const ExecContext& ctx);
 
 /// Number of operators of the given kind in the plan DAG (shared nodes
 /// counted once) — used by plan-shape tests and the compile benchmarks.

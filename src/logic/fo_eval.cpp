@@ -61,8 +61,9 @@ TV3 AtomSemEval(const Relation& rel, const Tuple& args, AtomSem sem) {
 
 class FOEvaluator {
  public:
-  FOEvaluator(const Database& db, const MixedSemantics& sem)
-      : sem_(sem), scans_(db) {
+  FOEvaluator(const Database& db, const MixedSemantics& sem,
+              const ExecContext& ctx)
+      : sem_(sem), scans_(db), ctx_(&ctx), limited_(ctx.limited()) {
     for (const Value& v : db.ActiveDomain()) domain_.push_back(v);
   }
 
@@ -153,6 +154,14 @@ class FOEvaluator {
                          ? std::optional<Value>(a[f->var])
                          : std::nullopt;
         for (const Value& v : domain_) {
+          if (limited_ && ++check_acc_ >= 4096) {
+            check_acc_ = 0;
+            Status cst = ctx_->Check();
+            if (!cst.ok()) {
+              RestoreVar(a, f->var, saved);
+              return cst;
+            }
+          }
           a[f->var] = v;
           auto res = Eval(f->l, a);
           if (!res.ok()) {
@@ -185,6 +194,9 @@ class FOEvaluator {
 
   MixedSemantics sem_;
   ScanResolver scans_;  // shared with the plan executor: copy-free scans
+  const ExecContext* ctx_;
+  const bool limited_;
+  uint64_t check_acc_ = 0;  // quantifier iterations since the last check
   std::vector<Value> domain_;
   /// Lazily built per-relation unifiability indices for kUnif atoms; they
   /// reference rows of the ScanResolver-cached views in place.
@@ -196,8 +208,8 @@ class FOEvaluator {
 
 StatusOr<TV3> EvalFO(const FormulaPtr& f, const Database& db,
                      const Assignment& assignment,
-                     const MixedSemantics& sem) {
-  FOEvaluator ev(db, sem);
+                     const MixedSemantics& sem, const ExecContext& ctx) {
+  FOEvaluator ev(db, sem, ctx);
   Assignment a = assignment;
   return ev.Eval(f, a);
 }
@@ -215,11 +227,12 @@ StatusOr<bool> EvalBoolFO(const FormulaPtr& f, const Database& db,
 StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
                                          const Database& db,
                                          const MixedSemantics& sem,
-                                         TV3 tau) {
+                                         TV3 tau,
+                                         const ExecContext& ctx) {
   std::vector<std::string> vars = FreeVariables(f);
   // One evaluator for the whole assignment sweep: the scan views and the
   // domain are resolved once, not once per assignment.
-  FOEvaluator ev(db, sem);
+  FOEvaluator ev(db, sem, ctx);
   const std::vector<Value>& domain = ev.domain();
 
   Relation out(vars.empty() ? std::vector<std::string>{}
@@ -234,8 +247,16 @@ StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
     return out;
   }
   if (domain.empty()) return out;
+  const bool limited = ctx.limited();
   std::vector<size_t> idx(vars.size(), 0);
+  uint64_t since_check = 0;
   while (true) {
+    // Each assignment evaluates the whole formula (itself quantifier-loop
+    // checked); a modest cadence here bounds the latency between checks.
+    if (limited && ++since_check >= 64) {
+      since_check = 0;
+      INCDB_RETURN_IF_ERROR(ctx.Check());
+    }
     Tuple t;
     for (size_t i = 0; i < vars.size(); ++i) {
       a[vars[i]] = domain[idx[i]];

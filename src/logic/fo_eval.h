@@ -21,6 +21,7 @@
 /// Quantifiers range over the active domain of the database.
 
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/status.h"
 #include "logic/formula.h"
 #include "logic/truth.h"
@@ -47,7 +48,8 @@ struct MixedSemantics {
 /// The assignment must bind every free variable. The assertion operator ↑
 /// is interpreted per §5.2 (FO(L3v↑)).
 StatusOr<TV3> EvalFO(const FormulaPtr& f, const Database& db,
-                     const Assignment& assignment, const MixedSemantics& sem);
+                     const Assignment& assignment, const MixedSemantics& sem,
+                     const ExecContext& ctx = {});
 
 /// Two-valued evaluation: Boolean FO over the domain Const ∪ Null with the
 /// kBool atom semantics (never yields u). Used as the target of the
@@ -61,7 +63,8 @@ StatusOr<bool> EvalBoolFO(const FormulaPtr& f, const Database& db,
 StatusOr<Relation> AnswersWithTruthValue(const FormulaPtr& f,
                                          const Database& db,
                                          const MixedSemantics& sem,
-                                         TV3 tau);
+                                         TV3 tau,
+                                         const ExecContext& ctx = {});
 
 }  // namespace incdb
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -207,6 +208,127 @@ TEST(ConcurrencyTest, ResultCacheNeverMixesVersionsUnderChurn) {
   ASSERT_TRUE(pq->Execute().ok());
   ASSERT_TRUE(pq->Execute().ok());
   EXPECT_GT(sess.stats().result_cache.hits, before);
+}
+
+// A cursor destroyed mid-stream while a writer drops and re-creates the
+// scanned relation must release its pinned snapshot cleanly — no leak, no
+// use-after-free (ASan/LSan back this up), and the session stays usable.
+TEST(ConcurrencyTest, CursorDestroyedMidStreamUnderDropReleasesSnapshot) {
+  Session sess;
+  Relation r({"x"});
+  for (int i = 0; i < 4096; ++i) r.Add({Value::Int(i)});
+  sess.Put("R", std::move(r));
+  auto pq = sess.Prepare("SELECT x FROM R");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+
+  for (int round = 0; round < 40; ++round) {
+    auto cur = pq->OpenCursor();
+    if (!cur.ok()) {
+      // A round may open between the drop and the re-put; the structured
+      // stale error is the only acceptable failure.
+      EXPECT_EQ(cur.status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    for (int k = 0; k < 5 && cur->Next(); ++k) {
+    }
+    std::thread writer([&, round] {
+      EXPECT_TRUE(sess.Drop("R").ok());
+      sess.Put("R", OneInt("x", round));
+    });
+    // Abandon the cursor mid-stream while the writer churns: the pinned
+    // snapshot (holding the rows the cursor was borrowing) must die with
+    // the cursor, not outlive it.
+    cur = Cursor();
+    writer.join();
+  }
+  auto res = pq->Execute();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->rows().size(), 1u);
+}
+
+// The deadline/cancellation scaffolding for the join tests below: two
+// relations whose θ-join (≠, not hash-joinable) visits ~1.4M pairs — big
+// enough that a 10 ms deadline or a mid-flight Cancel() always lands
+// inside the operator loops, small enough to finish if a check is missed.
+Session NLJoinSession(size_t threads) {
+  Database db;
+  Relation r({"a", "k"}), s({"b", "k2"});
+  // Distinct ids keep the scans set-shaped at 3000 rows each; the
+  // mostly-equal join keys keep the ≠-join's *output* tiny (≈30k rows)
+  // while its pair-visit count stays at 9M — the loops run long, memory
+  // stays flat even when a test lets the query run to completion.
+  for (int i = 0; i < 3000; ++i) {
+    r.Add({Value::Int(i), Value::Int(i < 10 ? 2 : 1)});
+    s.Add({Value::Int(i), Value::Int(1)});
+  }
+  db.Put("R", std::move(r));
+  db.Put("S", std::move(s));
+  EvalOptions opts;
+  opts.num_threads = threads;
+  opts.use_result_cache = false;  // every Execute must really execute
+  return Session(std::move(db), opts);
+}
+
+const char* kNLJoinSql = "SELECT a, b FROM R, S WHERE k <> k2";
+
+// Acceptance: a 10 ms deadline on an NL-join-scale query returns
+// kDeadlineExceeded promptly at 1, 2 and 8 threads, and the same session
+// answers a subsequent query correctly (pool reusable, no poisoning).
+TEST(ConcurrencyTest, DeadlineExpiresPromptlyAcrossThreadCounts) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    Session sess = NLJoinSession(threads);
+    auto pq = sess.Prepare(kNLJoinSql);
+    ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+
+    auto start = std::chrono::steady_clock::now();
+    auto res = pq->Execute({}, ExecContext::WithDeadlineMs(10));
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    ASSERT_FALSE(res.ok()) << "join of this scale cannot finish in 10ms";
+    EXPECT_EQ(res.status().code(), StatusCode::kDeadlineExceeded)
+        << res.status().ToString();
+    // Checkpoints are every 4096 pair visits, so the overshoot is a few
+    // thousand condition evaluations; the bound is generous for
+    // sanitizer-instrumented CI, not a perf claim (see bench_micro).
+    EXPECT_LT(elapsed.count(), 2000) << "deadline ignored for too long";
+
+    // The pool and session survive: the same query, un-deadlined, runs to
+    // completion with a correct row count afterwards.
+    auto full = pq->Execute();
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    EXPECT_GT(full->TotalSize(), 0u);
+  }
+}
+
+// Acceptance: a second thread cancels a parallel NL join mid-flight; the
+// query returns kCancelled, partial results are discarded, and the pool
+// answers the next query on the same session.
+TEST(ConcurrencyTest, SecondThreadCancelsParallelNLJoin) {
+  Session sess = NLJoinSession(/*threads=*/4);
+  auto pq = sess.Prepare(kNLJoinSql);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+
+  CancelToken token = CancelToken::Create();
+  ExecContext ctx;
+  ctx.SetCancel(token);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.Cancel();
+  });
+  auto res = pq->Execute({}, ctx);
+  canceller.join();
+  ASSERT_FALSE(res.ok()) << "cancellation never observed";
+  EXPECT_EQ(res.status().code(), StatusCode::kCancelled)
+      << res.status().ToString();
+
+  // Partial results were discarded, the pool is reusable, and an
+  // untouched context leaves the rerun unaffected.
+  auto full = pq->Execute();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto again = pq->Execute();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(full->SameRows(*again));
 }
 
 }  // namespace

@@ -289,7 +289,9 @@ TEST(PlanExecTest, ParallelHashJoinMatchesSequential) {
                                 CEq("b", "c")),
                          {"a", "d"});
   for (const AlgPtr& q : {join, fused}) {
-    for (auto eval : {&EvalSet, &EvalBag, &EvalSql}) {
+    using EvalFn = StatusOr<Relation> (*)(const AlgPtr&, const Database&,
+                                           const EvalOptions&);
+    for (EvalFn eval : {EvalFn(&EvalSet), EvalFn(&EvalBag), EvalFn(&EvalSql)}) {
       EvalOptions seq;
       auto ref = (*eval)(q, db, seq);
       ASSERT_TRUE(ref.ok());
@@ -349,7 +351,9 @@ TEST(PlanExecTest, ChunkParallelOperatorsAreBitIdenticalToSequential) {
       Join(Scan("N1"), Scan("N2"), CLt("b", "d")),
   };
   for (const AlgPtr& q : queries) {
-    for (auto eval : {&EvalSet, &EvalBag, &EvalSql}) {
+    using EvalFn = StatusOr<Relation> (*)(const AlgPtr&, const Database&,
+                                           const EvalOptions&);
+    for (EvalFn eval : {EvalFn(&EvalSet), EvalFn(&EvalBag), EvalFn(&EvalSql)}) {
       EvalOptions seq;
       seq.use_plan_cache = false;
       auto ref = (*eval)(q, db, seq);
@@ -380,7 +384,9 @@ TEST(PlanExecTest, ChunkParallelOperatorsHandleTinyInputs) {
       Diff(Select(Scan("R"), CFalse()), Scan("S")),  // empty left side
   };
   for (const AlgPtr& q : queries) {
-    for (auto eval : {&EvalSet, &EvalBag, &EvalSql}) {
+    using EvalFn = StatusOr<Relation> (*)(const AlgPtr&, const Database&,
+                                           const EvalOptions&);
+    for (EvalFn eval : {EvalFn(&EvalSet), EvalFn(&EvalBag), EvalFn(&EvalSql)}) {
       EvalOptions seq;
       seq.use_plan_cache = false;
       auto ref = (*eval)(q, db, seq);

@@ -298,7 +298,9 @@ TEST_P(FastPathProperty, TogglesNeverChangeAnswers) {
   plain.enable_projection_fusion = false;
   plain.enable_unify_index = false;
   for (const AlgPtr& q : testing_util::QueryZoo()) {
-    for (auto eval : {EvalSet, EvalSql}) {
+    using EvalFn = StatusOr<Relation> (*)(const AlgPtr&, const Database&,
+                                          const EvalOptions&);
+    for (EvalFn eval : {EvalFn(EvalSet), EvalFn(EvalSql)}) {
       auto fast = eval(q, db, EvalOptions{});
       auto slow = eval(q, db, plain);
       ASSERT_TRUE(fast.ok() && slow.ok()) << q->ToString();
