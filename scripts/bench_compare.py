@@ -16,8 +16,21 @@ import sys
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)  # behave when piped to head
 
 
+# Measured outputs that land in params vary run to run and must not be
+# part of the join key: the ns_per_/us_per_ rates, the derived speedups
+# and the paired-run outputs (cursor_stream's full_ms, the cancel
+# checkpoint's inert_ms/overhead_pct).
+MEASURED_PARAMS = {"full_ms", "speedup", "compile_speedup", "inert_ms",
+                   "overhead_pct"}
+
+
+def measured(name):
+    return (name in MEASURED_PARAMS or name.startswith("ns_per_")
+            or name.startswith("us_per_"))
+
+
 def key(record):
-    params = {k: v for k, v in record["params"].items() if k != "ns_per_op"}
+    params = {k: v for k, v in record["params"].items() if not measured(k)}
     return (record["name"], json.dumps(params, sort_keys=True))
 
 
