@@ -340,32 +340,14 @@ std::string Condition::ToString() const {
 
 namespace {
 
-/// Truth value of an order comparison under each mode. `strict` selects
-/// < vs ≤. Naive evaluation has no meaningful order on "fresh constants",
-/// so a null operand yields f there (the conservative reading of §6);
-/// SQL/unif yield u.
-TV3 OrderTV(const Value& a, const Value& b, bool strict, CondMode mode) {
-  if (a.is_null() || b.is_null()) {
-    return mode == CondMode::kNaive ? TV3::kF : TV3::kU;
-  }
-  int cmp = CompareConst(a, b);
-  return FromBool(strict ? cmp < 0 : cmp <= 0);
-}
-
-/// Truth value of the comparison a = b under each mode.
+// Atom truth values (equality and order under each mode) live in
+// condition.h as CondEqTV / CondOrderTV: the columnar evaluator
+// (eval/batch.h) shares them so both evaluators agree bit-for-bit.
 TV3 EqTV(const Value& a, const Value& b, CondMode mode) {
-  switch (mode) {
-    case CondMode::kNaive:
-      return FromBool(a == b);
-    case CondMode::kSql:
-      if (a.is_null() || b.is_null()) return TV3::kU;
-      return FromBool(a == b);
-    case CondMode::kUnif:
-      if (a == b) return TV3::kT;  // includes ⊥_i = ⊥_i
-      if (a.is_const() && b.is_const()) return TV3::kF;
-      return TV3::kU;
-  }
-  return TV3::kU;
+  return CondEqTV(a, b, mode);
+}
+TV3 OrderTV(const Value& a, const Value& b, bool strict, CondMode mode) {
+  return CondOrderTV(a, b, strict, mode);
 }
 
 struct CompiledCond {

@@ -149,6 +149,38 @@ enum class CondMode {
   kUnif,
 };
 
+/// Truth value of the comparison a = b under each mode. The single
+/// authority for equality-atom semantics, shared by the per-tuple
+/// compiled predicate below and the columnar evaluator (eval/batch.h) —
+/// the two must agree bit-for-bit.
+inline TV3 CondEqTV(const Value& a, const Value& b, CondMode mode) {
+  switch (mode) {
+    case CondMode::kNaive:
+      return FromBool(a == b);
+    case CondMode::kSql:
+      if (a.is_null() || b.is_null()) return TV3::kU;
+      return FromBool(a == b);
+    case CondMode::kUnif:
+      if (a == b) return TV3::kT;  // includes ⊥_i = ⊥_i
+      if (a.is_const() && b.is_const()) return TV3::kF;
+      return TV3::kU;
+  }
+  return TV3::kU;
+}
+
+/// Truth value of an order comparison under each mode. `strict` selects
+/// < vs ≤. Naive evaluation has no meaningful order on "fresh constants",
+/// so a null operand yields f there (the conservative reading of §6);
+/// SQL/unif yield u. Shared by both condition evaluators, like CondEqTV.
+inline TV3 CondOrderTV(const Value& a, const Value& b, bool strict,
+                       CondMode mode) {
+  if (a.is_null() || b.is_null()) {
+    return mode == CondMode::kNaive ? TV3::kF : TV3::kU;
+  }
+  int cmp = CompareConst(a, b);
+  return FromBool(strict ? cmp < 0 : cmp <= 0);
+}
+
 /// Resolves attribute names against a schema once; returns an error for
 /// unknown attributes. The returned evaluator computes the condition's
 /// Kleene truth value on a tuple of that schema (kNaive never yields u).

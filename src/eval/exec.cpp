@@ -24,7 +24,9 @@
 
 #include "core/exec_context.h"
 #include "core/fault.h"
+#include "eval/batch.h"
 #include "eval/eval.h"
+#include "eval/parallel_policy.h"
 #include "eval/plan.h"
 #include "eval/unify_index.h"
 
@@ -80,7 +82,7 @@ class ExecPool {
       for (size_t i = 0; i < n_tasks; ++i) fn(i);
       return;
     }
-    auto batch = std::make_shared<Batch>();
+    auto batch = std::make_shared<TaskBatch>();
     batch->fn = &fn;
     batch->total = n_tasks;
     batch->remaining.store(n_tasks, std::memory_order_relaxed);
@@ -104,7 +106,7 @@ class ExecPool {
  private:
   static constexpr size_t kMaxWorkers = 15;
 
-  struct Batch {
+  struct TaskBatch {
     const std::function<void(size_t)>* fn = nullptr;
     size_t total = 0;
     std::atomic<size_t> next{0};
@@ -113,7 +115,7 @@ class ExecPool {
     std::condition_variable done_cv;
   };
 
-  static void Work(Batch& batch) {
+  static void Work(TaskBatch& batch) {
     size_t i;
     while ((i = batch.next.fetch_add(1, std::memory_order_relaxed)) <
            batch.total) {
@@ -128,7 +130,7 @@ class ExecPool {
   void WorkerLoop() {
     uint64_t seen = 0;
     while (true) {
-      std::shared_ptr<Batch> batch;
+      std::shared_ptr<TaskBatch> batch;
       {
         std::unique_lock<std::mutex> lk(mu_);
         work_cv_.wait(lk, [&] { return generation_ != seen; });
@@ -141,9 +143,52 @@ class ExecPool {
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::shared_ptr<Batch> current_;
+  std::shared_ptr<TaskBatch> current_;
   uint64_t generation_ = 0;
   size_t n_workers_ = 0;
+};
+
+/// \brief Columnar machinery for the nested-loop join paths.
+///
+/// The predicate-referenced right-side columns are transposed once at
+/// construction; per left row the left-side components broadcast with
+/// stride 0 and the condition program sweeps windows of right rows. Each
+/// pool worker owns its own NLBatcher (construction is O(right rows ×
+/// referenced columns), negligible against the pair loop it accelerates).
+class NLBatcher {
+ public:
+  NLBatcher(const BatchPredicate& bp, const std::vector<Relation::Row>& rrows,
+            size_t left_arity, size_t joint_arity)
+      : bp_(bp), left_arity_(left_arity) {
+    batch_.Reset(joint_arity, 0);
+    rcols_.resize(joint_arity);
+    for (size_t p : bp.referenced()) {
+      if (p < left_arity_) continue;
+      rcols_[p].Reserve(rrows.size());
+      AppendColumn(rrows, 0, rrows.size(), p - left_arity_, &rcols_[p]);
+    }
+  }
+
+  /// Appends to `sel` the indices (relative to `begin`) of the right rows
+  /// in [begin, end) whose joint pair with `lt` satisfies the condition.
+  void Select(const Tuple& lt, size_t begin, size_t end,
+              BatchPredicate::Scratch* scratch, SelVector* sel) {
+    batch_.rows = end - begin;
+    for (size_t p : bp_.referenced()) {
+      if (p < left_arity_) {
+        batch_.cols[p] = BatchColumn{&lt[p], 0};  // broadcast
+      } else {
+        batch_.cols[p] = BatchColumn{rcols_[p].data() + begin, 1};
+      }
+    }
+    bp_.SelectTrue(batch_, scratch, sel);
+  }
+
+ private:
+  const BatchPredicate& bp_;
+  size_t left_arity_;
+  std::vector<ColumnVector> rcols_;
+  Batch batch_;
 };
 
 class Executor {
@@ -213,11 +258,42 @@ class Executor {
   }
 
   /// True when this operator should split `left_rows` input rows across
-  /// the pool (`weight` is the operator's work estimate against
-  /// EvalOptions::parallel_min_rows).
-  bool UseChunkParallelism(size_t left_rows, size_t weight) const {
-    return plan_.opts.num_threads > 1 && left_rows >= 2 &&
-           weight >= plan_.opts.parallel_min_rows;
+  /// the pool (`weight` is the operator's work estimate; the per-op grain
+  /// policy lives in eval/parallel_policy.h).
+  bool UseChunkParallelism(size_t left_rows, size_t weight, ChunkOp op) const {
+    return ChunkParallelismProfitable(plan_.opts.num_threads, left_rows,
+                                      weight, plan_.opts.parallel_min_rows,
+                                      op);
+  }
+
+  /// Rows per columnar chunk; 0 = tuple-at-a-time interpreter.
+  size_t batch_size() const { return plan_.opts.batch_size; }
+
+  /// Lazily compiles `n.cond` into the columnar predicate program against
+  /// the same input schema and CondMode the scalar `n.pred` was compiled
+  /// with (plan.cpp AttachCond), so the two evaluators agree bit-for-bit.
+  /// Returns nullptr (caller falls back to the scalar path) if the
+  /// condition cannot be compiled — unreachable in practice, since
+  /// CompileCond already succeeded against the same schema at plan time.
+  /// NOT thread-safe: compile before dispatching pool workers.
+  const BatchPredicate* BatchPredFor(const PhysNode& n,
+                                     const std::vector<std::string>& attrs) {
+    auto it = batch_preds_.find(&n);
+    if (it != batch_preds_.end()) return it->second.get();
+    const CondMode mode = sql_mode() ? CondMode::kSql : CondMode::kNaive;
+    auto bp = BatchPredicate::Make(n.cond, attrs, mode);
+    std::unique_ptr<BatchPredicate> owned;
+    if (bp.ok()) owned = std::make_unique<BatchPredicate>(std::move(*bp));
+    return batch_preds_.emplace(&n, std::move(owned))
+        .first->second.get();
+  }
+
+  /// The joint (left·right) input schema a join's residual predicate was
+  /// compiled against.
+  std::vector<std::string> JointAttrs(const PhysNode& n) const {
+    std::vector<std::string> joint = n.left->attrs;
+    joint.insert(joint.end(), n.right->attrs.begin(), n.right->attrs.end());
+    return joint;
   }
 
   /// Runs fn(0) .. fn(P-1) on the pool. The partition count P is the
@@ -354,49 +430,96 @@ class Executor {
     return Status::Internal("unknown physical operator");
   }
 
-  StatusOr<RelationView> EvalFilter(const PhysNode& n) {
+  /// Shared body of the selection operators. In batched mode the input is
+  /// swept in batch_size windows: only the predicate-referenced columns
+  /// are transposed, the condition program runs column-wise into a
+  /// selection vector, and the selected rows are gathered from the
+  /// original row storage (projected through proj_pos when `fused`).
+  /// Checkpoints fire once per batch. The tuple-at-a-time fallback is
+  /// row-for-row identical.
+  StatusOr<RelationView> EvalFilterLike(const PhysNode& n, bool fused) {
     auto in = Eval(n.left);
     if (!in.ok()) return in;
+    const std::vector<Relation::Row>& rows = in->rows();
+    // The predicate was compiled against the operator's input schema:
+    // n.attrs for a plain σ (schema-preserving), the child schema for the
+    // fused π∘σ.
+    const std::vector<std::string>& in_attrs =
+        fused ? n.left->attrs : n.attrs;
+    const BatchPredicate* bp =
+        batch_size() > 0 ? BatchPredFor(n, in_attrs) : nullptr;
     Relation out(n.attrs);
-    out.Reserve(in->rows().size());
-    for (const auto& [t, c] : in->rows()) {
-      INCDB_RETURN_IF_ERROR(Checkpoint());
-      if (n.pred(t) == TV3::kT) {
-        INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+    out.Reserve(rows.size());
+    Tuple scratch;
+    if (bp != nullptr) {
+      for (size_t begin = 0; begin < rows.size(); begin += batch_size()) {
+        const size_t end = std::min(rows.size(), begin + batch_size());
+        INCDB_RETURN_IF_ERROR(Checkpoint(end - begin));
+        gather_.Gather(rows, begin, end, bp->referenced(), in_attrs.size(),
+                       &batch_);
+        sel_.clear();
+        bp->SelectTrue(batch_, &bp_scratch_, &sel_);
+        for (uint32_t i : sel_) {
+          const auto& [t, c] = rows[begin + i];
+          if (fused) {
+            scratch.AssignProject(t, n.proj_pos);
+            INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
+          } else {
+            INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+          }
+        }
+      }
+    } else {
+      for (const auto& [t, c] : rows) {
+        INCDB_RETURN_IF_ERROR(Checkpoint());
+        if (n.pred(t) == TV3::kT) {
+          if (fused) {
+            scratch.AssignProject(t, n.proj_pos);
+            INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
+          } else {
+            INCDB_RETURN_IF_ERROR(out.Insert(t, c));
+          }
+        }
       }
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
+    if (fused && set_semantics()) out.CollapseCounts();
     return RelationView::Own(std::move(out));
   }
 
+  StatusOr<RelationView> EvalFilter(const PhysNode& n) {
+    return EvalFilterLike(n, /*fused=*/false);
+  }
+
   StatusOr<RelationView> EvalFusedProjectFilter(const PhysNode& n) {
-    auto in = Eval(n.left);
-    if (!in.ok()) return in;
-    Relation out(n.attrs);
-    out.Reserve(in->rows().size());
-    Tuple scratch;
-    for (const auto& [t, c] : in->rows()) {
-      INCDB_RETURN_IF_ERROR(Checkpoint());
-      if (n.pred(t) == TV3::kT) {
-        scratch.AssignProject(t, n.proj_pos);
-        INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
-      }
-    }
-    INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
-    if (set_semantics()) out.CollapseCounts();
-    return RelationView::Own(std::move(out));
+    return EvalFilterLike(n, /*fused=*/true);
   }
 
   StatusOr<RelationView> EvalProject(const PhysNode& n) {
     auto in = Eval(n.left);
     if (!in.ok()) return in;
+    const std::vector<Relation::Row>& rows = in->rows();
     Relation out(n.attrs);
-    out.Reserve(in->rows().size());
+    out.Reserve(rows.size());
     Tuple scratch;
-    for (const auto& [t, c] : in->rows()) {
-      INCDB_RETURN_IF_ERROR(Checkpoint());
-      scratch.AssignProject(t, n.proj_pos);
-      INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
+    if (batch_size() > 0) {
+      // Projection is a pure column shuffle — no predicate runs, so the
+      // batched path just lifts the checkpoint to batch granularity and
+      // emits the shuffled rows directly.
+      for (size_t begin = 0; begin < rows.size(); begin += batch_size()) {
+        const size_t end = std::min(rows.size(), begin + batch_size());
+        INCDB_RETURN_IF_ERROR(Checkpoint(end - begin));
+        for (size_t i = begin; i < end; ++i) {
+          scratch.AssignProject(rows[i].first, n.proj_pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(scratch, rows[i].second));
+        }
+      }
+    } else {
+      for (const auto& [t, c] : rows) {
+        INCDB_RETURN_IF_ERROR(Checkpoint());
+        scratch.AssignProject(t, n.proj_pos);
+        INCDB_RETURN_IF_ERROR(out.Insert(scratch, c));
+      }
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
     if (set_semantics()) out.CollapseCounts();
@@ -465,7 +588,8 @@ class Executor {
 
     const std::vector<Relation::Row>& lrows = l->rows();
     Relation out(n.attrs);
-    if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size())) {
+    if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size(),
+                            ChunkOp::kDifference)) {
       INCDB_FAULT_POINT("exec.pool_dispatch");
       std::vector<std::vector<Relation::Row>> parts(plan_.opts.num_threads);
       auto stats = RunChunks(
@@ -488,11 +612,18 @@ class Executor {
       INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
       return RelationView::Own(std::move(out));
     }
-    for (const auto& [t, c] : lrows) {
-      INCDB_RETURN_IF_ERROR(Checkpoint());
-      // Left rows are distinct, so each survivor inserts a fresh tuple.
-      if (uint64_t kc = kept_count(t, c)) {
-        INCDB_RETURN_IF_ERROR(out.InsertUnique(t, kc));
+    // Sequential probe loop; in batched mode checkpoints lift to batch
+    // granularity (the probes themselves are already one hash lookup).
+    const size_t W = batch_size() > 0 ? batch_size() : 1;
+    for (size_t begin = 0; begin < lrows.size(); begin += W) {
+      const size_t end = std::min(lrows.size(), begin + W);
+      INCDB_RETURN_IF_ERROR(Checkpoint(end - begin));
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [t, c] = lrows[i];
+        // Left rows are distinct, so each survivor inserts a fresh tuple.
+        if (uint64_t kc = kept_count(t, c)) {
+          INCDB_RETURN_IF_ERROR(out.InsertUnique(t, kc));
+        }
       }
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
@@ -564,7 +695,8 @@ class Executor {
     const std::vector<Relation::Row>& lrows = l->rows();
     const bool set = set_semantics();
     Relation out(n.attrs);
-    if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size())) {
+    if (UseChunkParallelism(lrows.size(), lrows.size() + r->rows().size(),
+                            ChunkOp::kUnifySemiJoin)) {
       INCDB_FAULT_POINT("exec.pool_dispatch");
       std::vector<std::vector<Relation::Row>> parts(plan_.opts.num_threads);
       auto stats = RunChunks(
@@ -591,10 +723,16 @@ class Executor {
       return RelationView::Own(std::move(out));
     }
     Tuple scratch;
-    for (const auto& [t, c] : lrows) {
-      INCDB_RETURN_IF_ERROR(Checkpoint());
-      if (!index.AnyUnifiable(t, &scratch)) {
-        INCDB_RETURN_IF_ERROR(out.InsertUnique(t, set ? 1 : c));
+    // Batched mode lifts checkpoints to batch granularity over the probes.
+    const size_t W = batch_size() > 0 ? batch_size() : 1;
+    for (size_t begin = 0; begin < lrows.size(); begin += W) {
+      const size_t end = std::min(lrows.size(), begin + W);
+      INCDB_RETURN_IF_ERROR(Checkpoint(end - begin));
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [t, c] = lrows[i];
+        if (!index.AnyUnifiable(t, &scratch)) {
+          INCDB_RETURN_IF_ERROR(out.InsertUnique(t, set ? 1 : c));
+        }
       }
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
@@ -687,12 +825,19 @@ class Executor {
 
     Relation out(n.attrs);
     // Checkpoint weight follows the work: the un-hashed fallback scans the
-    // whole right side per left row.
+    // whole right side per left row. Batched mode probes the index
+    // batch-at-a-time, checkpointing once per window.
     const uint64_t probe_weight = hashed ? 1 : 1 + r->rows().size();
-    for (const auto& [lt, lc] : l->rows()) {
-      INCDB_RETURN_IF_ERROR(Checkpoint(probe_weight));
-      if (exists_match(lt) != n.anti) {
-        INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
+    const std::vector<Relation::Row>& probe_lrows = l->rows();
+    const size_t W = batch_size() > 0 ? batch_size() : 1;
+    for (size_t begin = 0; begin < probe_lrows.size(); begin += W) {
+      const size_t end = std::min(probe_lrows.size(), begin + W);
+      INCDB_RETURN_IF_ERROR(Checkpoint(probe_weight * (end - begin)));
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [lt, lc] = probe_lrows[i];
+        if (exists_match(lt) != n.anti) {
+          INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
+        }
       }
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
@@ -737,10 +882,16 @@ class Executor {
 
     Relation out(n.attrs);
     Tuple lkey, rkey, joint_t;  // scratch, reused across rows and pairs
-    // The correlated path re-scans the right side per left row.
+    // The correlated path re-scans the right side per left row. Batched
+    // mode checkpoints once per window of left rows.
     const uint64_t row_weight = n.correlated ? 1 + r->rows().size() : 1;
-    for (const auto& [lt, lc] : l->rows()) {
-      INCDB_RETURN_IF_ERROR(Checkpoint(row_weight));
+    const std::vector<Relation::Row>& in_lrows = l->rows();
+    const size_t W = batch_size() > 0 ? batch_size() : 1;
+    for (size_t wbegin = 0; wbegin < in_lrows.size(); wbegin += W) {
+      const size_t wend = std::min(in_lrows.size(), wbegin + W);
+      INCDB_RETURN_IF_ERROR(Checkpoint(row_weight * (wend - wbegin)));
+      for (size_t wi = wbegin; wi < wend; ++wi) {
+      const auto& [lt, lc] = in_lrows[wi];
       lkey.AssignProject(lt, n.lpos);
       bool keep;
       if (!n.correlated) {
@@ -794,6 +945,7 @@ class Executor {
       }
       if (keep) {
         INCDB_RETURN_IF_ERROR(out.Insert(lt, set_semantics() ? 1 : lc));
+      }
       }
     }
     INCDB_RETURN_IF_ERROR(Budget(out.TotalSize(), n.attrs.size()));
@@ -881,8 +1033,41 @@ class Executor {
     if (n.op == PhysOp::kNLJoin) {
       // Work estimate for the parallel threshold: every pair is visited.
       const size_t pairs = l->rows().size() * r->rows().size();
-      if (UseChunkParallelism(l->rows().size(), pairs)) {
+      if (UseChunkParallelism(l->rows().size(), pairs, ChunkOp::kNLJoin)) {
         return ParallelNLJoin(n, *l, *r);
+      }
+      const BatchPredicate* bp =
+          batch_size() > 0 ? BatchPredFor(n, JointAttrs(n)) : nullptr;
+      if (bp != nullptr) {
+        // Vectorized sweep: the condition program runs over windows of
+        // right rows with the left tuple broadcast, and only the selected
+        // pairs are concatenated and inserted — same pairs, same order,
+        // same multiplicities as the scalar loop below.
+        const std::vector<Relation::Row>& lrows = l->rows();
+        const std::vector<Relation::Row>& rrows = r->rows();
+        NLBatcher nb(*bp, rrows, n.left_arity, n.left_arity + r->arity());
+        for (const auto& [lt, lc] : lrows) {
+          for (size_t begin = 0; begin < rrows.size();
+               begin += batch_size()) {
+            const size_t end = std::min(rrows.size(), begin + batch_size());
+            INCDB_RETURN_IF_ERROR(Checkpoint(end - begin));
+            sel_.clear();
+            nb.Select(lt, begin, end, &bp_scratch_, &sel_);
+            for (uint32_t si : sel_) {
+              const auto& [rt, rc] = rrows[begin + si];
+              joint.AssignConcat(lt, rt);
+              uint64_t c = set ? 1 : lc * rc;
+              if (has_proj) {
+                projected.AssignProject(joint, n.proj_pos);
+                INCDB_RETURN_IF_ERROR(out.Insert(projected, c));
+              } else {
+                INCDB_RETURN_IF_ERROR(out.InsertUnique(joint, c));
+              }
+              INCDB_RETURN_IF_ERROR(Budget(c, n.attrs.size()));
+            }
+          }
+        }
+        return finish();
       }
       for (const auto& [lt, lc] : l->rows()) {
         for (const auto& [rt, rc] : r->rows()) {
@@ -919,6 +1104,48 @@ class Executor {
       if (sql_mode() && key.HasNull()) continue;
       index[key].push_back(i);
     }
+    if (batch_size() > 0) {
+      // Batch-at-a-time probing: the probe side is swept in batch_size
+      // windows with one checkpoint per window (plus one per match run),
+      // and a trivial residual (θ = true) skips the per-pair predicate
+      // call entirely — every equi-join pair already matched by key.
+      const bool trivial = n.cond->kind == CondKind::kTrue;
+      auto emit_batched = [&](const Tuple& lt, uint64_t lc, const Tuple& rt,
+                              uint64_t rc) -> Status {
+        joint.AssignConcat(lt, rt);
+        if (!trivial && n.pred(joint) != TV3::kT) return Status::OK();
+        uint64_t c = set ? 1 : lc * rc;
+        if (has_proj) {
+          projected.AssignProject(joint, n.proj_pos);
+          INCDB_RETURN_IF_ERROR(out.Insert(projected, c));
+        } else {
+          INCDB_RETURN_IF_ERROR(out.InsertUnique(joint, c));
+        }
+        return Budget(c, n.attrs.size());
+      };
+      for (size_t begin = 0; begin < probe_rows.size();
+           begin += batch_size()) {
+        const size_t end = std::min(probe_rows.size(), begin + batch_size());
+        INCDB_RETURN_IF_ERROR(Checkpoint(end - begin));
+        for (size_t pi = begin; pi < end; ++pi) {
+          const auto& [pt, pc] = probe_rows[pi];
+          key.AssignProject(pt, probe_keys);
+          if (sql_mode() && key.HasNull()) continue;
+          auto it = index.find(key);
+          if (it == index.end()) continue;
+          INCDB_RETURN_IF_ERROR(Checkpoint(it->second.size()));
+          for (uint32_t bi : it->second) {
+            const auto& [bt, bc] = build_rows[bi];
+            if (build_left) {
+              INCDB_RETURN_IF_ERROR(emit_batched(bt, bc, pt, pc));
+            } else {
+              INCDB_RETURN_IF_ERROR(emit_batched(pt, pc, bt, bc));
+            }
+          }
+        }
+      }
+      return finish();
+    }
     for (const auto& [pt, pc] : probe_rows) {
       INCDB_RETURN_IF_ERROR(Checkpoint());
       key.AssignProject(pt, probe_keys);
@@ -953,6 +1180,12 @@ class Executor {
     const bool sql = sql_mode();
     const bool has_proj = n.fused_proj;
     const size_t P = plan_.opts.num_threads;
+    // Batched mode: probe lists sweep in whole batches (one cooperative
+    // check per window) and a trivial residual skips the per-pair
+    // predicate call.
+    const bool trivial =
+        batch_size() > 0 && n.cond->kind == CondKind::kTrue;
+    const size_t W = batch_size() > 0 ? batch_size() : 1;
 
     std::vector<std::vector<uint32_t>> build_parts(P), probe_parts(P);
     Tuple key;
@@ -1009,34 +1242,40 @@ class Executor {
         pkey.AssignProject(build_rows[i].first, build_keys);
         index[pkey].push_back(i);
       }
-      for (uint32_t pi : probe_parts[p]) {
-        if (++visited >= kCheckpointInterval && interrupted()) return;
-        const auto& [pt, pc] = probe_rows[pi];
-        pkey.AssignProject(pt, probe_keys);
-        auto it = index.find(pkey);
-        if (it == index.end()) continue;
-        for (uint32_t bi : it->second) {
-          if (++visited >= kCheckpointInterval && interrupted()) return;
-          const auto& [bt, bc] = build_rows[bi];
-          const Tuple& lt = build_left ? bt : pt;
-          const Tuple& rt = build_left ? pt : bt;
-          joint.AssignConcat(lt, rt);
-          if (n.pred(joint) != TV3::kT) continue;
-          uint64_t c = set ? 1 : bc * pc;
-          if (has_proj) {
-            part_out.emplace_back(joint.Project(n.proj_pos), c);
-          } else {
-            part_out.emplace_back(joint, c);
-          }
-          if (++unreported >= 4096 && over_budget()) {
-            StatusDetail d;
-            d.budget_used = produced_ + emitted.load(std::memory_order_relaxed);
-            d.budget_limit = plan_.opts.max_tuples;
-            stats[p] = Status::ResourceExhausted(
-                           "evaluation exceeded max_tuples=" +
-                           std::to_string(plan_.opts.max_tuples))
-                           .WithDetail(std::move(d));
-            return;
+      const std::vector<uint32_t>& plist = probe_parts[p];
+      for (size_t wb = 0; wb < plist.size(); wb += W) {
+        const size_t we = std::min(plist.size(), wb + W);
+        visited += we - wb;
+        if (visited >= kCheckpointInterval && interrupted()) return;
+        for (size_t qi = wb; qi < we; ++qi) {
+          const auto& [pt, pc] = probe_rows[plist[qi]];
+          pkey.AssignProject(pt, probe_keys);
+          auto it = index.find(pkey);
+          if (it == index.end()) continue;
+          for (uint32_t bi : it->second) {
+            if (++visited >= kCheckpointInterval && interrupted()) return;
+            const auto& [bt, bc] = build_rows[bi];
+            const Tuple& lt = build_left ? bt : pt;
+            const Tuple& rt = build_left ? pt : bt;
+            joint.AssignConcat(lt, rt);
+            if (!trivial && n.pred(joint) != TV3::kT) continue;
+            uint64_t c = set ? 1 : bc * pc;
+            if (has_proj) {
+              part_out.emplace_back(joint.Project(n.proj_pos), c);
+            } else {
+              part_out.emplace_back(joint, c);
+            }
+            if (++unreported >= 4096 && over_budget()) {
+              StatusDetail d;
+              d.budget_used =
+                  produced_ + emitted.load(std::memory_order_relaxed);
+              d.budget_limit = plan_.opts.max_tuples;
+              stats[p] = Status::ResourceExhausted(
+                             "evaluation exceeded max_tuples=" +
+                             std::to_string(plan_.opts.max_tuples))
+                             .WithDetail(std::move(d));
+              return;
+            }
           }
         }
       }
@@ -1072,6 +1311,10 @@ class Executor {
     const uint64_t budget_left =
         plan_.opts.max_tuples > produced_ ? plan_.opts.max_tuples - produced_
                                           : 0;
+    // The columnar program must be compiled on this thread: the per-node
+    // cache is not synchronized, workers only read the finished program.
+    const BatchPredicate* bp =
+        batch_size() > 0 ? BatchPredFor(n, JointAttrs(n)) : nullptr;
     auto stats = RunChunks(
         lrows.size(), [&](size_t p, size_t begin, size_t end) -> Status {
           std::vector<Relation::Row>& part_out = parts[p];
@@ -1080,8 +1323,63 @@ class Executor {
           // Per-worker cooperative checkpoint on *visited* pairs (emitted
           // pairs alone would never check a selective predicate's chunk):
           // a deadline or cross-thread Cancel() stops every chunk within
-          // one interval; partial outputs are dropped by the caller.
+          // one interval; partial outputs are dropped by the caller. In
+          // batched mode the counter advances one whole window at a time.
           uint64_t visited = 0;
+          // Emits the pair currently assembled in `joint`, reporting into
+          // the shared budget counter every 4096 emissions.
+          auto emit_joint = [&](uint64_t c) -> Status {
+            if (has_proj) {
+              part_out.emplace_back(joint.Project(n.proj_pos), c);
+            } else {
+              part_out.emplace_back(joint, c);
+            }
+            if (++unreported >= 4096) {
+              emitted.fetch_add(unreported, std::memory_order_relaxed);
+              unreported = 0;
+              if (emitted.load(std::memory_order_relaxed) > budget_left) {
+                StatusDetail d;
+                d.budget_used =
+                    produced_ + emitted.load(std::memory_order_relaxed);
+                d.budget_limit = plan_.opts.max_tuples;
+                return Status::ResourceExhausted(
+                           "evaluation exceeded max_tuples=" +
+                           std::to_string(plan_.opts.max_tuples))
+                    .WithDetail(std::move(d));
+              }
+            }
+            return Status::OK();
+          };
+          if (bp != nullptr) {
+            // Each worker owns its columnar scratch; the right-side
+            // transposition is rebuilt per chunk (O(right rows), dwarfed
+            // by the pair loop it accelerates).
+            NLBatcher nb(*bp, rrows, n.left_arity, n.left_arity + r.arity());
+            BatchPredicate::Scratch scratch;
+            SelVector sel;
+            for (size_t i = begin; i < end; ++i) {
+              const auto& [lt, lc] = lrows[i];
+              for (size_t wb = 0; wb < rrows.size(); wb += batch_size()) {
+                const size_t we = std::min(rrows.size(), wb + batch_size());
+                if (limited_) {
+                  visited += we - wb;
+                  if (visited >= kCheckpointInterval) {
+                    visited = 0;
+                    INCDB_RETURN_IF_ERROR(ctx_->Check());
+                  }
+                }
+                sel.clear();
+                nb.Select(lt, wb, we, &scratch, &sel);
+                for (uint32_t si : sel) {
+                  const auto& [rt, rc] = rrows[wb + si];
+                  joint.AssignConcat(lt, rt);
+                  INCDB_RETURN_IF_ERROR(emit_joint(set ? 1 : lc * rc));
+                }
+              }
+            }
+            emitted.fetch_add(unreported, std::memory_order_relaxed);
+            return Status::OK();
+          }
           for (size_t i = begin; i < end; ++i) {
             const auto& [lt, lc] = lrows[i];
             for (const auto& [rt, rc] : rrows) {
@@ -1091,26 +1389,7 @@ class Executor {
               }
               joint.AssignConcat(lt, rt);
               if (n.pred(joint) != TV3::kT) continue;
-              uint64_t c = set ? 1 : lc * rc;
-              if (has_proj) {
-                part_out.emplace_back(joint.Project(n.proj_pos), c);
-              } else {
-                part_out.emplace_back(joint, c);
-              }
-              if (++unreported >= 4096) {
-                emitted.fetch_add(unreported, std::memory_order_relaxed);
-                unreported = 0;
-                if (emitted.load(std::memory_order_relaxed) > budget_left) {
-                  StatusDetail d;
-                  d.budget_used =
-                      produced_ + emitted.load(std::memory_order_relaxed);
-                  d.budget_limit = plan_.opts.max_tuples;
-                  return Status::ResourceExhausted(
-                             "evaluation exceeded max_tuples=" +
-                             std::to_string(plan_.opts.max_tuples))
-                      .WithDetail(std::move(d));
-                }
-              }
+              INCDB_RETURN_IF_ERROR(emit_joint(set ? 1 : lc * rc));
             }
           }
           emitted.fetch_add(unreported, std::memory_order_relaxed);
@@ -1128,6 +1407,16 @@ class Executor {
   const ExecContext* ctx_;  // outlives the execution (held by the caller)
   const bool limited_;      // hoisted ctx_->limited(): one branch per checkpoint
   std::unordered_map<const PhysNode*, RelationView> memo_;
+  /// Columnar predicate programs per node, compiled on first batched use
+  /// (nullptr caches a fallback to the scalar path).
+  std::unordered_map<const PhysNode*, std::unique_ptr<BatchPredicate>>
+      batch_preds_;
+  // Reusable columnar buffers for the sequential batched paths (the
+  // parallel paths give each worker its own).
+  BatchGather gather_;
+  Batch batch_;
+  BatchPredicate::Scratch bp_scratch_;
+  SelVector sel_;
   uint64_t produced_ = 0;
   uint64_t mem_used_ = 0;   // approx bytes of materialized tuples
   uint64_t check_acc_ = 0;  // rows since the last real ctx check

@@ -1,0 +1,51 @@
+#ifndef INCDB_EVAL_PARALLEL_POLICY_H_
+#define INCDB_EVAL_PARALLEL_POLICY_H_
+
+/// \file parallel_policy.h
+/// \brief Dispatch policy for the chunk-partitioned parallel operators.
+///
+/// EvalOptions::parallel_min_rows is a single knob, but the per-row work
+/// of the chunk-partitioned operators differs by orders of magnitude: a
+/// nested-loop join visits every pair (its weight counts pairs), while
+/// difference/NOT-IN dismisses most rows with a single hash probe. At the
+/// benchmark's committed 16k-tuple scale the probe-cheap operators lose
+/// more to pool dispatch and chunk merging than they gain from threads
+/// (BENCH_baseline @1t 1.01 ms vs @4t 1.05 ms before this policy), so each
+/// operator divides its weight by a grain factor reflecting its per-unit
+/// cost before comparing against parallel_min_rows. Tests that force the
+/// parallel paths with parallel_min_rows = 0 still force them: any
+/// non-negative scaled weight clears a zero threshold.
+
+#include <cstddef>
+
+namespace incdb {
+
+/// The chunk-partitioned operators (left rows split into contiguous
+/// chunks, outputs merged in chunk order).
+enum class ChunkOp {
+  kNLJoin,        ///< weight = left×right pairs; every unit runs the predicate
+  kDifference,    ///< weight = left+right rows; one hash probe per unit
+  kUnifySemiJoin, ///< weight = left+right rows; one ⇑-index probe per unit
+};
+
+/// Work units per "row" of parallel_min_rows for the operator: the weight
+/// is divided by this before the threshold comparison. Pair-visiting
+/// operators count 1; the hash-probe-per-row difference needs ~64× more
+/// rows before threading pays for dispatch + merge.
+inline constexpr size_t ChunkGrain(ChunkOp op) {
+  return op == ChunkOp::kDifference ? 64 : 1;
+}
+
+/// True when an operator with `left_rows` input rows and work estimate
+/// `weight` should split across the pool under `num_threads` workers and
+/// the `parallel_min_rows` threshold.
+inline bool ChunkParallelismProfitable(size_t num_threads, size_t left_rows,
+                                       size_t weight, size_t parallel_min_rows,
+                                       ChunkOp op) {
+  return num_threads > 1 && left_rows >= 2 &&
+         weight / ChunkGrain(op) >= parallel_min_rows;
+}
+
+}  // namespace incdb
+
+#endif  // INCDB_EVAL_PARALLEL_POLICY_H_

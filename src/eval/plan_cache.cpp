@@ -185,6 +185,9 @@ void AppendOptions(std::string* k, const EvalOptions& opts) {
   // hardware_concurrency() request share an entry.
   AppendU64(k, ResolveNumThreads(opts.num_threads));
   AppendU64(k, opts.parallel_min_rows);
+  // batch_size does not change plan shape today, but cached plans carry
+  // their options into execution, so it must participate in identity.
+  AppendU64(k, opts.batch_size);
 }
 
 void BuildKey(std::string* key, const AlgPtr& q, uint8_t mode_tag,

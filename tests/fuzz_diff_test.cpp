@@ -10,6 +10,8 @@
 //   INCDB_FUZZ_SEED      base RNG seed (default 20260730)
 //   INCDB_FUZZ_CASES     cases per mode (default 500)
 //   INCDB_FUZZ_THREADS   one extra thread count to test (CI uses 4)
+//   INCDB_FUZZ_BATCH     force EvalOptions::batch_size on every config
+//                        (CI runs the whole matrix once with 1024)
 
 #include <gtest/gtest.h>
 
@@ -30,15 +32,11 @@
 namespace incdb {
 namespace {
 
+using testing_util::EnvOr;
+using testing_util::FuzzBatchOverride;
 using testing_util::RandomBagDatabase;
 using testing_util::RandomDatabase;
 using testing_util::RandomQueryGen;
-
-uint64_t EnvOr(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10)
-                                      : fallback;
-}
 
 // ---------------------------------------------------------------------------
 // The reference walk. Deliberately dumb: linear scans instead of hash
@@ -373,14 +371,32 @@ std::vector<FuzzConfig> FuzzConfigs() {
     o.enable_selection_pushdown = false;
     bases.push_back({"none", o});
   }
+  const uint64_t forced_batch = FuzzBatchOverride();
   std::vector<FuzzConfig> configs;
   for (const auto& [name, base] : bases) {
     for (size_t threads : thread_counts) {
       EvalOptions o = base;
       o.num_threads = threads;
       o.parallel_min_rows = 0;
+      if (forced_batch > 0) o.batch_size = forced_batch;
       configs.push_back(
           {name + "/t" + std::to_string(threads), o});
+    }
+  }
+  // The vectorized-executor matrix: legacy tuple-at-a-time (0), the
+  // degenerate single-row batch (1), a deliberately awkward window that
+  // straddles every boundary (3), and the default (1024, already covered
+  // by the base configs above). Bit-identity across all of them is the
+  // batching contract.
+  for (size_t batch : {size_t{0}, size_t{1}, size_t{3}}) {
+    for (size_t threads : thread_counts) {
+      EvalOptions o;
+      o.num_threads = threads;
+      o.parallel_min_rows = 0;
+      o.batch_size = batch;
+      configs.push_back({"all/b" + std::to_string(batch) + "/t" +
+                             std::to_string(threads),
+                         o});
     }
   }
   return configs;

@@ -19,6 +19,7 @@
 
 #include "algebra/builder.h"
 #include "eval/eval.h"
+#include "eval/parallel_policy.h"
 #include "eval/plan.h"
 #include "eval/plan_cache.h"
 #include "tests/testing_util.h"
@@ -662,6 +663,46 @@ TEST(PlanExecTest, ParallelJoinHonoursBudget) {
   auto res = EvalSet(Join(Scan("L"), Scan("Rr"), CEq("k", "k2")), db, opts);
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Regression for the difference_parallel non-speedup: at the benchmark's
+// committed 16k-tuple scale (weight ≈ 26k left+right rows) the hash-probe
+// difference lost to pool dispatch at 4 threads (1.01 ms @1t vs 1.05 ms
+// @4t). The per-op grain must keep that shape sequential under the default
+// parallel_min_rows while still going parallel at genuinely large scale,
+// and parallel_min_rows = 0 (the fuzzer / unit-test override) must keep
+// forcing the parallel paths on any input.
+TEST(ParallelPolicyTest, DifferenceGrainKeepsBenchScaleSequential) {
+  constexpr size_t kDefaultMinRows = EvalOptions{}.parallel_min_rows;
+  // The committed bench shape: |L| ≈ 16k, |R| ≈ 10k ⇒ weight ≈ 26k.
+  EXPECT_FALSE(ChunkParallelismProfitable(4, 15925, 26101, kDefaultMinRows,
+                                          ChunkOp::kDifference));
+  // Genuinely large inputs still split across the pool.
+  EXPECT_TRUE(ChunkParallelismProfitable(4, 100'000, 200'000, kDefaultMinRows,
+                                         ChunkOp::kDifference));
+  // Tests force the parallel paths on tiny inputs with min_rows = 0.
+  EXPECT_TRUE(
+      ChunkParallelismProfitable(4, 100, 200, 0, ChunkOp::kDifference));
+  EXPECT_TRUE(ChunkParallelismProfitable(8, 2, 4, 0, ChunkOp::kDifference));
+  // Single-threaded or single-row inputs never dispatch.
+  EXPECT_FALSE(ChunkParallelismProfitable(1, 100'000, 200'000, 0,
+                                          ChunkOp::kDifference));
+  EXPECT_FALSE(
+      ChunkParallelismProfitable(4, 1, 1'000'000, 0, ChunkOp::kDifference));
+}
+
+TEST(ParallelPolicyTest, PairCountingOpsKeepUnitGrain) {
+  constexpr size_t kDefaultMinRows = EvalOptions{}.parallel_min_rows;
+  // The NL join counts pairs: the committed bench shape (1.2k × 1.2k ≈
+  // 1.44M pairs) stays parallel — its @4t speedup is real (529 µs → 224 µs
+  // in BENCH_baseline).
+  EXPECT_TRUE(ChunkParallelismProfitable(4, 1200, 1'440'000, kDefaultMinRows,
+                                         ChunkOp::kNLJoin));
+  EXPECT_TRUE(ChunkParallelismProfitable(4, 16'000, 26'000, kDefaultMinRows,
+                                         ChunkOp::kUnifySemiJoin));
+  EXPECT_EQ(ChunkGrain(ChunkOp::kNLJoin), 1u);
+  EXPECT_EQ(ChunkGrain(ChunkOp::kUnifySemiJoin), 1u);
+  EXPECT_GT(ChunkGrain(ChunkOp::kDifference), 1u);
 }
 
 }  // namespace

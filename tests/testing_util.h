@@ -7,6 +7,7 @@
 /// fuzzer (tests/fuzz_diff_test.cpp).
 
 #include <algorithm>
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <utility>
@@ -17,6 +18,21 @@
 
 namespace incdb {
 namespace testing_util {
+
+/// Integral environment knob: unset or empty → `fallback`. Shared by the
+/// differential fuzzer's INCDB_FUZZ_* knobs (see tests/fuzz_diff_test.cpp
+/// and BUILDING.md "Differential fuzzer").
+inline uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10)
+                                      : fallback;
+}
+
+/// CI knob for the vectorized executor: INCDB_FUZZ_BATCH=N forces
+/// EvalOptions::batch_size = N on every fuzz configuration (the sanitizer
+/// job sets 1024 so the whole toggle matrix runs batched under
+/// ASan+UBSan). 0 / unset keeps each configuration's own batch size.
+inline uint64_t FuzzBatchOverride() { return EnvOr("INCDB_FUZZ_BATCH", 0); }
 
 /// The Orders / Payments / Customers database of paper Figure 1.
 /// With `with_null`, the oid of Payments' second tuple is ⊥1 (the paper's
