@@ -17,6 +17,7 @@
 #include "approx/approx.h"
 #include "core/fault.h"
 #include "eval/batch.h"
+#include "eval/delta.h"
 #include "sql/translate.h"
 
 namespace incdb {
@@ -456,24 +457,12 @@ PreparedQuery::FreshCompiled(const Database& snap) const {
   return *re;
 }
 
-std::string PreparedQuery::ResultKey(const Compiled& c, const Database& snap,
-                                     const std::vector<Value>& params) {
-  std::string key = c.key_prefix;
-  key += '|';
-  for (const Value& v : params) AppendValueKey(&key, v);
-  for (const std::string& name : c.plan->scanned_rels) {
-    uint64_t ver = snap.Version(name);
-    key += '#';
-    key += name;
-    key.append(reinterpret_cast<const char*>(&ver), sizeof(ver));
-  }
-  if (c.plan->uses_dom) {
-    // Dom reads the whole active domain: fingerprint the entire database.
-    uint64_t epoch = snap.Epoch();
-    key += "#*";
-    key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
-  }
-  return key;
+std::string PreparedQuery::ResultHead(const Compiled& c,
+                                      const std::vector<Value>& params) {
+  std::string head = c.key_prefix;
+  head += '|';
+  for (const Value& v : params) AppendValueKey(&head, v);
+  return head;
 }
 
 StatusOr<Relation> PreparedQuery::Execute(
@@ -493,9 +482,16 @@ StatusOr<Relation> PreparedQuery::Execute(const std::vector<Value>& params,
   state_->executes.fetch_add(1, std::memory_order_relaxed);
 
   const bool use_cache = state_->opts.use_result_cache;
-  std::string rkey;
+  std::string head;
+  std::vector<ResultCache::Dep> deps;
   if (use_cache) {
-    rkey = ResultKey(c, snap, params);
+    head = ResultHead(c, params);
+    deps.reserve(c.plan->scanned_rels.size());
+    for (const std::string& name : c.plan->scanned_rels) {
+      deps.emplace_back(name, snap.Version(name));
+    }
+    std::string rkey = ResultCache::ComposeKey(head, deps, c.plan->uses_dom,
+                                               snap.Epoch());
     if (std::shared_ptr<const Relation> hit = state_->results.Lookup(rkey)) {
       return *hit;
     }
@@ -513,10 +509,12 @@ StatusOr<Relation> PreparedQuery::Execute(const std::vector<Value>& params,
   // memory: the execution already succeeded, so degrade gracefully by
   // returning the result uncached.
   if (use_cache && !INCDB_FAULT_DROPPED("result_cache.insert")) {
-    std::vector<std::string> deps = c.plan->scanned_rels;
-    if (c.plan->uses_dom) deps.push_back("*");
-    state_->results.Insert(rkey, std::make_shared<const Relation>(*rel),
-                           std::move(deps));
+    // The *bound* plan rides along with maintainable entries — it is what
+    // PropagateDelta walks on the next commit (param_count == 0).
+    const bool maintainable = plan->maintainable && !plan->uses_dom;
+    state_->results.Insert(head, std::make_shared<Relation>(*rel),
+                           std::move(deps), c.plan->uses_dom, snap.Epoch(),
+                           maintainable, maintainable ? plan : nullptr);
   }
   return rel;
 }
@@ -666,6 +664,8 @@ std::string PreparedQuery::Explain() const {
          " misses=" + std::to_string(rs.misses) +
          " evictions=" + std::to_string(rs.evictions) +
          " invalidations=" + std::to_string(rs.invalidations) +
+         " maintained=" + std::to_string(rs.maintained) +
+         " late_drops=" + std::to_string(rs.late_drops) +
          " size=" + std::to_string(rs.size) + "/" +
          std::to_string(rs.capacity) + "\n";
   return out;
@@ -680,24 +680,100 @@ const Database& Session::db() const { return state_->db; }
 Database& Session::mutable_db() { return state_->db; }
 
 void Session::Put(const std::string& name, Relation rel) {
+  {
+    // Replacing a relation with identical contents would churn its version
+    // stamp and invalidate every dependent cached result for nothing; skip
+    // the write entirely. (Pin a snapshot so the compared rows stay alive.)
+    Database snap = state_->db.Snapshot();
+    const Relation* old = snap.Find(name);
+    if (old != nullptr && old->IdenticalTo(rel)) return;
+  }
   state_->db.Put(name, std::move(rel));
-  state_->results.InvalidateRelation(name);
+  state_->results.InvalidateRelation(name, state_->db.Version(name));
 }
 
 Status Session::Drop(const std::string& name) {
   INCDB_RETURN_IF_ERROR(state_->db.Drop(name));
-  state_->results.InvalidateRelation(name);
+  // A dropped relation has no version stamp; the post-drop epoch is a
+  // valid floor because versions and epochs draw from one counter.
+  state_->results.InvalidateRelation(name, state_->db.Epoch());
   return Status::OK();
 }
+
+namespace {
+
+/// Tries to upgrade one extracted cache entry across the commit described
+/// by `info`. Non-OK means "could not maintain" — the caller counts the
+/// entry as invalidated (it is already out of the cache).
+Status MaintainOne(SessionState& state, const CommitInfo& info,
+                   ResultCache::Maintainable& e) {
+  // Every dependency stamp must match the pre-commit snapshot exactly —
+  // an entry computed against any older state must not absorb this delta
+  // (the commits in between were never propagated into it). Touched
+  // dependencies must additionally carry a row-level delta: nullopt
+  // records a drop, schema change or other non-delta-expressible edit.
+  for (const auto& [name, ver] : e.deps) {
+    if (info.pre.Version(name) != ver) {
+      return Status::FailedPrecondition("dependency '" + name +
+                                        "' stamp predates the commit");
+    }
+    auto dit = info.deltas.find(name);
+    if (dit != info.deltas.end() && !dit->second.has_value()) {
+      return Status::FailedPrecondition("dependency '" + name +
+                                        "' has no row-level delta");
+    }
+  }
+  auto delta = PropagateDelta(e.plan, info);
+  if (!delta.ok()) return delta.status();
+  // The entry left the cache, but a pre-commit Lookup may still share the
+  // relation with a reader; never mutate a result someone else holds.
+  std::shared_ptr<Relation> target = e.result.use_count() == 1
+                                         ? std::move(e.result)
+                                         : std::make_shared<Relation>(*e.result);
+  INCDB_RETURN_IF_ERROR(ApplyResultDelta(
+      target.get(), *delta, e.plan->mode != EvalMode::kBagNaive));
+  for (auto& [name, ver] : e.deps) {
+    if (info.deltas.count(name) > 0) ver = info.post.Version(name);
+  }
+  e.result = std::move(target);
+  state.results.FinishMaintenance(std::move(e));
+  return Status::OK();
+}
+
+/// Post-commit result-cache sweep: maintainable dependent entries get the
+/// commit's row-level deltas propagated through their plans and applied in
+/// place; everything else (and every failure) falls back to invalidation.
+void MaintainResultCache(SessionState& state, const CommitInfo& info) {
+  std::vector<std::pair<std::string, uint64_t>> floors;
+  floors.reserve(info.deltas.size());
+  for (const auto& [name, delta] : info.deltas) {
+    const uint64_t v = info.post.Version(name);
+    floors.emplace_back(name, v != 0 ? v : info.post.Epoch());
+  }
+  auto candidates = state.results.BeginMaintenance(floors, info.post.Epoch());
+  for (ResultCache::Maintainable& e : candidates) {
+    if (!MaintainOne(state, info, e).ok()) state.results.NoteInvalidated();
+  }
+}
+
+}  // namespace
 
 Status Session::Mutate(const std::function<Status(Database::Txn&)>& fn) {
   Database::Txn txn = state_->db.Begin();
   INCDB_RETURN_IF_ERROR(fn(txn));
+  if (state_->opts.use_result_cache && state_->opts.use_result_maintenance) {
+    CommitInfo info;
+    INCDB_RETURN_IF_ERROR(state_->db.Commit(std::move(txn), &info));
+    MaintainResultCache(*state_, info);
+    return Status::OK();
+  }
   // Touched() must be read before Commit consumes the transaction.
   std::vector<std::string> touched = txn.Touched();
   INCDB_RETURN_IF_ERROR(state_->db.Commit(std::move(txn)));
   for (const std::string& name : touched) {
-    state_->results.InvalidateRelation(name);
+    const uint64_t v = state_->db.Version(name);
+    state_->results.InvalidateRelation(name,
+                                       v != 0 ? v : state_->db.Epoch());
   }
   return Status::OK();
 }

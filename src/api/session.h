@@ -217,11 +217,12 @@ class PreparedQuery {
   /// against `snap`; on a successful retry bumps stale_retries.
   StatusOr<std::shared_ptr<const Compiled>> FreshCompiled(
       const Database& snap) const;
-  /// Result-cache key for this (snapshot, bindings) execution:
-  /// key prefix + binding digest + scanned-relation version stamps
-  /// (+ database epoch for Dom-bearing plans).
-  static std::string ResultKey(const Compiled& c, const Database& snap,
-                               const std::vector<Value>& params);
+  /// Query + binding identity head of the result-cache key: plan-cache
+  /// key prefix + binding digest. The data-identity suffix (scanned
+  /// version stamps, database epoch for Dom plans) is appended by
+  /// ResultCache::ComposeKey.
+  static std::string ResultHead(const Compiled& c,
+                                const std::vector<Value>& params);
 
   std::shared_ptr<internal::SessionState> state_;
   AlgPtr alg_;
@@ -256,16 +257,21 @@ class Session {
   /// change invalidates affected plan-cache entries (scanned schemas are
   /// part of the plan key) and makes prepared queries that scanned the
   /// old schema stale; any change eagerly drops the result-cache entries
-  /// that depend on the relation.
+  /// that depend on the relation. Putting a relation identical to the
+  /// current one (same attrs, rows and counts) is a no-op: the version
+  /// stamp keeps and cached results survive.
   void Put(const std::string& name, Relation rel);
   /// Removes a relation atomically (NotFound when absent). Prepared
   /// queries scanning it turn stale; dependent result-cache entries drop.
   Status Drop(const std::string& name);
-  /// Batched transactional mutation: `fn` stages Put/Drop/Mutable calls
-  /// on a Database::Txn pinned to the current state; on OK the batch
-  /// commits atomically (concurrent readers see all of it or none) and
-  /// dependent result-cache entries are invalidated. A non-OK return
-  /// discards the staged batch and is passed through.
+  /// Batched transactional mutation: `fn` stages Put/Drop/Mutable (and
+  /// row-level Insert/Remove) calls on a Database::Txn pinned to the
+  /// current state; on OK the batch commits atomically (concurrent
+  /// readers see all of it or none). Dependent result-cache entries of
+  /// *maintainable* plans are upgraded in place by propagating the
+  /// commit's row-level deltas (eval/delta.h, gated on
+  /// EvalOptions::use_result_maintenance); the rest are invalidated. A
+  /// non-OK return discards the staged batch and is passed through.
   Status Mutate(const std::function<Status(Database::Txn&)>& fn);
   /// Unsynchronised escape hatch: direct mutation must not race with
   /// concurrent queries (prefer Put/Drop/Mutate) and bypasses the

@@ -148,6 +148,7 @@ uint64_t Database::Epoch() const { return inst_->epoch; }
 
 void Database::Txn::Put(const std::string& name, Relation rel) {
   staged_[name] = std::move(rel);
+  deltas_[name] = std::nullopt;  // wholesale replacement: no recorded delta
 }
 
 Status Database::Txn::Drop(const std::string& name) {
@@ -155,18 +156,105 @@ Status Database::Txn::Drop(const std::string& name) {
     return Status::NotFound("no relation named " + name);
   }
   staged_[name] = std::nullopt;
+  deltas_[name] = std::nullopt;
   return Status::OK();
 }
 
 Relation* Database::Txn::Mutable(const std::string& name) {
   auto it = staged_.find(name);
   if (it != staged_.end()) {
-    return it->second.has_value() ? &*it->second : nullptr;
+    if (!it->second.has_value()) return nullptr;
+    deltas_[name] = std::nullopt;  // arbitrary edits: recording is off
+    return &*it->second;
   }
   const Relation* base = Find(name);
   if (base == nullptr) return nullptr;
   auto ins = staged_.emplace(name, *base).first;  // copy-on-first-touch
+  deltas_[name] = std::nullopt;
   return &*ins->second;
+}
+
+Status Database::Txn::Insert(const std::string& name, const Tuple& t,
+                             uint64_t count) {
+  if (count == 0) {
+    return Find(name) != nullptr
+               ? Status::OK()
+               : Status::NotFound("no relation named " + name);
+  }
+  auto it = staged_.find(name);
+  Relation* r = nullptr;
+  if (it != staged_.end()) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("no relation named " + name);
+    }
+    r = &*it->second;
+  } else {
+    auto bit = base_->rels.find(name);
+    if (bit == base_->rels.end()) {
+      return Status::NotFound("no relation named " + name);
+    }
+    r = &*staged_.emplace(name, *bit->second.rel).first->second;
+    deltas_.emplace(
+        name, RelationDelta{Relation(r->attrs()), Relation(r->attrs())});
+  }
+  Status st = r->Insert(t, count);
+  if (!st.ok()) return st;
+  auto dit = deltas_.find(name);
+  if (dit != deltas_.end() && dit->second.has_value()) {
+    // Net against recorded removals first so plus/minus stay disjoint.
+    RelationDelta& d = *dit->second;
+    const uint64_t netted = std::min(d.minus.Count(t), count);
+    if (netted > 0) {
+      st = d.minus.Erase(t, netted);
+      assert(st.ok());
+    }
+    if (count > netted) st = d.plus.Insert(t, count - netted);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status Database::Txn::Remove(const std::string& name, const Tuple& t,
+                             uint64_t count) {
+  if (count == 0) {
+    return Find(name) != nullptr
+               ? Status::OK()
+               : Status::NotFound("no relation named " + name);
+  }
+  auto it = staged_.find(name);
+  if (it != staged_.end()) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("no relation named " + name);
+    }
+    Status st = it->second->Erase(t, count);
+    if (!st.ok()) return st;
+  } else {
+    auto bit = base_->rels.find(name);
+    if (bit == base_->rels.end()) {
+      return Status::NotFound("no relation named " + name);
+    }
+    // Validate on the copy before staging it, so a failed Remove leaves
+    // the transaction untouched (Touched() must not list it).
+    Relation copy = *bit->second.rel;
+    Status st = copy.Erase(t, count);
+    if (!st.ok()) return st;
+    const std::vector<std::string>& attrs = bit->second.rel->attrs();
+    staged_.emplace(name, std::move(copy));
+    deltas_.emplace(name, RelationDelta{Relation(attrs), Relation(attrs)});
+  }
+  auto dit = deltas_.find(name);
+  if (dit != deltas_.end() && dit->second.has_value()) {
+    RelationDelta& d = *dit->second;
+    const uint64_t netted = std::min(d.plus.Count(t), count);
+    Status st = Status::OK();
+    if (netted > 0) {
+      st = d.plus.Erase(t, netted);
+      assert(st.ok());
+    }
+    if (count > netted) st = d.minus.Insert(t, count - netted);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 const Relation* Database::Txn::Find(const std::string& name) const {
@@ -187,20 +275,91 @@ std::vector<std::string> Database::Txn::Touched() const {
 
 Database::Txn Database::Begin() const { return Txn(LoadInstance()); }
 
-Status Database::Commit(Txn&& txn) {
-  if (txn.staged_.empty()) return Status::OK();
-  PublishEdit([&](Instance& next) {
-    for (auto& [name, rel] : txn.staged_) {
-      if (rel.has_value()) {
-        next.rels[name] =
-            Entry{std::make_shared<const Relation>(std::move(*rel)),
-                  NextVersion()};
-      } else {
-        next.rels.erase(name);
-      }
+Status Database::Commit(Txn&& txn) { return Commit(std::move(txn), nullptr); }
+
+namespace {
+
+/// Bag diff of two same-schema relation states: plus = rows gained, minus
+/// = rows lost. nullopt when the schemas differ (not delta-expressible).
+std::optional<RelationDelta> DiffRelations(const Relation& oldr,
+                                           const Relation& newr) {
+  if (oldr.attrs() != newr.attrs()) return std::nullopt;
+  RelationDelta d{Relation(newr.attrs()), Relation(newr.attrs())};
+  for (const auto& [t, c] : newr.rows()) {
+    const uint64_t oc = oldr.Count(t);
+    if (c > oc) {
+      Status st = d.plus.InsertUnique(t, c - oc);
+      assert(st.ok());
+      (void)st;
     }
-    next.epoch = NextVersion();
-  });
+  }
+  for (const auto& [t, c] : oldr.rows()) {
+    const uint64_t nc = newr.Count(t);
+    if (c > nc) {
+      Status st = d.minus.InsertUnique(t, c - nc);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Status Database::Commit(Txn&& txn, CommitInfo* info) {
+  // Holds the writer mutex directly (instead of going through PublishEdit)
+  // so the delta report is computed against the authoritative pre-commit
+  // instance, not a possibly stale pin.
+  std::lock_guard<std::mutex> lk(write_mu_);
+  InstPtr pre = std::atomic_load_explicit(&inst_, std::memory_order_acquire);
+  if (info) info->deltas.clear();
+  if (txn.staged_.empty()) {
+    if (info) {
+      info->pre = Database(pre);
+      info->post = Database(pre);
+    }
+    return Status::OK();
+  }
+  auto next = std::make_shared<Instance>(*pre);  // shares relation states
+  const auto version_in = [](const InstPtr& inst,
+                             const std::string& name) -> uint64_t {
+    auto it = inst->rels.find(name);
+    return it == inst->rels.end() ? 0 : it->second.version;
+  };
+  for (auto& [name, rel] : txn.staged_) {
+    if (info) {
+      std::optional<RelationDelta> delta;
+      auto pit = pre->rels.find(name);
+      if (rel.has_value() && pit != pre->rels.end()) {
+        auto rit = txn.deltas_.find(name);
+        // A recorded delta is only valid against the base the transaction
+        // staged from; a concurrent commit to the same relation since
+        // Begin() (last-writer-wins) forces the full diff.
+        if (rit != txn.deltas_.end() && rit->second.has_value() &&
+            version_in(txn.base_, name) == version_in(pre, name)) {
+          delta = std::move(rit->second);
+        } else {
+          delta = DiffRelations(*pit->second.rel, *rel);
+        }
+      }
+      info->deltas[name] = std::move(delta);
+    }
+    if (rel.has_value()) {
+      next->rels[name] =
+          Entry{std::make_shared<const Relation>(std::move(*rel)),
+                NextVersion()};
+    } else {
+      next->rels.erase(name);
+    }
+  }
+  next->epoch = NextVersion();
+  InstPtr published(std::move(next));
+  if (info) {
+    info->pre = Database(pre);
+    info->post = Database(published);
+  }
+  std::atomic_store_explicit(&inst_, std::move(published),
+                             std::memory_order_release);
   return Status::OK();
 }
 

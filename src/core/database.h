@@ -46,6 +46,21 @@
 
 namespace incdb {
 
+/// \brief Row-level difference between two states of one relation.
+///
+/// `new_state = old_state + plus − minus` as bags: `plus` holds the inserted
+/// rows with multiplicities, `minus` the deleted ones. Both carry the
+/// relation's schema. Produced by Database::Commit (from Txn-recorded
+/// deltas or a bag diff) and consumed by the incremental result maintenance
+/// layer (eval/delta.h).
+struct RelationDelta {
+  Relation plus;
+  Relation minus;
+  bool Empty() const { return plus.Empty() && minus.Empty(); }
+};
+
+struct CommitInfo;
+
 /// \brief An incomplete database instance.
 ///
 /// A map from relation names to Relations. A database is *complete* iff it
@@ -178,8 +193,29 @@ class Database {
     /// Stages removing a relation (NotFound if absent in the staged view).
     Status Drop(const std::string& name);
     /// Copy-on-first-touch mutable access to a staged relation; nullptr
-    /// when absent. The copy becomes part of the staged batch.
+    /// when absent. The copy becomes part of the staged batch. Bypasses
+    /// delta recording: the relation's commit delta degrades to a full
+    /// bag diff (see Deltas()).
     Relation* Mutable(const std::string& name);
+
+    /// Stages inserting `count` occurrences of `t` into `name`, recording
+    /// the row-level delta as it goes (NotFound when the relation is
+    /// absent or staged dropped; arity errors pass through). Mutating a
+    /// relation exclusively through Insert/Remove keeps its commit delta
+    /// O(rows changed) instead of O(relation).
+    Status Insert(const std::string& name, const Tuple& t, uint64_t count = 1);
+    /// Stages removing `count` occurrences of `t` from `name`. NotFound /
+    /// InvalidArgument when the tuple is absent or under-counted, with the
+    /// staged state unchanged.
+    Status Remove(const std::string& name, const Tuple& t, uint64_t count = 1);
+
+    /// Row-level deltas recorded for the touched relations, keyed like
+    /// Touched(). nullopt marks a relation touched through Put/Drop/
+    /// Mutable — not delta-expressible without a full diff (Commit falls
+    /// back to one when a CommitInfo is requested).
+    const std::map<std::string, std::optional<RelationDelta>>& Deltas() const {
+      return deltas_;
+    }
 
     /// Staged read view: base snapshot overlaid with the staged changes.
     const Relation* Find(const std::string& name) const;
@@ -195,6 +231,8 @@ class Database {
     InstPtr base_;  ///< Pinned instance the stages overlay.
     /// name → staged new state (nullopt = staged drop).
     std::map<std::string, std::optional<Relation>> staged_;
+    /// name → recorded row-level delta (nullopt = unknown, full-diff only).
+    std::map<std::string, std::optional<RelationDelta>> deltas_;
   };
 
   /// Starts a transaction against a pinned snapshot of the current state.
@@ -206,6 +244,16 @@ class Database {
   /// version stamp. Returns OK always today; a Status so conflict
   /// detection can land without an API break.
   Status Commit(Txn&& txn);
+
+  /// Commit variant that additionally reports *what* changed: the pre- and
+  /// post-commit snapshots plus per-relation row-level deltas. Deltas come
+  /// from the transaction's Insert/Remove recording when valid (the base
+  /// it staged from still matches the pre-commit state), else from a bag
+  /// diff of old vs new rows; nullopt marks changes that are not
+  /// delta-expressible (drop, schema change, relation created, or a
+  /// conflicting concurrent commit). This is the input of incremental
+  /// result maintenance — plain Commit skips all diff work.
+  Status Commit(Txn&& txn, CommitInfo* info);
 
   /// Const(D): the set of constants occurring in D.
   std::set<Value> Constants() const;
@@ -251,6 +299,21 @@ class Database {
 
   mutable std::mutex write_mu_;  ///< Serialises mutators of this object.
   InstPtr inst_;                 ///< Current instance; atomic load/store.
+};
+
+/// \brief What one Commit changed: the boundary snapshots and per-relation
+/// row-level deltas.
+///
+/// `pre` pins the instance the commit applied on top of and `post` the one
+/// it published; `deltas` maps every touched name to the delta of its post
+/// state against its pre state, or nullopt when the change is not
+/// delta-expressible (drop, schema change, relation created by the
+/// commit). The session's maintenance driver feeds this straight into
+/// eval/delta.h's PropagateDelta.
+struct CommitInfo {
+  Database pre;
+  Database post;
+  std::map<std::string, std::optional<RelationDelta>> deltas;
 };
 
 }  // namespace incdb

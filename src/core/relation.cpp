@@ -104,6 +104,49 @@ Status Relation::InsertUnique(Tuple&& t, uint64_t count) {
   return Status::OK();
 }
 
+Status Relation::Erase(const Tuple& t, uint64_t count) {
+  if (t.arity() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch: tuple " + t.ToString() + " from relation of arity " +
+        std::to_string(attrs_.size()));
+  }
+  if (count == 0) return Status::OK();
+  const uint32_t row = FindRow(t);
+  if (row == kNoRow) {
+    return Status::NotFound("erase of absent tuple " + t.ToString());
+  }
+  if (rows_[row].second < count) {
+    return Status::InvalidArgument(
+        "erase of " + std::to_string(count) + " occurrences of " +
+        t.ToString() + ", only " + std::to_string(rows_[row].second) +
+        " present");
+  }
+  rows_[row].second -= count;
+  if (rows_[row].second > 0) return Status::OK();
+  // Last occurrence gone: drop the row's index entry, then move the final
+  // row into the vacated slot and re-point its index entry.
+  auto [lo, hi] = index_.equal_range(rows_[row].first.Hash());
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == row) {
+      index_.erase(it);
+      break;
+    }
+  }
+  const uint32_t last = static_cast<uint32_t>(rows_.size() - 1);
+  if (row != last) {
+    auto [mlo, mhi] = index_.equal_range(rows_[last].first.Hash());
+    for (auto it = mlo; it != mhi; ++it) {
+      if (it->second == last) {
+        it->second = row;
+        break;
+      }
+    }
+    rows_[row] = std::move(rows_[last]);
+  }
+  rows_.pop_back();
+  return Status::OK();
+}
+
 void Relation::Add(std::initializer_list<Value> values, uint64_t count) {
   Status st = Insert(Tuple(values), count);
   assert(st.ok());

@@ -63,6 +63,15 @@ class Relation {
   /// Convenience for tests: aborts on arity mismatch.
   void Add(std::initializer_list<Value> values, uint64_t count = 1);
 
+  /// Removes `count` occurrences of `t` (the inverse of Insert, backing
+  /// row-level delta application). Errors on arity mismatch, on an absent
+  /// tuple, and when `count` exceeds the stored multiplicity — callers
+  /// applying a delta treat any error as "fall back to recomputation".
+  /// Removing the *last* occurrence compacts the row storage by moving the
+  /// final row into the vacated slot, so unlike Insert, Erase does NOT
+  /// preserve row order or row indices.
+  Status Erase(const Tuple& t, uint64_t count = 1);
+
   /// Pre-sizes the row storage for `n` distinct tuples.
   void Reserve(size_t n);
 
@@ -96,7 +105,8 @@ class Relation {
 
   /// Flat row access for evaluators: distinct tuples with multiplicities,
   /// in first-insertion order. Row *indices* are stable under further
-  /// Insert calls (rows are never removed or reordered), but references
+  /// Insert calls (Insert never removes or reorders rows; Erase of a last
+  /// occurrence swaps the final row into the vacated slot), but references
   /// and pointers into the vector are invalidated by Insert like any
   /// std::vector growth — only hold them across code that does not mutate
   /// this relation.

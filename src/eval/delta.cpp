@@ -1,0 +1,406 @@
+// Delta propagation through the maintainable plan subset (see delta.h).
+//
+// The propagator mirrors the executor's emit semantics operator by
+// operator (exec.cpp is the authority): same predicate truth threshold,
+// same multiplicity arithmetic, same set-semantics collapses, same SQL
+// null-key skips in the hash join. Maintained results must be
+// bag-identical to cold recomputation — the differential fuzzer crosses
+// the two paths.
+
+#include "eval/delta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eval/batch.h"
+
+namespace incdb {
+
+namespace {
+
+/// Mirror of the plan compiler's EvalMode → CondMode mapping.
+CondMode DeltaCondMode(EvalMode m) {
+  return m == EvalMode::kSetSql ? CondMode::kSql : CondMode::kNaive;
+}
+
+class DeltaPropagator {
+ public:
+  DeltaPropagator(const PlanPtr& plan, const CommitInfo& info)
+      : plan_(plan),
+        info_(info),
+        pre_scans_(info.pre),
+        post_scans_(info.post) {}
+
+  StatusOr<RelationDelta> Run() { return Delta(plan_->root); }
+
+ private:
+  bool set() const { return plan_->mode != EvalMode::kBagNaive; }
+  bool sql() const { return plan_->mode == EvalMode::kSetSql; }
+
+  /// True when the subtree scans a relation the commit touched. Untouched
+  /// subtrees have empty deltas and identical old/new values.
+  bool Affected(const PhysPtr& n) {
+    auto it = affected_.find(n.get());
+    if (it != affected_.end()) return it->second;
+    bool a = n->op == PhysOp::kScanView && info_.deltas.count(n->rel_name) > 0;
+    if (n->left) a = Affected(n->left) || a;
+    if (n->right) a = Affected(n->right) || a;
+    affected_[n.get()] = a;
+    return a;
+  }
+
+  /// The node's value at the commit boundary (pre or post side), evaluated
+  /// lazily and memoised. Scans borrow straight from the pinned snapshots
+  /// (set-collapsed like the executor's scan resolution); inner nodes
+  /// re-execute the subtree against the matching snapshot.
+  StatusOr<const RelationView*> ValueOf(const PhysPtr& n, bool post) {
+    if (!Affected(n)) post = false;  // old == new: share one value
+    const auto key = std::make_pair(static_cast<const void*>(n.get()), post);
+    auto it = values_.find(key);
+    if (it != values_.end()) return &it->second;
+    RelationView v;
+    if (n->op == PhysOp::kScanView) {
+      auto r = (post ? post_scans_ : pre_scans_).Resolve(n->rel_name, set());
+      if (!r.ok()) return r.status();
+      v = std::move(*r);
+    } else {
+      auto r = ExecuteNode(plan_, n, post ? info_.post : info_.pre);
+      if (!r.ok()) return r.status();
+      v = RelationView::Own(std::move(*r));
+    }
+    return &values_.emplace(key, std::move(v)).first->second;
+  }
+
+  StatusOr<RelationDelta> Delta(const PhysPtr& n) {
+    auto rc = plan_->refcount.find(n.get());
+    const bool shared = rc != plan_->refcount.end() && rc->second > 1;
+    if (shared) {
+      auto it = memo_.find(n.get());
+      if (it != memo_.end()) return it->second;
+    }
+    auto out = DeltaNode(n);
+    if (out.ok() && shared) memo_.emplace(n.get(), *out);
+    return out;
+  }
+
+  StatusOr<RelationDelta> DeltaNode(const PhysPtr& np) {
+    const PhysNode& n = *np;
+    if (!Affected(np)) {
+      return RelationDelta{Relation(n.attrs), Relation(n.attrs)};
+    }
+    switch (n.op) {
+      case PhysOp::kScanView:
+        return ScanDelta(n);
+      case PhysOp::kFilterSel:
+        return FilterDelta(n, /*fused=*/false);
+      case PhysOp::kFusedProjectFilter:
+        return FilterDelta(n, /*fused=*/true);
+      case PhysOp::kProject:
+        return ProjectDelta(n);
+      case PhysOp::kRename: {
+        auto child = Delta(n.left);
+        if (!child.ok()) return child;
+        RelationDelta out = std::move(*child);
+        INCDB_RETURN_IF_ERROR(out.plus.RenameAttrs(n.attrs));
+        INCDB_RETURN_IF_ERROR(out.minus.RenameAttrs(n.attrs));
+        return out;
+      }
+      case PhysOp::kUnion:
+        return UnionDelta(n);
+      case PhysOp::kHashJoin:
+      case PhysOp::kNLJoin:
+        return JoinDelta(n);
+      default:
+        return Status::FailedPrecondition(
+            std::string("operator is not delta-maintainable: ") +
+            ToString(n.op));
+    }
+  }
+
+  StatusOr<RelationDelta> ScanDelta(const PhysNode& n) {
+    RelationDelta out{Relation(n.attrs), Relation(n.attrs)};
+    auto it = info_.deltas.find(n.rel_name);
+    if (it == info_.deltas.end()) return out;  // untouched relation
+    if (!it->second.has_value()) {
+      return Status::FailedPrecondition(
+          "relation " + n.rel_name + " changed without a row-level delta");
+    }
+    const RelationDelta& d = *it->second;
+    if (!set()) {
+      for (const auto& [t, c] : d.plus.rows()) {
+        INCDB_RETURN_IF_ERROR(out.plus.Insert(t, c));
+      }
+      for (const auto& [t, c] : d.minus.rows()) {
+        INCDB_RETURN_IF_ERROR(out.minus.Insert(t, c));
+      }
+      return out;
+    }
+    // Set semantics: the scan collapses multiplicities, so only 0→>0 and
+    // >0→0 transitions matter. Deletions break the monotone insert-only
+    // argument — abort and let the caller invalidate.
+    const Relation* prer = info_.pre.Find(n.rel_name);
+    const Relation* postr = info_.post.Find(n.rel_name);
+    if (prer == nullptr || postr == nullptr) {
+      return Status::FailedPrecondition(
+          "relation " + n.rel_name + " missing at the commit boundary");
+    }
+    for (const auto& [t, c] : d.minus.rows()) {
+      if (postr->Count(t) == 0) {
+        return Status::FailedPrecondition(
+            "set-level deletion from " + n.rel_name +
+            " is not insert-only maintainable");
+      }
+    }
+    for (const auto& [t, c] : d.plus.rows()) {
+      if (prer->Count(t) == 0) {
+        INCDB_RETURN_IF_ERROR(out.plus.Insert(t, 1));
+      }
+    }
+    return out;
+  }
+
+  /// σ over the delta rows: the batch predicate program sweeps the delta
+  /// in batch_size windows exactly like the executor sweeps base rows
+  /// (scalar fallback when batching is off). Counts pass through; the
+  /// fused projection collapses under set semantics like the executor.
+  StatusOr<RelationDelta> FilterDelta(const PhysNode& n, bool fused) {
+    auto child = Delta(n.left);
+    if (!child.ok()) return child;
+    RelationDelta out{Relation(n.attrs), Relation(n.attrs)};
+    const std::vector<std::string>& in_attrs = fused ? n.left->attrs : n.attrs;
+    std::optional<BatchPredicate> compiled;
+    if (plan_->opts.batch_size > 0) {
+      auto made =
+          BatchPredicate::Make(n.cond, in_attrs, DeltaCondMode(plan_->mode));
+      if (!made.ok()) return made.status();
+      compiled = std::move(*made);
+    }
+    const BatchPredicate* bp = compiled ? &*compiled : nullptr;
+    INCDB_RETURN_IF_ERROR(
+        FilterInto(n, fused, bp, in_attrs, child->plus.rows(), &out.plus));
+    INCDB_RETURN_IF_ERROR(
+        FilterInto(n, fused, bp, in_attrs, child->minus.rows(), &out.minus));
+    if (fused && set()) out.plus.CollapseCounts();
+    return out;
+  }
+
+  Status FilterInto(const PhysNode& n, bool fused, const BatchPredicate* bp,
+                    const std::vector<std::string>& in_attrs,
+                    const std::vector<Relation::Row>& rows, Relation* out) {
+    Tuple scratch;
+    if (bp != nullptr) {
+      const size_t bs = plan_->opts.batch_size;
+      for (size_t begin = 0; begin < rows.size(); begin += bs) {
+        const size_t end = std::min(rows.size(), begin + bs);
+        gather_.Gather(rows, begin, end, bp->referenced(), in_attrs.size(),
+                       &batch_);
+        sel_.clear();
+        bp->SelectTrue(batch_, &bp_scratch_, &sel_);
+        for (uint32_t i : sel_) {
+          const auto& [t, c] = rows[begin + i];
+          if (fused) {
+            scratch.AssignProject(t, n.proj_pos);
+            INCDB_RETURN_IF_ERROR(out->Insert(scratch, c));
+          } else {
+            INCDB_RETURN_IF_ERROR(out->Insert(t, c));
+          }
+        }
+      }
+      return Status::OK();
+    }
+    for (const auto& [t, c] : rows) {
+      if (n.pred(t) == TV3::kT) {
+        if (fused) {
+          scratch.AssignProject(t, n.proj_pos);
+          INCDB_RETURN_IF_ERROR(out->Insert(scratch, c));
+        } else {
+          INCDB_RETURN_IF_ERROR(out->Insert(t, c));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  StatusOr<RelationDelta> ProjectDelta(const PhysNode& n) {
+    auto child = Delta(n.left);
+    if (!child.ok()) return child;
+    RelationDelta out{Relation(n.attrs), Relation(n.attrs)};
+    Tuple scratch;
+    for (const auto& [t, c] : child->plus.rows()) {
+      scratch.AssignProject(t, n.proj_pos);
+      INCDB_RETURN_IF_ERROR(out.plus.Insert(scratch, c));
+    }
+    for (const auto& [t, c] : child->minus.rows()) {
+      scratch.AssignProject(t, n.proj_pos);
+      INCDB_RETURN_IF_ERROR(out.minus.Insert(scratch, c));
+    }
+    if (set()) out.plus.CollapseCounts();
+    return out;
+  }
+
+  StatusOr<RelationDelta> UnionDelta(const PhysNode& n) {
+    auto l = Delta(n.left);
+    if (!l.ok()) return l;
+    auto r = Delta(n.right);
+    if (!r.ok()) return r;
+    RelationDelta out = std::move(*l);
+    INCDB_RETURN_IF_ERROR(out.plus.RenameAttrs(n.attrs));
+    INCDB_RETURN_IF_ERROR(out.minus.RenameAttrs(n.attrs));
+    for (const auto& [t, c] : r->plus.rows()) {
+      INCDB_RETURN_IF_ERROR(out.plus.Insert(t, c));
+    }
+    for (const auto& [t, c] : r->minus.rows()) {
+      INCDB_RETURN_IF_ERROR(out.minus.Insert(t, c));
+    }
+    if (set()) out.plus.CollapseCounts();
+    return out;
+  }
+
+  /// Δ(L ⋈ R) = ΔL ⋈ R_new + L_old ⋈ ΔR, each sign separately. Only the
+  /// sides with non-empty deltas force a boundary re-evaluation of the
+  /// opposite input, so a delta confined to one relation joins against
+  /// the other side once and never materialises its own old value.
+  StatusOr<RelationDelta> JoinDelta(const PhysNode& n) {
+    auto l = Delta(n.left);
+    if (!l.ok()) return l;
+    auto r = Delta(n.right);
+    if (!r.ok()) return r;
+    RelationDelta out{Relation(n.attrs), Relation(n.attrs)};
+    if (!l->plus.Empty() || !l->minus.Empty()) {
+      auto rnew = ValueOf(n.right, /*post=*/true);
+      if (!rnew.ok()) return rnew.status();
+      INCDB_RETURN_IF_ERROR(
+          JoinInto(n, l->plus.rows(), (*rnew)->rows(), &out.plus));
+      INCDB_RETURN_IF_ERROR(
+          JoinInto(n, l->minus.rows(), (*rnew)->rows(), &out.minus));
+    }
+    if (!r->plus.Empty() || !r->minus.Empty()) {
+      auto lold = ValueOf(n.left, /*post=*/false);
+      if (!lold.ok()) return lold.status();
+      INCDB_RETURN_IF_ERROR(
+          JoinInto(n, (*lold)->rows(), r->plus.rows(), &out.plus));
+      INCDB_RETURN_IF_ERROR(
+          JoinInto(n, (*lold)->rows(), r->minus.rows(), &out.minus));
+    }
+    if (set()) out.plus.CollapseCounts();
+    return out;
+  }
+
+  /// Joins two row sets with the executor's emit semantics: residual
+  /// predicate at kT, multiplicity lc·rc (1 under set semantics), fused
+  /// projection at emit time. kHashJoin indexes the smaller input on its
+  /// key columns (SQL mode skips null keys on both sides, like the
+  /// executor); kNLJoin sweeps all pairs.
+  Status JoinInto(const PhysNode& n, const std::vector<Relation::Row>& lrows,
+                  const std::vector<Relation::Row>& rrows, Relation* out) {
+    if (lrows.empty() || rrows.empty()) return Status::OK();
+    Tuple joint, projected, key;
+    const auto emit = [&](const Tuple& lt, uint64_t lc, const Tuple& rt,
+                          uint64_t rc) -> Status {
+      joint.AssignConcat(lt, rt);
+      if (n.pred(joint) != TV3::kT) return Status::OK();
+      const uint64_t c = set() ? 1 : lc * rc;
+      if (n.fused_proj) {
+        projected.AssignProject(joint, n.proj_pos);
+        return out->Insert(projected, c);
+      }
+      return out->Insert(joint, c);
+    };
+    if (n.op != PhysOp::kHashJoin) {
+      for (const auto& [lt, lc] : lrows) {
+        for (const auto& [rt, rc] : rrows) {
+          INCDB_RETURN_IF_ERROR(emit(lt, lc, rt, rc));
+        }
+      }
+      return Status::OK();
+    }
+    const bool skip_null_keys = sql();
+    const bool index_left = lrows.size() <= rrows.size();
+    const auto& irows = index_left ? lrows : rrows;
+    const auto& ikeys = index_left ? n.lkeys : n.rkeys;
+    const auto& srows = index_left ? rrows : lrows;
+    const auto& skeys = index_left ? n.rkeys : n.lkeys;
+    std::unordered_multimap<size_t, uint32_t> idx;
+    idx.reserve(irows.size());
+    for (uint32_t i = 0; i < irows.size(); ++i) {
+      key.AssignProject(irows[i].first, ikeys);
+      if (skip_null_keys && key.HasNull()) continue;
+      idx.emplace(key.Hash(), i);
+    }
+    for (const auto& [st, sc] : srows) {
+      key.AssignProject(st, skeys);
+      if (skip_null_keys && key.HasNull()) continue;
+      auto [lo, hi] = idx.equal_range(key.Hash());
+      for (auto it = lo; it != hi; ++it) {
+        const auto& [bt, bc] = irows[it->second];
+        bool eq = true;
+        for (size_t k = 0; k < ikeys.size() && eq; ++k) {
+          eq = bt[ikeys[k]] == st[skeys[k]];
+        }
+        if (!eq) continue;
+        INCDB_RETURN_IF_ERROR(index_left ? emit(bt, bc, st, sc)
+                                         : emit(st, sc, bt, bc));
+      }
+    }
+    return Status::OK();
+  }
+
+  PlanPtr plan_;
+  const CommitInfo& info_;
+  ScanResolver pre_scans_;
+  ScanResolver post_scans_;
+  std::unordered_map<const PhysNode*, bool> affected_;
+  std::unordered_map<const PhysNode*, RelationDelta> memo_;
+  /// (node, post?) → boundary value; untouched subtrees share the pre key.
+  std::map<std::pair<const void*, bool>, RelationView> values_;
+  BatchGather gather_;
+  Batch batch_;
+  SelVector sel_;
+  BatchPredicate::Scratch bp_scratch_;
+};
+
+}  // namespace
+
+StatusOr<RelationDelta> PropagateDelta(const PlanPtr& plan,
+                                       const CommitInfo& info) {
+  if (!plan || !plan->root) {
+    return Status::InvalidArgument("PropagateDelta: empty plan");
+  }
+  if (!plan->maintainable) {
+    return Status::FailedPrecondition("plan is not maintainable");
+  }
+  if (plan->param_count > 0) {
+    return Status::InvalidArgument(
+        "PropagateDelta: plan has unbound parameters");
+  }
+  return DeltaPropagator(plan, info).Run();
+}
+
+Status ApplyResultDelta(Relation* result, const RelationDelta& delta,
+                        bool set_semantics) {
+  if (set_semantics) {
+    if (!delta.minus.Empty()) {
+      return Status::Internal("set-semantics delta carries deletions");
+    }
+    for (const auto& [t, c] : delta.plus.rows()) {
+      if (result->Count(t) == 0) {
+        INCDB_RETURN_IF_ERROR(result->Insert(t, 1));
+      }
+    }
+    return Status::OK();
+  }
+  for (const auto& [t, c] : delta.plus.rows()) {
+    INCDB_RETURN_IF_ERROR(result->Insert(t, c));
+  }
+  for (const auto& [t, c] : delta.minus.rows()) {
+    INCDB_RETURN_IF_ERROR(result->Erase(t, c));
+  }
+  return Status::OK();
+}
+
+}  // namespace incdb

@@ -101,6 +101,14 @@ struct EvalOptions {
   /// results — keys cover query identity, bindings and data versions.
   /// Not part of the plan-cache key (it does not affect compilation).
   bool use_result_cache = true;
+  /// On Session::Mutate commits, upgrade cached results of maintainable
+  /// plans in place by propagating the commit's row-level deltas
+  /// (eval/delta.h) instead of invalidating them. Never changes results —
+  /// maintained entries are bag-identical to cold recomputation (the
+  /// differential fuzzer crosses the two paths). Off, every touched
+  /// dependency invalidates. Only meaningful with use_result_cache; not
+  /// part of the plan-cache key (it does not affect compilation).
+  bool use_result_maintenance = true;
 };
 
 /// Naive evaluation under set semantics (treat nulls as fresh constants).

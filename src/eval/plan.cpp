@@ -611,14 +611,34 @@ void CountEdges(const PhysPtr& n,
   if (n->right) CountEdges(n->right, refcount);
 }
 
-/// Fills Plan::scanned_rels (sorted, deduplicated) and Plan::uses_dom —
-/// the data-dependency footprint the result cache keys on.
+/// True for the monotone operators delta propagation (eval/delta.h)
+/// understands; any other op makes the whole plan non-maintainable.
+bool OpIsMaintainable(PhysOp op) {
+  switch (op) {
+    case PhysOp::kScanView:
+    case PhysOp::kFilterSel:
+    case PhysOp::kFusedProjectFilter:
+    case PhysOp::kProject:
+    case PhysOp::kRename:
+    case PhysOp::kUnion:
+    case PhysOp::kHashJoin:
+    case PhysOp::kNLJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fills Plan::scanned_rels (sorted, deduplicated), Plan::uses_dom and
+/// Plan::maintainable — the data-dependency footprint the result cache
+/// keys on, plus the delta-maintenance classification.
 void CollectDataDeps(const PhysPtr& n, std::set<std::string>* names,
-                     bool* uses_dom) {
+                     bool* uses_dom, bool* maintainable) {
   if (n->op == PhysOp::kScanView) names->insert(n->rel_name);
   if (n->op == PhysOp::kDom) *uses_dom = true;
-  if (n->left) CollectDataDeps(n->left, names, uses_dom);
-  if (n->right) CollectDataDeps(n->right, names, uses_dom);
+  if (!OpIsMaintainable(n->op)) *maintainable = false;
+  if (n->left) CollectDataDeps(n->left, names, uses_dom, maintainable);
+  if (n->right) CollectDataDeps(n->right, names, uses_dom, maintainable);
 }
 
 StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
@@ -635,7 +655,10 @@ StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
   plan->param_count = ParamCount(q);
   CountEdges(plan->root, &plan->refcount);
   std::set<std::string> names;
-  CollectDataDeps(plan->root, &names, &plan->uses_dom);
+  plan->maintainable = !for_ctables;  // c-table evaluation walks the plan
+                                      // with its own semantics: never
+                                      // delta-maintain those results
+  CollectDataDeps(plan->root, &names, &plan->uses_dom, &plan->maintainable);
   plan->scanned_rels.assign(names.begin(), names.end());
   return PlanPtr(plan);
 }
@@ -771,6 +794,7 @@ StatusOr<PlanPtr> BindPlanParams(const PlanPtr& plan,
   bound->param_count = 0;
   bound->scanned_rels = plan->scanned_rels;
   bound->uses_dom = plan->uses_dom;
+  bound->maintainable = plan->maintainable;
   CountEdges(bound->root, &bound->refcount);
   return PlanPtr(bound);
 }

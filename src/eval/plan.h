@@ -138,6 +138,13 @@ struct Plan {
   /// the active domain of the *whole* database (any relation's change can
   /// change it) — such plans fingerprint on the database epoch instead.
   bool uses_dom = false;
+  /// True when every operator of the DAG belongs to the monotone subset
+  /// incremental result maintenance can propagate row-level deltas
+  /// through (scan, filter, fused project-filter, project, rename, union,
+  /// hash/NL join). Difference, intersection, division, semijoins,
+  /// distinct, Dom and c-table plans are excluded — cached results of
+  /// non-maintainable plans fall back to invalidation on mutation.
+  bool maintainable = false;
 };
 using PlanPtr = std::shared_ptr<const Plan>;
 

@@ -1,6 +1,6 @@
 // Result cache (see result_cache.h for the contract). Same LRU skeleton
-// as the plan cache; the interesting part — version-stamped keys — is
-// built by the caller (api/session.cpp ResultKey).
+// as the plan cache, plus the relation → entries reverse index the
+// mutation sweeps walk and the late-insert stamp floors.
 
 #include "eval/result_cache.h"
 
@@ -8,6 +8,22 @@
 #include <utility>
 
 namespace incdb {
+
+std::string ResultCache::ComposeKey(const std::string& head,
+                                    const std::vector<Dep>& deps,
+                                    bool uses_dom, uint64_t epoch) {
+  std::string key = head;
+  for (const auto& [name, version] : deps) {
+    key += '#';
+    key += name;
+    key.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  if (uses_dom) {
+    key += "#*";
+    key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  }
+  return key;
+}
 
 std::shared_ptr<const Relation> ResultCache::Lookup(const std::string& key) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -21,49 +37,157 @@ std::shared_ptr<const Relation> ResultCache::Lookup(const std::string& key) {
   return it->second.result;
 }
 
-void ResultCache::Insert(const std::string& key,
-                         std::shared_ptr<const Relation> result,
-                         std::vector<std::string> deps) {
-  std::lock_guard<std::mutex> lk(mu_);
+std::unordered_map<std::string, ResultCache::Entry>::iterator
+ResultCache::RemoveLocked(std::unordered_map<std::string, Entry>::iterator it) {
+  for (const auto& [name, version] : it->second.deps) {
+    auto rit = by_rel_.find(name);
+    if (rit != by_rel_.end()) {
+      rit->second.erase(it->first);
+      if (rit->second.empty()) by_rel_.erase(rit);
+    }
+  }
+  if (it->second.uses_dom) {
+    auto rit = by_rel_.find("*");
+    if (rit != by_rel_.end()) {
+      rit->second.erase(it->first);
+      if (rit->second.empty()) by_rel_.erase(rit);
+    }
+  }
+  lru_.erase(it->second.lru_it);
+  return map_.erase(it);
+}
+
+bool ResultCache::InsertLocked(const std::string& head,
+                               std::shared_ptr<Relation> result,
+                               std::vector<Dep> deps, bool uses_dom,
+                               uint64_t epoch, bool maintainable,
+                               PlanPtr plan) {
+  for (const auto& [name, version] : deps) {
+    auto fit = floors_.find(name);
+    if (fit != floors_.end() && version < fit->second) {
+      ++late_drops_;
+      return false;
+    }
+  }
+  if (uses_dom && epoch < epoch_floor_) {
+    ++late_drops_;
+    return false;
+  }
+  std::string key = ComposeKey(head, deps, uses_dom, epoch);
   auto it = map_.find(key);
   if (it != map_.end()) {
     // Racing executions of the same key insert the same data (keys contain
     // the version stamps); keep the incumbent, refresh its LRU slot.
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return;
+    return true;
   }
+  for (const auto& [name, version] : deps) by_rel_[name].insert(key);
+  if (uses_dom) by_rel_["*"].insert(key);
   lru_.push_front(key);
-  map_.emplace(key, Entry{std::move(result), std::move(deps), lru_.begin()});
+  map_.emplace(std::move(key),
+               Entry{head, std::move(result), std::move(deps), uses_dom, epoch,
+                     maintainable, std::move(plan), lru_.begin()});
   while (map_.size() > capacity_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+    RemoveLocked(map_.find(lru_.back()));
     ++evictions_;
   }
+  return true;
 }
 
-size_t ResultCache::InvalidateRelation(const std::string& name) {
+void ResultCache::Insert(const std::string& head,
+                         std::shared_ptr<Relation> result,
+                         std::vector<Dep> deps, bool uses_dom, uint64_t epoch,
+                         bool maintainable, PlanPtr plan) {
   std::lock_guard<std::mutex> lk(mu_);
+  InsertLocked(head, std::move(result), std::move(deps), uses_dom, epoch,
+               maintainable, std::move(plan));
+}
+
+std::vector<std::string> ResultCache::DependentKeysLocked(
+    const std::vector<std::string>& names) const {
+  std::vector<std::string> keys;
+  auto collect = [&](const std::string& name) {
+    auto it = by_rel_.find(name);
+    if (it == by_rel_.end()) return;
+    keys.insert(keys.end(), it->second.begin(), it->second.end());
+  };
+  for (const std::string& name : names) collect(name);
+  collect("*");
+  // An entry depending on several touched relations is listed once per
+  // bucket; dedupe so it is only removed (and counted) once.
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+size_t ResultCache::InvalidateRelation(const std::string& name,
+                                       uint64_t floor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t& f = floors_[name];
+  f = std::max(f, floor);
+  epoch_floor_ = std::max(epoch_floor_, floor);
   size_t dropped = 0;
-  for (auto it = map_.begin(); it != map_.end();) {
-    const std::vector<std::string>& deps = it->second.deps;
-    // "*" marks an entry depending on the whole database (Dom plans).
-    if (std::find(deps.begin(), deps.end(), name) != deps.end() ||
-        std::find(deps.begin(), deps.end(), "*") != deps.end()) {
-      lru_.erase(it->second.lru_it);
-      it = map_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
-    }
+  for (const std::string& key : DependentKeysLocked({name})) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    RemoveLocked(it);
+    ++dropped;
   }
   invalidations_ += dropped;
   return dropped;
+}
+
+std::vector<ResultCache::Maintainable> ResultCache::BeginMaintenance(
+    const std::vector<std::pair<std::string, uint64_t>>& touched_floors,
+    uint64_t epoch_floor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(touched_floors.size());
+  for (const auto& [name, floor] : touched_floors) {
+    uint64_t& f = floors_[name];
+    f = std::max(f, floor);
+    names.push_back(name);
+  }
+  epoch_floor_ = std::max(epoch_floor_, epoch_floor);
+  std::vector<Maintainable> out;
+  for (const std::string& key : DependentKeysLocked(names)) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    Entry& e = it->second;
+    if (e.maintainable && !e.uses_dom && e.plan != nullptr) {
+      out.push_back(Maintainable{std::move(e.head), std::move(e.result),
+                                 std::move(e.plan), std::move(e.deps)});
+      // Moved-from deps would break RemoveLocked's reverse-index walk;
+      // restore them for the removal below.
+      e.deps = out.back().deps;
+      RemoveLocked(it);
+    } else {
+      RemoveLocked(it);
+      ++invalidations_;
+    }
+  }
+  return out;
+}
+
+void ResultCache::FinishMaintenance(Maintainable&& entry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (InsertLocked(entry.head, std::move(entry.result), std::move(entry.deps),
+                   /*uses_dom=*/false, /*epoch=*/0, /*maintainable=*/true,
+                   std::move(entry.plan))) {
+    ++maintained_;
+  }
+}
+
+void ResultCache::NoteInvalidated() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++invalidations_;
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lk(mu_);
   map_.clear();
   lru_.clear();
+  by_rel_.clear();
 }
 
 ResultCacheStats ResultCache::stats() const {
@@ -73,6 +197,8 @@ ResultCacheStats ResultCache::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.invalidations = invalidations_;
+  s.maintained = maintained_;
+  s.late_drops = late_drops_;
   s.size = map_.size();
   s.capacity = capacity_;
   return s;

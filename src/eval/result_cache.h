@@ -2,19 +2,21 @@
 #define INCDB_EVAL_RESULT_CACHE_H_
 
 /// \file result_cache.h
-/// \brief Data-fingerprint-aware cache of materialised query results.
+/// \brief Data-fingerprint-aware cache of materialised query results,
+/// with incremental in-place maintenance for the monotone plan subset.
 ///
 /// The plan cache (eval/plan_cache.h) removes the *compile* from repeated
 /// queries; this cache removes the *execution* when the data has not
-/// changed either. It sits behind PreparedQuery::Execute (api/session.h):
+/// changed either — and, since the delta-maintenance layer (eval/delta.h),
+/// even across mutations of maintainable plans. It sits behind
+/// PreparedQuery::Execute (api/session.h):
 ///
-/// **Keying.** An entry's key is built by the session from
-///  * the plan-cache key of the prepared template (algebra structure +
-///    mode + plan-relevant options + scanned schemas) — query identity;
-///  * the parameter bindings of this execution (kind byte + payload via
-///    AppendValueKey) — binding identity;
+/// **Keying.** An entry's key is `head` + stamp suffix (ComposeKey):
+///  * `head` = the plan-cache key of the prepared template (algebra
+///    structure + mode + plan-relevant options + scanned schemas) plus the
+///    parameter bindings of this execution — query + binding identity;
 ///  * the *version stamps* of every relation the plan scans, read from the
-///    pinned snapshot the execution runs against (plus the database epoch
+///    pinned snapshot the execution ran against (plus the database epoch
 ///    for Dom-bearing plans, whose output depends on the whole active
 ///    domain) — data identity.
 /// Version stamps are process-globally unique per relation state
@@ -23,18 +25,29 @@
 /// depends on eager invalidation: a mutation changes the stamps and the
 /// next lookup simply misses.
 ///
-/// **Invalidation.** Stale entries (old stamps) can never be hit again, so
-/// they only cost memory until the LRU ages them out. The
-/// InvalidateRelation hook drops every entry *depending on* a mutated
-/// relation eagerly — the session calls it from its mutation surface
-/// (Put/Drop/Mutate), so a delta to one relation evicts exactly the
-/// entries that scanned it and leaves independent queries hot.
+/// **Maintenance vs invalidation.** When a commit touches relations, the
+/// session extracts the dependent entries (BeginMaintenance — a reverse
+/// index maps relation → dependent keys, so untouched entries are never
+/// scanned). Entries whose plan is maintainable get the commit's
+/// row-level delta applied to their cached rows and re-enter under the
+/// post-commit stamps (FinishMaintenance) — the result survives the write.
+/// Everything else is dropped and counted as an invalidation; stale keys
+/// can never be hit again, so eager dropping is memory hygiene, not a
+/// correctness mechanism.
+///
+/// **Late-insert guard.** An Execute racing a Mutate can try to insert a
+/// result computed against the pre-commit snapshot *after* the sweep for
+/// that commit ran; the stale stamps make the key unhittable, but the
+/// entry would squat in the LRU until aged out. Insert therefore drops
+/// any entry whose dependency stamps predate the latest sweep floor for
+/// that relation (counted in `late_drops`).
 ///
 /// **Thread-safety.** All methods are safe to call concurrently; one mutex
-/// guards the map + LRU ring (as in PlanCache, stats() reads the counters
+/// guards the map + LRU ring + reverse index (stats() reads the counters
 /// under the same lock, so a stats snapshot is internally consistent).
-/// Results are shared immutable relations: a hit returns a shared_ptr the
-/// caller may read without further locking.
+/// A hit returns a shared_ptr the caller may read without further
+/// locking: in-place maintenance only ever mutates a relation the cache
+/// is the sole owner of (extracted entries nobody else holds).
 
 #include <cstdint>
 #include <list>
@@ -42,9 +55,12 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/relation.h"
+#include "eval/plan.h"
 
 namespace incdb {
 
@@ -53,7 +69,9 @@ struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;      ///< LRU-capacity evictions.
-  uint64_t invalidations = 0;  ///< Entries dropped by InvalidateRelation.
+  uint64_t invalidations = 0;  ///< Entries dropped on mutation.
+  uint64_t maintained = 0;     ///< Entries delta-upgraded across a commit.
+  uint64_t late_drops = 0;     ///< Stale inserts refused by the guard.
   size_t size = 0;             ///< Entries currently cached.
   size_t capacity = 0;         ///< LRU capacity.
 };
@@ -62,43 +80,114 @@ class ResultCache {
  public:
   static constexpr size_t kDefaultCapacity = 256;
 
+  /// One data dependency: scanned relation name + the version stamp of
+  /// the state the cached result was computed from.
+  using Dep = std::pair<std::string, uint64_t>;
+
+  /// A maintainable entry extracted by BeginMaintenance: everything the
+  /// session needs to propagate the commit delta and reinsert.
+  struct Maintainable {
+    std::string head;                  ///< Query + binding identity.
+    std::shared_ptr<Relation> result;  ///< The cached rows.
+    PlanPtr plan;                      ///< Bound maintainable plan.
+    std::vector<Dep> deps;             ///< Stamps the result was built on.
+  };
+
   explicit ResultCache(size_t capacity = kDefaultCapacity)
       : capacity_(capacity > 0 ? capacity : 1) {}
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
+  /// The full cache key for a head + dependency stamps (+ epoch for
+  /// Dom-bearing plans). The single authority for the key layout — both
+  /// Execute and FinishMaintenance compose keys through this.
+  static std::string ComposeKey(const std::string& head,
+                                const std::vector<Dep>& deps, bool uses_dom,
+                                uint64_t epoch);
+
   /// The cached result for `key`, or nullptr (counted as hit/miss).
   std::shared_ptr<const Relation> Lookup(const std::string& key);
 
-  /// Caches `result` under `key`; `deps` are the names of the base
-  /// relations the result was computed from (the InvalidateRelation
-  /// handle); the sentinel "*" marks a whole-database dependency (Dom
-  /// plans), matched by every invalidation. Re-inserting an existing key
-  /// refreshes its LRU position.
-  void Insert(const std::string& key, std::shared_ptr<const Relation> result,
-              std::vector<std::string> deps);
+  /// Caches `result` under ComposeKey(head, deps, uses_dom, epoch). `plan`
+  /// is the bound plan the result was executed from, kept only when
+  /// `maintainable` (it feeds PropagateDelta later); Dom-bearing entries
+  /// depend on the whole database and are indexed under "*". Entries whose
+  /// stamps predate the latest invalidation floor of any dependency are
+  /// refused (the late-insert guard). Re-inserting an existing key keeps
+  /// the incumbent and refreshes its LRU position.
+  void Insert(const std::string& head, std::shared_ptr<Relation> result,
+              std::vector<Dep> deps, bool uses_dom, uint64_t epoch,
+              bool maintainable, PlanPtr plan);
 
-  /// Drops every entry that depends on `name`; returns how many. Called by
-  /// the session's mutation surface after a commit touches `name`.
-  size_t InvalidateRelation(const std::string& name);
+  /// Drops every entry that depends on `name` (via the reverse index —
+  /// O(dependent entries), not O(cache)); returns how many. `floor` is the
+  /// post-mutation version stamp of `name` (its fresh epoch when dropped):
+  /// later Inserts carrying an older stamp for `name` are refused.
+  size_t InvalidateRelation(const std::string& name, uint64_t floor);
 
-  /// Drops every entry (explicit invalidation); counters keep running.
+  /// Extracts every entry depending on a touched relation and splits the
+  /// sweep: maintainable entries are returned to the caller (removed from
+  /// the cache — the caller owns maintaining and reinserting them), the
+  /// rest are dropped and counted as invalidations. Also records the
+  /// floors, like InvalidateRelation. `epoch_floor` is the post-commit
+  /// epoch, the floor for whole-database ("*") entries — which are never
+  /// maintainable and always drop.
+  std::vector<Maintainable> BeginMaintenance(
+      const std::vector<std::pair<std::string, uint64_t>>& touched_floors,
+      uint64_t epoch_floor);
+
+  /// Reinserts a successfully maintained entry under its post-commit
+  /// stamps and counts it as `maintained`. Falls back to a late-drop if
+  /// yet another commit raced past the maintenance window.
+  void FinishMaintenance(Maintainable&& entry);
+
+  /// Counts one extracted entry whose maintenance failed (the caller
+  /// already dropped it by extraction).
+  void NoteInvalidated();
+
+  /// Drops every entry (explicit invalidation); counters and floors keep
+  /// running.
   void Clear();
 
   ResultCacheStats stats() const;
 
  private:
   struct Entry {
-    std::shared_ptr<const Relation> result;
-    std::vector<std::string> deps;
+    std::string head;
+    std::shared_ptr<Relation> result;
+    std::vector<Dep> deps;
+    bool uses_dom = false;
+    uint64_t epoch = 0;  ///< Snapshot epoch (meaningful for Dom entries).
+    bool maintainable = false;
+    PlanPtr plan;  ///< Only set when maintainable.
     std::list<std::string>::iterator lru_it;  ///< Position in lru_.
   };
+
+  /// Unlinks the entry from the LRU ring and the reverse index, then
+  /// erases it from the map. Returns the next map iterator.
+  std::unordered_map<std::string, Entry>::iterator RemoveLocked(
+      std::unordered_map<std::string, Entry>::iterator it);
+  /// Shared body of Insert/FinishMaintenance; returns false when the
+  /// late-insert guard refused the entry.
+  bool InsertLocked(const std::string& head, std::shared_ptr<Relation> result,
+                    std::vector<Dep> deps, bool uses_dom, uint64_t epoch,
+                    bool maintainable, PlanPtr plan);
+  /// Keys of every entry depending on any of `names` (or on "*").
+  std::vector<std::string> DependentKeysLocked(
+      const std::vector<std::string>& names) const;
 
   mutable std::mutex mu_;
   size_t capacity_;
   uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  uint64_t maintained_ = 0, late_drops_ = 0;
   std::list<std::string> lru_;  ///< Keys, most recently used first.
   std::unordered_map<std::string, Entry> map_;
+  /// Relation name (or "*") → keys of the entries depending on it.
+  std::unordered_map<std::string, std::unordered_set<std::string>> by_rel_;
+  /// Relation name → minimum acceptable dependency stamp (late-insert
+  /// guard); parallel epoch floor for whole-database entries.
+  std::unordered_map<std::string, uint64_t> floors_;
+  uint64_t epoch_floor_ = 0;
 };
 
 }  // namespace incdb

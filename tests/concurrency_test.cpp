@@ -210,6 +210,52 @@ TEST(ConcurrencyTest, ResultCacheNeverMixesVersionsUnderChurn) {
   EXPECT_GT(sess.stats().result_cache.hits, before);
 }
 
+// Invalidation walks the relation → entries reverse index, so a commit to
+// one relation drops exactly its dependents and never scans (or drops)
+// the rest of the cache. Structural regression for the index: with N
+// relations each backing one cached entry, touching one must cost exactly
+// one invalidation and leave the other N-1 entries hot.
+TEST(ConcurrencyTest, InvalidationSweepsOnlyDependentEntries) {
+  Session sess;
+  constexpr int kRels = 64;
+  for (int i = 0; i < kRels; ++i) {
+    sess.Put("R" + std::to_string(i), OneInt("x", i));
+  }
+  std::vector<PreparedQuery> pqs;
+  for (int i = 0; i < kRels; ++i) {
+    auto pq = sess.Prepare("SELECT x FROM R" + std::to_string(i));
+    ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+    ASSERT_TRUE(pq->Execute().ok());
+    pqs.push_back(*pq);
+  }
+  ASSERT_EQ(sess.stats().result_cache.size, static_cast<size_t>(kRels));
+
+  sess.Put("R7", OneInt("x", 777));
+  ResultCacheStats after = sess.stats().result_cache;
+  EXPECT_EQ(after.invalidations, 1u) << "swept more than the dependents";
+  EXPECT_EQ(after.size, static_cast<size_t>(kRels - 1));
+
+  // Every untouched entry must still be served from the cache.
+  const uint64_t hits_before = after.hits;
+  for (int i = 0; i < kRels; ++i) {
+    if (i == 7) continue;
+    ASSERT_TRUE(pqs[static_cast<size_t>(i)].Execute().ok());
+  }
+  EXPECT_EQ(sess.stats().result_cache.hits,
+            hits_before + static_cast<uint64_t>(kRels - 1));
+
+  // Row-level commits split the sweep the same way: one maintained entry,
+  // zero invalidations, everything else untouched.
+  ASSERT_TRUE(sess.Mutate([](Database::Txn& txn) {
+                    return txn.Insert("R3", {Value::Int(333)});
+                  })
+                  .ok());
+  ResultCacheStats maint = sess.stats().result_cache;
+  EXPECT_EQ(maint.maintained, 1u);
+  EXPECT_EQ(maint.invalidations, 1u) << "maintenance must not invalidate";
+  EXPECT_EQ(maint.size, static_cast<size_t>(kRels - 1));
+}
+
 // A cursor destroyed mid-stream while a writer drops and re-creates the
 // scanned relation must release its pinned snapshot cleanly — no leak, no
 // use-after-free (ASan/LSan back this up), and the session stays usable.

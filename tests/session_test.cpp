@@ -424,6 +424,167 @@ TEST(SessionTest, RepeatExecuteHitsResultCacheUntilDataChanges) {
   EXPECT_EQ(sess.stats().result_cache.size, 0u);
 }
 
+// A row-level Mutate batch upgrades cached results of maintainable plans
+// in place — the entry survives the commit (counted as `maintained`, not
+// `invalidations`) and the next Execute is a hit carrying exactly the
+// post-commit rows.
+TEST(SessionTest, MutateMaintainsCachedResultsIncrementally) {
+  Session sess;
+  Relation r({"a", "k"});
+  for (int i = 0; i < 100; ++i) r.Add({Value::Int(i), Value::Int(i % 10)});
+  Relation s({"k2", "b"});
+  for (int i = 0; i < 10; ++i) s.Add({Value::Int(i), Value::Int(1000 + i)});
+  sess.Put("R", std::move(r));
+  sess.Put("S", std::move(s));
+  auto pq = sess.Prepare("SELECT a, b FROM R, S WHERE k = k2 AND a > 5");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  ASSERT_TRUE(pq->Execute().ok());
+
+  ASSERT_TRUE(sess.Mutate([](Database::Txn& txn) {
+                    return txn.Insert("R", {Value::Int(777), Value::Int(3)});
+                  })
+                  .ok());
+  SessionStats stats = sess.stats();
+  EXPECT_EQ(stats.result_cache.maintained, 1u);
+  EXPECT_EQ(stats.result_cache.invalidations, 0u);
+
+  auto warm = pq->Execute();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 1u) << "maintained entry missed";
+  EXPECT_TRUE(warm->Contains(Tuple{Value::Int(777), Value::Int(1003)}));
+
+  // The maintained rows must be bit-identical to a cold recompute.
+  EvalOptions off = sess.options();
+  off.use_result_cache = false;
+  sess.set_options(off);
+  auto cold = pq->Execute();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold->SameRows(*warm));
+  EXPECT_EQ(cold->attrs(), warm->attrs());
+}
+
+// Bag-mode maintenance handles deletions exactly (signed deltas); set
+// modes fall back to invalidation on a removal (insert-only maintenance)
+// — both must agree with a cold recompute.
+TEST(SessionTest, MutateRemoveMaintainsBagsAndInvalidatesSets) {
+  for (EvalMode mode : {EvalMode::kBagNaive, EvalMode::kSetNaive}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    Session sess;
+    Relation r({"x"});
+    r.Add({Value::Int(1)}, 2);
+    r.Add({Value::Int(2)});
+    r.Add({Value::Int(3)});
+    sess.Put("R", std::move(r));
+    auto pq = sess.Prepare("SELECT x FROM R WHERE x < 3", mode);
+    ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+    ASSERT_TRUE(pq->Execute().ok());
+
+    // Removing the last occurrence of 2: exact under bags, a set-level
+    // deletion (post count 0) under sets → invalidation fallback.
+    ASSERT_TRUE(sess.Mutate([](Database::Txn& txn) {
+                      return txn.Remove("R", {Value::Int(2)});
+                    })
+                    .ok());
+    SessionStats stats = sess.stats();
+    if (mode == EvalMode::kBagNaive) {
+      EXPECT_EQ(stats.result_cache.maintained, 1u);
+      EXPECT_EQ(stats.result_cache.invalidations, 0u);
+    } else {
+      EXPECT_EQ(stats.result_cache.maintained, 0u);
+      EXPECT_EQ(stats.result_cache.invalidations, 1u);
+    }
+    auto got = pq->Execute();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->Count(Tuple{Value::Int(1)}),
+              mode == EvalMode::kBagNaive ? 2u : 1u);
+    EXPECT_EQ(got->Count(Tuple{Value::Int(2)}), 0u);
+
+    EvalOptions off = sess.options();
+    off.use_result_cache = false;
+    sess.set_options(off);
+    auto cold = pq->Execute();
+    ASSERT_TRUE(cold.ok());
+    EXPECT_TRUE(cold->SameRows(*got));
+  }
+}
+
+// The maintenance toggle: with use_result_maintenance off, a row-level
+// commit invalidates instead of maintaining (and results stay correct).
+TEST(SessionTest, MaintenanceToggleFallsBackToInvalidation) {
+  EvalOptions opts;
+  opts.use_result_maintenance = false;
+  Session sess(Database{}, opts);
+  Relation r({"x"});
+  r.Add({Value::Int(1)});
+  sess.Put("R", std::move(r));
+  auto pq = sess.Prepare("SELECT x FROM R");
+  ASSERT_TRUE(pq.ok());
+  ASSERT_TRUE(pq->Execute().ok());
+  ASSERT_TRUE(sess.Mutate([](Database::Txn& txn) {
+                    return txn.Insert("R", {Value::Int(2)});
+                  })
+                  .ok());
+  SessionStats stats = sess.stats();
+  EXPECT_EQ(stats.result_cache.maintained, 0u);
+  EXPECT_EQ(stats.result_cache.invalidations, 1u);
+  auto got = pq->Execute();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->Contains(Tuple{Value::Int(2)}));
+}
+
+// Put of a relation identical to the current one is a no-op: the version
+// stamp keeps, cached results survive, nothing is invalidated.
+TEST(SessionTest, PutOfIdenticalRelationKeepsCacheAndVersion) {
+  Session sess;
+  Relation r({"x"});
+  r.Add({Value::Int(1)});
+  Relation copy = r;
+  sess.Put("R", std::move(r));
+  const uint64_t ver = sess.db().Version("R");
+  auto pq = sess.Prepare("SELECT x FROM R");
+  ASSERT_TRUE(pq.ok());
+  ASSERT_TRUE(pq->Execute().ok());
+  ASSERT_TRUE(pq->Execute().ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 1u);
+
+  sess.Put("R", std::move(copy));  // identical contents: no-op
+  EXPECT_EQ(sess.db().Version("R"), ver);
+  EXPECT_EQ(sess.stats().result_cache.invalidations, 0u);
+  ASSERT_TRUE(pq->Execute().ok());
+  EXPECT_EQ(sess.stats().result_cache.hits, 2u) << "entry must stay hot";
+
+  // Different contents still bump + invalidate.
+  Relation other({"x"});
+  other.Add({Value::Int(2)});
+  sess.Put("R", std::move(other));
+  EXPECT_NE(sess.db().Version("R"), ver);
+  EXPECT_GE(sess.stats().result_cache.invalidations, 1u);
+  auto got = pq->Execute();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->Contains(Tuple{Value::Int(2)}));
+}
+
+// The late-insert guard closes the invalidate-then-reinsert window: an
+// insert whose dependency stamps predate the latest invalidation floor
+// for that relation is refused (the result was computed against a state
+// the sweep already declared dead).
+TEST(SessionTest, ResultCacheRefusesInsertsBehindTheInvalidationFloor) {
+  ResultCache cache;
+  auto stale = std::make_shared<Relation>(std::vector<std::string>{"x"});
+  cache.InvalidateRelation("R", /*floor=*/10);
+  cache.Insert("h", stale, {{"R", 9}}, /*uses_dom=*/false, /*epoch=*/0,
+               /*maintainable=*/false, nullptr);
+  EXPECT_EQ(cache.stats().late_drops, 1u);
+  EXPECT_EQ(cache.stats().size, 0u);
+  // At or above the floor the insert lands.
+  cache.Insert("h", stale, {{"R", 10}}, false, 0, false, nullptr);
+  EXPECT_EQ(cache.stats().size, 1u);
+  // Dom-bearing entries are floored by epoch: Put/Drop sweeps cover "*".
+  cache.Insert("g", stale, {}, /*uses_dom=*/true, /*epoch=*/9, false,
+               nullptr);
+  EXPECT_EQ(cache.stats().late_drops, 2u);
+}
+
 TEST(SessionTest, MutateCommitsAtomicBatchesAndInvalidatesExactly) {
   Session sess(FigureOne(false));
   auto orders = sess.Prepare("SELECT oid FROM Orders");
