@@ -236,7 +236,8 @@ class Database {
   };
 
   /// Starts a transaction against a pinned snapshot of the current state.
-  Txn Begin() const;
+  /// [[nodiscard]]: a dropped Txn is a silently lost batch.
+  [[nodiscard]] Txn Begin() const;
 
   /// Atomically publishes a transaction's staged changes on top of the
   /// *current* instance (last-writer-wins per relation against other

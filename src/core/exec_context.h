@@ -36,8 +36,9 @@ class CancelToken {
  public:
   CancelToken() = default;
 
-  /// A live token whose copies all observe the same Cancel().
-  static CancelToken Create() {
+  /// A live token whose copies all observe the same Cancel(). Discarding
+  /// the result would leave nothing to Cancel() through.
+  [[nodiscard]] static CancelToken Create() {
     CancelToken t;
     t.flag_ = std::make_shared<std::atomic<bool>>(false);
     return t;
@@ -75,15 +76,17 @@ struct ExecContext {
   /// 0 means unlimited. Enforced cooperatively like max_tuples.
   uint64_t soft_mem_limit_bytes = 0;
 
-  /// A context that expires `budget` from now.
-  static ExecContext WithDeadline(std::chrono::nanoseconds budget) {
+  /// A context that expires `budget` from now. [[nodiscard]]: an unused
+  /// context enforces nothing.
+  [[nodiscard]] static ExecContext WithDeadline(
+      std::chrono::nanoseconds budget) {
     ExecContext ctx;
     ctx.start = std::chrono::steady_clock::now();
     ctx.deadline = ctx.start + budget;
     ctx.has_deadline = true;
     return ctx;
   }
-  static ExecContext WithDeadlineMs(uint64_t ms) {
+  [[nodiscard]] static ExecContext WithDeadlineMs(uint64_t ms) {
     return WithDeadline(std::chrono::milliseconds(ms));
   }
 

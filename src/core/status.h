@@ -53,7 +53,12 @@ struct StatusDetail {
 /// A default-constructed Status is OK. Statuses are cheap to copy and
 /// compare; the message is for humans, the code for programs, and the
 /// optional detail() for programs that need the numbers behind the text.
-class Status {
+///
+/// Marked [[nodiscard]] at class level: silently dropping a returned
+/// Status is a compile error on every incdb target (warnings are errors —
+/// see the root CMakeLists). Intentional discards must say so with a
+/// (void) cast at the call site.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -116,9 +121,10 @@ class Status {
 /// \brief Either a value of type T or an error Status.
 ///
 /// Minimal absl::StatusOr-alike. Accessing value() on an error aborts in
-/// debug builds; callers must check ok() first.
+/// debug builds; callers must check ok() first. [[nodiscard]] like Status:
+/// a dropped StatusOr is a dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT

@@ -107,6 +107,93 @@ StatusOr<BatchPredicate> BatchPredicate::Make(
   return out;
 }
 
+Status BatchPredicate::Validate(size_t input_arity) const {
+  if (prog_.empty()) return Status::Internal("empty register program");
+  auto in_referenced = [this](uint32_t col) {
+    return std::find(referenced_.begin(), referenced_.end(), col) !=
+           referenced_.end();
+  };
+  // Replay the postorder stack discipline Make() compiles: atoms push the
+  // register at the current depth, ∧/∨ combine the two topmost in place of
+  // the lower one. Any deviation means the program no longer computes a
+  // single condition value in register 0.
+  uint32_t depth = 0;
+  uint32_t max_depth = 0;
+  for (size_t pc = 0; pc < prog_.size(); ++pc) {
+    const Insn& in = prog_[pc];
+    const std::string at = " at instruction " + std::to_string(pc);
+    switch (in.kind) {
+      case CondKind::kAnd:
+      case CondKind::kOr:
+        if (depth < 2) return Status::Internal("stack underflow" + at);
+        if (in.dst != depth - 2 || in.src2 != depth - 1) {
+          return Status::Internal("connective registers break the postorder "
+                                  "stack discipline" +
+                                  at);
+        }
+        --depth;
+        break;
+      case CondKind::kEqAttrAttr:
+      case CondKind::kNeqAttrAttr:
+      case CondKind::kLtAttrAttr:
+      case CondKind::kLeAttrAttr:
+        if (in.col2 >= input_arity || !in_referenced(in.col2)) {
+          return Status::Internal("rhs column operand out of range" + at);
+        }
+        [[fallthrough]];
+      case CondKind::kEqAttrConst:
+      case CondKind::kNeqAttrConst:
+      case CondKind::kIsConst:
+      case CondKind::kIsNull:
+      case CondKind::kLtAttrConst:
+      case CondKind::kLeAttrConst:
+      case CondKind::kGtAttrConst:
+      case CondKind::kGeAttrConst:
+        if (in.col >= input_arity || !in_referenced(in.col)) {
+          return Status::Internal("column operand out of range" + at);
+        }
+        if (in.constant.is_param()) {
+          return Status::Internal("unbound parameter placeholder" + at);
+        }
+        [[fallthrough]];
+      case CondKind::kTrue:
+      case CondKind::kFalse:
+        if (in.dst != depth) {
+          return Status::Internal("atom writes register " +
+                                  std::to_string(in.dst) +
+                                  ", stack top is " + std::to_string(depth) +
+                                  at);
+        }
+        ++depth;
+        max_depth = std::max(max_depth, depth);
+        break;
+      default:
+        return Status::Internal("unknown opcode" + at);
+    }
+  }
+  if (depth != 1) {
+    return Status::Internal("program leaves " + std::to_string(depth) +
+                            " value(s) on the register stack");
+  }
+  if (n_regs_ != max_depth) {
+    return Status::Internal("register count " + std::to_string(n_regs_) +
+                            " does not match the program's stack depth " +
+                            std::to_string(max_depth));
+  }
+  for (size_t col : referenced_) {
+    if (col >= input_arity) {
+      return Status::Internal("referenced column " + std::to_string(col) +
+                              " out of range for arity " +
+                              std::to_string(input_arity));
+    }
+  }
+  if (mode_ != CondMode::kNaive && mode_ != CondMode::kSql &&
+      mode_ != CondMode::kUnif) {
+    return Status::Internal("invalid condition mode");
+  }
+  return Status::OK();
+}
+
 void BatchPredicate::Run(const Batch& b, Scratch* s) const {
   const size_t n = b.rows;
   if (s->regs.size() < n_regs_) s->regs.resize(n_regs_);

@@ -138,7 +138,16 @@ class BatchPredicate {
   /// TV3 numeric encoding). Used by tests and the microbenches.
   void EvalTruth(const Batch& b, Scratch* scratch, uint8_t* out) const;
 
- private:
+  /// Structural well-formedness of the compiled program, checked by the
+  /// plan verifier (eval/verify.h): postorder stack discipline (connectives
+  /// combine the two topmost registers, atoms push the next), a register
+  /// count that matches the deepest stack, in-range column operands for an
+  /// input of `input_arity` columns (each also listed in referenced()),
+  /// constant operands with no leftover parameter placeholders, and only
+  /// opcodes the interpreter implements. Programs built by Make() always
+  /// pass; a non-OK status means the program was corrupted.
+  Status Validate(size_t input_arity) const;
+
   struct Insn {
     CondKind kind;
     uint32_t col = 0;   ///< lhs schema position (atoms)
@@ -147,6 +156,11 @@ class BatchPredicate {
     uint32_t src2 = 0;  ///< second source register (∧ / ∨; first is dst)
     Value constant;     ///< rhs constant (attr-const atoms)
   };
+
+ private:
+  /// Verifier negative tests corrupt the private program through this peer
+  /// (tests/verify_test.cpp) to prove Validate() catches each defect class.
+  friend struct BatchPredicateTestPeer;
 
   void Run(const Batch& b, Scratch* scratch) const;
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "eval/batch.h"
+#include "eval/verify.h"
 
 namespace incdb {
 
@@ -378,6 +379,10 @@ StatusOr<RelationDelta> PropagateDelta(const PlanPtr& plan,
     return Status::InvalidArgument(
         "PropagateDelta: plan has unbound parameters");
   }
+  // Maintenance re-walks a plan long after it was compiled; re-verify it
+  // (against the pre-commit snapshot, whose schemas it was executed on)
+  // before trusting its positions to index delta rows.
+  INCDB_RETURN_IF_ERROR(internal::MaybeVerifyPlan(*plan, &info.pre));
   return DeltaPropagator(plan, info).Run();
 }
 

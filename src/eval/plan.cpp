@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "eval/verify.h"
+
 namespace incdb {
 
 const char* ToString(PhysOp op) {
@@ -611,8 +613,8 @@ void CountEdges(const PhysPtr& n,
   if (n->right) CountEdges(n->right, refcount);
 }
 
-/// True for the monotone operators delta propagation (eval/delta.h)
-/// understands; any other op makes the whole plan non-maintainable.
+}  // namespace
+
 bool OpIsMaintainable(PhysOp op) {
   switch (op) {
     case PhysOp::kScanView:
@@ -628,6 +630,8 @@ bool OpIsMaintainable(PhysOp op) {
       return false;
   }
 }
+
+namespace {
 
 /// Fills Plan::scanned_rels (sorted, deduplicated), Plan::uses_dom and
 /// Plan::maintainable — the data-dependency footprint the result cache
@@ -653,6 +657,7 @@ StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
   plan->opts = opts;
   plan->opts.num_threads = ResolveNumThreads(opts.num_threads);
   plan->param_count = ParamCount(q);
+  plan->for_ctables = for_ctables;
   CountEdges(plan->root, &plan->refcount);
   std::set<std::string> names;
   plan->maintainable = !for_ctables;  // c-table evaluation walks the plan
@@ -660,6 +665,7 @@ StatusOr<PlanPtr> CompileImpl(const AlgPtr& q, EvalMode mode,
                                       // delta-maintain those results
   CollectDataDeps(plan->root, &names, &plan->uses_dom, &plan->maintainable);
   plan->scanned_rels.assign(names.begin(), names.end());
+  INCDB_RETURN_IF_ERROR(internal::MaybeVerifyPlan(*plan, &db));
   return PlanPtr(plan);
 }
 
@@ -795,7 +801,9 @@ StatusOr<PlanPtr> BindPlanParams(const PlanPtr& plan,
   bound->scanned_rels = plan->scanned_rels;
   bound->uses_dom = plan->uses_dom;
   bound->maintainable = plan->maintainable;
+  bound->for_ctables = plan->for_ctables;
   CountEdges(bound->root, &bound->refcount);
+  INCDB_RETURN_IF_ERROR(internal::MaybeVerifyPlan(*bound));
   return PlanPtr(bound);
 }
 

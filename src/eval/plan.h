@@ -74,6 +74,12 @@ enum class PhysOp : uint8_t {
 
 const char* ToString(PhysOp op);
 
+/// True for the monotone operators delta propagation (eval/delta.h)
+/// understands; any other op makes a plan non-maintainable. The plan
+/// verifier (eval/verify.h) checks Plan::maintainable against exactly this
+/// predicate, so the two can never drift apart silently.
+bool OpIsMaintainable(PhysOp op);
+
 struct PhysNode;
 using PhysPtr = std::shared_ptr<const PhysNode>;
 
@@ -145,6 +151,11 @@ struct Plan {
   /// distinct, Dom and c-table plans are excluded — cached results of
   /// non-maintainable plans fall back to invalidation on mutation.
   bool maintainable = false;
+  /// True when the plan came from CompileForCTables — the c-table
+  /// evaluator walks it with its own semantics, so such plans are never
+  /// executed directly and never delta-maintained. Recorded so the plan
+  /// verifier can check maintainable ⇔ (supported ops ∧ ¬for_ctables).
+  bool for_ctables = false;
 };
 using PlanPtr = std::shared_ptr<const Plan>;
 

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <utility>
 
+#include "eval/verify.h"
+
 namespace incdb {
 
 namespace {
@@ -229,6 +231,10 @@ StatusOr<PlanPtr> PlanCache::LookupOrCompile(const std::string& key,
   // one compile, but never blocks the cache for microseconds.
   auto plan = compile();
   if (!plan.ok()) return plan.status();
+  // A cached plan is served to arbitrarily many later executions — a
+  // malformed one must never enter the map (Debug/sanitizer builds only;
+  // see eval/verify.h).
+  INCDB_RETURN_IF_ERROR(internal::MaybeVerifyPlan(**plan));
   std::lock_guard<std::mutex> lk(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {

@@ -128,7 +128,9 @@ TEST(CertainTest, CertIntersectionIsConstantPartOfCertWithNulls) {
       ASSERT_TRUE(ci.ok() && cn.ok()) << q->ToString();
       Relation const_part(cn->attrs());
       for (const Tuple& t : cn->SortedTuples()) {
-        if (t.AllConst()) ASSERT_TRUE(const_part.Insert(t, 1).ok());
+        if (t.AllConst()) {
+          ASSERT_TRUE(const_part.Insert(t, 1).ok());
+        }
       }
       EXPECT_TRUE(ci->SameRows(const_part))
           << q->ToString() << "\n cert∩: " << ci->ToString()
